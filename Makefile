@@ -1,0 +1,29 @@
+# Convenience targets for the HORSE reproduction.
+
+.PHONY: all build test bench examples clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/nfv_pipeline.exe
+	dune exec examples/trace_replay.exe
+	dune exec examples/resume_study.exe
+	dune exec examples/fleet.exe
+
+# the artefact outputs referenced by EXPERIMENTS.md
+artefacts:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+clean:
+	dune clean

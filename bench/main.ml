@@ -1,0 +1,764 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation on the simulated testbed, and wall-clock
+   micro-benchmarks (Bechamel) of the real algorithm implementations.
+
+   Usage:  main.exe [table1|fig1|fig2|fig3|fig4|overhead|colocation|
+                     summary|xen|micro|all]            (default: all) *)
+
+module E = Horse.Experiments
+module Report = Horse.Report
+module Category = Horse_workload.Category
+
+let section title =
+  Printf.printf "\n==== %s ====\n\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: initialization and execution times                         *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table1 = function
+  (* (scenario, category) -> (init_us, init_pct) from the paper *)
+  | E.Cold, _ -> (1.5e6, 99.99)
+  | E.Restore, Category.Cat1 -> (1300.0, 98.7)
+  | E.Restore, Category.Cat2 -> (1300.0, 99.98)
+  | E.Restore, Category.Cat3 -> (1300.0, 99.94)
+  | E.Warm, Category.Cat1 -> (1.1, 6.07)
+  | E.Warm, Category.Cat2 -> (1.1, 42.3)
+  | E.Warm, Category.Cat3 -> (1.1, 61.1)
+  | E.Horse_start, Category.Cat1 -> (0.147, 0.77)
+  | E.Horse_start, Category.Cat2 -> (0.147, 9.0)
+  | E.Horse_start, Category.Cat3 -> (0.147, 17.64)
+
+let table1 () =
+  section "Table 1 - uLL workloads: init + exec per start scenario";
+  let cells = E.table1 () in
+  let rows =
+    List.map
+      (fun (c : E.table1_cell) ->
+        let paper_init, paper_pct = paper_table1 (c.scenario, c.category) in
+        [
+          Category.name c.category;
+          E.scenario_name c.scenario;
+          Report.ns (c.init_us *. 1e3);
+          Report.ns (c.exec_us *. 1e3);
+          Report.pct c.init_pct;
+          Report.ns (paper_init *. 1e3);
+          Report.pct paper_pct;
+        ])
+      cells
+  in
+  Report.print
+    ~caption:"Table 1 (paper p.3) - measured vs paper"
+    ~header:
+      [
+        "category"; "scenario"; "init"; "exec"; "init%"; "paper init";
+        "paper init%";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: initialization percentage (cold/restore/warm)             *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  section "Figure 1 - sandbox initialization share of the pipeline";
+  let cells = E.table1 () in
+  let scenarios = [ E.Cold; E.Restore; E.Warm ] in
+  let rows =
+    List.map
+      (fun category ->
+        Category.name category
+        :: List.map
+             (fun scenario ->
+               let cell =
+                 List.find
+                   (fun (c : E.table1_cell) ->
+                     c.category = category && c.scenario = scenario)
+                   cells
+               in
+               Report.pct cell.init_pct)
+             scenarios)
+      Category.all
+  in
+  Report.print
+    ~caption:
+      "Figure 1 (paper p.3) - init%% per scenario; paper: cold ~99.99%, \
+       restore 98.7-99.98%, warm 6.07/42.3/61.1%"
+    ~header:[ "category"; "cold"; "restore"; "warm" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: resume breakdown                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  section "Figure 2 - vanilla resume breakdown vs vCPU count";
+  let rows =
+    List.map
+      (fun (r : E.fig2_row) ->
+        [
+          string_of_int r.vcpus;
+          Report.ns r.parse_ns;
+          Report.ns r.lock_ns;
+          Report.ns r.sanity_ns;
+          Report.ns r.merge_ns;
+          Report.ns r.load_ns;
+          Report.ns r.finalize_ns;
+          Report.pct r.steps45_pct;
+        ])
+      (E.fig2 ())
+  in
+  Report.print
+    ~caption:
+      "Figure 2 (paper p.3) - steps 4 (merge) + 5 (load) should take \
+       87.5%% -> 93.1%% as vCPUs go 1 -> 36"
+    ~header:
+      [ "vcpus"; "parse"; "lock"; "sanity"; "merge(4)"; "load(5)"; "final";
+        "4+5 %" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: resume time per strategy                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  section "Figure 3 - resume time: vanil / ppsm / coal / horse";
+  let rows3 = E.fig3 () in
+  let rows =
+    List.map
+      (fun (r : E.fig3_row) ->
+        [
+          string_of_int r.vcpus;
+          Report.ns r.vanil_ns;
+          Report.ns r.coal_ns;
+          Report.ns r.ppsm_ns;
+          Report.ns r.horse_ns;
+          Report.ratio (r.vanil_ns /. r.horse_ns);
+        ])
+      rows3
+  in
+  Report.print
+    ~caption:
+      "Figure 3 (paper p.5) - paper: coal saves 16-20%%, ppsm 55-69%%, \
+       horse up to 85%% (7.16x), horse constant ~150ns"
+    ~header:[ "vcpus"; "vanil"; "coal"; "ppsm"; "horse"; "speedup" ]
+    rows;
+  let s = E.fig3_summarise rows3 in
+  Report.print ~caption:"Figure 3 summary (measured vs paper)"
+    ~header:[ "metric"; "measured"; "paper" ]
+    [
+      [ "coal improvement (max)"; Report.pct (100.0 *. s.coal_improvement_max);
+        "16-20%" ];
+      [ "ppsm improvement (max)"; Report.pct (100.0 *. s.ppsm_improvement_max);
+        "55-69%" ];
+      [ "horse improvement (max)"; Report.pct (100.0 *. s.horse_improvement_max);
+        "up to 85%" ];
+      [ "horse speedup (max)"; Report.ratio s.horse_speedup_max; "7.16x" ];
+      [ "horse resume time"; Report.ns s.horse_constant_ns; "~150ns" ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: init share including HORSE                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  section "Figure 4 - init share: cold / restore / warm / HORSE";
+  let cells = E.fig4 () in
+  let scenarios = [ E.Cold; E.Restore; E.Warm; E.Horse_start ] in
+  let rows =
+    List.map
+      (fun category ->
+        Category.name category
+        :: List.map
+             (fun scenario ->
+               let cell =
+                 List.find
+                   (fun (c : E.fig4_cell) ->
+                     c.f4_category = category && c.f4_scenario = scenario)
+                   cells
+               in
+               Report.pct cell.f4_init_pct)
+             scenarios)
+      Category.all
+  in
+  Report.print
+    ~caption:
+      "Figure 4 (paper p.6) - paper: HORSE init%% spans 0.77-17.64%%; \
+       outclasses warm by up to 8.95x, restore 142.7x, cold 142.84x"
+    ~header:[ "category"; "cold"; "restore"; "warm"; "horse" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* §5.2 overhead                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* pause-side cost per strategy: what HORSE pays up front (Sec 5.2) *)
+let pause_costs () =
+  let module Scheduler = Horse_sched.Scheduler in
+  let module Sandbox = Horse_vmm.Sandbox in
+  let module Vmm = Horse_vmm.Vmm in
+  let pause_ns strategy vcpus =
+    let scheduler =
+      Scheduler.create ~topology:Horse_cpu.Topology.r650 ()
+    in
+    let vmm =
+      Vmm.create ~jitter:0.0 ~scheduler
+        ~metrics:(Horse_sim.Metrics.create ()) ()
+    in
+    let sb = Sandbox.create ~id:0 ~vcpus ~memory_mb:512 ~ull:true () in
+    ignore (Vmm.boot vmm sb);
+    Horse_sim.Time_ns.span_to_ns (Vmm.pause vmm ~strategy sb)
+  in
+  Report.print
+    ~caption:
+      "What the fast resume costs at pause time: merge_vcpus sorting + \
+       posA/arrayB setup + coalescing constants (all off the critical \
+       path - the sandbox is going idle anyway)"
+    ~header:[ "vcpus"; "pause vanil"; "pause coal"; "pause horse" ]
+    (List.map
+       (fun vcpus ->
+         [
+           string_of_int vcpus;
+           Report.ns (float_of_int (pause_ns Sandbox.Vanilla vcpus));
+           Report.ns (float_of_int (pause_ns Sandbox.Coal vcpus));
+           Report.ns (float_of_int (pause_ns Sandbox.Horse vcpus));
+         ])
+       [ 1; 8; 36 ])
+
+
+let overhead () =
+  section "Sec 5.2 - CPU & memory overhead of HORSE";
+  let rows =
+    List.map
+      (fun (r : E.overhead_row) ->
+        [
+          string_of_int r.o_vcpus;
+          Printf.sprintf "%.1fKB" r.memory_kb;
+          Report.pct r.memory_pct;
+          Printf.sprintf "%.4f%%" r.pause_overhead_pct;
+          Printf.sprintf "%.4f%%" r.resume_burst_cpu_pct;
+          string_of_int r.maintenance_events;
+        ])
+      (E.overhead ())
+  in
+  Report.print
+    ~caption:
+      "Sec 5.2 (paper p.5) - paper: memory up to 528KB (~0.11%% of 5GB), \
+       pause CPU +0.3%%, resume burst +2.7%%; all overheads <1%% of steady \
+       CPU"
+    ~header:
+      [ "ull vcpus"; "psm memory"; "mem %"; "pause cpu+"; "resume burst+";
+        "posA updates" ]
+    rows;
+  pause_costs ()
+
+(* ------------------------------------------------------------------ *)
+(* §5.4 colocation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let colocation () =
+  section "Sec 5.4 - colocation with longer-running functions";
+  let rows =
+    List.map
+      (fun (r : E.colocation_row) ->
+        [
+          string_of_int r.c_vcpus;
+          Printf.sprintf "%.1fms" r.vanilla_mean_ms;
+          Printf.sprintf "%.1fms" r.vanilla_p95_ms;
+          Printf.sprintf "%.1fms" r.vanilla_p99_ms;
+          Printf.sprintf "%.1fms" r.horse_mean_ms;
+          Printf.sprintf "%.1fms" r.horse_p95_ms;
+          Printf.sprintf "%.1fms" r.horse_p99_ms;
+          Printf.sprintf "%+.1fus" r.p99_delta_us;
+          Printf.sprintf "%+.5f%%" r.p99_delta_pct;
+          string_of_int r.affected;
+          Printf.sprintf "%.1fus" r.max_delay_us;
+        ])
+      (E.colocation ())
+  in
+  Report.print
+    ~caption:
+      "Sec 5.4 (paper p.6) - paper: no mean/p95 difference; p99 penalty up \
+       to ~30us (0.00107%%) at 36 vCPUs"
+    ~header:
+      [ "ull vcpus"; "van mean"; "van p95"; "van p99"; "horse mean";
+        "horse p95"; "horse p99"; "p99 delta"; "p99 delta %"; "hit";
+        "max delay" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (beyond the paper's figures)                              *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  section "Ablation A - number of ull_runqueues (paper Sec 4.1.3 extension)";
+  Report.print
+    ~caption:
+      "More reserved queues spread the paused sandboxes, cutting posA maintenance traffic, while the O(1) resume is untouched"
+    ~header:
+      [ "ull queues"; "mean resume"; "posA updates"; "max queue share" ]
+    (List.map
+       (fun (r : E.ull_queue_ablation_row) ->
+         [
+           string_of_int r.E.u_queues;
+           Report.ns r.E.u_resume_ns;
+           string_of_int r.E.u_maintenance_events;
+           Report.pct (100.0 *. r.E.u_max_queue_share);
+         ])
+       (E.ablation_ull_queues ()));
+  section "Ablation B - snapshot restore modes (the Table-1 restore row)";
+  Report.print
+    ~caption:
+      "Eager loads every page; lazy faults on demand; working-set prefetch (FaaSnap-style) is the ~1.3ms point the paper measures"
+    ~header:[ "mode"; "restore"; "1st-invocation faults"; "total" ]
+    (List.map
+       (fun (r : E.restore_ablation_row) ->
+         [
+           r.E.r_mode;
+           Report.ns (r.E.r_restore_latency_us *. 1e3);
+           Report.ns (r.E.r_first_invocation_penalty_us *. 1e3);
+           Report.ns (r.E.r_total_us *. 1e3);
+         ])
+       (E.ablation_restore ()));
+  section "Ablation F - cold-start anatomy and snapshot points";
+  let profile = Horse_vmm.Boot.firecracker_nodejs in
+  Report.print
+    ~caption:
+      "Table 1's 1.5s cold start decomposed; each snapshot point skips \
+       a prefix (FaaSnap ~ resume-after-runtime-init, SnapStart ~ \
+       resume-after-code-load)"
+    ~header:[ "start strategy"; "latency"; "phases skipped" ]
+    (List.map
+       (fun strategy ->
+         [
+           Horse_vmm.Boot.strategy_name strategy;
+           Report.span (Horse_vmm.Boot.cost profile strategy);
+           string_of_int
+             (List.length (Horse_vmm.Boot.skipped_phases strategy));
+         ])
+       (Horse_vmm.Boot.Full_boot
+       :: List.map
+            (fun p -> Horse_vmm.Boot.Resume_after p)
+            Horse_vmm.Boot.all_phases));
+  section "Ablation E - ull_runqueue timeslice (paper Sec 4.1.3)";
+  Report.print
+    ~caption:
+      "A 0.7us function arriving behind a 200us incumbent on the same \
+       queue: the 1us ull slice lets it through immediately, a normal \
+       slice makes it wait out the incumbent"
+    ~header:[ "queue"; "uLL latency"; "incumbent penalty" ]
+    (List.map
+       (fun (r : E.timeslice_row) ->
+         [
+           r.E.t_queue;
+           Report.ns (r.E.t_ull_latency_us *. 1e3);
+           Report.ns (r.E.t_incumbent_penalty_us *. 1e3);
+         ])
+       (E.ablation_timeslice ()));
+  section "Ablation D - DVFS governors x resume strategies (energy)";
+  Report.print
+    ~caption:
+      "The step-5 load variable exists to drive frequency scaling: \
+       schedutil saves energy at low utilisation, and HORSE's coalesced \
+       update leaves the governor signal (and energy) identical to \
+       vanilla's"
+    ~header:[ "governor"; "strategy"; "energy"; "mean freq" ]
+    (List.map
+       (fun (r : E.energy_row) ->
+         [
+           r.E.e_governor;
+           r.E.e_strategy;
+           Printf.sprintf "%.2fJ" r.E.e_joules;
+           Printf.sprintf "%.0fMHz" r.E.e_mean_freq_mhz;
+         ])
+       (E.ablation_energy ()));
+  section "Ablation C - keep-alive policies on an Azure-shaped day";
+  Report.print
+    ~caption:
+      "Warm-hit rate vs the warm-pool time the provider pays; the histogram policy (Shahrad et al.) adapts per function"
+    ~header:[ "policy"; "warm-hit rate"; "cold starts"; "idle sandbox-min" ]
+    (List.map
+       (fun (r : E.keepalive_row) ->
+         [
+           r.E.k_policy;
+           Report.pct (100.0 *. r.E.k_warm_hit_rate);
+           string_of_int r.E.k_cold_starts;
+           Printf.sprintf "%.0f" r.E.k_warm_pool_minutes;
+         ])
+       (E.keepalive_policies ()))
+
+(* ------------------------------------------------------------------ *)
+(* Headline summary                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let summary () =
+  section "Headline claims";
+  let s = E.summary () in
+  Report.print ~caption:"Measured vs paper"
+    ~header:[ "claim"; "measured"; "paper" ]
+    [
+      [ "warm resume speedup"; Report.ratio s.resume_speedup; "up to 7.16x" ];
+      [ "HORSE resume time"; Report.ns s.horse_resume_ns; "~150ns constant" ];
+      [ "init overhead vs warm"; Report.ratio s.init_overhead_vs_warm;
+        "up to 8.95x" ];
+      [ "init overhead vs restore"; Report.ratio s.init_overhead_vs_restore;
+        "up to 142.7x" ];
+      [ "init overhead vs cold"; Report.ratio s.init_overhead_vs_cold;
+        "up to 142.84x" ];
+      [ "HORSE init%% range";
+        Printf.sprintf "%.2f%% - %.2f%%" s.horse_init_pct_min
+          s.horse_init_pct_max;
+        "0.77% - 17.64%" ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Xen profile spot-check                                              *)
+(* ------------------------------------------------------------------ *)
+
+let xen () =
+  section "Xen profile - same shape on the second virtualization system";
+  let s = E.fig3_summarise (E.fig3 ~profile:E.Xen ()) in
+  Report.print
+    ~caption:
+      "Paper reports 'similar observations' on Xen; the improvements must \
+       hold on the heavier profile too"
+    ~header:[ "metric"; "xen measured" ]
+    [
+      [ "horse speedup (max)"; Report.ratio s.horse_speedup_max ];
+      [ "horse resume time"; Report.ns s.horse_constant_ns ];
+      [ "ppsm improvement (max)"; Report.pct (100.0 *. s.ppsm_improvement_max) ];
+      [ "coal improvement (max)"; Report.pct (100.0 *. s.coal_improvement_max) ];
+    ];
+  (* the platform-level view (Figure 4 style) on Xen *)
+  let cells = E.fig4 ~profile:E.Xen ~repeats:5 () in
+  let scenarios = [ E.Cold; E.Restore; E.Warm; E.Horse_start ] in
+  Report.print
+    ~caption:"Init share per scenario on the Xen profile"
+    ~header:[ "category"; "cold"; "restore"; "warm"; "horse" ]
+    (List.map
+       (fun category ->
+         Category.name category
+         :: List.map
+              (fun scenario ->
+                let cell =
+                  List.find
+                    (fun (c : E.fig4_cell) ->
+                      c.E.f4_category = category && c.E.f4_scenario = scenario)
+                    cells
+                in
+                Report.pct cell.E.f4_init_pct)
+              scenarios)
+       Category.all)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the real implementations               *)
+(* ------------------------------------------------------------------ *)
+
+module Ll = Horse_psm.Linked_list
+module Psm = Horse_psm.Psm
+module Reference = Horse_psm.Reference
+module Coalesce = Horse_coalesce.Coalesce
+
+let merge_setup ~source_len ~target_len =
+  let rng = Horse_sim.Rng.create ~seed:17 in
+  let sorted n =
+    List.sort Int.compare
+      (List.init n (fun _ -> Horse_sim.Rng.int rng 1_000_000))
+  in
+  let source = Ll.of_sorted_list ~compare:Int.compare (sorted source_len) in
+  let target = Ll.of_sorted_list ~compare:Int.compare (sorted target_len) in
+  (source, target)
+
+(* The two merge operations consume their inputs, so they cannot run
+   under Bechamel's resource runner (bechamel 0.5 re-applies the
+   function to one resource).  Time them manually instead: pre-build a
+   batch of instances, time each execution, report the median. *)
+let time_consuming ~name ~batch ~allocate ~run =
+  let instances = Array.init batch (fun _ -> allocate ()) in
+  let samples =
+    Array.map
+      (fun instance ->
+        let t0 = Monotonic_clock.now () in
+        run instance;
+        let t1 = Monotonic_clock.now () in
+        Int64.to_float (Int64.sub t1 t0))
+      instances
+  in
+  Array.sort Float.compare samples;
+  (name, samples.(batch / 2))
+
+let manual_merge_benches () =
+  List.concat_map
+    (fun target_len ->
+      [
+        time_consuming
+          ~name:(Printf.sprintf "merge/sequential 36 into %d" target_len)
+          ~batch:1001
+          ~allocate:(fun () -> merge_setup ~source_len:36 ~target_len)
+          ~run:(fun (source, target) ->
+            ignore (Reference.insert_each ~source ~target));
+        (* the "better data structure" rebuttal: O(log n) per-element
+           inserts into a skip list still cost O(vcpus*log n) per
+           resume, and the structure cannot be spliced in O(1) *)
+        time_consuming
+          ~name:(Printf.sprintf "merge/skiplist 36 into %d" target_len)
+          ~batch:1001
+          ~allocate:(fun () ->
+            let source, target = merge_setup ~source_len:36 ~target_len in
+            let skip =
+              Horse_psm.Skip_list.of_list ~compare:Int.compare
+                (Ll.to_list target)
+            in
+            (source, skip))
+          ~run:(fun (source, skip) ->
+            let rec drain () =
+              match Ll.pop_first source with
+              | None -> ()
+              | Some x ->
+                ignore (Horse_psm.Skip_list.insert skip x);
+                drain ()
+            in
+            drain ());
+        time_consuming
+          ~name:(Printf.sprintf "merge/psm-splice 36 into %d" target_len)
+          ~batch:1001
+          ~allocate:(fun () ->
+            let source, target = merge_setup ~source_len:36 ~target_len in
+            let index = Psm.Index.build target in
+            let plan = Psm.Plan.build ~source ~index in
+            (source, index, plan))
+          ~run:(fun (source, index, plan) ->
+            ignore (Psm.Plan.execute plan ~index ~source));
+      ])
+    [ 128; 1024; 4096 ]
+
+let bench_psm_precompute ~source_len ~target_len =
+  let source, target = merge_setup ~source_len ~target_len in
+  let index = Psm.Index.build target in
+  Bechamel.Test.make
+    ~name:
+      (Printf.sprintf "psm/precompute %d vs %d" source_len target_len)
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Psm.Plan.build ~source ~index)))
+
+(* the O(|A|·log|B|) variant of the paper's O(n) position scan *)
+let bench_psm_precompute_binary ~source_len ~target_len =
+  let source, target = merge_setup ~source_len ~target_len in
+  let index = Psm.Index.build target in
+  Bechamel.Test.make
+    ~name:
+      (Printf.sprintf "psm/precompute-binary %d vs %d" source_len target_len)
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Psm.Plan.build_binary ~source ~index)))
+
+(* scheduling substrate comparison: binary-heap event queue vs the
+   hierarchical timer wheel, schedule+drain of a burst *)
+let bench_event_queue n =
+  let rng = Horse_sim.Rng.create ~seed:23 in
+  let ats =
+    Array.init n (fun _ ->
+        Horse_sim.Time_ns.of_ns (Horse_sim.Rng.int rng 50_000_000))
+  in
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "events/heap-queue %d" n)
+    (Bechamel.Staged.stage (fun () ->
+         let q = Horse_sim.Event_queue.create () in
+         Array.iter (fun at -> ignore (Horse_sim.Event_queue.schedule q ~at ())) ats;
+         let rec drain () =
+           match Horse_sim.Event_queue.pop q with
+           | Some _ -> drain ()
+           | None -> ()
+         in
+         drain ()))
+
+let bench_timer_wheel n =
+  let rng = Horse_sim.Rng.create ~seed:23 in
+  let ats =
+    Array.init n (fun _ ->
+        Horse_sim.Time_ns.of_ns (Horse_sim.Rng.int rng 50_000_000))
+  in
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "events/timer-wheel %d" n)
+    (Bechamel.Staged.stage (fun () ->
+         let w = Horse_sim.Timer_wheel.create () in
+         Array.iter (fun at -> ignore (Horse_sim.Timer_wheel.schedule w ~at ())) ats;
+         let rec drain () =
+           match Horse_sim.Timer_wheel.pop w with
+           | Some _ -> drain ()
+           | None -> ()
+         in
+         drain ()))
+
+let bench_load_iterated n =
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "load/iterated n=%d" n)
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Coalesce.Affine.iterate Coalesce.Affine.pelt n 512.0)))
+
+let bench_load_coalesced n =
+  let pelt = Coalesce.Affine.pelt in
+  let pre =
+    Coalesce.Precomputed.make ~alpha:pelt.Coalesce.Affine.alpha
+      ~beta:pelt.Coalesce.Affine.beta ~n
+  in
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "load/coalesced n=%d" n)
+    (Bechamel.Staged.stage (fun () -> ignore (Coalesce.Precomputed.apply pre 512.0)))
+
+let bench_workload category =
+  Bechamel.Test.make
+    ~name:("workload/" ^ Category.name category)
+    (Bechamel.Staged.stage (fun () -> ignore (Category.run_real category)))
+
+let micro () =
+  section "Micro-benchmarks (real wall-clock, Bechamel)";
+  let tests =
+    Bechamel.Test.make_grouped ~name:"horse"
+      [
+        bench_psm_precompute ~source_len:36 ~target_len:128;
+        bench_psm_precompute ~source_len:36 ~target_len:4096;
+        bench_psm_precompute_binary ~source_len:36 ~target_len:128;
+        bench_psm_precompute_binary ~source_len:36 ~target_len:4096;
+        bench_event_queue 1024;
+        bench_timer_wheel 1024;
+        bench_load_iterated 36;
+        bench_load_coalesced 36;
+        bench_workload Category.Cat1;
+        bench_workload Category.Cat2;
+        bench_workload Category.Cat3;
+      ]
+  in
+  let cfg =
+    Bechamel.Benchmark.cfg ~limit:300
+      ~quota:(Bechamel.Time.second 0.25)
+      ~kde:None ()
+  in
+  let instance = Bechamel.Toolkit.Instance.monotonic_clock in
+  let raw = Bechamel.Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Bechamel.Analyze.ols ~r_square:false ~bootstrap:0
+      ~predictors:[| Bechamel.Measure.run |]
+  in
+  let results = Bechamel.Analyze.all ols instance raw in
+  let rows =
+    List.map (fun (name, ns) -> [ name; Report.ns ns ]) (manual_merge_benches ())
+    @ (Hashtbl.fold
+         (fun name result acc ->
+           let estimate =
+             match Bechamel.Analyze.OLS.estimates result with
+             | Some [ e ] -> Report.ns e
+             | Some _ | None -> "n/a"
+           in
+           [ name; estimate ] :: acc)
+         results []
+      |> List.sort compare)
+  in
+  Report.print
+    ~caption:
+      "P2SM's splice must be (near-)constant while the sequential merge \
+       grows with the target size; one coalesced update must beat 36 \
+       iterated ones"
+    ~header:[ "benchmark"; "ns/run" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* csv: machine-readable dumps for plotting                            *)
+(* ------------------------------------------------------------------ *)
+
+let write_csv path header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.concat "," header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          output_string oc (String.concat "," row);
+          output_char oc '\n')
+        rows);
+  Printf.printf "wrote %s (%d rows)\n%!" path (List.length rows)
+
+let csv () =
+  let dir = "results" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let f = Printf.sprintf "%.6f" in
+  write_csv (Filename.concat dir "fig2_breakdown.csv")
+    [ "vcpus"; "parse_ns"; "lock_ns"; "sanity_ns"; "merge_ns"; "load_ns";
+      "finalize_ns"; "steps45_pct" ]
+    (List.map
+       (fun (r : E.fig2_row) ->
+         [
+           string_of_int r.E.vcpus; f r.E.parse_ns; f r.E.lock_ns;
+           f r.E.sanity_ns; f r.E.merge_ns; f r.E.load_ns; f r.E.finalize_ns;
+           f r.E.steps45_pct;
+         ])
+       (E.fig2 ()));
+  write_csv (Filename.concat dir "fig3_strategies.csv")
+    [ "vcpus"; "vanil_ns"; "coal_ns"; "ppsm_ns"; "horse_ns" ]
+    (List.map
+       (fun (r : E.fig3_row) ->
+         [
+           string_of_int r.E.vcpus; f r.E.vanil_ns; f r.E.coal_ns;
+           f r.E.ppsm_ns; f r.E.horse_ns;
+         ])
+       (E.fig3 ()));
+  write_csv (Filename.concat dir "fig4_init_share.csv")
+    [ "category"; "scenario"; "init_pct" ]
+    (List.map
+       (fun (c : E.fig4_cell) ->
+         [
+           Category.name c.E.f4_category; E.scenario_name c.E.f4_scenario;
+           f c.E.f4_init_pct;
+         ])
+       (E.fig4 ()));
+  write_csv (Filename.concat dir "colocation.csv")
+    [ "ull_vcpus"; "vanilla_mean_ms"; "vanilla_p95_ms"; "vanilla_p99_ms";
+      "horse_mean_ms"; "horse_p95_ms"; "horse_p99_ms"; "p99_delta_us";
+      "affected"; "max_delay_us" ]
+    (List.map
+       (fun (r : E.colocation_row) ->
+         [
+           string_of_int r.E.c_vcpus; f r.E.vanilla_mean_ms;
+           f r.E.vanilla_p95_ms; f r.E.vanilla_p99_ms; f r.E.horse_mean_ms;
+           f r.E.horse_p95_ms; f r.E.horse_p99_ms; f r.E.p99_delta_us;
+           string_of_int r.E.affected; f r.E.max_delay_us;
+         ])
+       (E.colocation ()))
+
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  table1 ();
+  fig1 ();
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  overhead ();
+  colocation ();
+  summary ();
+  xen ();
+  ablations ();
+  micro ()
+
+let () =
+  let experiments =
+    [
+      ("table1", table1); ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
+      ("fig4", fig4); ("overhead", overhead); ("colocation", colocation);
+      ("summary", summary); ("xen", xen); ("ablations", ablations);
+      ("micro", micro); ("csv", csv); ("all", all);
+    ]
+  in
+  match Sys.argv with
+  | [| _ |] -> all ()
+  | [| _; name |] -> (
+    match List.assoc_opt name experiments with
+    | Some f -> f ()
+    | None ->
+      Printf.eprintf "unknown experiment %S; available: %s\n" name
+        (String.concat ", " (List.map fst experiments));
+      exit 1)
+  | _ ->
+    Printf.eprintf "usage: %s [experiment]\n" Sys.argv.(0);
+    exit 1

@@ -1,0 +1,88 @@
+module Affine = struct
+  type t = { alpha : float; beta : float }
+
+  let apply f x = (f.alpha *. x) +. f.beta
+
+  let iterate f n x =
+    if n < 0 then invalid_arg "Coalesce.Affine.iterate: negative count";
+    let rec loop n x = if n = 0 then x else loop (n - 1) (apply f x) in
+    loop n x
+
+  let compose g f = { alpha = g.alpha *. f.alpha; beta = (g.alpha *. f.beta) +. g.beta }
+
+  (* fⁿ(x) = αⁿx + β·(1-αⁿ)/(1-α); the geometric sum degenerates to
+     n·β when α = 1. *)
+  let power f n =
+    if n < 0 then invalid_arg "Coalesce.Affine.power: negative count";
+    if n = 0 then { alpha = 1.0; beta = 0.0 }
+    else begin
+      let alpha_n = f.alpha ** float_of_int n in
+      let geom =
+        if Float.abs (f.alpha -. 1.0) < 1e-12 then float_of_int n *. f.beta
+        else f.beta *. (1.0 -. alpha_n) /. (1.0 -. f.alpha)
+      in
+      { alpha = alpha_n; beta = geom }
+    end
+
+  let pelt =
+    let y = 0.5 ** (1.0 /. 32.0) in
+    { alpha = y; beta = 1024.0 *. (1.0 -. y) }
+end
+
+module Precomputed = struct
+  type t = { alpha_pow : float; geom : float; vcpus : int }
+
+  let make ~alpha ~beta ~n =
+    let f = Affine.power { Affine.alpha; beta } n in
+    { alpha_pow = f.Affine.alpha; geom = f.Affine.beta; vcpus = n }
+
+  let apply t x = (t.alpha_pow *. x) +. t.geom
+
+  let vcpus t = t.vcpus
+
+  let alpha_pow t = t.alpha_pow
+
+  let geometric_sum t = t.geom
+end
+
+module Fixed = struct
+  type repr = int
+
+  let fractional_bits = 16
+
+  let scale = 1 lsl fractional_bits
+
+  let of_float x = int_of_float (Float.round (x *. float_of_int scale))
+
+  let to_float r = float_of_int r /. float_of_int scale
+
+  let mul a b = (a * b) asr fractional_bits
+
+  let apply_affine ~alpha ~beta x = mul alpha x + beta
+
+  let iterate ~alpha ~beta n x =
+    if n < 0 then invalid_arg "Coalesce.Fixed.iterate: negative count";
+    let rec loop n x = if n = 0 then x else loop (n - 1) (apply_affine ~alpha ~beta x) in
+    loop n x
+
+  (* Computed with the same repeated multiplies the pause path uses,
+     so the constants carry the same rounding family as iteration. *)
+  let precompute ~alpha ~beta ~n =
+    if n < 0 then invalid_arg "Coalesce.Fixed.precompute: negative count";
+    let rec loop k alpha_pow geom =
+      if k = n then (alpha_pow, geom)
+      else loop (k + 1) (mul alpha_pow alpha) (mul geom alpha + beta)
+    in
+    loop 0 scale 0
+
+  let apply_precomputed ~alpha_pow ~geom x = mul alpha_pow x + geom
+
+  let max_error_ulps ~n ~x =
+    (* Each truncating multiply loses < 1 ulp.  The iterated path
+       accumulates at most n ulps (its factors are <= 1).  On the
+       precomputed path, αⁿ itself carries up to n ulps of error, and
+       that error is amplified by |x| when applied: n·⌈|x|⌉ ulps,
+       plus n ulps from the geometric sum and the final multiply. *)
+    let x_magnitude = (abs x + scale - 1) / scale in
+    (3 * n) + 2 + (n * x_magnitude)
+end

@@ -1,0 +1,100 @@
+(** Load-update coalescing (paper §4.2).
+
+    Placing a vCPU on a run queue updates the queue's PELT-style load
+    with an affine function [f(x) = α·x + β].  Vanilla resume applies
+    [f] once per vCPU — [n] lock-protected updates.  HORSE applies the
+    [n]-fold composition in one shot:
+
+    [fⁿ(x) = αⁿ·x + β·(1 − αⁿ)/(1 − α)]   (α ≠ 1; [αⁿx + nβ] when α = 1)
+
+    with [αⁿ] and the geometric sum precomputed when the sandbox is
+    {e paused} and stored as sandbox attributes (§4.2.2).
+
+    Note: the paper's running text writes the geometric factor as
+    [β·(1 − αⁿ⁻¹)/(1 − α)], which contradicts its own derivation two
+    lines above ([β·Σᵢ₌₀ⁿ⁻¹ αⁱ = β·(1 − αⁿ)/(1 − α)]).  We implement
+    the derivation's (correct) form; the property tests pin it against
+    literal n-fold iteration.
+
+    {!Fixed} mirrors the kernel reality: PELT runs in integer
+    fixed-point, so the coalesced result differs from the iterated one
+    by bounded rounding, quantified by {!Fixed.max_error_ulps}. *)
+
+module Affine : sig
+  type t = { alpha : float; beta : float }
+  (** The update [x ↦ alpha·x + beta]. *)
+
+  val apply : t -> float -> float
+
+  val iterate : t -> int -> float -> float
+  (** [iterate f n x] applies [f] literally [n] times — the vanilla
+      per-vCPU loop, used as the test oracle.
+      @raise Invalid_argument if [n < 0]. *)
+
+  val compose : t -> t -> t
+  (** [compose g f] is [g ∘ f] (apply [f] first). *)
+
+  val power : t -> int -> t
+  (** [power f n] is the closed-form n-fold composition — the
+      coalesced update.  O(log n) via [αⁿ], no iteration.
+      @raise Invalid_argument if [n < 0]. *)
+
+  val pelt : t
+  (** The PELT decay-and-accumulate step for a runnable entity:
+      [α = y] with [y³² = 1/2] (so 32 periods halve the history) and
+      [β = 1024·(1 − y)] (one fully-runnable 1024 µs period). *)
+end
+
+module Precomputed : sig
+  type t
+  (** The two constants HORSE saves on the paused sandbox: [αⁿ] and
+      [β·(1 − αⁿ)/(1 − α)]. *)
+
+  val make : alpha:float -> beta:float -> n:int -> t
+  (** Pause-time precomputation for a sandbox with [n] vCPUs.
+      @raise Invalid_argument if [n < 0]. *)
+
+  val apply : t -> float -> float
+  (** Resume-time application: one multiply and one add. *)
+
+  val vcpus : t -> int
+
+  val alpha_pow : t -> float
+
+  val geometric_sum : t -> float
+end
+
+module Fixed : sig
+  (** Q46.16 fixed-point (16 fractional bits in a native 63-bit int),
+      the arithmetic family the kernel's load tracking lives in. *)
+
+  type repr = private int
+
+  val scale : int
+  (** The unit: [2^16]. *)
+
+  val of_float : float -> repr
+
+  val to_float : repr -> float
+
+  val mul : repr -> repr -> repr
+  (** Truncating fixed-point multiply. *)
+
+  val apply_affine : alpha:repr -> beta:repr -> repr -> repr
+
+  val iterate : alpha:repr -> beta:repr -> int -> repr -> repr
+  (** n-fold application with per-step truncation — the exact bit
+      pattern the vanilla kernel path produces. *)
+
+  val precompute : alpha:repr -> beta:repr -> n:int -> repr * repr
+  (** ([αⁿ], geometric sum), both computed in fixed point by the same
+      repeated multiply the pause path would use. *)
+
+  val apply_precomputed : alpha_pow:repr -> geom:repr -> repr -> repr
+
+  val max_error_ulps : n:int -> x:repr -> int
+  (** An upper bound on [|iterate − apply_precomputed|] in units of
+      the fixed-point grain: each of the [n] truncations loses at
+      most one ulp, propagated through factors ≤ 1, plus the ulps of
+      the two precomputed constants. *)
+end

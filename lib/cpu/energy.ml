@@ -1,0 +1,49 @@
+type t = {
+  static_watts : float;
+  dynamic_coeff : float;  (* watts per GHz^3 *)
+  joules : float array;  (* per logical CPU *)
+}
+
+(* 4.5 W at 2.4 GHz with 1.2 W static: c = 3.3 / 2.4^3 *)
+let default_static = 1.2
+
+let default_dynamic = 3.3 /. (2.4 ** 3.0)
+
+let create ?(static_watts = default_static) ?(dynamic_coeff = default_dynamic)
+    ~topology () =
+  if static_watts < 0.0 || dynamic_coeff < 0.0 then
+    invalid_arg "Energy.create: negative parameters";
+  {
+    static_watts;
+    dynamic_coeff;
+    joules = Array.make (Topology.cpu_count topology) 0.0;
+  }
+
+let check t cpu =
+  if cpu < 0 || cpu >= Array.length t.joules then
+    invalid_arg "Energy: cpu id out of range"
+
+let power_watts t ~freq_mhz =
+  let ghz = float_of_int freq_mhz /. 1000.0 in
+  t.static_watts +. (t.dynamic_coeff *. (ghz ** 3.0))
+
+let seconds span = float_of_int (Horse_sim.Time_ns.span_to_ns span) /. 1e9
+
+let account t ~cpu ~freq_mhz span =
+  check t cpu;
+  t.joules.(cpu) <- t.joules.(cpu) +. (power_watts t ~freq_mhz *. seconds span)
+
+let account_idle t ~cpu span =
+  check t cpu;
+  t.joules.(cpu) <- t.joules.(cpu) +. (t.static_watts *. seconds span)
+
+let energy_joules t ~cpu =
+  check t cpu;
+  t.joules.(cpu)
+
+let total_joules t = Array.fold_left ( +. ) 0.0 t.joules
+
+let average_watts t ~over =
+  let s = seconds over in
+  if s <= 0.0 then invalid_arg "Energy.average_watts: zero window";
+  total_joules t /. s

@@ -1,0 +1,42 @@
+(** Energy accounting for the DVFS model.
+
+    The load variable HORSE coalesces exists to drive frequency
+    scaling (§3.1 step ⑤), and the paper's related work is thick with
+    energy-proportionality systems [6, 7, 17, 43, 84].  This module
+    closes the loop: a CMOS-style power model per frequency step
+    ([P = P_static + c·f³], the cubic dynamic term of
+    voltage-frequency scaling), integrated over simulated time, so
+    governor policies can be compared in joules.
+
+    Accounting is explicit: the caller reports each interval a CPU
+    spent at a frequency ({!account}), typically from the scheduler's
+    timeline. *)
+
+type t
+
+val create : ?static_watts:float -> ?dynamic_coeff:float ->
+  topology:Topology.t -> unit -> t
+(** Per-CPU energy meters.  Defaults model a server core: 1.2 W
+    static leakage and a dynamic coefficient chosen so a core at the
+    2.4 GHz nominal burns ≈ 4.5 W total.
+    @raise Invalid_argument on negative parameters. *)
+
+val power_watts : t -> freq_mhz:int -> float
+(** Instantaneous power of one core at [freq_mhz]. *)
+
+val account :
+  t -> cpu:Topology.cpu_id -> freq_mhz:int -> Horse_sim.Time_ns.span -> unit
+(** Add the energy of running [cpu] at [freq_mhz] for the span. *)
+
+val account_idle :
+  t -> cpu:Topology.cpu_id -> Horse_sim.Time_ns.span -> unit
+(** Idle interval: static power only (no dynamic switching). *)
+
+val energy_joules : t -> cpu:Topology.cpu_id -> float
+(** Energy consumed by one CPU so far. *)
+
+val total_joules : t -> float
+
+val average_watts : t -> over:Horse_sim.Time_ns.span -> float
+(** [total / over] — the fleet's mean power over a window.
+    @raise Invalid_argument on a zero window. *)

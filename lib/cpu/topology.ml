@@ -1,0 +1,41 @@
+type t = { sockets : int; cores_per_socket : int; smt : int; base_mhz : int }
+
+type cpu_id = int
+
+let create ?(sockets = 2) ?(cores_per_socket = 36) ?(smt = 1) () =
+  if sockets <= 0 || cores_per_socket <= 0 || smt <= 0 then
+    invalid_arg "Topology.create: dimensions must be positive";
+  { sockets; cores_per_socket; smt; base_mhz = 2400 }
+
+let r650 = create ()
+
+let r650_smt = create ~smt:2 ()
+
+let cpu_count t = t.sockets * t.cores_per_socket * t.smt
+
+let check t cpu =
+  if cpu < 0 || cpu >= cpu_count t then
+    invalid_arg "Topology: cpu id out of range"
+
+(* Logical CPUs are numbered thread-major: all first threads of every
+   core, then all second threads, as Linux enumerates SMT siblings. *)
+let core_of t cpu =
+  check t cpu;
+  cpu mod (t.sockets * t.cores_per_socket)
+
+let socket_of t cpu =
+  check t cpu;
+  core_of t cpu / t.cores_per_socket
+
+let siblings t cpu =
+  check t cpu;
+  let core = core_of t cpu in
+  let physical = t.sockets * t.cores_per_socket in
+  List.init t.smt (fun thread -> core + (thread * physical))
+  |> List.filter (fun id -> id <> cpu)
+
+let base_frequency_mhz t = t.base_mhz
+
+let pp ppf t =
+  Format.fprintf ppf "%d socket(s) x %d cores x %d SMT @ %d MHz (%d CPUs)"
+    t.sockets t.cores_per_socket t.smt t.base_mhz (cpu_count t)

@@ -1,0 +1,40 @@
+(** Physical CPU topology of the simulated server.
+
+    The paper's testbed is a CloudLab r650: two Intel Xeon Platinum
+    8360Y sockets, 36 cores each, 2.40 GHz.  Section 2 disables
+    hyper-threading (72 logical CPUs); Section 5 enables it (144).
+    The topology decides how many run queues exist and which of them
+    can be reserved as [ull_runqueue]s. *)
+
+type t
+
+type cpu_id = int
+(** A logical CPU index in [0, cpu_count). *)
+
+val create : ?sockets:int -> ?cores_per_socket:int -> ?smt:int -> unit -> t
+(** Defaults: 2 sockets × 36 cores × 1 thread (the §2 setup).
+    @raise Invalid_argument if any dimension is not positive. *)
+
+val r650 : t
+(** The §2 testbed: 2 × 36, SMT off. *)
+
+val r650_smt : t
+(** The §5 testbed: 2 × 36, SMT 2 (144 logical CPUs). *)
+
+val cpu_count : t -> int
+(** Number of logical CPUs, i.e. of per-CPU run queues. *)
+
+val socket_of : t -> cpu_id -> int
+(** Which socket a logical CPU lives on.
+    @raise Invalid_argument on an out-of-range id. *)
+
+val core_of : t -> cpu_id -> int
+(** The physical core (global index) behind a logical CPU. *)
+
+val siblings : t -> cpu_id -> cpu_id list
+(** Logical CPUs sharing the same physical core, excluding [cpu_id]. *)
+
+val base_frequency_mhz : t -> int
+(** Nominal frequency (2400 MHz for the 8360Y). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+module Time = Horse_sim.Time_ns
+module Engine = Horse_sim.Engine
+
+type sample = { at : Time.t; concurrency : int }
+
+type t = {
+  window : Time.span;
+  percentile : float;
+  headroom : int;
+  max_pool : int;
+  mutable concurrency : int;
+  mutable samples : sample list;  (* newest first *)
+  mutable seen_traffic : bool;
+}
+
+let create ?(window = Time.span_s 60.0) ?(percentile = 95.0) ?(headroom = 1)
+    ?(max_pool = 64) () =
+  if percentile <= 0.0 || percentile > 100.0 then
+    invalid_arg "Autoscaler.create: percentile outside (0, 100]";
+  if headroom < 0 then invalid_arg "Autoscaler.create: negative headroom";
+  if max_pool < 1 then invalid_arg "Autoscaler.create: max_pool < 1";
+  {
+    window;
+    percentile;
+    headroom;
+    max_pool;
+    concurrency = 0;
+    samples = [];
+    seen_traffic = false;
+  }
+
+let prune t ~at =
+  let cutoff_ns = max 0 (Time.to_ns at - Time.span_to_ns t.window) in
+  t.samples <-
+    List.filter (fun s -> Time.to_ns s.at >= cutoff_ns) t.samples
+
+let record t ~at =
+  prune t ~at;
+  t.samples <- { at; concurrency = t.concurrency } :: t.samples
+
+let note_start t ~at =
+  t.concurrency <- t.concurrency + 1;
+  t.seen_traffic <- true;
+  record t ~at
+
+let note_complete t ~at =
+  if t.concurrency <= 0 then
+    invalid_arg "Autoscaler.note_complete: no invocation outstanding";
+  t.concurrency <- t.concurrency - 1;
+  record t ~at
+
+let current_concurrency t = t.concurrency
+
+let recommendation t ~at =
+  prune t ~at;
+  if not t.seen_traffic then 0
+  else begin
+    let values =
+      List.sort Int.compare
+        (List.map (fun (s : sample) -> s.concurrency) t.samples)
+    in
+    let percentile_value =
+      match values with
+      | [] -> t.concurrency
+      | _ ->
+        let n = List.length values in
+        let rank =
+          int_of_float (Float.ceil (t.percentile /. 100.0 *. float_of_int n))
+        in
+        List.nth values (min (n - 1) (max 0 (rank - 1)))
+    in
+    let target = max percentile_value t.concurrency + t.headroom in
+    max t.headroom (min t.max_pool target)
+  end
+
+let attach t ~platform ~name ~strategy ~interval ~until =
+  let engine = Platform.engine platform in
+  let rec reconcile sim =
+    let now = Engine.now sim in
+    let target = recommendation t ~at:now in
+    let current = Platform.pool_size platform ~name in
+    if target > current then
+      Platform.provision platform ~name ~count:(target - current) ~strategy
+    else if current > target then
+      ignore (Platform.reclaim platform ~name ~count:(current - target));
+    if Time.(Time.add now interval <= until) then
+      ignore (Engine.schedule sim ~after:interval reconcile)
+  in
+  ignore (Engine.schedule engine ~after:interval reconcile)

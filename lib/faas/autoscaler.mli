@@ -1,0 +1,55 @@
+(** Warm-pool autoscaling: dynamic provisioned concurrency.
+
+    The premium offerings the paper cites (Azure Premium Functions,
+    Lambda Provisioned Concurrency, Alibaba Provisioned Mode) let
+    tenants pin a fixed number of always-warm sandboxes.  Fixed is
+    either wasteful or short: this module sizes the pool from the
+    observed concurrency instead — recommendation = a high percentile
+    of recent concurrent invocations plus headroom.
+
+    The tracker is platform-agnostic (feed it {!note_start} /
+    {!note_complete}); {!attach} wires it to a {!Platform} function
+    with a periodic reconciliation that provisions or reclaims the
+    difference. *)
+
+type t
+
+val create :
+  ?window:Horse_sim.Time_ns.span ->
+  ?percentile:float ->
+  ?headroom:int ->
+  ?max_pool:int ->
+  unit ->
+  t
+(** Defaults: a 60 s sliding window, the 95th percentile of observed
+    concurrency, +1 sandbox headroom, 64 max.
+    @raise Invalid_argument if the percentile is outside (0, 100] or
+    [headroom < 0] or [max_pool < 1]. *)
+
+val note_start : t -> at:Horse_sim.Time_ns.t -> unit
+(** An invocation began (non-decreasing timestamps). *)
+
+val note_complete : t -> at:Horse_sim.Time_ns.t -> unit
+(** An invocation finished.
+    @raise Invalid_argument if none is outstanding. *)
+
+val current_concurrency : t -> int
+
+val recommendation : t -> at:Horse_sim.Time_ns.t -> int
+(** Pool size to hold right now: the percentile of concurrency
+    samples within the window (at least the current concurrency,
+    never more than [max_pool], and at least [headroom] once any
+    traffic has been seen). *)
+
+val attach :
+  t ->
+  platform:Platform.t ->
+  name:string ->
+  strategy:Horse_vmm.Sandbox.strategy ->
+  interval:Horse_sim.Time_ns.span ->
+  until:Horse_sim.Time_ns.t ->
+  unit
+(** Reconcile [name]'s pool every [interval] until [until]: provision
+    up to the recommendation, reclaim down to it.  Call {!note_start}
+    / {!note_complete} from the trigger path (e.g. in [on_complete]
+    and before [trigger]) to feed the tracker. *)

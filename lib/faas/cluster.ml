@@ -1,0 +1,111 @@
+module Time = Horse_sim.Time_ns
+module Topology = Horse_cpu.Topology
+module Cost_model = Horse_cpu.Cost_model
+
+type routing = Round_robin | Least_loaded | Warm_first
+
+let routing_name = function
+  | Round_robin -> "round-robin"
+  | Least_loaded -> "least-loaded"
+  | Warm_first -> "warm-first"
+
+type t = {
+  platforms : Platform.t array;
+  routing : routing;
+  mutable rr_cursor : int;
+  trigger_counts : int array;
+  mutable completed : (int * Platform.record) list;  (* newest first *)
+}
+
+let create ?(servers = 4) ?(routing = Warm_first) ?(topology = Topology.r650)
+    ?(cost = Cost_model.firecracker) ?keep_alive ?(seed = 42) ~engine () =
+  if servers <= 0 then invalid_arg "Cluster.create: servers <= 0";
+  let platforms =
+    Array.init servers (fun i ->
+        Platform.create ~topology ~cost ?keep_alive ~seed:(seed + (97 * i))
+          ~engine ())
+  in
+  {
+    platforms;
+    routing;
+    rr_cursor = 0;
+    trigger_counts = Array.make servers 0;
+    completed = [];
+  }
+
+let server_count t = Array.length t.platforms
+
+let server t i =
+  if i < 0 || i >= server_count t then
+    invalid_arg "Cluster.server: index out of range";
+  t.platforms.(i)
+
+let routing t = t.routing
+
+let register t fn = Array.iter (fun p -> Platform.register p fn) t.platforms
+
+let provision t ~name ~total ~strategy =
+  for i = 0 to total - 1 do
+    Platform.provision
+      t.platforms.(i mod server_count t)
+      ~name ~count:1 ~strategy
+  done
+
+let pool_size t ~name =
+  Array.fold_left (fun acc p -> acc + Platform.pool_size p ~name) 0 t.platforms
+
+let least_loaded_index t =
+  let best = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if Platform.live_invocations p < Platform.live_invocations t.platforms.(!best)
+      then best := i)
+    t.platforms;
+  !best
+
+let route t ~name ~mode =
+  match t.routing with
+  | Round_robin ->
+    let i = t.rr_cursor in
+    t.rr_cursor <- (i + 1) mod server_count t;
+    i
+  | Least_loaded -> least_loaded_index t
+  | Warm_first -> (
+    let needs_pool =
+      match mode with
+      | Platform.Warm _ -> true
+      | Platform.Cold | Platform.Restore -> false
+    in
+    if not needs_pool then least_loaded_index t
+    else begin
+      (* the least-loaded server among those holding a warm sandbox *)
+      let best = ref None in
+      Array.iteri
+        (fun i p ->
+          if Platform.pool_size p ~name > 0 then
+            match !best with
+            | Some j
+              when Platform.live_invocations t.platforms.(j)
+                   <= Platform.live_invocations p ->
+              ()
+            | Some _ | None -> best := Some i)
+        t.platforms;
+      match !best with Some i -> i | None -> least_loaded_index t
+    end)
+
+let trigger t ~name ~mode ?(on_complete = fun _ -> ()) () =
+  let i = route t ~name ~mode in
+  t.trigger_counts.(i) <- t.trigger_counts.(i) + 1;
+  Platform.trigger t.platforms.(i) ~name ~mode
+    ~on_complete:(fun record ->
+      t.completed <- (i, record) :: t.completed;
+      on_complete (i, record))
+    ();
+  i
+
+let records t = List.rev t.completed
+
+let live_invocations t =
+  Array.fold_left (fun acc p -> acc + Platform.live_invocations p) 0 t.platforms
+
+let triggers_per_server t = Array.copy t.trigger_counts

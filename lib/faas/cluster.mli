@@ -1,0 +1,72 @@
+(** A multi-server FaaS deployment: several {!Platform}s (one
+    hypervisor each) behind a front-end router.
+
+    The paper evaluates a single server; real provisioned concurrency
+    spreads the warm pool across a fleet.  The cluster shares one
+    simulation engine, so cross-server timelines stay coherent, and
+    routes each trigger by a pluggable policy:
+
+    - [Round_robin]: the classic baseline;
+    - [Least_loaded]: fewest live invocations first;
+    - [Warm_first]: prefer a server holding a warm sandbox for the
+      function (falling back to least-loaded), the policy that makes
+      fleet-wide HORSE pools effective. *)
+
+type routing = Round_robin | Least_loaded | Warm_first
+
+val routing_name : routing -> string
+
+type t
+
+val create :
+  ?servers:int ->
+  ?routing:routing ->
+  ?topology:Horse_cpu.Topology.t ->
+  ?cost:Horse_cpu.Cost_model.t ->
+  ?keep_alive:Horse_sim.Time_ns.span ->
+  ?seed:int ->
+  engine:Horse_sim.Engine.t ->
+  unit ->
+  t
+(** Defaults: 4 servers, [Warm_first] routing, each server an r650
+    with one ull_runqueue.
+    @raise Invalid_argument if [servers <= 0]. *)
+
+val server_count : t -> int
+
+val server : t -> int -> Platform.t
+(** @raise Invalid_argument on an out-of-range index. *)
+
+val routing : t -> routing
+
+val register : t -> Function_def.t -> unit
+(** Register the function on every server. *)
+
+val provision :
+  t -> name:string -> total:int -> strategy:Horse_vmm.Sandbox.strategy -> unit
+(** Park [total] warm sandboxes for [name], spread round-robin across
+    the servers. *)
+
+val pool_size : t -> name:string -> int
+(** Fleet-wide warm-pool size. *)
+
+val trigger :
+  t ->
+  name:string ->
+  mode:Platform.start_mode ->
+  ?on_complete:(int * Platform.record -> unit) ->
+  unit ->
+  int
+(** Route one invocation; returns the chosen server index.  The
+    callback receives (server index, record).
+    @raise Platform.Unknown_function, @raise Platform.No_warm_sandbox
+    (when a [Warm _] trigger finds the whole fleet dry). *)
+
+val records : t -> (int * Platform.record) list
+(** All completed invocations fleet-wide, oldest first, tagged with
+    their server. *)
+
+val live_invocations : t -> int
+
+val triggers_per_server : t -> int array
+(** How many triggers each server received (routing diagnostics). *)

@@ -1,0 +1,29 @@
+type exec_model =
+  | Fixed of Horse_sim.Time_ns.span
+  | Ull of Horse_workload.Category.t
+  | Sampled of (Horse_sim.Rng.t -> Horse_sim.Time_ns.span)
+
+type t = {
+  name : string;
+  vcpus : int;
+  memory_mb : int;
+  exec : exec_model;
+  ull : bool;
+}
+
+let create ~name ~vcpus ~memory_mb ~exec ?ull () =
+  if vcpus <= 0 then invalid_arg "Function_def.create: vcpus must be positive";
+  if memory_mb <= 0 then
+    invalid_arg "Function_def.create: memory must be positive";
+  let ull =
+    match ull with
+    | Some u -> u
+    | None -> ( match exec with Ull _ -> true | Fixed _ | Sampled _ -> false)
+  in
+  { name; vcpus; memory_mb; exec; ull }
+
+let sample_exec t rng =
+  match t.exec with
+  | Fixed span -> span
+  | Ull category -> Horse_workload.Category.sample_service_time category rng
+  | Sampled f -> f rng

@@ -1,0 +1,28 @@
+(** Registered functions: what tenants deploy on the platform. *)
+
+type exec_model =
+  | Fixed of Horse_sim.Time_ns.span
+      (** constant service time (micro-benchmarks) *)
+  | Ull of Horse_workload.Category.t
+      (** one of the paper's three uLL categories, with its measured
+          service time ±8 % noise *)
+  | Sampled of (Horse_sim.Rng.t -> Horse_sim.Time_ns.span)
+      (** arbitrary service-time distribution (e.g. the thumbnail
+          model of §5.4) *)
+
+type t = {
+  name : string;
+  vcpus : int;
+  memory_mb : int;
+  exec : exec_model;
+  ull : bool;  (** eligible for ull_runqueue treatment *)
+}
+
+val create :
+  name:string -> vcpus:int -> memory_mb:int -> exec:exec_model ->
+  ?ull:bool -> unit -> t
+(** [ull] defaults to true for [Ull _] models and false otherwise.
+    @raise Invalid_argument if [vcpus <= 0] or [memory_mb <= 0]. *)
+
+val sample_exec : t -> Horse_sim.Rng.t -> Horse_sim.Time_ns.span
+(** Draw one service time. *)

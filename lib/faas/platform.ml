@@ -1,0 +1,353 @@
+module Engine = Horse_sim.Engine
+module Time = Horse_sim.Time_ns
+module Rng = Horse_sim.Rng
+module Metrics = Horse_sim.Metrics
+module Topology = Horse_cpu.Topology
+module Cost_model = Horse_cpu.Cost_model
+module Scheduler = Horse_sched.Scheduler
+module Runqueue = Horse_sched.Runqueue
+module Sandbox = Horse_vmm.Sandbox
+module Vmm = Horse_vmm.Vmm
+
+let log_src = Horse_sim.Logging.src "platform"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type start_mode = Cold | Restore | Warm of Sandbox.strategy
+
+let mode_name = function
+  | Cold -> "cold"
+  | Restore -> "restore"
+  | Warm strategy -> "warm-" ^ Sandbox.strategy_name strategy
+
+type record = {
+  function_name : string;
+  mode : start_mode;
+  triggered_at : Time.t;
+  init : Time.span;
+  exec : Time.span;
+  preemption : Time.span;
+  completed_at : Time.t;
+}
+
+let record_total r = Time.add_span r.init (Time.add_span r.exec r.preemption)
+
+exception No_warm_sandbox of string
+
+exception Unknown_function of string
+
+type invocation = {
+  id : int;
+  fn : Function_def.t;
+  inv_mode : start_mode;
+  sandbox : Sandbox.t;
+  started : Time.t;
+  inv_init : Time.span;
+  inv_exec : Time.span;
+  cpus : int list;
+  on_complete : record -> unit;
+  mutable preempt_ns : int;
+  mutable finish_at : Time.t;
+  mutable completion : Engine.event_handle option;
+}
+
+type t = {
+  engine : Engine.t;
+  vmm : Vmm.t;
+  scheduler : Scheduler.t;
+  metrics : Metrics.t;
+  rng : Rng.t;
+  keep_alive : Time.span;
+  functions : (string, Function_def.t) Hashtbl.t;
+  pools : (string, Sandbox.t list ref) Hashtbl.t;
+  dvfs : Horse_cpu.Dvfs.t;
+  energy : Horse_cpu.Energy.t;
+  occupancy : (int, invocation) Hashtbl.t;  (* cpu -> invocation *)
+  live : (int, invocation) Hashtbl.t;
+  mutable completed : record list;  (* newest first *)
+  mutable next_sandbox_id : int;
+  mutable next_invocation_id : int;
+}
+
+let create ?(topology = Topology.r650) ?(cost = Cost_model.firecracker)
+    ?(ull_count = 1) ?(keep_alive = Time.span_s 600.0) ?(jitter = 0.02)
+    ?(seed = 42) ?(governor = Horse_cpu.Dvfs.Performance) ~engine () =
+  let scheduler = Scheduler.create ~ull_count ~topology () in
+  let metrics = Metrics.create () in
+  let vmm = Vmm.create ~cost ~jitter ~seed:(seed + 1) ~scheduler ~metrics () in
+  {
+    engine;
+    vmm;
+    scheduler;
+    metrics;
+    dvfs = Horse_cpu.Dvfs.create ~governor ~topology ();
+    energy = Horse_cpu.Energy.create ~topology ();
+    rng = Rng.create ~seed;
+    keep_alive;
+    functions = Hashtbl.create 16;
+    pools = Hashtbl.create 16;
+    occupancy = Hashtbl.create 64;
+    live = Hashtbl.create 64;
+    completed = [];
+    next_sandbox_id = 0;
+    next_invocation_id = 0;
+  }
+
+let engine t = t.engine
+
+let vmm t = t.vmm
+
+let scheduler t = t.scheduler
+
+let metrics t = t.metrics
+
+let dvfs t = t.dvfs
+
+let energy t = t.energy
+
+let register t fn =
+  if Hashtbl.mem t.functions fn.Function_def.name then
+    invalid_arg
+      (Printf.sprintf "Platform.register: %s already registered"
+         fn.Function_def.name);
+  Hashtbl.replace t.functions fn.Function_def.name fn;
+  Hashtbl.replace t.pools fn.Function_def.name (ref [])
+
+let find_function t name =
+  match Hashtbl.find_opt t.functions name with
+  | Some fn -> fn
+  | None -> raise (Unknown_function name)
+
+let pool t name =
+  ignore (find_function t name);
+  match Hashtbl.find_opt t.pools name with
+  | Some p -> p
+  | None ->
+    let p = ref [] in
+    Hashtbl.replace t.pools name p;
+    p
+
+let pool_size t ~name = List.length !(pool t name)
+
+let new_sandbox t fn =
+  let id = t.next_sandbox_id in
+  t.next_sandbox_id <- id + 1;
+  Sandbox.create ~id ~vcpus:fn.Function_def.vcpus
+    ~memory_mb:fn.Function_def.memory_mb ~ull:fn.Function_def.ull ()
+
+let provision t ~name ~count ~strategy =
+  let fn = find_function t name in
+  let p = pool t name in
+  for _ = 1 to count do
+    let sb = new_sandbox t fn in
+    ignore (Vmm.boot t.vmm sb);
+    ignore (Vmm.pause t.vmm ~strategy sb);
+    p := !p @ [ sb ]
+  done;
+  Metrics.incr t.metrics ~by:count "platform.provisioned"
+
+let reclaim t ~name ~count =
+  if count < 0 then invalid_arg "Platform.reclaim: negative count";
+  let p = pool t name in
+  let rec take n acc rest =
+    match rest with
+    | sb :: rest when n > 0 -> take (n - 1) (sb :: acc) rest
+    | _ -> (acc, rest)
+  in
+  let victims, keep = take count [] !p in
+  p := keep;
+  List.iter (fun sb -> Vmm.stop t.vmm sb) victims;
+  Metrics.incr t.metrics ~by:(List.length victims) "platform.reclaimed";
+  List.length victims
+
+let pop_pool t name =
+  let p = pool t name in
+  match !p with
+  | [] -> raise (No_warm_sandbox name)
+  | sb :: rest ->
+    p := rest;
+    sb
+
+let push_pool t name sb =
+  let p = pool t name in
+  p := !p @ [ sb ]
+
+let remove_from_pool t name sb =
+  let p = pool t name in
+  let before = List.length !p in
+  p := List.filter (fun other -> not (other == sb)) !p;
+  List.length !p < before
+
+(* A P²SM merge thread landed on [cpu]: whatever runs there loses a
+   context-switch round-trip, the thread's splice, and the cache/TLB
+   refill proportional to the state the merge touched — the dominant
+   term, and the paper's ≈30 µs p99 tail at 36 vCPUs. *)
+let preemption_penalty t ~resumed_vcpus =
+  let c = Vmm.cost t.vmm in
+  Time.span_ns
+    (int_of_float
+       (Float.round
+          ((2.0 *. c.Cost_model.context_switch_ns)
+          +. c.Cost_model.psm_splice_ns
+          +. (float_of_int resumed_vcpus
+             *. c.Cost_model.preempt_cache_refill_per_vcpu_ns))))
+
+(* Completion logic and preemption rescheduling are mutually recursive
+   (a preempted invocation's new completion event calls [complete]);
+   break the knot with a forward reference, filled in below. *)
+let completion_trampoline : (t -> invocation -> unit) ref =
+  ref (fun _ _ -> assert false)
+
+let apply_preemptions t ~resumed_vcpus cpus =
+  List.iter
+    (fun cpu ->
+      match Hashtbl.find_opt t.occupancy cpu with
+      | None -> ()
+      | Some inv -> (
+        match inv.completion with
+        | None -> ()
+        | Some handle ->
+          let penalty = preemption_penalty t ~resumed_vcpus in
+          if Engine.cancel t.engine handle then begin
+            inv.preempt_ns <- inv.preempt_ns + Time.span_to_ns penalty;
+            inv.finish_at <- Time.add inv.finish_at penalty;
+            Metrics.incr t.metrics "platform.preemptions";
+            let run_completion = !completion_trampoline in
+            inv.completion <-
+              Some
+                (Engine.schedule_at t.engine ~at:inv.finish_at (fun _ ->
+                     run_completion t inv))
+          end))
+    cpus
+
+let schedule_expiry t name sb =
+  ignore
+    (Engine.schedule t.engine ~after:t.keep_alive (fun _ ->
+         if Sandbox.state sb = Sandbox.Paused && remove_from_pool t name sb
+         then begin
+           Vmm.stop t.vmm sb;
+           Metrics.incr t.metrics "platform.keepalive_expiries"
+         end))
+
+let complete t inv =
+  (* account the execution's energy at each CPU's current frequency *)
+  List.iter
+    (fun cpu ->
+      Horse_cpu.Energy.account t.energy ~cpu
+        ~freq_mhz:(Horse_cpu.Dvfs.frequency_mhz t.dvfs ~cpu)
+        inv.inv_exec)
+    inv.cpus;
+  List.iter (fun cpu -> Hashtbl.remove t.occupancy cpu) inv.cpus;
+  Hashtbl.remove t.live inv.id;
+  let record =
+    {
+      function_name = inv.fn.Function_def.name;
+      mode = inv.inv_mode;
+      triggered_at = inv.started;
+      init = inv.inv_init;
+      exec = inv.inv_exec;
+      preemption = Time.span_ns inv.preempt_ns;
+      completed_at = Engine.now t.engine;
+    }
+  in
+  t.completed <- record :: t.completed;
+  Metrics.incr t.metrics "platform.completions";
+  Metrics.observe_span t.metrics
+    (Printf.sprintf "platform.latency.%s" (mode_name inv.inv_mode))
+    (record_total record);
+  (* post-execution policy: warm sandboxes go back to their pool, cold
+     ones idle under keep-alive before being reclaimed *)
+  (match inv.inv_mode with
+  | Warm strategy ->
+    ignore (Vmm.pause t.vmm ~strategy inv.sandbox);
+    push_pool t inv.fn.Function_def.name inv.sandbox
+  | Cold | Restore ->
+    ignore (Vmm.pause t.vmm ~strategy:Sandbox.Vanilla inv.sandbox);
+    push_pool t inv.fn.Function_def.name inv.sandbox;
+    schedule_expiry t inv.fn.Function_def.name inv.sandbox);
+  inv.on_complete record
+
+let () = completion_trampoline := complete
+
+let trigger t ~name ~mode ?(on_complete = fun _ -> ()) () =
+  let fn = find_function t name in
+  let now = Engine.now t.engine in
+  let sandbox, init, preempted_cpus =
+    match mode with
+    | Cold ->
+      let sb = new_sandbox t fn in
+      let boot = Vmm.boot t.vmm sb in
+      ( sb,
+        Time.add_span boot (Vmm.dispatch_overhead t.vmm ~strategy:Sandbox.Vanilla),
+        [] )
+    | Restore ->
+      let sb = new_sandbox t fn in
+      let restore = Vmm.restore t.vmm sb in
+      ( sb,
+        Time.add_span restore
+          (Vmm.dispatch_overhead t.vmm ~strategy:Sandbox.Vanilla),
+        [] )
+    | Warm strategy ->
+      let sb = pop_pool t name in
+      (* the resume runs under the strategy recorded at pause time;
+         dispatch must match it (a vanilla-paused sandbox cannot take
+         the HORSE fast path even if the trigger asked for it) *)
+      let recorded =
+        Option.value ~default:strategy (Sandbox.pause_strategy sb)
+      in
+      let result = Vmm.resume t.vmm sb in
+      ( sb,
+        Time.add_span result.Vmm.total
+          (Vmm.dispatch_overhead t.vmm ~strategy:recorded),
+        result.Vmm.preempted_cpus )
+  in
+  apply_preemptions t ~resumed_vcpus:(Sandbox.vcpu_count sandbox)
+    preempted_cpus;
+  let exec = Function_def.sample_exec fn t.rng in
+  let cpus =
+    List.map
+      (fun { Sandbox.queue; _ } -> Runqueue.cpu queue)
+      (Sandbox.placements sandbox)
+  in
+  let id = t.next_invocation_id in
+  t.next_invocation_id <- id + 1;
+  let finish_at = Time.add now (Time.add_span init exec) in
+  let inv =
+    {
+      id;
+      fn;
+      inv_mode = mode;
+      sandbox;
+      started = now;
+      inv_init = init;
+      inv_exec = exec;
+      cpus;
+      on_complete;
+      preempt_ns = 0;
+      finish_at;
+      completion = None;
+    }
+  in
+  Hashtbl.replace t.live id inv;
+  (* the step-5 load variable drives frequency scaling: refresh the
+     governor of each CPU this invocation occupies from its run
+     queue's tracked load *)
+  List.iter
+    (fun { Sandbox.queue; _ } ->
+      Horse_cpu.Dvfs.note_utilisation t.dvfs ~cpu:(Runqueue.cpu queue)
+        (Horse_sched.Load_tracking.utilisation (Runqueue.load queue)))
+    (Sandbox.placements sandbox);
+  List.iter (fun cpu -> Hashtbl.replace t.occupancy cpu inv) cpus;
+  inv.completion <-
+    Some (Engine.schedule_at t.engine ~at:finish_at (fun _ -> complete t inv));
+  Log.debug (fun m ->
+      m "trigger %s mode=%s init=%dns exec=%dns" name (mode_name mode)
+        (Time.span_to_ns init) (Time.span_to_ns exec));
+  Metrics.incr t.metrics (Printf.sprintf "platform.triggers.%s" (mode_name mode));
+  Metrics.observe_span t.metrics
+    (Printf.sprintf "platform.init.%s" (mode_name mode))
+    init
+
+let records t = List.rev t.completed
+
+let live_invocations t = Hashtbl.length t.live

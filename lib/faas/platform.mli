@@ -1,0 +1,121 @@
+(** The FaaS control plane: function registry, warm pools, triggers.
+
+    A platform owns a simulation engine, a hypervisor ({!Horse_vmm.Vmm})
+    and its scheduler.  Tenants {!register} functions; operators
+    {!provision} warm (paused) sandboxes per function — the
+    provisioned-concurrency option the paper's premium offerings
+    expose; triggers then start functions under one of the paper's
+    four scenarios:
+
+    - [Cold]: create + boot a sandbox (≈1.5 s init);
+    - [Restore]: FaaSnap-style snapshot restore (≈1.3 ms);
+    - [Warm strategy]: resume a paused sandbox from the pool with the
+      given resume strategy — [Sandbox.Vanilla] is the paper's
+      {e warm} scenario, [Sandbox.Horse] is HORSE's fast path.
+
+    Completions re-pause warm sandboxes back into their pool (or stop
+    cold ones after the keep-alive window).  While a long-running
+    invocation executes it occupies the physical CPUs of its vCPUs;
+    HORSE merge threads that land on an occupied CPU delay that
+    invocation by a context-switch round-trip — the effect §5.4
+    quantifies at the 99th percentile. *)
+
+type t
+
+type start_mode = Cold | Restore | Warm of Horse_vmm.Sandbox.strategy
+
+val mode_name : start_mode -> string
+
+type record = {
+  function_name : string;
+  mode : start_mode;
+  triggered_at : Horse_sim.Time_ns.t;
+  init : Horse_sim.Time_ns.span;  (** sandbox readiness time *)
+  exec : Horse_sim.Time_ns.span;  (** function service time *)
+  preemption : Horse_sim.Time_ns.span;
+      (** delay injected by merge threads that hit this invocation *)
+  completed_at : Horse_sim.Time_ns.t;
+}
+
+val record_total : record -> Horse_sim.Time_ns.span
+(** init + exec + preemption. *)
+
+exception No_warm_sandbox of string
+(** A [Warm _] trigger found the function's pool empty. *)
+
+exception Unknown_function of string
+
+val create :
+  ?topology:Horse_cpu.Topology.t ->
+  ?cost:Horse_cpu.Cost_model.t ->
+  ?ull_count:int ->
+  ?keep_alive:Horse_sim.Time_ns.span ->
+  ?jitter:float ->
+  ?seed:int ->
+  ?governor:Horse_cpu.Dvfs.governor ->
+  engine:Horse_sim.Engine.t ->
+  unit ->
+  t
+(** Defaults: the r650 topology, the Firecracker cost profile, one
+    ull_runqueue, a 10-minute keep-alive for cold sandboxes (the
+    common platform default), 2 % timing jitter, the Performance
+    governor (§5.2's setting). *)
+
+val engine : t -> Horse_sim.Engine.t
+
+val vmm : t -> Horse_vmm.Vmm.t
+
+val scheduler : t -> Horse_sched.Scheduler.t
+
+val metrics : t -> Horse_sim.Metrics.t
+
+val dvfs : t -> Horse_cpu.Dvfs.t
+(** The frequency governor, fed from the global tracked load (the
+    variable of resume step ⑤) at every trigger. *)
+
+val energy : t -> Horse_cpu.Energy.t
+(** Per-CPU energy meters: each completed invocation's execution is
+    accounted on its CPUs at their frequency at completion time. *)
+
+val register : t -> Function_def.t -> unit
+(** @raise Invalid_argument if the name is already taken. *)
+
+val provision :
+  t -> name:string -> count:int -> strategy:Horse_vmm.Sandbox.strategy -> unit
+(** Boot [count] sandboxes for [name] and park them paused in its
+    warm pool under [strategy] (provisioned concurrency).  Happens
+    instantaneously in virtual time — provisioning precedes the
+    measured window.
+    @raise Unknown_function *)
+
+val pool_size : t -> name:string -> int
+
+val reclaim : t -> name:string -> count:int -> int
+(** Stop and remove up to [count] warm sandboxes from [name]'s pool
+    (oldest first); returns how many were reclaimed.  The pool
+    autoscaler's shrink operation.
+    @raise Unknown_function *)
+
+val trigger :
+  t ->
+  name:string ->
+  mode:start_mode ->
+  ?on_complete:(record -> unit) ->
+  unit ->
+  unit
+(** Start one invocation now (in virtual time).  The sandbox-ready
+    path runs synchronously against the scheduler state; execution
+    completes after [init + exec (+ preemption)] on the engine, at
+    which point the record is appended to {!records} and
+    [on_complete] fires.
+
+    A [Warm s] trigger resumes under the strategy the sandbox was
+    {e paused} with (and pays that strategy's dispatch); [s] decides
+    how the sandbox is re-paused after completion, so a mismatched
+    pool converges to [s] after one use.
+    @raise Unknown_function, @raise No_warm_sandbox *)
+
+val records : t -> record list
+(** All completed invocations, oldest first. *)
+
+val live_invocations : t -> int

@@ -1,0 +1,384 @@
+exception Stale
+
+module Index = struct
+  type 'a t = {
+    target : 'a Linked_list.t;
+    mutable nodes : 'a Linked_list.node array;
+    mutable size : int;
+  }
+
+  let snapshot target =
+    let size = Linked_list.length target in
+    match Linked_list.first target with
+    | None -> ([||], 0)
+    | Some first ->
+      let nodes = Array.make size first in
+      let rec fill i = function
+        | None -> ()
+        | Some node ->
+          nodes.(i) <- node;
+          fill (i + 1) (Linked_list.next node)
+      in
+      fill 0 (Some first);
+      (nodes, size)
+
+  let build target =
+    let nodes, size = snapshot target in
+    { target; nodes; size }
+
+  let target t = t.target
+
+  let length t = t.size
+
+  let anchor t k =
+    if k < 0 || k > t.size then invalid_arg "Psm.Index.anchor: key out of range";
+    if k = 0 then None else Some t.nodes.(k - 1)
+
+  let ensure_capacity t =
+    if t.size = Array.length t.nodes then begin
+      let capacity = max 8 (2 * t.size) in
+      let nodes = Array.make capacity t.nodes.(0) in
+      Array.blit t.nodes 0 nodes 0 t.size;
+      t.nodes <- nodes
+    end
+
+  let note_insert t ~pos node =
+    if pos < 0 || pos > t.size then
+      invalid_arg "Psm.Index.note_insert: position out of range";
+    if t.size = 0 then t.nodes <- Array.make 8 node;
+    ensure_capacity t;
+    Array.blit t.nodes pos t.nodes (pos + 1) (t.size - pos);
+    t.nodes.(pos) <- node;
+    t.size <- t.size + 1
+
+  let note_remove t ~pos =
+    if pos < 0 || pos >= t.size then
+      invalid_arg "Psm.Index.note_remove: position out of range";
+    Array.blit t.nodes (pos + 1) t.nodes pos (t.size - pos - 1);
+    t.size <- t.size - 1
+
+  let rebuild t =
+    let nodes, size = snapshot t.target in
+    t.nodes <- nodes;
+    t.size <- size
+
+  (* #{b in B : b <= a}: first position whose node value exceeds [a]. *)
+  let find_key t a =
+    let compare = Linked_list.compare_fn t.target in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if compare (Linked_list.value t.nodes.(mid)) a <= 0 then
+          search (mid + 1) hi
+        else search lo mid
+      end
+    in
+    search 0 t.size
+
+  let is_consistent t =
+    t.size = Linked_list.length t.target
+    &&
+    let rec walk i node =
+      match node with
+      | None -> i = t.size
+      | Some n -> i < t.size && t.nodes.(i) == n && walk (i + 1) (Linked_list.next n)
+    in
+    walk 0 (Linked_list.first t.target)
+end
+
+module Plan = struct
+  type 'a segment = {
+    mutable head : 'a Linked_list.node;
+    mutable tail : 'a Linked_list.node;
+    mutable count : int;
+  }
+
+  type 'a t = {
+    compare : 'a -> 'a -> int;
+    mutable segments : (int * 'a segment) list;  (* sorted by key *)
+    mutable total : int;
+    mutable valid : bool;
+  }
+
+  type stats = { threads : int; spliced : int; max_segment : int }
+
+  let of_keyed_nodes compare keyed =
+    (* [keyed] is (key, node) in source order with non-decreasing keys;
+       group runs of equal keys into segments. *)
+    let rec group acc = function
+      | [] -> List.rev acc
+      | (k, node) :: rest -> (
+        match acc with
+        | (k', seg) :: _ when k' = k ->
+          seg.tail <- node;
+          seg.count <- seg.count + 1;
+          group acc rest
+        | _ -> group ((k, { head = node; tail = node; count = 1 }) :: acc) rest)
+    in
+    let segments = group [] keyed in
+    let total = List.fold_left (fun acc (_, s) -> acc + s.count) 0 segments in
+    { compare; segments; total; valid = true }
+
+  let source_nodes source =
+    let rec walk acc = function
+      | None -> List.rev acc
+      | Some node -> walk (node :: acc) (Linked_list.next node)
+    in
+    walk [] (Linked_list.first source)
+
+  let build ~source ~(index : 'a Index.t) =
+    let compare = Linked_list.compare_fn source in
+    (* Two-pointer scan: both lists are sorted, so the key is found by
+       advancing a single cursor over the index. *)
+    let cursor = ref 0 in
+    let keyed =
+      List.map
+        (fun node ->
+          let a = Linked_list.value node in
+          while
+            !cursor < Index.length index
+            && compare
+                 (Linked_list.value
+                    (match Index.anchor index (!cursor + 1) with
+                    | Some n -> n
+                    | None -> assert false))
+                 a
+               <= 0
+          do
+            incr cursor
+          done;
+          (!cursor, node))
+        (source_nodes source)
+    in
+    of_keyed_nodes compare keyed
+
+  let build_binary ~source ~index =
+    let compare = Linked_list.compare_fn source in
+    let keyed =
+      List.map
+        (fun node -> (Index.find_key index (Linked_list.value node), node))
+        (source_nodes source)
+    in
+    of_keyed_nodes compare keyed
+
+  let key_count t = List.length t.segments
+
+  let total t = t.total
+
+  let keys t = List.map fst t.segments
+
+  let segments_snapshot t =
+    let nodes_of seg =
+      let rec walk node remaining acc =
+        let acc = node :: acc in
+        if remaining <= 1 then List.rev acc
+        else
+          match Linked_list.next node with
+          | Some next -> walk next (remaining - 1) acc
+          | None -> List.rev acc
+      in
+      if seg.count = 0 then [] else walk seg.head seg.count []
+    in
+    List.map (fun (k, seg) -> (k, nodes_of seg)) t.segments
+
+  (* Split the segment at [key]: the suffix of elements [a] with
+     [v <= a] moves to [key + 1] (they now follow the new target
+     element). *)
+  let split_segment t key v =
+    let rec walk_to node steps =
+      (* the node [steps] hops after [node] *)
+      if steps = 0 then node
+      else
+        match Linked_list.next node with
+        | Some next -> walk_to next (steps - 1)
+        | None -> assert false
+    in
+    match List.assoc_opt key t.segments with
+    | None -> ()
+    | Some seg -> (
+      (* first element of the segment that must follow the new target
+         element, i.e. the first [a] with [v <= a] (sorted, so a
+         suffix) *)
+      let rec first_moved node walked =
+        if walked >= seg.count then None
+        else if t.compare v (Linked_list.value node) <= 0 then
+          Some (node, walked)
+        else
+          match Linked_list.next node with
+          | Some next -> first_moved next (walked + 1)
+          | None -> None
+      in
+      match first_moved seg.head 0 with
+      | None -> ()  (* every element stays before the new target node *)
+      | Some (_, 0) ->
+        (* the whole segment moves: just re-key it *)
+        t.segments <-
+          List.map
+            (fun (k, s) -> if k = key then (key + 1, s) else (k, s))
+            t.segments
+      | Some (node, walked) ->
+        let moved =
+          { head = node; tail = seg.tail; count = seg.count - walked }
+        in
+        seg.tail <- walk_to seg.head (walked - 1);
+        seg.count <- walked;
+        t.segments <-
+          List.merge
+            (fun (a, _) (b, _) -> Int.compare a b)
+            t.segments
+            [ (key + 1, moved) ])
+
+  let note_target_insert t ~pos v =
+    (* Order matters: first re-key strictly-greater segments (freeing
+       key pos+1), then split the straddling one so its moved suffix
+       lands at pos+1 without being double-shifted. *)
+    t.segments <-
+      List.map (fun (k, s) -> if k > pos then (k + 1, s) else (k, s)) t.segments;
+    split_segment t pos v
+
+  let note_target_remove t ~pos =
+    let q = pos + 1 in
+    (* the removed element was the q-th (1-based) of the target *)
+    let moved = List.assoc_opt q t.segments in
+    let rest = List.filter (fun (k, _) -> k <> q) t.segments in
+    let rest = List.map (fun (k, s) -> if k > q then (k - 1, s) else (k, s)) rest in
+    match moved with
+    | None -> t.segments <- rest
+    | Some seg -> (
+      match List.assoc_opt (q - 1) rest with
+      | None ->
+        t.segments <-
+          List.merge (fun (a, _) (b, _) -> Int.compare a b) rest [ (q - 1, seg) ]
+      | Some prev ->
+        (* contiguous runs of the source: prev.tail chains into seg.head *)
+        prev.tail <- seg.tail;
+        prev.count <- prev.count + seg.count;
+        t.segments <- rest)
+
+  let note_source_insert t ~index ~node =
+    let v = Linked_list.value node in
+    let key = Index.find_key index v in
+    (match List.assoc_opt key t.segments with
+    | Some seg ->
+      if t.compare v (Linked_list.value seg.head) < 0 then seg.head <- node;
+      if t.compare v (Linked_list.value seg.tail) >= 0 then seg.tail <- node;
+      seg.count <- seg.count + 1
+    | None ->
+      t.segments <-
+        List.merge
+          (fun (a, _) (b, _) -> Int.compare a b)
+          t.segments
+          [ (key, { head = node; tail = node; count = 1 }) ]);
+    t.total <- t.total + 1
+
+  let note_source_remove t ~node =
+    let contains seg =
+      let rec walk cur walked =
+        if cur == node then true
+        else if walked + 1 >= seg.count then false
+        else
+          match Linked_list.next cur with
+          | Some next -> walk next (walked + 1)
+          | None -> false
+      in
+      walk seg.head 0
+    in
+    let rec find = function
+      | [] -> raise Not_found
+      | (key, seg) :: rest -> if contains seg then (key, seg) else find rest
+    in
+    let key, seg = find t.segments in
+    if seg.count = 1 then
+      t.segments <- List.filter (fun (k, _) -> k <> key) t.segments
+    else if seg.head == node then
+      seg.head <-
+        (match Linked_list.next node with Some n -> n | None -> assert false)
+    else if seg.tail == node then begin
+      let rec predecessor cur =
+        match Linked_list.next cur with
+        | Some n when n == node -> cur
+        | Some n -> predecessor n
+        | None -> assert false
+      in
+      seg.tail <- predecessor seg.head
+    end;
+    if seg.count > 1 then seg.count <- seg.count - 1;
+    t.total <- t.total - 1
+
+  let check_fresh t ~index ~source =
+    if not t.valid then raise Stale;
+    if Index.length index <> Linked_list.length (Index.target index) then
+      raise Stale;
+    if t.total <> Linked_list.length source then raise Stale;
+    List.iter
+      (fun (k, _) -> if k < 0 || k > Index.length index then raise Stale)
+      t.segments
+
+  let splice_one index target (key, seg) =
+    match Index.anchor index key with
+    | None ->
+      let tmp = Linked_list.Unsafe.get_first target in
+      Linked_list.Unsafe.set_first target (Some seg.head);
+      Linked_list.Unsafe.set_next seg.tail tmp
+    | Some anchor ->
+      let tmp = Linked_list.next anchor in
+      Linked_list.Unsafe.set_next anchor (Some seg.head);
+      Linked_list.Unsafe.set_next seg.tail tmp
+
+  let finish t ~source ~target =
+    Linked_list.Unsafe.add_length target t.total;
+    Linked_list.Unsafe.set_first source None;
+    Linked_list.Unsafe.add_length source (-t.total);
+    let stats =
+      {
+        threads = List.length t.segments;
+        spliced = t.total;
+        max_segment =
+          List.fold_left (fun acc (_, s) -> max acc s.count) 0 t.segments;
+      }
+    in
+    t.valid <- false;
+    t.segments <- [];
+    t.total <- 0;
+    stats
+
+  let execute t ~index ~source =
+    check_fresh t ~index ~source;
+    let target = Index.target index in
+    List.iter (splice_one index target) t.segments;
+    finish t ~source ~target
+
+  let execute_parallel ~domains t ~index ~source =
+    if domains < 1 then invalid_arg "Psm.Plan.execute_parallel: domains < 1";
+    check_fresh t ~index ~source;
+    let target = Index.target index in
+    let segments = Array.of_list t.segments in
+    let n = Array.length segments in
+    let workers = min domains (max n 1) in
+    if n > 0 then begin
+      let spawn w =
+        Domain.spawn (fun () ->
+            (* worker [w] handles segments w, w+workers, w+2·workers … *)
+            let i = ref w in
+            while !i < n do
+              splice_one index target segments.(!i);
+              i := !i + workers
+            done)
+      in
+      let handles = List.init workers spawn in
+      List.iter Domain.join handles
+    end;
+    finish t ~source ~target
+
+  let is_consistent t ~index ~source =
+    t.valid
+    && t.total = Linked_list.length source
+    &&
+    let fresh = build ~source ~index in
+    let same (k1, s1) (k2, s2) =
+      k1 = k2 && s1.count = s2.count && s1.head == s2.head && s1.tail == s2.tail
+    in
+    List.length fresh.segments = List.length t.segments
+    && List.for_all2 same fresh.segments t.segments
+end

@@ -1,0 +1,142 @@
+(** P²SM — parallel precomputed sorted merge (paper §4.1).
+
+    Merges a sorted list [A] (a paused sandbox's [merge_vcpus]) into a
+    sorted list [B] (the [ull_runqueue]) in O(1) pointer writes, by
+    precomputing:
+
+    - {!Index} — the paper's [arrayB]: position [k] → the node of [B]
+      at position [k], so splice points are addressable without
+      walking;
+    - {!Plan} — the paper's [posA]: a map from splice position in [B]
+      to the contiguous sublist of [A] that belongs there.
+
+    The key of an element [a] of [A] is [#{b ∈ B : b ≤ a}]: the
+    number of elements of [B] it must be placed after (equal elements
+    of [B] keep priority, matching the stable FIFO order of a run
+    queue).  Sublists with distinct keys touch disjoint [next]
+    pointers, so the merge needs no mutual exclusion — Algorithm 1's
+    parallelism argument — and {!Plan.execute_parallel} really runs
+    it on OCaml domains.
+
+    Both structures support the incremental maintenance of §4.1.3:
+    while a sandbox stays paused, every insert/remove on the
+    ull_runqueue is reflected with {!Plan.note_target_insert} /
+    {!Plan.note_target_remove} (and {!Index.note_insert} /
+    {!Index.note_remove}), and every vCPU added to the paused set
+    with {!Plan.note_source_insert}. *)
+
+exception Stale
+(** Raised by merge execution when the precomputed structures do not
+    match the current lists (a missed incremental update — a bug in
+    the caller's bookkeeping). *)
+
+module Index : sig
+  type 'a t
+  (** The [arrayB] of the paper: direct node addressing for a target
+      list. *)
+
+  val build : 'a Linked_list.t -> 'a t
+  (** Snapshot the node array of [B] (O(|B|)). *)
+
+  val target : 'a t -> 'a Linked_list.t
+
+  val length : 'a t -> int
+  (** Number of indexed nodes; must equal [length (target t)] for the
+      index to be fresh. *)
+
+  val anchor : 'a t -> int -> 'a Linked_list.node option
+  (** [anchor t k] is the node to splice after for key [k]: [None]
+      denotes the list head (key 0), [Some n] the [k]-th node
+      (1-based).  @raise Invalid_argument if [k] is outside
+      [0, length t]. *)
+
+  val note_insert : 'a t -> pos:int -> 'a Linked_list.node -> unit
+  (** Reflect an insertion into [B]: the new [node] now sits at
+      0-based position [pos] (the step count returned by
+      {!Linked_list.insert_sorted}). *)
+
+  val note_remove : 'a t -> pos:int -> unit
+  (** Reflect a removal from [B] at 0-based position [pos]. *)
+
+  val rebuild : 'a t -> unit
+  (** Re-snapshot from the target (used after a merge grows [B]). *)
+
+  val find_key : 'a t -> 'a -> int
+  (** [find_key t a] is [#{b ∈ B : b ≤ a}] by binary search over the
+      node array (O(log |B|)) — the fast variant of the paper's O(n)
+      position computation. *)
+
+  val is_consistent : 'a t -> bool
+  (** True iff the array matches a fresh walk of the target. *)
+end
+
+module Plan : sig
+  type 'a t
+  (** The [posA] of the paper, for one (source, target) pair. *)
+
+  type stats = {
+    threads : int;  (** segments spliced = merge threads used *)
+    spliced : int;  (** elements transferred *)
+    max_segment : int;  (** longest sublist (0 if empty source) *)
+  }
+
+  val build : source:'a Linked_list.t -> index:'a Index.t -> 'a t
+  (** The precompute phase, by a linear two-pointer scan
+      (O(|A| + |B|)). *)
+
+  val build_binary : source:'a Linked_list.t -> index:'a Index.t -> 'a t
+  (** Same result via per-element binary search (O(|A|·log |B|));
+      faster when [A] is tiny next to [B].  Ablation material. *)
+
+  val key_count : 'a t -> int
+
+  val total : 'a t -> int
+  (** Elements covered by the plan (must equal [|A|] at merge time). *)
+
+  val keys : 'a t -> int list
+  (** Sorted splice keys (for inspection and tests). *)
+
+  val segments_snapshot : 'a t -> (int * 'a Linked_list.node list) list
+  (** The current (key, nodes) decomposition, keys ascending and nodes
+      in source order.  Taken {e before} {!execute}, it lets the
+      run-queue layer tell other subscribers where each element landed
+      (§4.1.3's continuous updates after a merge). *)
+
+  val note_target_insert : 'a t -> pos:int -> 'a -> unit
+  (** The target gained an element with value [v] at 0-based position
+      [pos]: shifts affected keys and splits the straddling segment.
+      Call for every paused plan whenever the ull_runqueue grows. *)
+
+  val note_target_remove : 'a t -> pos:int -> unit
+  (** The target lost the element at 0-based position [pos]: shifts
+      keys down and coalesces the two segments that become
+      adjacent. *)
+
+  val note_source_insert :
+    'a t -> index:'a Index.t -> node:'a Linked_list.node -> unit
+  (** A node was just inserted (sorted) into the source list; extends
+      or creates the segment its value belongs to. *)
+
+  val note_source_remove : 'a t -> node:'a Linked_list.node -> unit
+  (** A node is about to be removed from the source list.  Must be
+      called {e before} unlinking it.
+      @raise Not_found if the node is not covered by the plan. *)
+
+  val execute :
+    'a t -> index:'a Index.t -> source:'a Linked_list.t -> stats
+  (** The merge phase (Algorithm 1), sequential splicing: two pointer
+      writes per key.  Consumes the source (left empty), grows the
+      target, invalidates the plan and leaves the index stale (call
+      {!Index.rebuild}).
+      @raise Stale if index or plan do not match the lists. *)
+
+  val execute_parallel :
+    domains:int -> 'a t -> index:'a Index.t -> source:'a Linked_list.t -> stats
+  (** Same, splicing segments from [domains] OCaml domains in
+      parallel — the no-mutual-exclusion claim, executed for real.
+      @raise Invalid_argument if [domains < 1]. *)
+
+  val is_consistent : 'a t -> index:'a Index.t -> source:'a Linked_list.t -> bool
+  (** True iff rebuilding from scratch yields this plan — the
+      incremental-maintenance correctness oracle used by tests. *)
+end

@@ -1,0 +1,30 @@
+let check_sorted ~compare xs =
+  let rec loop = function
+    | a :: (b :: _ as rest) ->
+      if compare a b > 0 then invalid_arg "Reference: input not sorted";
+      loop rest
+    | [ _ ] | [] -> ()
+  in
+  loop xs
+
+let merge_values ~compare a b =
+  check_sorted ~compare a;
+  check_sorted ~compare b;
+  (* Equal elements of [b] (the target) are emitted first. *)
+  let rec merge a b acc =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: a', y :: b' ->
+      if compare y x <= 0 then merge a b' (y :: acc) else merge a' b (x :: acc)
+  in
+  merge a b []
+
+let insert_each ~source ~target =
+  let rec loop walked =
+    match Linked_list.pop_first source with
+    | None -> walked
+    | Some x ->
+      let _, steps = Linked_list.insert_sorted target x in
+      loop (walked + steps)
+  in
+  loop 0

@@ -1,0 +1,18 @@
+(** Baseline sorted merges — what vanilla resume does (paper §3.1 ④).
+
+    These are the algorithms P²SM replaces: the per-vCPU sorted
+    insertion the hypervisor performs in a loop, and a classical
+    two-list merge.  They double as test oracles: P²SM must produce
+    exactly the same list. *)
+
+val merge_values : compare:('a -> 'a -> int) -> 'a list -> 'a list -> 'a list
+(** [merge_values ~compare a b] merges the two sorted lists; among
+    equal elements, those of [b] come first (the target run queue
+    keeps priority), matching P²SM's key definition.
+    @raise Invalid_argument if an input is unsorted. *)
+
+val insert_each : source:'a Linked_list.t -> target:'a Linked_list.t -> int
+(** The vanilla loop: pop each element of [source] and
+    {!Linked_list.insert_sorted} it into [target].  Returns the total
+    nodes walked (the quantity the simulator charges as step ④).
+    Leaves [source] empty. *)

@@ -1,0 +1,200 @@
+let max_height = 16
+
+(* [seq] makes the order total even among equal values (later inserts
+   get larger sequence numbers), which keeps insertion stable and —
+   crucially — lets removal locate one specific node without ever
+   overshooting it while descending levels. *)
+type 'a node = { value : 'a; seq : int; forward : 'a node option array }
+
+type 'a t = {
+  compare : 'a -> 'a -> int;
+  head : 'a node option array;  (* forward pointers of the sentinel *)
+  mutable level : int;  (* levels in use, >= 1 *)
+  mutable len : int;
+  mutable rng : int;  (* xorshift state for tower heights *)
+  mutable next_seq : int;
+}
+
+let create ?(seed = 0x9E3779B9) ~compare () =
+  {
+    compare;
+    head = Array.make max_height None;
+    level = 1;
+    len = 0;
+    rng = (if seed = 0 then 1 else seed land 0x3FFFFFFF);
+    next_seq = 0;
+  }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let max_level t = t.level
+
+let next_bits t =
+  let x = t.rng in
+  let x = x lxor (x lsl 13) land 0x3FFFFFFFFFFF in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) land 0x3FFFFFFFFFFF in
+  t.rng <- x;
+  x
+
+(* Geometric tower height: p = 1/2 per extra level. *)
+let random_height t =
+  let bits = next_bits t in
+  let rec count height bits =
+    if height >= max_height || bits land 1 = 0 then height
+    else count (height + 1) (bits lsr 1)
+  in
+  count 1 bits
+
+let forward_of prev t level =
+  match prev with None -> t.head.(level) | Some node -> node.forward.(level)
+
+let set_forward prev t level target =
+  match prev with
+  | None -> t.head.(level) <- target
+  | Some node -> node.forward.(level) <- target
+
+let insert t x =
+  let update = Array.make max_height None in
+  let hops = ref 0 in
+  (* stable: walk past elements <= x at every level *)
+  let rec descend prev level =
+    let rec walk prev =
+      match forward_of prev t level with
+      | Some node when t.compare node.value x <= 0 ->
+        incr hops;
+        walk (Some node)
+      | Some _ | None -> prev
+    in
+    let prev = walk prev in
+    update.(level) <- prev;
+    if level > 0 then descend prev (level - 1)
+  in
+  descend None (t.level - 1);
+  let height = random_height t in
+  if height > t.level then begin
+    for level = t.level to height - 1 do
+      update.(level) <- None
+    done;
+    t.level <- height
+  end;
+  let node =
+    { value = x; seq = t.next_seq; forward = Array.make height None }
+  in
+  t.next_seq <- t.next_seq + 1;
+  for level = 0 to height - 1 do
+    node.forward.(level) <- forward_of update.(level) t level;
+    set_forward update.(level) t level (Some node)
+  done;
+  t.len <- t.len + 1;
+  !hops
+
+let unlink t target =
+  (* relink every level where [target] appears; the (value, seq) order
+     is total, so the walk stops exactly before [target]'s position at
+     every level and can never overshoot it among equal values *)
+  let before node =
+    let c = t.compare node.value target.value in
+    if c <> 0 then c < 0 else node.seq < target.seq
+  in
+  let rec descend prev level =
+    let rec walk prev =
+      match forward_of prev t level with
+      | Some node when node != target && before node -> walk (Some node)
+      | Some _ | None -> prev
+    in
+    let prev = walk prev in
+    (match forward_of prev t level with
+    | Some node when node == target ->
+      set_forward prev t level target.forward.(level)
+    | Some _ | None -> ());
+    if level > 0 then descend prev (level - 1)
+  in
+  descend None (t.level - 1);
+  while t.level > 1 && t.head.(t.level - 1) = None do
+    t.level <- t.level - 1
+  done;
+  t.len <- t.len - 1
+
+let remove_first t pred =
+  let rec scan = function
+    | None -> false
+    | Some node ->
+      if pred node.value then begin
+        unlink t node;
+        true
+      end
+      else scan node.forward.(0)
+  in
+  scan t.head.(0)
+
+let pop_min t =
+  match t.head.(0) with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    Some node.value
+
+let mem t x =
+  let rec descend prev level =
+    let rec walk prev =
+      match forward_of prev t level with
+      | Some node when t.compare node.value x < 0 -> walk (Some node)
+      | Some _ | None -> prev
+    in
+    let prev = walk prev in
+    match forward_of prev t level with
+    | Some node when t.compare node.value x = 0 -> true
+    | _ when level > 0 -> descend prev (level - 1)
+    | Some _ | None -> false
+  in
+  descend None (t.level - 1)
+
+let to_list t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk (node.value :: acc) node.forward.(0)
+  in
+  walk [] t.head.(0)
+
+let of_list ?seed ~compare xs =
+  let t = create ?seed ~compare () in
+  List.iter (fun x -> ignore (insert t x)) xs;
+  t
+
+let is_consistent t =
+  let level0 =
+    let rec walk acc = function
+      | None -> List.rev acc
+      | Some node -> walk (node :: acc) node.forward.(0)
+    in
+    walk [] t.head.(0)
+  in
+  let sorted nodes =
+    let rec check = function
+      | a :: (b :: _ as rest) ->
+        t.compare a.value b.value <= 0 && check rest
+      | [ _ ] | [] -> true
+    in
+    check nodes
+  in
+  let subsequence_of_level0 level =
+    let rec walk acc = function
+      | None -> List.rev acc
+      | Some node -> walk (node :: acc) node.forward.(level)
+    in
+    let nodes = walk [] t.head.(level) in
+    let rec is_sub sub full =
+      match (sub, full) with
+      | [], _ -> true
+      | _, [] -> false
+      | s :: sub', f :: full' ->
+        if s == f then is_sub sub' full' else is_sub sub full'
+    in
+    sorted nodes && is_sub nodes level0
+  in
+  List.length level0 = t.len
+  && sorted level0
+  && List.for_all subsequence_of_level0 (List.init t.level Fun.id)

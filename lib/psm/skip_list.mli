@@ -1,0 +1,47 @@
+(** A sorted skip list — the "just use a better queue" alternative.
+
+    An obvious rebuttal to P²SM is that the hypervisor could replace
+    its sorted linked run queue with an O(log n)-insert structure.
+    This module implements that alternative so the benchmarks can
+    compare it honestly: per-element insertion beats the linked list
+    asymptotically, but a sandbox resume still pays O(vCPUs · log n),
+    while P²SM's splice is O(1) — and the skip list cannot be spliced
+    in O(1) because its towers would need rebuilding.
+
+    Determinism: tower heights come from a per-list seeded generator,
+    so runs are reproducible.  Ordering is stable (equal elements keep
+    insertion order), matching {!Linked_list}. *)
+
+type 'a t
+
+val create : ?seed:int -> compare:('a -> 'a -> int) -> unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val insert : 'a t -> 'a -> int
+(** Sorted, stable insert; returns the number of node hops the search
+    walked (across all levels) — the comparison cost analogue of
+    {!Linked_list.insert_sorted}. *)
+
+val remove_first : 'a t -> ('a -> bool) -> bool
+(** Remove the first (in order) element satisfying the predicate;
+    [false] if none does.  O(n) worst case (predicate scan). *)
+
+val pop_min : 'a t -> 'a option
+(** Remove and return the smallest element (O(1) expected). *)
+
+val mem : 'a t -> 'a -> bool
+(** O(log n) expected search for an equal element. *)
+
+val to_list : 'a t -> 'a list
+(** Ascending. *)
+
+val of_list : ?seed:int -> compare:('a -> 'a -> int) -> 'a list -> 'a t
+
+val max_level : 'a t -> int
+(** Current tower height (diagnostics). *)
+
+val is_consistent : 'a t -> bool
+(** Every level sorted and a sub-sequence of level 0 (test oracle). *)

@@ -1,0 +1,84 @@
+module Engine = Horse_sim.Engine
+module Time = Horse_sim.Time_ns
+
+type work_item = {
+  mutable remaining : int;  (* ns of work left *)
+  on_done : Time.t -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  scheduler : Scheduler.t;
+  context_switch : Time.span;
+  work : (int * int, work_item) Hashtbl.t;  (* (sandbox, index) -> item *)
+  running : bool array;  (* per CPU: a slice is in flight *)
+  mutable outstanding : int;
+}
+
+let create_with_context_switch ~engine ~scheduler ~context_switch () =
+  {
+    engine;
+    scheduler;
+    context_switch;
+    work = Hashtbl.create 64;
+    running = Array.make (Scheduler.cpu_count scheduler) false;
+    outstanding = 0;
+  }
+
+let create ~engine ~scheduler () =
+  create_with_context_switch ~engine ~scheduler
+    ~context_switch:(Time.span_ns 1_200) ()
+
+let key vcpu = (Vcpu.sandbox vcpu, Vcpu.index vcpu)
+
+let busy t ~cpu = t.running.(cpu)
+
+let outstanding t = t.outstanding
+
+(* Run slices on [cpu] until its queue drains. *)
+let rec dispatch t cpu =
+  if not t.running.(cpu) then begin
+    let queue = Scheduler.runqueue t.scheduler ~cpu in
+    match Credit2.pick_next queue with
+    | None -> ()
+    | Some vcpu -> (
+      match Hashtbl.find_opt t.work (key vcpu) with
+      | None ->
+        (* a vCPU with no attached work (e.g. parked by a resume):
+           skip it and keep dispatching *)
+        dispatch t cpu
+      | Some item ->
+        t.running.(cpu) <- true;
+        let slice_ns =
+          min item.remaining (Time.span_to_ns (Runqueue.timeslice queue))
+        in
+        let total =
+          Time.add_span (Time.span_ns slice_ns) t.context_switch
+        in
+        ignore
+          (Engine.schedule t.engine ~after:total (fun engine ->
+               t.running.(cpu) <- false;
+               Credit2.charge vcpu ~ran_for:(Time.span_ns slice_ns);
+               item.remaining <- item.remaining - slice_ns;
+               if item.remaining <= 0 then begin
+                 Hashtbl.remove t.work (key vcpu);
+                 t.outstanding <- t.outstanding - 1;
+                 Vcpu.set_state vcpu Vcpu.Offline;
+                 item.on_done (Engine.now engine)
+               end
+               else
+                 (* preempted by the timeslice: back on the queue *)
+                 ignore (Runqueue.enqueue queue vcpu);
+               dispatch t cpu)))
+  end
+
+let submit t ~queue ~vcpu ~work ~on_done =
+  if Time.span_to_ns work <= 0 then
+    invalid_arg "Cpu_executor.submit: work must be positive";
+  if Hashtbl.mem t.work (key vcpu) then
+    invalid_arg "Cpu_executor.submit: vCPU already has outstanding work";
+  Hashtbl.replace t.work (key vcpu)
+    { remaining = Time.span_to_ns work; on_done };
+  t.outstanding <- t.outstanding + 1;
+  ignore (Runqueue.enqueue queue vcpu);
+  dispatch t (Runqueue.cpu queue)

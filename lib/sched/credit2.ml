@@ -1,0 +1,32 @@
+module Ll = Horse_psm.Linked_list
+module Time = Horse_sim.Time_ns
+
+let needs_reset rq =
+  Ll.length (Runqueue.queue rq) > 0
+  && Ll.fold
+       (fun acc vcpu -> acc && Vcpu.credit vcpu <= 0)
+       true (Runqueue.queue rq)
+
+let reset rq =
+  (* Credits all shift by the same clamp-to-default rule, which is
+     monotone, so the sorted order is preserved in place. *)
+  let count = ref 0 in
+  Ll.iter
+    (fun vcpu ->
+      incr count;
+      Vcpu.set_credit vcpu
+        (min Vcpu.default_credit (Vcpu.credit vcpu + Vcpu.default_credit)))
+    (Runqueue.queue rq);
+  !count
+
+let pick_next rq =
+  if needs_reset rq then ignore (reset rq);
+  match Runqueue.pop_front rq with
+  | None -> None
+  | Some vcpu ->
+    Vcpu.set_state vcpu Vcpu.Running;
+    Some vcpu
+
+let charge vcpu ~ran_for =
+  let us = max 1 (Time.span_to_ns ran_for / 1000) in
+  Vcpu.burn_credit vcpu us

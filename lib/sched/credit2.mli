@@ -1,0 +1,23 @@
+(** Credit accounting in the style of Xen's credit2 scheduler.
+
+    Enough of credit2 to make the run-queue ordering meaningful: each
+    vCPU holds a credit balance in µs; running burns credit; the
+    queue is ordered least-credit-first (paper §3.1's sort
+    parameter); when the head of the queue would run with negative
+    credit, every vCPU on the queue is topped back up (the credit
+    reset event). *)
+
+val pick_next : Runqueue.t -> Vcpu.t option
+(** Remove and return the vCPU to run next (least credit), applying a
+    credit reset first if the whole queue has gone negative. *)
+
+val charge : Vcpu.t -> ran_for:Horse_sim.Time_ns.span -> unit
+(** Burn credit for actual run time (µs granularity, at least 1). *)
+
+val needs_reset : Runqueue.t -> bool
+(** True when no queued vCPU has positive credit. *)
+
+val reset : Runqueue.t -> int
+(** Top every queued vCPU back up by {!Vcpu.default_credit} (capped
+    at the default), preserving relative order.  Returns how many
+    vCPUs were refreshed. *)

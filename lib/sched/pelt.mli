@@ -1,0 +1,67 @@
+(** Per-entity load tracking (PELT), the kernel algorithm behind the
+    paper's step-⑤ load variable (Turner 2011, [21]/[77] in the
+    paper).
+
+    Time is divided into 1024 µs periods.  An entity accumulates
+    runnable time geometrically: the contribution of a period [k]
+    periods in the past is weighted [yᵏ], with [y³² = 1/2].  The sum
+    saturates at [load_avg_max] (the kernel's LOAD_AVG_MAX = 47742 in
+    the same µs units).  The kernel implements the decay with a
+    32-entry inverse-multiplier table in fixed point; so does this
+    module, bit-compatibly with the widely-documented constants.
+
+    {!Runqueue_sum} aggregates entity averages into the per-run-queue
+    load that {!Load_tracking} abstracts, giving the DVFS governor the
+    same signal shape the kernel provides. *)
+
+val period_us : int
+(** 1024 µs per PELT period. *)
+
+val load_avg_max : int
+(** The geometric series' saturation value, 47742. *)
+
+val decay_multiplier : int -> int32
+(** [decay_multiplier k] for [k] in [0, 31]: the kernel's
+    [runnable_avg_yN_inv] table entry — [y^k] in 0.32 fixed point.
+    @raise Invalid_argument outside [0, 31]. *)
+
+val decay_load : int -> periods:int -> int
+(** [decay_load v ~periods] is [v·y^periods], computed exactly as the
+    kernel does: halve per 32 periods, then one table multiply.
+    Negative periods are rejected. *)
+
+type t
+(** One schedulable entity's accumulator. *)
+
+val create : unit -> t
+(** A fresh entity with no history. *)
+
+val update : t -> now_us:int -> running:bool -> unit
+(** Advance the entity's clock to [now_us], accounting the elapsed
+    time as running (contributing) or sleeping (decaying only).
+    Clock regressions are rejected. *)
+
+val load_avg : t -> int
+(** The current average in [0, load_avg_max]. *)
+
+val utilisation : t -> float
+(** [load_avg / load_avg_max], in [0, 1] — what schedutil consumes. *)
+
+module Runqueue_sum : sig
+  type sum
+  (** Aggregated load of the entities attached to one run queue. *)
+
+  val create : unit -> sum
+
+  val attach : sum -> t -> unit
+  (** Add an entity's current average (a vCPU landing on the queue —
+      the paper's step ⑤ write). *)
+
+  val detach : sum -> t -> unit
+  (** Remove an entity's contribution (vCPU leaving). *)
+
+  val total : sum -> int
+
+  val utilisation : sum -> float
+  (** Sum relative to one fully-loaded entity, clamped to [0, 1]. *)
+end

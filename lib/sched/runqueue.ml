@@ -1,0 +1,107 @@
+module Ll = Horse_psm.Linked_list
+module Psm = Horse_psm.Psm
+module Time = Horse_sim.Time_ns
+
+type kind = Normal | Ull
+
+type change =
+  | Inserted of { pos : int; node : Vcpu.t Ll.node }
+  | Removed of { pos : int }
+
+type subscription = int
+
+type t = {
+  id : int;
+  cpu : Horse_cpu.Topology.cpu_id;
+  mutable kind : kind;
+  queue : Vcpu.t Ll.t;
+  load : Load_tracking.t;
+  subscribers : (subscription, change -> unit) Hashtbl.t;
+  mutable next_subscription : int;
+}
+
+let create ?(kind = Normal) ~cpu ~id () =
+  {
+    id;
+    cpu;
+    kind;
+    queue = Ll.create ~compare:Vcpu.compare_credit ();
+    load = Load_tracking.create ();
+    subscribers = Hashtbl.create 8;
+    next_subscription = 0;
+  }
+
+let id t = t.id
+
+let cpu t = t.cpu
+
+let kind t = t.kind
+
+let is_ull t = t.kind = Ull
+
+let set_kind t kind =
+  if not (Ll.is_empty t.queue) then
+    invalid_arg "Runqueue.set_kind: queue not empty";
+  t.kind <- kind
+
+let timeslice t =
+  match t.kind with Ull -> Time.span_us 1.0 | Normal -> Time.span_ms 10.0
+
+let length t = Ll.length t.queue
+
+let queue t = t.queue
+
+let load t = t.load
+
+let notify t change = Hashtbl.iter (fun _ f -> f change) t.subscribers
+
+let enqueue t vcpu =
+  let node, steps = Ll.insert_sorted t.queue vcpu in
+  Vcpu.set_state vcpu Vcpu.Queued;
+  notify t (Inserted { pos = steps; node });
+  (node, steps)
+
+let dequeue t node =
+  let pos = Ll.remove_node t.queue node in
+  Vcpu.set_state (Ll.value node) Vcpu.Offline;
+  notify t (Removed { pos });
+  pos
+
+let pop_front t =
+  match Ll.pop_first t.queue with
+  | None -> None
+  | Some vcpu ->
+    notify t (Removed { pos = 0 });
+    Some vcpu
+
+let apply_merge t ~plan ~index ~source =
+  if not (Psm.Index.target index == t.queue) then
+    invalid_arg "Runqueue.apply_merge: index built over a different queue";
+  let segments = Psm.Plan.segments_snapshot plan in
+  let stats = Psm.Plan.execute plan ~index ~source in
+  (* Tell the remaining subscribers where every vCPU landed, phrased
+     as sequential inserts: element j of the segment spliced at key k
+     sits at position k + (elements spliced before this segment) + j. *)
+  let offset = ref 0 in
+  let spliced = ref [] in
+  List.iter
+    (fun (key, nodes) ->
+      List.iteri
+        (fun j node ->
+          Vcpu.set_state (Ll.value node) Vcpu.Queued;
+          spliced := node :: !spliced;
+          notify t (Inserted { pos = key + !offset + j; node }))
+        nodes;
+      offset := !offset + List.length nodes)
+    segments;
+  (stats, List.rev !spliced)
+
+let subscribe t f =
+  let s = t.next_subscription in
+  t.next_subscription <- s + 1;
+  Hashtbl.replace t.subscribers s f;
+  s
+
+let unsubscribe t s = Hashtbl.remove t.subscribers s
+
+let subscriber_count t = Hashtbl.length t.subscribers

@@ -1,0 +1,88 @@
+(** A per-CPU run queue: credit-sorted vCPUs + tracked load.
+
+    This is the object both of the paper's hot operations act on:
+    step ④ inserts vCPUs into its sorted list, step ⑤ updates its
+    lock-protected load.  A run queue can be reserved as an
+    [ull_runqueue] (§4.1.3): only uLL sandboxes land there, its
+    timeslice is capped at 1 µs, and paused sandboxes {e subscribe}
+    to its changes so their P²SM structures stay fresh.
+
+    Each structural mutation reports the nodes walked (for cost
+    accounting) and notifies subscribers with enough detail
+    ([pos] + [node]) to drive {!Horse_psm.Psm.Index.note_insert} and
+    {!Horse_psm.Psm.Plan.note_target_insert} incrementally. *)
+
+type t
+
+type kind =
+  | Normal  (** general-purpose queue *)
+  | Ull  (** reserved for uLL sandboxes, 1 µs timeslice *)
+
+type change =
+  | Inserted of { pos : int; node : Vcpu.t Horse_psm.Linked_list.node }
+      (** a vCPU landed at 0-based position [pos] *)
+  | Removed of { pos : int }  (** the vCPU at [pos] left the queue *)
+
+type subscription
+
+val create : ?kind:kind -> cpu:Horse_cpu.Topology.cpu_id -> id:int -> unit -> t
+
+val id : t -> int
+
+val cpu : t -> Horse_cpu.Topology.cpu_id
+
+val kind : t -> kind
+
+val is_ull : t -> bool
+
+val set_kind : t -> kind -> unit
+(** Re-purpose the queue (reservation happens before any workload
+    runs).  @raise Invalid_argument if the queue is not empty. *)
+
+val timeslice : t -> Horse_sim.Time_ns.span
+(** 1 µs for [Ull] queues (§4.1.3), 10 ms for [Normal] ones (a
+    credit2-like default). *)
+
+val length : t -> int
+
+val queue : t -> Vcpu.t Horse_psm.Linked_list.t
+(** The underlying sorted list (P²SM indexes are built over it). *)
+
+val load : t -> Load_tracking.t
+
+val enqueue : t -> Vcpu.t -> Vcpu.t Horse_psm.Linked_list.node * int
+(** Sorted insert (step ④ for one vCPU).  Returns the node (the
+    caller keeps it to dequeue later) and the nodes walked.  Marks
+    the vCPU [Queued] and notifies subscribers.  Does {e not} touch
+    the load — the resume path chooses vanilla or coalesced load
+    updates separately. *)
+
+val dequeue : t -> Vcpu.t Horse_psm.Linked_list.node -> int
+(** Unlink a previously enqueued node; returns nodes walked.  Marks
+    the vCPU [Offline] and notifies subscribers.
+    @raise Not_found if the node is not on this queue. *)
+
+val pop_front : t -> Vcpu.t option
+(** Scheduler pick: the least-credit vCPU, removed from the queue
+    (subscribers are notified of a removal at position 0). *)
+
+val apply_merge :
+  t ->
+  plan:Vcpu.t Horse_psm.Psm.Plan.t ->
+  index:Vcpu.t Horse_psm.Psm.Index.t ->
+  source:Vcpu.t Horse_psm.Linked_list.t ->
+  Horse_psm.Psm.Plan.stats * Vcpu.t Horse_psm.Linked_list.node list
+(** The P²SM merge of a resuming sandbox's [merge_vcpus] into this
+    queue.  Subscribers receive one [Inserted] per spliced vCPU (the
+    resuming sandbox must unsubscribe first).  All spliced vCPUs are
+    marked [Queued].  Also returns the spliced nodes so the resumer
+    can record its placements.
+    @raise Horse_psm.Psm.Stale as {!Horse_psm.Psm.Plan.execute}. *)
+
+val subscribe : t -> (change -> unit) -> subscription
+(** Register a paused sandbox's maintenance callback. *)
+
+val unsubscribe : t -> subscription -> unit
+(** Idempotent. *)
+
+val subscriber_count : t -> int

@@ -1,0 +1,41 @@
+type state = Offline | Queued | Running | Paused
+
+type t = {
+  sandbox : int;
+  index : int;
+  mutable credit : int;
+  mutable state : state;
+}
+
+(* credit2's CSCHED2_CREDIT_INIT is 10 ms; we carry credits in µs. *)
+let default_credit = 10_000
+
+let create ~sandbox ~index ?(credit = default_credit) () =
+  { sandbox; index; credit; state = Offline }
+
+let sandbox t = t.sandbox
+
+let index t = t.index
+
+let credit t = t.credit
+
+let set_credit t c = t.credit <- c
+
+let burn_credit t c = t.credit <- t.credit - c
+
+let state t = t.state
+
+let set_state t s = t.state <- s
+
+let compare_credit a b = Int.compare a.credit b.credit
+
+let pp ppf t =
+  let state_name =
+    match t.state with
+    | Offline -> "offline"
+    | Queued -> "queued"
+    | Running -> "running"
+    | Paused -> "paused"
+  in
+  Format.fprintf ppf "vcpu<sb%d.%d credit=%d %s>" t.sandbox t.index t.credit
+    state_name

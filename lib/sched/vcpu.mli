@@ -1,0 +1,44 @@
+(** Virtual CPUs — the schedulable entities of the hypervisor.
+
+    A sandbox owns [n] vCPUs; each is placed on a (per-physical-CPU)
+    run queue ordered by remaining credit, as in Xen's credit2: the
+    entity with the least remaining credit runs first (paper §3.1 ④).
+    Identity is physical (one record per vCPU, compared with [==] by
+    the run-queue machinery); credit is mutable state. *)
+
+type state =
+  | Offline  (** not attached to any run queue *)
+  | Queued  (** sitting on a run queue *)
+  | Running  (** currently on a physical CPU *)
+  | Paused  (** its sandbox is paused; off the queues *)
+
+type t
+
+val create : sandbox:int -> index:int -> ?credit:int -> unit -> t
+(** A fresh vCPU of sandbox [sandbox], [index]-th of its set.
+    [credit] defaults to {!default_credit}. *)
+
+val default_credit : int
+(** Initial credit grant (credit2 uses 10 ms expressed in µs). *)
+
+val sandbox : t -> int
+
+val index : t -> int
+
+val credit : t -> int
+
+val set_credit : t -> int -> unit
+
+val burn_credit : t -> int -> unit
+(** Consume credit for time run; may go negative (credit2 allows
+    negative credit until the reset event). *)
+
+val state : t -> state
+
+val set_state : t -> state -> unit
+
+val compare_credit : t -> t -> int
+(** Run-queue order: least remaining credit first.  Ties are equal —
+    the queue's stable insert keeps FIFO order among them. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+type 'a t = {
+  compare : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ?(capacity = 16) ~compare () =
+  let capacity = max capacity 1 in
+  (* Slots beyond [size] are never read, so a dummy cell is safe. *)
+  { compare; data = Array.make capacity (Obj.magic 0); size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let grow t =
+  let capacity = max 1 (2 * Array.length t.data) in
+  let data = Array.make capacity t.data.(0) in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.compare t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && t.compare t.data.(left) t.data.(!smallest) < 0 then
+    smallest := left;
+  if right < t.size && t.compare t.data.(right) t.data.(!smallest) < 0 then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t x =
+  if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    (* Drop the stale slot so the GC can reclaim the element. *)
+    t.data.(t.size) <- t.data.(0);
+    Some top
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some x -> x
+  | None -> invalid_arg "Binary_heap.pop_exn: empty heap"
+
+let clear t = t.size <- 0
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_sorted_list t =
+  let copy = { t with data = Array.sub t.data 0 (max t.size 1) } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

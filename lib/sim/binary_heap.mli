@@ -1,0 +1,39 @@
+(** A resizable array-backed binary min-heap.
+
+    The event queue of the simulation engine sits on top of this heap;
+    it is also reused by schedulers that need a cheap priority queue.
+    Ordering is supplied at creation time, so the same structure serves
+    timestamps, deadlines and credits. *)
+
+type 'a t
+(** A min-heap of ['a] values. *)
+
+val create : ?capacity:int -> compare:('a -> 'a -> int) -> unit -> 'a t
+(** An empty heap.  [compare] must be a total order; the minimum
+    element under it is served first. *)
+
+val length : 'a t -> int
+(** The number of stored elements. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Insert an element (O(log n) amortised). *)
+
+val peek : 'a t -> 'a option
+(** The minimum element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element (O(log n)). *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop}. @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+(** Remove every element, keeping the allocated capacity. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive: all elements, smallest first (O(n log n)). *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Fold over elements in unspecified order. *)

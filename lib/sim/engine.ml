@@ -1,0 +1,60 @@
+type t = {
+  mutable clock : Time_ns.t;
+  queue : callback Event_queue.t;
+  root_rng : Rng.t;
+  mutable running : bool;
+}
+
+and callback = t -> unit
+
+type event_handle = Event_queue.handle
+
+let create ?(seed = 42) () =
+  {
+    clock = Time_ns.zero;
+    queue = Event_queue.create ();
+    root_rng = Rng.create ~seed;
+    running = false;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule_at t ~at f =
+  if Time_ns.(at < t.clock) then
+    invalid_arg "Engine.schedule_at: timestamp in the past";
+  Event_queue.schedule t.queue ~at f
+
+let schedule t ~after f = schedule_at t ~at:(Time_ns.add t.clock after) f
+
+let cancel t handle = Event_queue.cancel t.queue handle
+
+let pending t = Event_queue.length t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (at, f) ->
+    t.clock <- at;
+    f t;
+    true
+
+let run ?until t =
+  if t.running then invalid_arg "Engine.run: already running";
+  t.running <- true;
+  Fun.protect ~finally:(fun () -> t.running <- false) @@ fun () ->
+  let continue () =
+    match Event_queue.next_time t.queue with
+    | None -> false
+    | Some at -> (
+      match until with
+      | None -> true
+      | Some limit -> Time_ns.(at <= limit))
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when Time_ns.(t.clock < limit) -> t.clock <- limit
+  | Some _ | None -> ()

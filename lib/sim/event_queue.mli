@@ -1,0 +1,34 @@
+(** The pending-event set of the discrete-event engine.
+
+    Events are ordered by timestamp; events scheduled for the same
+    instant fire in FIFO order of their scheduling (a sequence number
+    breaks ties), which keeps runs deterministic. *)
+
+type 'a t
+(** A queue of payloads of type ['a] tagged with firing times. *)
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> 'a t
+
+val schedule : 'a t -> at:Time_ns.t -> 'a -> handle
+(** Enqueue [payload] to fire at [at].  Scheduling in the past is the
+    caller's bug and raises [Invalid_argument] when popped before a
+    later event (the queue itself accepts any timestamp). *)
+
+val cancel : 'a t -> handle -> bool
+(** [cancel q h] prevents the event from firing.  Returns [false] if
+    it already fired or was already cancelled.  O(1): the slot is
+    tombstoned and skipped at pop time. *)
+
+val next_time : 'a t -> Time_ns.t option
+(** The firing time of the earliest live event. *)
+
+val pop : 'a t -> (Time_ns.t * 'a) option
+(** Remove and return the earliest live event. *)
+
+val length : 'a t -> int
+(** The number of live (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,44 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  samples : (string, Stats.Sample.t) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; samples = Hashtbl.create 32 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let incr t ?(by = 1) name =
+  let r = counter_ref t name in
+  r := !r + by
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let series t name =
+  match Hashtbl.find_opt t.samples name with
+  | Some s -> s
+  | None ->
+    let s = Stats.Sample.create () in
+    Hashtbl.add t.samples name s;
+    s
+
+let observe t name x = Stats.Sample.add (series t name) x
+
+let sample t name = Hashtbl.find_opt t.samples name
+
+let observe_span t name span =
+  observe t name (float_of_int (Time_ns.span_to_ns span))
+
+let sorted_bindings table value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_bindings t.counters ( ! )
+
+let samples t = sorted_bindings t.samples Fun.id

@@ -1,0 +1,31 @@
+(** A named-metric registry shared by an experiment's components.
+
+    Components (scheduler, VMM, FaaS router) record counters and
+    latency samples under string names; the bench harness reads them
+    back when printing a table.  One registry per experiment — no
+    global state. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> string -> unit
+(** Bump the counter [name] (created at 0 on first use). *)
+
+val counter : t -> string -> int
+(** Current value; 0 if never bumped. *)
+
+val observe : t -> string -> float -> unit
+(** Append one observation to the sample series [name]. *)
+
+val sample : t -> string -> Stats.Sample.t option
+(** The sample series, if any observation was recorded. *)
+
+val observe_span : t -> string -> Time_ns.span -> unit
+(** {!observe} with the span converted to nanoseconds. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val samples : t -> (string * Stats.Sample.t) list
+(** All series, sorted by name. *)

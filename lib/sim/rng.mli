@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random numbers for reproducible experiments.
+
+    A splitmix64 generator: tiny state, excellent statistical quality
+    for simulation purposes, and trivially seedable so every experiment
+    run is reproducible bit-for-bit.  Each experiment owns its own
+    generator; nothing here touches global state. *)
+
+type t
+(** A generator.  Mutable; not thread-safe (one per experiment). *)
+
+val create : seed:int -> t
+(** A fresh generator from a 63-bit seed. *)
+
+val split : t -> t
+(** A statistically independent generator derived from [t]'s stream,
+    advancing [t].  Use to give sub-components their own streams. *)
+
+val bits64 : t -> int64
+(** The next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val exponential : t -> mean:float -> float
+(** A draw from Exp(1/mean); used for Poisson inter-arrival times.
+    @raise Invalid_argument if [mean <= 0]. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** A draw from a Pareto distribution; used for heavy-tailed service
+    times and trace synthesis.
+    @raise Invalid_argument if [shape <= 0] or [scale <= 0]. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** A draw from a log-normal distribution (Box–Muller based); the
+    Azure trace paper characterises function durations as roughly
+    log-normal. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

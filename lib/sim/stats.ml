@@ -1,0 +1,144 @@
+module Online = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+
+  let count t = t.count
+
+  let mean t = if t.count = 0 then 0.0 else t.mean
+
+  let variance t =
+    if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+
+  let stddev t = sqrt (variance t)
+
+  let min t =
+    if t.count = 0 then invalid_arg "Stats.Online.min: empty";
+    t.min_v
+
+  let max t =
+    if t.count = 0 then invalid_arg "Stats.Online.max: empty";
+    t.max_v
+
+  let ci95_half_width t =
+    if t.count < 2 then 0.0
+    else 1.96 *. stddev t /. sqrt (float_of_int t.count)
+end
+
+module Sample = struct
+  type t = {
+    mutable data : float array;
+    mutable size : int;
+    mutable sorted : bool;
+  }
+
+  let create () = { data = Array.make 64 0.0; size = 0; sorted = true }
+
+  let add t x =
+    if t.size = Array.length t.data then begin
+      let data = Array.make (2 * t.size) 0.0 in
+      Array.blit t.data 0 data 0 t.size;
+      t.data <- data
+    end;
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1;
+    t.sorted <- false
+
+  let count t = t.size
+
+  let mean t =
+    if t.size = 0 then 0.0
+    else begin
+      let sum = ref 0.0 in
+      for i = 0 to t.size - 1 do
+        sum := !sum +. t.data.(i)
+      done;
+      !sum /. float_of_int t.size
+    end
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let live = Array.sub t.data 0 t.size in
+      Array.sort Float.compare live;
+      Array.blit live 0 t.data 0 t.size;
+      t.sorted <- true
+    end
+
+  let percentile t p =
+    if t.size = 0 then invalid_arg "Stats.Sample.percentile: empty";
+    if p < 0.0 || p > 100.0 then
+      invalid_arg "Stats.Sample.percentile: p out of [0,100]";
+    ensure_sorted t;
+    let rank = p /. 100.0 *. float_of_int (t.size - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then t.data.(lo)
+    else begin
+      let w = rank -. float_of_int lo in
+      (t.data.(lo) *. (1.0 -. w)) +. (t.data.(hi) *. w)
+    end
+
+  let values t =
+    ensure_sorted t;
+    Array.sub t.data 0 t.size
+end
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    width : float;
+    counts : int array;
+    mutable under : int;
+    mutable over : int;
+    mutable total : int;
+  }
+
+  let create ~lo ~hi ~buckets =
+    if hi <= lo then invalid_arg "Stats.Histogram.create: hi <= lo";
+    if buckets <= 0 then invalid_arg "Stats.Histogram.create: buckets <= 0";
+    {
+      lo;
+      width = (hi -. lo) /. float_of_int buckets;
+      counts = Array.make buckets 0;
+      under = 0;
+      over = 0;
+      total = 0;
+    }
+
+  let add t x =
+    t.total <- t.total + 1;
+    if x < t.lo then t.under <- t.under + 1
+    else begin
+      let idx = int_of_float ((x -. t.lo) /. t.width) in
+      if idx >= Array.length t.counts then t.over <- t.over + 1
+      else t.counts.(idx) <- t.counts.(idx) + 1
+    end
+
+  let count t = t.total
+
+  let bucket_counts t = Array.copy t.counts
+
+  let underflow t = t.under
+
+  let overflow t = t.over
+end
+
+let mean_of = function
+  | [] -> 0.0
+  | values ->
+    List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)

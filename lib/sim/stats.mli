@@ -1,0 +1,80 @@
+(** Online statistics for experiment measurements.
+
+    {!Online} accumulates mean/variance in one pass (Welford), good
+    for unbounded streams; {!Sample} keeps every observation, giving
+    exact percentiles for the latency distributions the paper reports
+    (mean, p95, p99); {!Histogram} buckets values for breakdowns. *)
+
+module Online : sig
+  type t
+  (** Single-pass accumulator: count, mean, variance, min, max. *)
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val mean : t -> float
+  (** 0.0 when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; 0.0 with fewer than two points. *)
+
+  val stddev : t -> float
+
+  val min : t -> float
+  (** @raise Invalid_argument when empty. *)
+
+  val max : t -> float
+  (** @raise Invalid_argument when empty. *)
+
+  val ci95_half_width : t -> float
+  (** Half-width of the 95% confidence interval on the mean under the
+      normal approximation (1.96·s/√n); 0.0 with fewer than two
+      points.  The paper runs each experiment until this is ≤3% of
+      the mean. *)
+end
+
+module Sample : sig
+  type t
+  (** Stores all observations; exact quantiles on demand. *)
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val mean : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [0, 100], by linear interpolation
+      between closest ranks.
+      @raise Invalid_argument when empty or [p] out of range. *)
+
+  val values : t -> float array
+  (** A sorted copy of the observations. *)
+end
+
+module Histogram : sig
+  type t
+  (** Fixed-width buckets over [lo, hi) with under/overflow bins. *)
+
+  val create : lo:float -> hi:float -> buckets:int -> t
+  (** @raise Invalid_argument if [hi <= lo] or [buckets <= 0]. *)
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val bucket_counts : t -> int array
+  (** Length [buckets]; excludes under/overflow. *)
+
+  val underflow : t -> int
+
+  val overflow : t -> int
+end
+
+val mean_of : float list -> float
+(** Convenience: arithmetic mean; 0.0 on the empty list. *)

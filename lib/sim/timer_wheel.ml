@@ -1,0 +1,261 @@
+type 'a cell = {
+  at : int;  (* ns tick *)
+  seq : int;
+  payload : 'a;
+  mutable live : bool;
+}
+
+type 'a t = {
+  levels : int;
+  slots : int;
+  wheels : 'a cell Queue.t array array;  (* wheels.(level).(slot) *)
+  mutable overflow : 'a cell list;  (* beyond the wheels' horizon *)
+  mutable current : int;  (* wheel clock, ns *)
+  mutable live_count : int;
+  mutable next_seq : int;
+}
+
+type handle = H : 'a cell -> handle
+
+let create ?(levels = 5) ?(slots = 64) () =
+  if levels < 1 then invalid_arg "Timer_wheel.create: levels < 1";
+  if slots < 2 then invalid_arg "Timer_wheel.create: slots < 2";
+  {
+    levels;
+    slots;
+    wheels =
+      Array.init levels (fun _ -> Array.init slots (fun _ -> Queue.create ()));
+    overflow = [];
+    current = 0;
+    live_count = 0;
+    next_seq = 0;
+  }
+
+(* width of one slot at [level]: slots^level ticks *)
+let slot_width t level =
+  let rec pow acc n = if n = 0 then acc else pow (acc * t.slots) (n - 1) in
+  pow 1 level
+
+(* Place a cell at the lowest level where its window lies within one
+   wheel rotation of the clock's window.  Window distance — not raw
+   delta — is the correct criterion: with an unaligned clock a cell
+   less than a full span away can still sit one window beyond the
+   rotation and would alias onto a scanned slot. *)
+let place t cell =
+  let rec find_level level =
+    if level >= t.levels then None
+    else begin
+      let width = slot_width t level in
+      if (cell.at / width) - (t.current / width) < t.slots then Some level
+      else find_level (level + 1)
+    end
+  in
+  match find_level 0 with
+  | None -> t.overflow <- cell :: t.overflow
+  | Some level ->
+    let slot = cell.at / slot_width t level mod t.slots in
+    Queue.push cell t.wheels.(level).(slot)
+
+let schedule t ~at payload =
+  let at = Time_ns.to_ns at in
+  if at < t.current then
+    invalid_arg "Timer_wheel.schedule: timestamp before the wheel clock";
+  let cell = { at; seq = t.next_seq; payload; live = true } in
+  t.next_seq <- t.next_seq + 1;
+  t.live_count <- t.live_count + 1;
+  place t cell;
+  H cell
+
+let cancel t (H cell) =
+  if cell.live then begin
+    cell.live <- false;
+    t.live_count <- t.live_count - 1;
+    true
+  end
+  else false
+
+let length t = t.live_count
+
+let is_empty t = t.live_count = 0
+
+let now t = Time_ns.of_ns t.current
+
+(* Drop dead cells from a slot; return the live minimum (at, seq). *)
+let slot_min queue =
+  let min = ref None in
+  let survivors = Queue.create () in
+  Queue.iter
+    (fun cell ->
+      if cell.live then begin
+        Queue.push cell survivors;
+        match !min with
+        | Some (at, seq) when at < cell.at || (at = cell.at && seq < cell.seq)
+          ->
+          ()
+        | Some _ | None -> min := Some (cell.at, cell.seq)
+      end)
+    queue;
+  Queue.clear queue;
+  Queue.transfer survivors queue;
+  !min
+
+(* The earliest live cell at [level], by (at, seq). *)
+let level_min t level =
+  Array.fold_left
+    (fun acc queue ->
+      match slot_min queue with
+      | None -> acc
+      | Some (at, seq) -> (
+        match acc with
+        | Some (at', seq') when at' < at || (at' = at && seq' < seq) -> acc
+        | Some _ | None -> Some (at, seq)))
+    None t.wheels.(level)
+
+let overflow_min t =
+  List.fold_left
+    (fun acc cell ->
+      if not cell.live then acc
+      else
+        match acc with
+        | Some (at, seq) when at < cell.at || (at = cell.at && seq < cell.seq)
+          ->
+          acc
+        | Some _ | None -> Some (cell.at, cell.seq))
+    None t.overflow
+
+let global_min t =
+  let better a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some (at1, s1), Some (at2, s2) ->
+      if at1 < at2 || (at1 = at2 && s1 < s2) then a else b
+  in
+  let from_levels =
+    List.fold_left
+      (fun acc level -> better acc (level_min t level))
+      None
+      (List.init t.levels Fun.id)
+  in
+  better from_levels (overflow_min t)
+
+let next_time t =
+  if t.live_count = 0 then None
+  else Option.map (fun (at, _) -> Time_ns.of_ns at) (global_min t)
+
+(* Purge dead cells from a queue in place; true if any live remain. *)
+let purge queue =
+  let survivors = Queue.create () in
+  Queue.iter (fun cell -> if cell.live then Queue.push cell survivors) queue;
+  Queue.clear queue;
+  Queue.transfer survivors queue;
+  not (Queue.is_empty queue)
+
+(* Move every live cell of [queue] back through [place]. *)
+let redistribute t queue =
+  let cells = Queue.create () in
+  Queue.transfer queue cells;
+  Queue.iter (fun cell -> if cell.live then place t cell) cells
+
+(* Pop the minimum-seq cell of a level-0 slot (all its cells share one
+   timestamp, but cascades can append an older-seq cell after a
+   younger one, so FIFO-by-seq needs an explicit search). *)
+let pop_min_seq queue =
+  let best = ref None in
+  Queue.iter
+    (fun cell ->
+      match !best with
+      | Some b when b.seq <= cell.seq -> ()
+      | Some _ | None -> best := Some cell)
+    queue;
+  match !best with
+  | None -> None
+  | Some chosen ->
+    let survivors = Queue.create () in
+    Queue.iter
+      (fun cell -> if cell != chosen then Queue.push cell survivors)
+      queue;
+    Queue.clear queue;
+    Queue.transfer survivors queue;
+    Some chosen
+
+(* Earliest live cell of [level]: since windows are scanned in
+   ascending order and later windows hold strictly later timestamps,
+   the first nonempty window contains the level minimum. *)
+let level_first t level =
+  let width = slot_width t level in
+  let base_window = t.current / width in
+  let rec scan offset =
+    if offset >= t.slots then None
+    else begin
+      let window = base_window + offset in
+      let slot = window mod t.slots in
+      let queue = t.wheels.(level).(slot) in
+      if purge queue then
+        match slot_min queue with
+        | Some (at, seq) -> Some (at, seq, slot)
+        | None -> scan (offset + 1)
+      else scan (offset + 1)
+    end
+  in
+  scan 0
+
+let rec pop_live t =
+  (* 1. level-0 rotation scan: every level-0 cell sits within one
+     rotation of the clock, so each slot holds one timestamp. *)
+  let rec scan0 offset =
+    if offset >= t.slots then None
+    else begin
+      let tick = t.current + offset in
+      let queue = t.wheels.(0).(tick mod t.slots) in
+      if purge queue then begin
+        match pop_min_seq queue with
+        | Some cell ->
+          assert (cell.at = tick);
+          t.current <- tick;
+          cell.live <- false;
+          t.live_count <- t.live_count - 1;
+          Some (Time_ns.of_ns cell.at, cell.payload)
+        | None -> scan0 (offset + 1)
+      end
+      else scan0 (offset + 1)
+    end
+  in
+  match scan0 0 with
+  | Some hit -> Some hit
+  | None -> (
+    (* 2. advance to the earliest remaining event (minimum over every
+       upper level's first window and the overflow), then cascade all
+       sources holding that timestamp so level 0 sees them — including
+       equal-timestamp cells from different sources, preserving FIFO. *)
+    let upper =
+      List.filter_map
+        (fun level ->
+          Option.map
+            (fun (at, seq, slot) -> (at, seq, level, slot))
+            (level_first t level))
+        (List.init (t.levels - 1) (fun i -> i + 1))
+    in
+    let min_at =
+      List.fold_left
+        (fun acc (at, _, _, _) ->
+          match acc with Some m when m <= at -> acc | Some _ | None -> Some at)
+        (Option.map fst (overflow_min t))
+        upper
+    in
+    match min_at with
+    | None -> None
+    | Some at ->
+      t.current <- max t.current at;
+      List.iter
+        (fun (cell_at, _, level, slot) ->
+          if cell_at = at then redistribute t t.wheels.(level).(slot))
+        upper;
+      (match overflow_min t with
+      | Some (oat, _) when oat = at ->
+        let cells = t.overflow in
+        t.overflow <- [];
+        List.iter (fun cell -> if cell.live then place t cell) cells
+      | Some _ | None -> ());
+      pop_live t)
+
+let pop t = if t.live_count = 0 then None else pop_live t

@@ -1,0 +1,57 @@
+module Rng = Horse_sim.Rng
+module Time = Horse_sim.Time_ns
+
+let ns_per_minute = 60_000_000_000
+
+let minute_arrivals ~rng ~minute count =
+  List.init count (fun _ ->
+      (minute * ns_per_minute) + Rng.int rng ns_per_minute)
+
+let of_row ~rng (row : Azure.row) =
+  let all =
+    Array.to_list
+      (Array.mapi (fun minute count -> minute_arrivals ~rng ~minute count) row.Azure.counts)
+    |> List.concat
+  in
+  List.map Time.span_ns (List.sort Int.compare all)
+
+let chunk ~rng (row : Azure.row) ~start_minute ~duration =
+  let duration_ns = Time.span_to_ns duration in
+  let start_ns = start_minute * ns_per_minute in
+  let end_ns = start_ns + duration_ns in
+  if
+    start_minute < 0
+    || end_ns > Azure.minutes_per_day * ns_per_minute
+  then invalid_arg "Arrivals.chunk: window outside the day";
+  let last_minute = (end_ns - 1) / ns_per_minute in
+  let candidates =
+    List.concat
+      (List.init
+         (last_minute - start_minute + 1)
+         (fun i ->
+           let minute = start_minute + i in
+           minute_arrivals ~rng ~minute row.Azure.counts.(minute)))
+  in
+  candidates
+  |> List.filter (fun ns -> ns >= start_ns && ns < end_ns)
+  |> List.sort Int.compare
+  |> List.map (fun ns -> Time.span_ns (ns - start_ns))
+
+let poisson_process ~rng ~rate_per_s ~duration =
+  if rate_per_s <= 0.0 then
+    invalid_arg "Arrivals.poisson_process: rate must be positive";
+  let duration_ns = Time.span_to_ns duration in
+  let mean_gap_ns = 1e9 /. rate_per_s in
+  let rec draw t acc =
+    let t = t +. Rng.exponential rng ~mean:mean_gap_ns in
+    if int_of_float t >= duration_ns then List.rev acc
+    else draw t (Time.span_ns (int_of_float t) :: acc)
+  in
+  draw 0.0 []
+
+let periodic ~every ~duration =
+  let every_ns = Time.span_to_ns every in
+  if every_ns = 0 then invalid_arg "Arrivals.periodic: zero period";
+  let duration_ns = Time.span_to_ns duration in
+  let count = (duration_ns + every_ns - 1) / every_ns in
+  List.init count (fun i -> Time.span_ns (i * every_ns))

@@ -1,0 +1,38 @@
+(** Turning per-minute counts into concrete trigger timestamps.
+
+    §5.4 drives the thumbnail function "with arrival times derived
+    from a 30 s chunk of the Azure Cloud serverless real-world
+    traces": {!chunk} extracts exactly that — the arrivals of one
+    row's window, spread inside each minute — offset to start at 0. *)
+
+val of_row :
+  rng:Horse_sim.Rng.t -> Azure.row -> Horse_sim.Time_ns.span list
+(** All arrivals of a daily row as offsets from midnight, sorted.
+    Each minute's [c] invocations are placed uniformly at random
+    inside that minute. *)
+
+val chunk :
+  rng:Horse_sim.Rng.t ->
+  Azure.row ->
+  start_minute:int ->
+  duration:Horse_sim.Time_ns.span ->
+  Horse_sim.Time_ns.span list
+(** Arrivals within [start_minute .. start_minute + duration),
+    re-based so the window starts at offset 0; sorted.
+    @raise Invalid_argument if the window leaves the day. *)
+
+val poisson_process :
+  rng:Horse_sim.Rng.t ->
+  rate_per_s:float ->
+  duration:Horse_sim.Time_ns.span ->
+  Horse_sim.Time_ns.span list
+(** A plain Poisson arrival process (used for the 10-uLL-triggers-
+    per-second foreground of §5.4).
+    @raise Invalid_argument if [rate_per_s <= 0]. *)
+
+val periodic :
+  every:Horse_sim.Time_ns.span ->
+  duration:Horse_sim.Time_ns.span ->
+  Horse_sim.Time_ns.span list
+(** Deterministic arrivals at [0, every, 2·every, …) within
+    [duration).  @raise Invalid_argument if [every] is zero. *)

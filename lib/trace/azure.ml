@@ -1,0 +1,79 @@
+type trigger = Http | Queue | Timer | Event | Storage | Orchestration | Others
+
+let trigger_of_string s =
+  match String.lowercase_ascii s with
+  | "http" -> Http
+  | "queue" -> Queue
+  | "timer" -> Timer
+  | "event" -> Event
+  | "storage" -> Storage
+  | "orchestration" -> Orchestration
+  | _ -> Others
+
+let trigger_to_string = function
+  | Http -> "http"
+  | Queue -> "queue"
+  | Timer -> "timer"
+  | Event -> "event"
+  | Storage -> "storage"
+  | Orchestration -> "orchestration"
+  | Others -> "others"
+
+type row = {
+  owner : string;
+  app : string;
+  func : string;
+  trigger : trigger;
+  counts : int array;
+}
+
+let minutes_per_day = 1440
+
+let make_row ~owner ~app ~func ~trigger ~counts =
+  if Array.length counts <> minutes_per_day then
+    invalid_arg "Azure.make_row: counts must have 1440 entries";
+  if Array.exists (fun c -> c < 0) counts then
+    invalid_arg "Azure.make_row: negative count";
+  { owner; app; func; trigger; counts }
+
+let total_invocations row = Array.fold_left ( + ) 0 row.counts
+
+let header_line =
+  "HashOwner,HashApp,HashFunction,Trigger,"
+  ^ String.concat "," (List.init minutes_per_day (fun i -> string_of_int (i + 1)))
+
+let parse_line line =
+  let fields = String.split_on_char ',' line in
+  match fields with
+  | owner :: app :: func :: trigger :: rest ->
+    let counts =
+      try Array.of_list (List.map int_of_string rest)
+      with Failure _ -> invalid_arg "Azure.parse_line: non-integer count"
+    in
+    if Array.length counts <> minutes_per_day then
+      invalid_arg
+        (Printf.sprintf "Azure.parse_line: expected 1440 counts, got %d"
+           (Array.length counts));
+    make_row ~owner ~app ~func ~trigger:(trigger_of_string trigger) ~counts
+  | _ -> invalid_arg "Azure.parse_line: too few fields"
+
+let to_line row =
+  Printf.sprintf "%s,%s,%s,%s,%s" row.owner row.app row.func
+    (trigger_to_string row.trigger)
+    (String.concat "," (Array.to_list (Array.map string_of_int row.counts)))
+
+let is_header line = String.length line >= 9 && String.sub line 0 9 = "HashOwner"
+
+let parse_string contents =
+  String.split_on_char '\n' contents
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || is_header line then None else Some (parse_line line))
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      parse_string (really_input_string ic len))

@@ -1,0 +1,52 @@
+(** The Azure Functions public dataset schema [12].
+
+    The dataset's invocation files
+    ([invocations_per_function_md.anon.dNN.csv]) carry one row per
+    function per day: hashed owner/app/function ids, the trigger
+    type, then 1440 per-minute invocation counts.  This module parses
+    and emits that exact format, so real dataset files drop in when
+    available; {!Synthetic} generates rows with the same shape
+    offline. *)
+
+type trigger = Http | Queue | Timer | Event | Storage | Orchestration | Others
+
+val trigger_of_string : string -> trigger
+(** Case-insensitive; unknown labels map to [Others]. *)
+
+val trigger_to_string : trigger -> string
+
+type row = {
+  owner : string;  (** HashOwner *)
+  app : string;  (** HashApp *)
+  func : string;  (** HashFunction *)
+  trigger : trigger;
+  counts : int array;  (** 1440 per-minute invocation counts *)
+}
+
+val minutes_per_day : int
+(** 1440. *)
+
+val make_row :
+  owner:string -> app:string -> func:string -> trigger:trigger ->
+  counts:int array -> row
+(** @raise Invalid_argument unless [counts] has length 1440 and no
+    negative entry. *)
+
+val total_invocations : row -> int
+
+val parse_line : string -> row
+(** One CSV data line.
+    @raise Invalid_argument on a malformed line. *)
+
+val header_line : string
+(** The CSV header the dataset files start with. *)
+
+val to_line : row -> string
+(** Inverse of {!parse_line} (round-trips exactly). *)
+
+val parse_string : string -> row list
+(** A whole file's contents; skips the header line if present and
+    blank lines. *)
+
+val load_file : string -> row list
+(** Reads and parses a dataset file from disk. *)

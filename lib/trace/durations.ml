@@ -1,0 +1,161 @@
+module Rng = Horse_sim.Rng
+module Time = Horse_sim.Time_ns
+
+type row = {
+  owner : string;
+  app : string;
+  func : string;
+  average_ms : float;
+  count : int;
+  minimum_ms : float;
+  maximum_ms : float;
+  percentiles_ms : (int * float) list;
+}
+
+let standard_percentiles = [ 0; 1; 25; 50; 75; 99; 100 ]
+
+let make_row ~owner ~app ~func ~average_ms ~count ~minimum_ms ~maximum_ms
+    ~percentiles_ms =
+  if average_ms < 0.0 || minimum_ms < 0.0 || maximum_ms < 0.0 then
+    invalid_arg "Durations.make_row: negative duration";
+  if count < 0 then invalid_arg "Durations.make_row: negative count";
+  if minimum_ms > maximum_ms then
+    invalid_arg "Durations.make_row: minimum exceeds maximum";
+  let rec check_sorted = function
+    | (p1, v1) :: ((p2, v2) :: _ as rest) ->
+      if p1 >= p2 then
+        invalid_arg "Durations.make_row: percentiles not ascending";
+      if v1 > v2 then
+        invalid_arg "Durations.make_row: percentile values not monotone";
+      check_sorted rest
+    | [ _ ] | [] -> ()
+  in
+  check_sorted percentiles_ms;
+  List.iter
+    (fun (p, v) ->
+      if p < 0 || p > 100 then
+        invalid_arg "Durations.make_row: percentile outside [0, 100]";
+      if v < 0.0 then invalid_arg "Durations.make_row: negative percentile value")
+    percentiles_ms;
+  { owner; app; func; average_ms; count; minimum_ms; maximum_ms; percentiles_ms }
+
+let header_line =
+  "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,"
+  ^ String.concat ","
+      (List.map (fun p -> Printf.sprintf "percentile_Average_%d" p)
+         standard_percentiles)
+
+let fmt_ms v = Printf.sprintf "%.3f" v
+
+let to_line row =
+  Printf.sprintf "%s,%s,%s,%s,%d,%s,%s,%s" row.owner row.app row.func
+    (fmt_ms row.average_ms) row.count (fmt_ms row.minimum_ms)
+    (fmt_ms row.maximum_ms)
+    (String.concat "," (List.map (fun (_, v) -> fmt_ms v) row.percentiles_ms))
+
+let parse_line line =
+  match String.split_on_char ',' line with
+  | owner :: app :: func :: average :: count :: minimum :: maximum :: rest ->
+    let float_field name text =
+      match float_of_string_opt text with
+      | Some v -> v
+      | None -> invalid_arg (Printf.sprintf "Durations.parse_line: bad %s" name)
+    in
+    let count =
+      match int_of_string_opt count with
+      | Some c -> c
+      | None -> invalid_arg "Durations.parse_line: bad count"
+    in
+    if List.length rest <> List.length standard_percentiles then
+      invalid_arg "Durations.parse_line: wrong percentile column count";
+    let percentiles_ms =
+      List.map2
+        (fun p text -> (p, float_field "percentile" text))
+        standard_percentiles rest
+    in
+    make_row ~owner ~app ~func
+      ~average_ms:(float_field "average" average)
+      ~count
+      ~minimum_ms:(float_field "minimum" minimum)
+      ~maximum_ms:(float_field "maximum" maximum)
+      ~percentiles_ms
+  | _ -> invalid_arg "Durations.parse_line: too few fields"
+
+let is_header line = String.length line >= 9 && String.sub line 0 9 = "HashOwner"
+
+let parse_string contents =
+  String.split_on_char '\n' contents
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || is_header line then None else Some (parse_line line))
+
+let generate ~rng ~id ~median_ms ~spread =
+  if median_ms <= 0.0 then invalid_arg "Durations.generate: median <= 0";
+  if spread < 0.0 then invalid_arg "Durations.generate: negative spread";
+  let mu = log median_ms in
+  (* standard-normal quantiles for the dataset's percentile columns *)
+  let z = function
+    | 0 -> -3.1
+    | 1 -> -2.326
+    | 25 -> -0.674
+    | 50 -> 0.0
+    | 75 -> 0.674
+    | 99 -> 2.326
+    | 100 -> 3.1
+    | _ -> invalid_arg "Durations.generate: unexpected percentile"
+  in
+  let percentiles_ms =
+    List.map
+      (fun p -> (p, exp (mu +. (spread *. z p))))
+      standard_percentiles
+  in
+  let value_of p = List.assoc p percentiles_ms in
+  let average_ms = exp (mu +. (spread *. spread /. 2.0)) in
+  make_row
+    ~owner:(Printf.sprintf "owner%04d" (id / 8))
+    ~app:(Printf.sprintf "app%04d" (id / 2))
+    ~func:(Printf.sprintf "func%05d" id)
+    ~average_ms
+    ~count:(100 + Rng.int rng 10_000)
+    ~minimum_ms:(value_of 0) ~maximum_ms:(value_of 100) ~percentiles_ms
+
+let sampler row rng =
+  (* inverse-transform over the recorded percentile envelope *)
+  let u = Rng.float rng 100.0 in
+  let rec locate = function
+    | (p1, v1) :: ((p2, v2) :: _ as rest) ->
+      if u <= float_of_int p2 then begin
+        let span = float_of_int (p2 - p1) in
+        let w = if span = 0.0 then 0.0 else (u -. float_of_int p1) /. span in
+        v1 +. (w *. (v2 -. v1))
+      end
+      else locate rest
+    | [ (_, v) ] -> v
+    | [] -> row.average_ms
+  in
+  let ms =
+    match row.percentiles_ms with
+    | [] -> row.average_ms
+    | (p0, v0) :: _ when u <= float_of_int p0 -> v0
+    | envelope -> locate envelope
+  in
+  Time.span_ms (Float.max 0.001 ms)
+
+let long_running_fraction row =
+  (* walk the envelope to find where 1000 ms is crossed *)
+  let threshold = 1000.0 in
+  let rec scan = function
+    | (p1, v1) :: ((p2, v2) :: _ as rest) ->
+      if v1 >= threshold then 1.0 -. (float_of_int p1 /. 100.0)
+      else if v2 >= threshold then begin
+        let w =
+          if v2 = v1 then 0.0 else (threshold -. v1) /. (v2 -. v1)
+        in
+        let crossing = float_of_int p1 +. (w *. float_of_int (p2 - p1)) in
+        1.0 -. (crossing /. 100.0)
+      end
+      else scan rest
+    | [ (p, v) ] -> if v >= threshold then 1.0 -. (float_of_int p /. 100.0) else 0.0
+    | [] -> 0.0
+  in
+  scan row.percentiles_ms

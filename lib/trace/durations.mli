@@ -1,0 +1,58 @@
+(** The Azure dataset's function-duration schema.
+
+    Alongside invocation counts, the Azure public dataset ships
+    [function_durations_percentiles.anon.dNN.csv]: per function, the
+    average/min/max execution time and a set of percentiles (all in
+    milliseconds).  This module parses and emits that format,
+    generates synthetic rows with the published shape (roughly
+    log-normal durations, most functions sub-second, a long tail
+    beyond 1 s — the §5.4 premise), and fits a sampler to a row so
+    platform simulations can draw service times from it. *)
+
+type row = {
+  owner : string;
+  app : string;
+  func : string;
+  average_ms : float;
+  count : int;  (** invocations the statistics were computed over *)
+  minimum_ms : float;
+  maximum_ms : float;
+  percentiles_ms : (int * float) list;
+      (** (percentile, value) pairs, ascending percentiles; the
+          dataset provides 0/1/25/50/75/99/100 *)
+}
+
+val standard_percentiles : int list
+(** [0; 1; 25; 50; 75; 99; 100] — the dataset's columns. *)
+
+val make_row :
+  owner:string -> app:string -> func:string -> average_ms:float ->
+  count:int -> minimum_ms:float -> maximum_ms:float ->
+  percentiles_ms:(int * float) list -> row
+(** Validates: positive durations, count ≥ 0, percentiles sorted with
+    non-decreasing values, min ≤ p0 and p100 ≤ max tolerated as
+    equalities.  @raise Invalid_argument otherwise. *)
+
+val header_line : string
+
+val parse_line : string -> row
+(** @raise Invalid_argument on malformed input. *)
+
+val to_line : row -> string
+(** Inverse of {!parse_line} up to float formatting. *)
+
+val parse_string : string -> row list
+
+val generate :
+  rng:Horse_sim.Rng.t -> id:int -> median_ms:float -> spread:float -> row
+(** A synthetic row: log-normal with the given median and [spread]
+    (σ of the underlying normal; ~1.0 matches production variety).
+    @raise Invalid_argument if [median_ms <= 0] or [spread < 0]. *)
+
+val sampler : row -> Horse_sim.Rng.t -> Horse_sim.Time_ns.span
+(** Draw service times matching the row: inverse-transform sampling
+    with linear interpolation between the recorded percentiles. *)
+
+val long_running_fraction : row -> float
+(** Estimated fraction of invocations above 1 s (the population §5.4
+    colocates with), from the percentile envelope. *)

@@ -1,0 +1,57 @@
+module Rng = Horse_sim.Rng
+
+(* Knuth's method is fine for the small rates that dominate here; for
+   hot functions (rate > 30) the normal approximation avoids the
+   O(rate) loop. *)
+let poisson rng lambda =
+  if lambda <= 0.0 then 0
+  else if lambda > 30.0 then
+    max 0
+      (int_of_float
+         (Float.round
+            (lambda
+            +. (sqrt lambda
+               *. (Rng.lognormal rng ~mu:0.0 ~sigma:1.0 |> log)))))
+  else begin
+    let limit = exp (-.lambda) in
+    let rec draw k p =
+      let p = p *. Rng.float rng 1.0 in
+      if p <= limit then k else draw (k + 1) p
+    in
+    draw 0 1.0
+  end
+
+(* A mild diurnal cycle peaking mid-day, as production traces show. *)
+let diurnal minute =
+  let phase = 2.0 *. Float.pi *. float_of_int minute /. 1440.0 in
+  1.0 +. (0.35 *. sin (phase -. (Float.pi /. 2.0)))
+
+let generate_row ~rng ~id ~mean_rate_per_min =
+  if mean_rate_per_min < 0.0 then
+    invalid_arg "Synthetic.generate_row: negative rate";
+  let counts =
+    Array.init Azure.minutes_per_day (fun minute ->
+        poisson rng (mean_rate_per_min *. diurnal minute))
+  in
+  let trigger =
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 -> Azure.Http
+    | 4 | 5 | 6 -> Azure.Queue
+    | 7 -> Azure.Timer
+    | 8 -> Azure.Event
+    | _ -> Azure.Others
+  in
+  Azure.make_row
+    ~owner:(Printf.sprintf "owner%04d" (id / 8))
+    ~app:(Printf.sprintf "app%04d" (id / 2))
+    ~func:(Printf.sprintf "func%05d" id)
+    ~trigger ~counts
+
+let generate_rows ~seed ~functions =
+  if functions <= 0 then invalid_arg "Synthetic.generate_rows: no functions";
+  let rng = Rng.create ~seed in
+  List.init functions (fun id ->
+      (* Pareto-distributed mean rates: most functions cold, few hot. *)
+      let rate = Rng.pareto rng ~shape:1.2 ~scale:0.02 in
+      let rate = Float.min rate 120.0 in
+      generate_row ~rng ~id ~mean_rate_per_min:rate)

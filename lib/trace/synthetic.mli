@@ -1,0 +1,25 @@
+(** Synthetic Azure-shaped traces.
+
+    The real dataset is not redistributable inside this repository,
+    so experiments fall back to rows generated with the statistical
+    shape Shahrad et al. (ATC '20) report for the same data:
+
+    - function popularity is heavily skewed — a few functions receive
+      most invocations (Pareto-distributed per-function rates);
+    - most functions are invoked rarely (< 1/min on average);
+    - arrival counts per minute are Poisson around the function's
+      rate, modulated by a mild diurnal cycle;
+    - HTTP and queue triggers dominate.
+
+    Generation is deterministic per seed. *)
+
+val generate_rows :
+  seed:int -> functions:int -> Azure.row list
+(** [functions] synthetic per-function daily rows.
+    @raise Invalid_argument if [functions <= 0]. *)
+
+val generate_row :
+  rng:Horse_sim.Rng.t -> id:int -> mean_rate_per_min:float -> Azure.row
+(** One row with the given average per-minute rate (Poisson counts
+    with the diurnal modulation).
+    @raise Invalid_argument if [mean_rate_per_min < 0]. *)

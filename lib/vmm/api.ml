@@ -1,0 +1,192 @@
+module Time = Horse_sim.Time_ns
+
+type meth = Get | Put | Patch
+
+type request = { meth : meth; path : string; body : string }
+
+type response = { status : int; body : Json.t }
+
+type command =
+  | Configure of { vm_id : string; vcpus : int; memory_mb : int; ull : bool }
+  | Start of { vm_id : string }
+  | Pause of { vm_id : string; strategy : Sandbox.strategy }
+  | Resume of { vm_id : string }
+  | Describe of { vm_id : string }
+
+let strategy_of_string = function
+  | "vanilla" -> Some Sandbox.Vanilla
+  | "ppsm" -> Some Sandbox.Ppsm
+  | "coal" -> Some Sandbox.Coal
+  | "horse" -> Some Sandbox.Horse
+  | _ -> None
+
+(* /vms/<id>[/leaf] *)
+let split_path path =
+  match String.split_on_char '/' path with
+  | [ ""; "vms"; vm_id ] when vm_id <> "" -> Some (vm_id, None)
+  | [ ""; "vms"; vm_id; leaf ] when vm_id <> "" && leaf <> "" ->
+    Some (vm_id, Some leaf)
+  | _ -> None
+
+let parse_body body =
+  match Json.parse body with
+  | value -> Ok value
+  | exception Json.Parse_error { position; message } ->
+    Error (Printf.sprintf "malformed JSON at byte %d: %s" position message)
+
+let require_int json field =
+  match Option.bind (Json.member field json) Json.to_int with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or non-integer field %S" field)
+
+let require_string json field =
+  match Option.bind (Json.member field json) Json.to_str with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or non-string field %S" field)
+
+let ( let* ) = Result.bind
+
+let parse_configure vm_id body =
+  let* json = parse_body body in
+  let* vcpus = require_int json "vcpu_count" in
+  let* memory_mb = require_int json "mem_size_mib" in
+  if vcpus <= 0 then Error "vcpu_count must be positive"
+  else if memory_mb <= 0 then Error "mem_size_mib must be positive"
+  else begin
+    let ull =
+      Option.value ~default:false
+        (Option.bind (Json.member "ull" json) Json.to_bool)
+    in
+    Ok (Configure { vm_id; vcpus; memory_mb; ull })
+  end
+
+let parse_action vm_id body =
+  let* json = parse_body body in
+  let* action = require_string json "action_type" in
+  match action with
+  | "InstanceStart" -> Ok (Start { vm_id })
+  | other -> Error (Printf.sprintf "unknown action_type %S" other)
+
+let parse_state vm_id body =
+  let* json = parse_body body in
+  let* state = require_string json "state" in
+  match state with
+  | "Resumed" -> Ok (Resume { vm_id })
+  | "Paused" -> (
+    let strategy_name =
+      Option.value ~default:"horse"
+        (Option.bind (Json.member "strategy" json) Json.to_str)
+    in
+    match strategy_of_string strategy_name with
+    | Some strategy -> Ok (Pause { vm_id; strategy })
+    | None -> Error (Printf.sprintf "unknown strategy %S" strategy_name))
+  | other -> Error (Printf.sprintf "unknown state %S" other)
+
+let parse_request { meth; path; body } =
+  match split_path path with
+  | None -> Error (Printf.sprintf "no such route %S" path)
+  | Some (vm_id, leaf) -> (
+    match (meth, leaf) with
+    | Put, Some "config" -> parse_configure vm_id body
+    | Put, Some "actions" -> parse_action vm_id body
+    | Patch, Some "state" -> parse_state vm_id body
+    | Get, None -> Ok (Describe { vm_id })
+    | (Get | Put | Patch), _ ->
+      Error (Printf.sprintf "method not supported on %S" path))
+
+module Server = struct
+  type t = {
+    vmm : Vmm.t;
+    registry : (string, Sandbox.t) Hashtbl.t;
+    mutable next_numeric_id : int;
+  }
+
+  let create ~vmm () =
+    { vmm; registry = Hashtbl.create 16; next_numeric_id = 0 }
+
+  let find_sandbox t ~vm_id = Hashtbl.find_opt t.registry vm_id
+
+  let vm_count t = Hashtbl.length t.registry
+
+  let error status message =
+    { status; body = Json.Object [ ("fault_message", Json.String message) ] }
+
+  let state_name sandbox =
+    match Sandbox.state sandbox with
+    | Sandbox.Created -> "Created"
+    | Sandbox.Booting -> "Booting"
+    | Sandbox.Running -> "Running"
+    | Sandbox.Paused -> "Paused"
+    | Sandbox.Stopped -> "Stopped"
+
+  let describe sandbox =
+    Json.Object
+      [
+        ("id", Json.Int (Sandbox.id sandbox));
+        ("state", Json.String (state_name sandbox));
+        ("vcpu_count", Json.Int (Sandbox.vcpu_count sandbox));
+        ("mem_size_mib", Json.Int (Sandbox.memory_mb sandbox));
+        ("ull", Json.Bool (Sandbox.is_ull sandbox));
+      ]
+
+  let with_sandbox t vm_id f =
+    match find_sandbox t ~vm_id with
+    | None -> error 404 (Printf.sprintf "no VM %S" vm_id)
+    | Some sandbox -> (
+      match f sandbox with
+      | response -> response
+      | exception Vmm.Invalid_state message -> error 409 message)
+
+  let execute t command =
+    match command with
+    | Configure { vm_id; vcpus; memory_mb; ull } ->
+      if Hashtbl.mem t.registry vm_id then
+        error 409 (Printf.sprintf "VM %S already configured" vm_id)
+      else begin
+        let id = t.next_numeric_id in
+        t.next_numeric_id <- id + 1;
+        let sandbox = Sandbox.create ~id ~vcpus ~memory_mb ~ull () in
+        Hashtbl.replace t.registry vm_id sandbox;
+        { status = 204; body = Json.Null }
+      end
+    | Start { vm_id } ->
+      with_sandbox t vm_id (fun sandbox ->
+          let span = Vmm.boot t.vmm sandbox in
+          {
+            status = 200;
+            body =
+              Json.Object [ ("boot_ns", Json.Int (Time.span_to_ns span)) ];
+          })
+    | Pause { vm_id; strategy } ->
+      with_sandbox t vm_id (fun sandbox ->
+          let span = Vmm.pause t.vmm ~strategy sandbox in
+          {
+            status = 200;
+            body =
+              Json.Object
+                [
+                  ("pause_ns", Json.Int (Time.span_to_ns span));
+                  ("strategy", Json.String (Sandbox.strategy_name strategy));
+                ];
+          })
+    | Resume { vm_id } ->
+      with_sandbox t vm_id (fun sandbox ->
+          let result = Vmm.resume t.vmm sandbox in
+          {
+            status = 200;
+            body =
+              Json.Object
+                [
+                  ("resume_ns", Json.Int (Time.span_to_ns result.Vmm.total));
+                  ("merge_threads", Json.Int result.Vmm.merge_threads);
+                ];
+          })
+    | Describe { vm_id } ->
+      with_sandbox t vm_id (fun sandbox ->
+          { status = 200; body = describe sandbox })
+
+  let handle t request =
+    match parse_request request with
+    | Error message -> error 400 message
+    | Ok command -> execute t command
+end

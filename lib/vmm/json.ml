@@ -1,0 +1,244 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Object of (string * t) list
+
+exception Parse_error of { position : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* parser: a hand-rolled recursive descent over a string cursor        *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { input : string; mutable pos : int }
+
+let fail cursor message = raise (Parse_error { position = cursor.pos; message })
+
+let peek c = if c.pos < String.length c.input then Some c.input.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec loop () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let expect c ch =
+  match peek c with
+  | Some actual when actual = ch -> advance c
+  | Some actual -> fail c (Printf.sprintf "expected %C, found %C" ch actual)
+  | None -> fail c (Printf.sprintf "expected %C, found end of input" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.input
+    && String.sub c.input c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' ->
+      advance c;
+      Buffer.contents buf
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | Some '"' -> escaped '"'
+      | Some '\\' -> escaped '\\'
+      | Some '/' -> escaped '/'
+      | Some 'b' -> escaped '\b'
+      | Some 'f' -> escaped '\012'
+      | Some 'n' -> escaped '\n'
+      | Some 'r' -> escaped '\r'
+      | Some 't' -> escaped '\t'
+      | Some 'u' -> fail c "\\u escapes are not supported"
+      | Some ch -> fail c (Printf.sprintf "bad escape \\%c" ch)
+      | None -> fail c "unterminated escape")
+    | Some ch when Char.code ch < 0x20 -> fail c "control character in string"
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      loop ()
+  and escaped ch =
+    advance c;
+    Buffer.add_char buf ch;
+    loop ()
+  in
+  loop ()
+
+let parse_number c =
+  let start = c.pos in
+  let consume_while pred =
+    let rec loop () =
+      match peek c with
+      | Some ch when pred ch ->
+        advance c;
+        loop ()
+      | Some _ | None -> ()
+    in
+    loop ()
+  in
+  if peek c = Some '-' then advance c;
+  consume_while (fun ch -> ch >= '0' && ch <= '9');
+  let is_float = ref false in
+  if peek c = Some '.' then begin
+    is_float := true;
+    advance c;
+    consume_while (fun ch -> ch >= '0' && ch <= '9')
+  end;
+  (match peek c with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    advance c;
+    (match peek c with Some ('+' | '-') -> advance c | Some _ | None -> ());
+    consume_while (fun ch -> ch >= '0' && ch <= '9')
+  | Some _ | None -> ());
+  let text = String.sub c.input start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail c (Printf.sprintf "bad number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> fail c (Printf.sprintf "bad number %S" text)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '{' -> parse_object c
+  | Some '[' -> parse_array c
+  | Some '"' -> String (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected %C" ch)
+
+and parse_object c =
+  expect c '{';
+  skip_ws c;
+  if peek c = Some '}' then begin
+    advance c;
+    Object []
+  end
+  else begin
+    let rec members acc =
+      skip_ws c;
+      let key = parse_string_body c in
+      skip_ws c;
+      expect c ':';
+      let value = parse_value c in
+      skip_ws c;
+      match peek c with
+      | Some ',' ->
+        advance c;
+        members ((key, value) :: acc)
+      | Some '}' ->
+        advance c;
+        Object (List.rev ((key, value) :: acc))
+      | Some ch -> fail c (Printf.sprintf "expected ',' or '}', found %C" ch)
+      | None -> fail c "unterminated object"
+    in
+    members []
+  end
+
+and parse_array c =
+  expect c '[';
+  skip_ws c;
+  if peek c = Some ']' then begin
+    advance c;
+    List []
+  end
+  else begin
+    let rec elements acc =
+      let value = parse_value c in
+      skip_ws c;
+      match peek c with
+      | Some ',' ->
+        advance c;
+        elements (value :: acc)
+      | Some ']' ->
+        advance c;
+        List (List.rev (value :: acc))
+      | Some ch -> fail c (Printf.sprintf "expected ',' or ']', found %C" ch)
+      | None -> fail c "unterminated array"
+    in
+    elements []
+  end
+
+let parse input =
+  let c = { input; pos = 0 } in
+  let value = parse_value c in
+  skip_ws c;
+  (match peek c with
+  | Some _ -> fail c "trailing garbage after value"
+  | None -> ());
+  value
+
+(* ------------------------------------------------------------------ *)
+(* printer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool true -> "true"
+  | Bool false -> "false"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.17g" f
+  | String s -> escape_string s
+  | List elements ->
+    "[" ^ String.concat "," (List.map to_string elements) ^ "]"
+  | Object members ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> escape_string k ^ ":" ^ to_string v) members)
+    ^ "}"
+
+let member key = function
+  | Object members -> List.assoc_opt key members
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_str = function String s -> Some s | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None

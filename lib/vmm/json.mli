@@ -1,0 +1,38 @@
+(** A small JSON parser/printer (RFC 8259 subset, no dependencies).
+
+    The Firecracker-style management API ({!Api}) speaks JSON; the
+    resume path's step ① is literally "parse the input parameters of
+    the resume command", so the parsing is implemented for real.
+    Numbers are split into [Int] and [Float] as the API schemas
+    expect integers for counts and sizes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Object of (string * t) list
+
+exception Parse_error of { position : int; message : string }
+(** Byte offset of the failure and what was expected. *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed input, including trailing
+    garbage.  Supports the usual backslash escapes (quote, backslash,
+    slash, b, f, n, r, t) and rejects unicode escapes (the API
+    schemas are ASCII). *)
+
+val to_string : t -> string
+(** Compact rendering; [parse (to_string v)] = [v] for values without
+    non-ASCII strings. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Object]; [None] on other variants. *)
+
+val to_int : t -> int option
+
+val to_str : t -> string option
+
+val to_bool : t -> bool option

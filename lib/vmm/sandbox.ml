@@ -1,0 +1,117 @@
+module Vcpu = Horse_sched.Vcpu
+module Psm = Horse_psm.Psm
+
+type state = Created | Booting | Running | Paused | Stopped
+
+type strategy = Vanilla | Ppsm | Coal | Horse
+
+let strategy_name = function
+  | Vanilla -> "vanil"
+  | Ppsm -> "ppsm"
+  | Coal -> "coal"
+  | Horse -> "horse"
+
+type placement = {
+  vcpu : Vcpu.t;
+  node : Vcpu.t Horse_psm.Linked_list.node;
+  queue : Horse_sched.Runqueue.t;
+}
+
+type horse_state = {
+  merge_vcpus : Vcpu.t Horse_psm.Linked_list.t;
+  ull_queue : Horse_sched.Runqueue.t;
+  index : Vcpu.t Psm.Index.t;
+  plan : Vcpu.t Psm.Plan.t;
+  subscription : Horse_sched.Runqueue.subscription;
+  precomputed : Horse_coalesce.Coalesce.Precomputed.t option;
+  mutable maintenance_events : int;
+}
+
+type t = {
+  id : int;
+  vcpus : Vcpu.t array;
+  memory_mb : int;
+  ull : bool;
+  mutable state : state;
+  mutable placements : placement list;
+  mutable pause_strategy : strategy option;
+  mutable paused_values : Vcpu.t list;
+  mutable coal_precomputed : Horse_coalesce.Coalesce.Precomputed.t option;
+  mutable horse_state : horse_state option;
+}
+
+let create ~id ~vcpus ~memory_mb ?(ull = false) () =
+  if vcpus <= 0 then invalid_arg "Sandbox.create: vcpus must be positive";
+  if memory_mb <= 0 then invalid_arg "Sandbox.create: memory must be positive";
+  {
+    id;
+    vcpus = Array.init vcpus (fun index -> Vcpu.create ~sandbox:id ~index ());
+    memory_mb;
+    ull;
+    state = Created;
+    placements = [];
+    pause_strategy = None;
+    paused_values = [];
+    coal_precomputed = None;
+    horse_state = None;
+  }
+
+let id t = t.id
+
+let vcpus t = t.vcpus
+
+let vcpu_count t = Array.length t.vcpus
+
+let memory_mb t = t.memory_mb
+
+let is_ull t = t.ull
+
+let state t = t.state
+
+let set_state t s = t.state <- s
+
+let placements t = t.placements
+
+let set_placements t p = t.placements <- p
+
+let pause_strategy t = t.pause_strategy
+
+let set_pause_strategy t s = t.pause_strategy <- s
+
+let paused_values t = t.paused_values
+
+let set_paused_values t v = t.paused_values <- v
+
+let coal_precomputed t = t.coal_precomputed
+
+let set_coal_precomputed t p = t.coal_precomputed <- p
+
+let horse_state t = t.horse_state
+
+let set_horse_state t h = t.horse_state <- h
+
+(* Rough per-entry sizes in bytes: an index slot is one pointer, a
+   plan segment is a small record, a merge_vcpus cell is a cons-like
+   node.  The absolute number only feeds the §5.2 memory report. *)
+let horse_memory_footprint_bytes t =
+  match t.horse_state with
+  | None -> 0
+  | Some h ->
+    let index_bytes = 8 * Psm.Index.length h.index in
+    let plan_bytes = 48 * Psm.Plan.key_count h.plan in
+    let merge_bytes = 24 * Horse_psm.Linked_list.length h.merge_vcpus in
+    index_bytes + plan_bytes + merge_bytes + 64
+
+let pp ppf t =
+  let state_name =
+    match t.state with
+    | Created -> "created"
+    | Booting -> "booting"
+    | Running -> "running"
+    | Paused -> "paused"
+    | Stopped -> "stopped"
+  in
+  Format.fprintf ppf "sandbox<%d %dvcpu %dMB%s %s>" t.id (vcpu_count t)
+    t.memory_mb
+    (if t.ull then " uLL" else "")
+    state_name

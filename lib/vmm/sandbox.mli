@@ -1,0 +1,98 @@
+(** Sandboxes: the (micro)VMs a FaaS platform runs functions in.
+
+    A sandbox owns a fixed set of vCPUs and memory.  Its lifecycle is
+
+    {v Created ──boot──▶ Running ◀──resume── Paused
+                            └───────pause──────┘ v}
+
+    plus [Stopped] (destroyed).  While [Paused] under a HORSE-family
+    strategy it carries the precomputed fast-resume state of §4.1.3 /
+    §4.2.2: the pre-sorted [merge_vcpus] list, the P²SM index + plan
+    against its assigned ull_runqueue, the run-queue subscription
+    keeping them fresh, and the coalesced load-update constants.
+    That state is created by {!Vmm.pause} and consumed by
+    {!Vmm.resume}; this module only stores it. *)
+
+type state = Created | Booting | Running | Paused | Stopped
+
+type strategy =
+  | Vanilla  (** the unmodified resume path (§3.1) *)
+  | Ppsm  (** P²SM merge, vanilla load updates (ablation) *)
+  | Coal  (** vanilla merge, coalesced load update (ablation) *)
+  | Horse  (** P²SM + coalescing (§4) *)
+
+val strategy_name : strategy -> string
+
+type placement = {
+  vcpu : Horse_sched.Vcpu.t;
+  node : Horse_sched.Vcpu.t Horse_psm.Linked_list.node;
+  queue : Horse_sched.Runqueue.t;
+}
+(** Where one vCPU currently sits. *)
+
+type horse_state = {
+  merge_vcpus : Horse_sched.Vcpu.t Horse_psm.Linked_list.t;
+      (** the sandbox's vCPUs, pre-sorted by the scheduler's key *)
+  ull_queue : Horse_sched.Runqueue.t;  (** assigned at pause time *)
+  index : Horse_sched.Vcpu.t Horse_psm.Psm.Index.t;  (** arrayB *)
+  plan : Horse_sched.Vcpu.t Horse_psm.Psm.Plan.t;  (** posA *)
+  subscription : Horse_sched.Runqueue.subscription;
+  precomputed : Horse_coalesce.Coalesce.Precomputed.t option;
+      (** the §4.2.2 constants; [None] for [Ppsm] (vanilla load path) *)
+  mutable maintenance_events : int;
+      (** posA/arrayB refreshes while paused (§5.2's overhead) *)
+}
+
+type t
+
+val create :
+  id:int -> vcpus:int -> memory_mb:int -> ?ull:bool -> unit -> t
+(** A sandbox in [Created] state.  [ull] (default false) marks it as
+    hosting a uLL workload, hence eligible for ull_runqueues.
+    @raise Invalid_argument if [vcpus <= 0] or [memory_mb <= 0]. *)
+
+val id : t -> int
+
+val vcpus : t -> Horse_sched.Vcpu.t array
+
+val vcpu_count : t -> int
+
+val memory_mb : t -> int
+
+val is_ull : t -> bool
+
+val state : t -> state
+
+val set_state : t -> state -> unit
+
+val placements : t -> placement list
+(** Current vCPU placements ([] unless Running). *)
+
+val set_placements : t -> placement list -> unit
+
+val pause_strategy : t -> strategy option
+(** The strategy recorded by the last pause, if paused. *)
+
+val set_pause_strategy : t -> strategy option -> unit
+
+val paused_values : t -> Horse_sched.Vcpu.t list
+(** vCPU values stashed by a vanilla-family pause (resume re-inserts
+    them one by one). *)
+
+val set_paused_values : t -> Horse_sched.Vcpu.t list -> unit
+
+val coal_precomputed : t -> Horse_coalesce.Coalesce.Precomputed.t option
+(** The §4.2.2 constants for a [Coal]-strategy pause. *)
+
+val set_coal_precomputed :
+  t -> Horse_coalesce.Coalesce.Precomputed.t option -> unit
+
+val horse_state : t -> horse_state option
+
+val set_horse_state : t -> horse_state option -> unit
+
+val horse_memory_footprint_bytes : t -> int
+(** Estimated bytes held by the P²SM structures while paused (0 when
+    not paused under P²SM) — the §5.2 memory-overhead figure. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,127 @@
+module Time = Horse_sim.Time_ns
+
+module Memory = struct
+  type t = {
+    pages : int array;
+    dirty : Bytes.t;  (* one flag per page *)
+    touched : Bytes.t;  (* ever written: the working set record *)
+  }
+
+  let page_size_bytes = 4096
+
+  let create ~size_mb =
+    if size_mb <= 0 then invalid_arg "Snapshot.Memory.create: size_mb <= 0";
+    let pages = size_mb * 1024 * 1024 / page_size_bytes in
+    {
+      pages = Array.make pages 0;
+      dirty = Bytes.make pages '\000';
+      touched = Bytes.make pages '\000';
+    }
+
+  let page_count t = Array.length t.pages
+
+  let check t page =
+    if page < 0 || page >= page_count t then
+      invalid_arg "Snapshot.Memory: page out of range"
+
+  let write t ~page ~value =
+    check t page;
+    t.pages.(page) <- value;
+    Bytes.set t.dirty page '\001';
+    Bytes.set t.touched page '\001'
+
+  let read t ~page =
+    check t page;
+    t.pages.(page)
+
+  let count_flags bytes =
+    let n = ref 0 in
+    Bytes.iter (fun c -> if c = '\001' then incr n) bytes;
+    !n
+
+  let dirty_count t = count_flags t.dirty
+
+  let clear_dirty t = Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000'
+
+  let touched_pages t =
+    let acc = ref [] in
+    for page = Bytes.length t.touched - 1 downto 0 do
+      if Bytes.get t.touched page = '\001' then acc := page :: !acc
+    done;
+    !acc
+end
+
+type t = {
+  contents : int array;  (* frozen page values *)
+  working_set : int list;  (* pages the guest had touched *)
+}
+
+type costs = {
+  device_state_ns : float;
+  page_load_ns : float;
+  fault_ns : float;
+}
+
+let default_costs =
+  { device_state_ns = 900_000.0; page_load_ns = 1_550.0; fault_ns = 4_500.0 }
+
+let capture (memory : Memory.t) =
+  {
+    contents = Array.copy memory.Memory.pages;
+    working_set = Memory.touched_pages memory;
+  }
+
+let page_count t = Array.length t.contents
+
+let working_set_size t = List.length t.working_set
+
+type mode = Eager | Lazy | Working_set
+
+let mode_name = function
+  | Eager -> "eager"
+  | Lazy -> "lazy"
+  | Working_set -> "working-set"
+
+type report = {
+  memory : Memory.t;
+  restore_latency : Time.span;
+  prefetched_pages : int;
+  resident_pages : int;
+}
+
+let restore ?(costs = default_costs) t ~mode =
+  let pages = page_count t in
+  let size_mb = pages * Memory.page_size_bytes / 1024 / 1024 in
+  let memory = Memory.create ~size_mb:(max size_mb 1) in
+  (* The reconstruction itself is real: all strategies end up with the
+     same contents; they differ in when the virtual time is charged. *)
+  Array.iteri (fun page value -> memory.Memory.pages.(page) <- value) t.contents;
+  (* restored memory starts clean; the working-set record survives *)
+  List.iter
+    (fun page -> Bytes.set memory.Memory.touched page '\001')
+    t.working_set;
+  let prefetched =
+    match mode with
+    | Eager -> pages
+    | Lazy -> 0
+    | Working_set -> working_set_size t
+  in
+  let latency_ns =
+    costs.device_state_ns +. (float_of_int prefetched *. costs.page_load_ns)
+  in
+  {
+    memory;
+    restore_latency = Time.span_ns (int_of_float (Float.round latency_ns));
+    prefetched_pages = prefetched;
+    resident_pages = prefetched;
+  }
+
+let fault_cost ?(costs = default_costs) report ~first_touches =
+  if first_touches < 0 then
+    invalid_arg "Snapshot.fault_cost: negative first_touches";
+  (* Prefetch targets exactly the pages the guest touches first (the
+     recorded working set), so the first [resident_pages] touches are
+     free and only the overflow faults. *)
+  let faults = max 0 (first_touches - report.resident_pages) in
+  let faults = min faults (Memory.page_count report.memory) in
+  Time.span_ns (int_of_float (Float.round (float_of_int faults *. costs.fault_ns)))

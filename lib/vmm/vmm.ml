@@ -1,0 +1,376 @@
+module Time = Horse_sim.Time_ns
+module Metrics = Horse_sim.Metrics
+module Rng = Horse_sim.Rng
+module Cost_model = Horse_cpu.Cost_model
+module Topology = Horse_cpu.Topology
+module Scheduler = Horse_sched.Scheduler
+module Runqueue = Horse_sched.Runqueue
+module Load_tracking = Horse_sched.Load_tracking
+module Vcpu = Horse_sched.Vcpu
+module Ll = Horse_psm.Linked_list
+module Psm = Horse_psm.Psm
+module Coalesce = Horse_coalesce.Coalesce
+
+let log_src = Horse_sim.Logging.src "vmm"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+exception Invalid_state of string
+
+type breakdown = {
+  parse_ns : float;
+  lock_ns : float;
+  sanity_ns : float;
+  merge_ns : float;
+  load_ns : float;
+  finalize_ns : float;
+}
+
+let breakdown_total_ns b =
+  b.parse_ns +. b.lock_ns +. b.sanity_ns +. b.merge_ns +. b.load_ns
+  +. b.finalize_ns
+
+type resume_result = {
+  total : Time.span;
+  breakdown : breakdown;
+  merge_threads : int;
+  preempted_cpus : int list;
+}
+
+type t = {
+  cost : Cost_model.t;
+  jitter : float;
+  rng : Rng.t;
+  scheduler : Scheduler.t;
+  metrics : Metrics.t;
+}
+
+let create ?(cost = Cost_model.firecracker) ?(jitter = 0.02) ?(seed = 7)
+    ~scheduler ~metrics () =
+  if jitter < 0.0 || jitter > 0.5 then
+    invalid_arg "Vmm.create: jitter outside [0, 0.5]";
+  { cost; jitter; rng = Rng.create ~seed; scheduler; metrics }
+
+let cost t = t.cost
+
+let scheduler t = t.scheduler
+
+let jittered t ns =
+  let factor =
+    if t.jitter = 0.0 then 1.0
+    else 1.0 -. t.jitter +. Rng.float t.rng (2.0 *. t.jitter)
+  in
+  Time.span_ns (int_of_float (Float.round (Float.max 0.0 (ns *. factor))))
+
+let require_state sandbox expected message =
+  if not (List.mem (Sandbox.state sandbox) expected) then
+    raise (Invalid_state message)
+
+(* Place every vCPU on the least-loaded normal queue, as a fresh boot
+   or a snapshot restore does. *)
+let place_on_normal_queues t sandbox =
+  let placements =
+    Array.to_list
+      (Array.map
+         (fun vcpu ->
+           let queue = Scheduler.select_normal t.scheduler in
+           let node, _steps = Runqueue.enqueue queue vcpu in
+           Load_tracking.on_enqueue (Runqueue.load queue);
+           { Sandbox.vcpu; node; queue })
+         (Sandbox.vcpus sandbox))
+  in
+  Sandbox.set_placements sandbox placements
+
+let boot t sandbox =
+  require_state sandbox [ Sandbox.Created; Sandbox.Stopped ]
+    "boot: sandbox already started";
+  Sandbox.set_state sandbox Sandbox.Booting;
+  place_on_normal_queues t sandbox;
+  Sandbox.set_state sandbox Sandbox.Running;
+  Metrics.incr t.metrics "vmm.boots";
+  Log.debug (fun m -> m "boot %a" Sandbox.pp sandbox);
+  jittered t t.cost.Cost_model.cold_boot_ns
+
+let restore t sandbox =
+  require_state sandbox [ Sandbox.Created; Sandbox.Stopped ]
+    "restore: sandbox already started";
+  Sandbox.set_state sandbox Sandbox.Booting;
+  place_on_normal_queues t sandbox;
+  Sandbox.set_state sandbox Sandbox.Running;
+  Metrics.incr t.metrics "vmm.restores";
+  jittered t t.cost.Cost_model.restore_ns
+
+(* Remove the sandbox's vCPUs from their queues; the per-queue Removed
+   notifications keep other paused sandboxes' P²SM structures fresh. *)
+let evacuate t sandbox =
+  let walked = ref 0 in
+  List.iter
+    (fun { Sandbox.node; queue; _ } ->
+      walked := !walked + Runqueue.dequeue queue node;
+      Load_tracking.on_dequeue (Runqueue.load queue))
+    (Sandbox.placements sandbox);
+  Sandbox.set_placements sandbox [];
+  ignore t;
+  !walked
+
+let pelt = Coalesce.Affine.pelt
+
+let make_precomputed n =
+  Coalesce.Precomputed.make ~alpha:pelt.Coalesce.Affine.alpha
+    ~beta:pelt.Coalesce.Affine.beta ~n
+
+(* Pause-side setup of the §4.1.3 structures: merge_vcpus, arrayB,
+   posA and the subscription that keeps them fresh. *)
+let build_horse_state t sandbox ~with_coalesce =
+  let merge_vcpus = Ll.create ~compare:Vcpu.compare_credit () in
+  Array.iter
+    (fun vcpu -> ignore (Ll.insert_sorted merge_vcpus vcpu))
+    (Sandbox.vcpus sandbox);
+  let ull_queue = Scheduler.select_ull_for_pause t.scheduler in
+  Scheduler.attach_paused t.scheduler ull_queue;
+  let index = Psm.Index.build (Runqueue.queue ull_queue) in
+  let plan = Psm.Plan.build ~source:merge_vcpus ~index in
+  let state_ref = ref None in
+  let on_change change =
+    (match change with
+    | Runqueue.Inserted { pos; node } ->
+      Psm.Plan.note_target_insert plan ~pos (Ll.value node);
+      Psm.Index.note_insert index ~pos node
+    | Runqueue.Removed { pos } ->
+      Psm.Plan.note_target_remove plan ~pos;
+      Psm.Index.note_remove index ~pos);
+    Metrics.incr t.metrics "psm.maintenance_events";
+    match !state_ref with
+    | Some hs -> hs.Sandbox.maintenance_events <- hs.Sandbox.maintenance_events + 1
+    | None -> ()
+  in
+  let subscription = Runqueue.subscribe ull_queue on_change in
+  let hs =
+    {
+      Sandbox.merge_vcpus;
+      ull_queue;
+      index;
+      plan;
+      subscription;
+      precomputed =
+        (if with_coalesce then Some (make_precomputed (Sandbox.vcpu_count sandbox))
+         else None);
+      maintenance_events = 0;
+    }
+  in
+  state_ref := Some hs;
+  hs
+
+let pause t ~strategy sandbox =
+  require_state sandbox [ Sandbox.Running ] "pause: sandbox not running";
+  let c = t.cost in
+  let n = Sandbox.vcpu_count sandbox in
+  let walked = evacuate t sandbox in
+  Array.iter (fun v -> Vcpu.set_state v Vcpu.Paused) (Sandbox.vcpus sandbox);
+  let base =
+    c.Cost_model.pause_base_ns
+    +. (float_of_int walked *. c.Cost_model.merge_walk_node_ns)
+  in
+  let extra =
+    match strategy with
+    | Sandbox.Vanilla ->
+      Sandbox.set_paused_values sandbox
+        (Array.to_list (Sandbox.vcpus sandbox));
+      0.0
+    | Sandbox.Coal ->
+      Sandbox.set_paused_values sandbox
+        (Array.to_list (Sandbox.vcpus sandbox));
+      Sandbox.set_coal_precomputed sandbox (Some (make_precomputed n));
+      c.Cost_model.coalesce_precompute_ns
+    | Sandbox.Ppsm ->
+      Sandbox.set_horse_state sandbox
+        (Some (build_horse_state t sandbox ~with_coalesce:false));
+      float_of_int n *. c.Cost_model.pause_sort_vcpu_ns
+    | Sandbox.Horse ->
+      Sandbox.set_horse_state sandbox
+        (Some (build_horse_state t sandbox ~with_coalesce:true));
+      (float_of_int n *. c.Cost_model.pause_sort_vcpu_ns)
+      +. c.Cost_model.coalesce_precompute_ns
+  in
+  Sandbox.set_pause_strategy sandbox (Some strategy);
+  Sandbox.set_state sandbox Sandbox.Paused;
+  Metrics.incr t.metrics
+    (Printf.sprintf "vmm.pauses.%s" (Sandbox.strategy_name strategy));
+  Log.debug (fun m ->
+      m "pause %a strategy=%s" Sandbox.pp sandbox
+        (Sandbox.strategy_name strategy));
+  jittered t (base +. extra)
+
+(* Step ④, vanilla flavour: one sorted insert per vCPU into the
+   least-loaded normal queue. *)
+let vanilla_merge t sandbox =
+  let c = t.cost in
+  let merge_ns = ref c.Cost_model.runq_fetch_ns in
+  let placements =
+    List.map
+      (fun vcpu ->
+        let queue = Scheduler.select_normal t.scheduler in
+        let node, steps = Runqueue.enqueue queue vcpu in
+        merge_ns :=
+          !merge_ns +. c.Cost_model.runq_select_ns
+          +. (float_of_int (steps + 1) *. c.Cost_model.merge_walk_node_ns)
+          +. c.Cost_model.merge_link_ns;
+        { Sandbox.vcpu; node; queue })
+      (Sandbox.paused_values sandbox)
+  in
+  (placements, !merge_ns)
+
+let distinct_queues placements =
+  List.fold_left
+    (fun acc { Sandbox.queue; _ } ->
+      if List.exists (fun q -> Runqueue.id q = Runqueue.id queue) acc then acc
+      else queue :: acc)
+    [] placements
+
+let sample_cpus t count =
+  List.init count (fun _ ->
+      Rng.int t.rng (Topology.cpu_count (Scheduler.topology t.scheduler)))
+
+let resume t sandbox =
+  require_state sandbox [ Sandbox.Paused ] "resume: sandbox not paused";
+  let c = t.cost in
+  let n = Sandbox.vcpu_count sandbox in
+  let strategy =
+    match Sandbox.pause_strategy sandbox with
+    | Some s -> s
+    | None -> raise (Invalid_state "resume: no pause strategy recorded")
+  in
+  let parse_ns = c.Cost_model.parse_ns in
+  let lock_ns = c.Cost_model.lock_acquire_ns in
+  let sanity_ns = c.Cost_model.sanity_check_ns in
+  let finalize_ns = c.Cost_model.lock_release_ns +. c.Cost_model.state_change_ns in
+  let vanilla_load_ns =
+    c.Cost_model.load_first_touch_ns
+    +. (float_of_int n *. c.Cost_model.load_update_ns)
+  in
+  let merge_ns, load_ns, merge_threads =
+    match strategy with
+    | Sandbox.Vanilla ->
+      let placements, merge_ns = vanilla_merge t sandbox in
+      Sandbox.set_placements sandbox placements;
+      List.iter
+        (fun { Sandbox.queue; _ } ->
+          Load_tracking.on_enqueue (Runqueue.load queue);
+          Load_tracking.on_enqueue (Scheduler.global_load t.scheduler))
+        placements;
+      (merge_ns, vanilla_load_ns, 0)
+    | Sandbox.Coal ->
+      let placements, merge_ns = vanilla_merge t sandbox in
+      Sandbox.set_placements sandbox placements;
+      (* per-queue loads: one coalesced update per distinct target
+         queue, covering all of its k insertions at once *)
+      List.iter
+        (fun queue ->
+          let k =
+            List.length
+              (List.filter
+                 (fun { Sandbox.queue = q; _ } -> Runqueue.id q = Runqueue.id queue)
+                 placements)
+          in
+          Load_tracking.on_enqueue_coalesced (Runqueue.load queue)
+            (make_precomputed k))
+        (distinct_queues placements);
+      (* the lock-protected global variable: a single coalesced write *)
+      (match Sandbox.coal_precomputed sandbox with
+      | Some pre ->
+        Load_tracking.on_enqueue_coalesced (Scheduler.global_load t.scheduler) pre
+      | None -> raise (Invalid_state "resume: Coal without coalesce constants"));
+      (merge_ns, c.Cost_model.coalesce_apply_ns, 0)
+    | Sandbox.Ppsm | Sandbox.Horse -> (
+      match Sandbox.horse_state sandbox with
+      | None -> raise (Invalid_state "resume: HORSE pause state missing")
+      | Some hs ->
+        Runqueue.unsubscribe hs.Sandbox.ull_queue hs.Sandbox.subscription;
+        let stats, nodes =
+          Runqueue.apply_merge hs.Sandbox.ull_queue ~plan:hs.Sandbox.plan
+            ~index:hs.Sandbox.index ~source:hs.Sandbox.merge_vcpus
+        in
+        Scheduler.detach_paused t.scheduler hs.Sandbox.ull_queue;
+        let placements =
+          List.map
+            (fun node ->
+              { Sandbox.vcpu = Ll.value node; node; queue = hs.Sandbox.ull_queue })
+            nodes
+        in
+        Sandbox.set_placements sandbox placements;
+        let merge_ns =
+          c.Cost_model.psm_thread_wake_ns +. c.Cost_model.psm_splice_ns
+          +. c.Cost_model.horse_bookkeeping_ns
+        in
+        let load_tracker = Runqueue.load hs.Sandbox.ull_queue in
+        let load_ns =
+          match (strategy, hs.Sandbox.precomputed) with
+          | Sandbox.Horse, Some pre ->
+            Load_tracking.on_enqueue_coalesced load_tracker pre;
+            Load_tracking.on_enqueue_coalesced
+              (Scheduler.global_load t.scheduler) pre;
+            c.Cost_model.coalesce_apply_ns
+          | Sandbox.Horse, None ->
+            raise (Invalid_state "resume: HORSE without coalesce constants")
+          | (Sandbox.Ppsm | Sandbox.Vanilla | Sandbox.Coal), _ ->
+            for _ = 1 to n do
+              Load_tracking.on_enqueue load_tracker;
+              Load_tracking.on_enqueue (Scheduler.global_load t.scheduler)
+            done;
+            vanilla_load_ns
+        in
+        Sandbox.set_horse_state sandbox None;
+        (merge_ns, load_ns, stats.Psm.Plan.threads))
+  in
+  Sandbox.set_pause_strategy sandbox None;
+  Sandbox.set_paused_values sandbox [];
+  Sandbox.set_coal_precomputed sandbox None;
+  Sandbox.set_state sandbox Sandbox.Running;
+  let breakdown =
+    { parse_ns; lock_ns; sanity_ns; merge_ns; load_ns; finalize_ns }
+  in
+  let total = jittered t (breakdown_total_ns breakdown) in
+  Metrics.incr t.metrics
+    (Printf.sprintf "vmm.resumes.%s" (Sandbox.strategy_name strategy));
+  Metrics.observe_span t.metrics
+    (Printf.sprintf "vmm.resume_ns.%s" (Sandbox.strategy_name strategy))
+    total;
+  Log.debug (fun m ->
+      m "resume %a strategy=%s total=%dns threads=%d" Sandbox.pp sandbox
+        (Sandbox.strategy_name strategy)
+        (Time.span_to_ns total) merge_threads);
+  {
+    total;
+    breakdown;
+    merge_threads;
+    preempted_cpus = sample_cpus t merge_threads;
+  }
+
+let stop t sandbox =
+  (match Sandbox.state sandbox with
+  | Sandbox.Running -> ignore (evacuate t sandbox)
+  | Sandbox.Paused -> (
+    match Sandbox.horse_state sandbox with
+    | Some hs ->
+      Runqueue.unsubscribe hs.Sandbox.ull_queue hs.Sandbox.subscription;
+      Scheduler.detach_paused t.scheduler hs.Sandbox.ull_queue;
+      Sandbox.set_horse_state sandbox None
+    | None -> ())
+  | Sandbox.Created | Sandbox.Booting | Sandbox.Stopped -> ());
+  Sandbox.set_pause_strategy sandbox None;
+  Sandbox.set_paused_values sandbox [];
+  Sandbox.set_coal_precomputed sandbox None;
+  Sandbox.set_state sandbox Sandbox.Stopped;
+  Metrics.incr t.metrics "vmm.stops"
+
+let dispatch_overhead t ~strategy =
+  match strategy with
+  | Sandbox.Horse -> Time.span_zero
+  | Sandbox.Vanilla | Sandbox.Ppsm | Sandbox.Coal ->
+    jittered t t.cost.Cost_model.dispatch_ns
+
+let maintenance_cost t ~events =
+  if events < 0 then invalid_arg "Vmm.maintenance_cost: negative events";
+  Time.span_ns
+    (int_of_float
+       (Float.round (float_of_int events *. t.cost.Cost_model.posa_update_ns)))

@@ -1,0 +1,37 @@
+(** The paper's three uLL workload categories (§2) with their
+    calibrated service times, plus glue that actually executes the
+    corresponding OCaml function.
+
+    | Category | bound       | function  | measured exec |
+    |----------|-------------|-----------|---------------|
+    | 1        | ≤ 20 µs     | firewall  | 17 µs         |
+    | 2        | ≤ 1 µs      | NAT       | 1.5 µs        |
+    | 3        | 100s of ns  | filter    | 0.7 µs        |
+
+    (The paper's Table 1 reports Category 2 at 1.5 µs even though the
+    bound reads ≤ 1 µs; we reproduce the measured value.) *)
+
+type t = Cat1 | Cat2 | Cat3
+
+val all : t list
+
+val name : t -> string
+(** ["cat1"], ["cat2"], ["cat3"]. *)
+
+val description : t -> string
+
+val service_time : t -> Horse_sim.Time_ns.span
+(** The paper's measured average execution time (17 / 1.5 / 0.7 µs),
+    used by the platform simulation. *)
+
+val sample_service_time : t -> Horse_sim.Rng.t -> Horse_sim.Time_ns.span
+(** Service time with ±8 % execution noise. *)
+
+type outcome =
+  | Firewall_decision of Firewall.decision
+  | Nat_result of Packet.header option
+  | Filter_matches of int
+
+val run_real : t -> outcome
+(** Execute the category's actual OCaml implementation on a canned
+    input — demonstrates the functions are real, not stubs. *)

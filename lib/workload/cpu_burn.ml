@@ -1,0 +1,18 @@
+let primes_below n =
+  if n < 2 then invalid_arg "Cpu_burn.primes_below: n < 2";
+  let count = ref 0 in
+  for candidate = 2 to n - 1 do
+    let rec divisible d =
+      if d * d > candidate then false
+      else if candidate mod d = 0 then true
+      else divisible (d + 1)
+    in
+    if not (divisible 2) then incr count
+  done;
+  !count
+
+let events_per_period rng ~period =
+  let event_ns = 180_000.0 in
+  let jitter = 0.9 +. Horse_sim.Rng.float rng 0.2 in
+  int_of_float
+    (float_of_int (Horse_sim.Time_ns.span_to_ns period) /. (event_ns *. jitter))

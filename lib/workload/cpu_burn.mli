@@ -1,0 +1,16 @@
+(** A sysbench-like CPU burner: the background load of §5.2's
+    overhead experiment ("10 1-vCPU sandboxes each running a
+    CPU-intensive application with sysbench").
+
+    sysbench's CPU test counts primes below a bound; {!primes_below}
+    is that inner loop, and {!burn_span} is the simulated-time view
+    (a busy task that never yields until told to stop). *)
+
+val primes_below : int -> int
+(** Number of primes < [n] by trial division — sysbench's kernel.
+    @raise Invalid_argument if [n < 2]. *)
+
+val events_per_period :
+  Horse_sim.Rng.t -> period:Horse_sim.Time_ns.span -> int
+(** How many sysbench "events" a pinned vCPU completes in [period]
+    (≈ one event per 180 µs on the modelled core, ±10 %). *)

@@ -1,0 +1,51 @@
+type decision = Allow | Deny
+
+type rule = {
+  src_prefix : Packet.ip;
+  src_prefix_len : int;
+  dst_port : int option;
+  protocol : Packet.protocol option;
+}
+
+type t = { rules : rule array }
+
+let mask len = if len = 0 then 0 else -1 lsl (32 - len) land 0xffffffff
+
+let create ~rules =
+  List.iter
+    (fun r ->
+      if r.src_prefix_len < 0 || r.src_prefix_len > 32 then
+        invalid_arg "Firewall.create: prefix length outside [0, 32]")
+    rules;
+  { rules = Array.of_list rules }
+
+let rule_of_cidr cidr ?dst_port ?protocol () =
+  let prefix, len =
+    match String.split_on_char '/' cidr with
+    | [ ip; len ] -> (Packet.ip_of_string ip, int_of_string len)
+    | [ ip ] -> (Packet.ip_of_string ip, 32)
+    | _ -> invalid_arg ("Firewall.rule_of_cidr: bad CIDR " ^ cidr)
+  in
+  { src_prefix = prefix; src_prefix_len = len; dst_port; protocol }
+
+let matches rule (h : Packet.header) =
+  let m = mask rule.src_prefix_len in
+  h.Packet.src_ip land m = rule.src_prefix land m
+  && (match rule.dst_port with
+     | None -> true
+     | Some p -> p = h.Packet.dst_port)
+  &&
+  match rule.protocol with
+  | None -> true
+  | Some p -> p = h.Packet.protocol
+
+let evaluate t header =
+  let n = Array.length t.rules in
+  let rec scan i =
+    if i >= n then Deny
+    else if matches t.rules.(i) header then Allow
+    else scan (i + 1)
+  in
+  scan 0
+
+let rule_count t = Array.length t.rules

@@ -1,0 +1,25 @@
+type target = { dst : Packet.ip; port : int }
+
+type t = { rules : (int * int, target) Hashtbl.t }
+(* keyed by (dst_ip, dst_port) *)
+
+let create () = { rules = Hashtbl.create 64 }
+
+let check_port p =
+  if p < 0 || p > 65535 then invalid_arg "Nat.add_rule: port out of range";
+  p
+
+let add_rule t ~match_dst ~match_port ~rewrite_dst ~rewrite_port =
+  let key = (Packet.ip_of_string match_dst, check_port match_port) in
+  let target =
+    { dst = Packet.ip_of_string rewrite_dst; port = check_port rewrite_port }
+  in
+  Hashtbl.replace t.rules key target
+
+let rule_count t = Hashtbl.length t.rules
+
+let translate t (h : Packet.header) =
+  match Hashtbl.find_opt t.rules (h.Packet.dst_ip, h.Packet.dst_port) with
+  | None -> None
+  | Some { dst; port } ->
+    Some { h with Packet.dst_ip = dst; Packet.dst_port = port }

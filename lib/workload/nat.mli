@@ -1,0 +1,20 @@
+(** Category-2 uLL workload (§2): a NAT that rewrites a request
+    header according to pre-registered routing rules.  Measured
+    execution ≈ 1.5 µs. *)
+
+type t
+
+val create : unit -> t
+
+val add_rule :
+  t -> match_dst:string -> match_port:int -> rewrite_dst:string ->
+  rewrite_port:int -> unit
+(** Register a DNAT rule: traffic to [match_dst:match_port] is
+    rewritten to [rewrite_dst:rewrite_port].
+    @raise Invalid_argument on bad addresses or ports. *)
+
+val rule_count : t -> int
+
+val translate : t -> Packet.header -> Packet.header option
+(** The rewritten header, or [None] when no rule matches (the packet
+    is forwarded untouched by the caller). *)

@@ -1,0 +1,49 @@
+type ip = int
+
+type protocol = Tcp | Udp | Icmp
+
+type header = {
+  src_ip : ip;
+  dst_ip : ip;
+  src_port : int;
+  dst_port : int;
+  protocol : protocol;
+}
+
+let ip_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+    let octet x =
+      match int_of_string_opt x with
+      | Some v when v >= 0 && v <= 255 -> v
+      | Some _ | None -> invalid_arg ("Packet.ip_of_string: bad octet in " ^ s)
+    in
+    (octet a lsl 24) lor (octet b lsl 16) lor (octet c lsl 8) lor octet d)
+  | _ -> invalid_arg ("Packet.ip_of_string: expected a.b.c.d, got " ^ s)
+
+let ip_to_string ip =
+  Printf.sprintf "%d.%d.%d.%d"
+    ((ip lsr 24) land 0xff)
+    ((ip lsr 16) land 0xff)
+    ((ip lsr 8) land 0xff)
+    (ip land 0xff)
+
+let check_port p =
+  if p < 0 || p > 65535 then invalid_arg "Packet.make: port out of range";
+  p
+
+let make ~src ~dst ?(src_port = 40000) ?(dst_port = 80) ?(protocol = Tcp) () =
+  {
+    src_ip = ip_of_string src;
+    dst_ip = ip_of_string dst;
+    src_port = check_port src_port;
+    dst_port = check_port dst_port;
+    protocol;
+  }
+
+let pp ppf h =
+  let proto =
+    match h.protocol with Tcp -> "tcp" | Udp -> "udp" | Icmp -> "icmp"
+  in
+  Format.fprintf ppf "%s:%d -> %s:%d/%s" (ip_to_string h.src_ip) h.src_port
+    (ip_to_string h.dst_ip) h.dst_port proto

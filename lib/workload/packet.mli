@@ -1,0 +1,30 @@
+(** Request headers — the inputs of the paper's NFV-style uLL
+    functions (§2: a stateless firewall and a NAT). *)
+
+type ip = int
+(** An IPv4 address packed in an int (use {!ip_of_string}). *)
+
+type protocol = Tcp | Udp | Icmp
+
+type header = {
+  src_ip : ip;
+  dst_ip : ip;
+  src_port : int;
+  dst_port : int;
+  protocol : protocol;
+}
+
+val ip_of_string : string -> ip
+(** Parses dotted-quad notation.
+    @raise Invalid_argument on malformed input. *)
+
+val ip_to_string : ip -> string
+
+val make :
+  src:string -> dst:string -> ?src_port:int -> ?dst_port:int ->
+  ?protocol:protocol -> unit -> header
+(** Build a header from dotted-quad strings.  Ports default to
+    ephemeral 40000 / service 80, protocol to [Tcp].
+    @raise Invalid_argument if a port is outside [0, 65535]. *)
+
+val pp : Format.formatter -> header -> unit

@@ -1,0 +1,53 @@
+module Rng = Horse_sim.Rng
+module Time = Horse_sim.Time_ns
+
+type image = { width : int; height : int; pixels : int array }
+
+let make_test_image ~width ~height ~seed =
+  if width <= 0 || height <= 0 then
+    invalid_arg "Thumbnail.make_test_image: dimensions must be positive";
+  let rng = Rng.create ~seed in
+  { width; height; pixels = Array.init (width * height) (fun _ -> Rng.int rng 256) }
+
+let generate img ~max_dim =
+  if max_dim <= 0 then invalid_arg "Thumbnail.generate: max_dim must be positive";
+  let longer = max img.width img.height in
+  if longer <= max_dim then img
+  else begin
+    (* integer box filter: each output pixel averages its source box *)
+    let scale_num = longer and scale_den = max_dim in
+    let out_w = max 1 (img.width * scale_den / scale_num) in
+    let out_h = max 1 (img.height * scale_den / scale_num) in
+    let pixels = Array.make (out_w * out_h) 0 in
+    for oy = 0 to out_h - 1 do
+      for ox = 0 to out_w - 1 do
+        let x0 = ox * img.width / out_w and x1 = (ox + 1) * img.width / out_w in
+        let y0 = oy * img.height / out_h and y1 = (oy + 1) * img.height / out_h in
+        let x1 = max x1 (x0 + 1) and y1 = max y1 (y0 + 1) in
+        let sum = ref 0 in
+        for y = y0 to y1 - 1 do
+          for x = x0 to x1 - 1 do
+            sum := !sum + img.pixels.((y * img.width) + x)
+          done
+        done;
+        pixels.((oy * out_w) + ox) <- !sum / ((x1 - x0) * (y1 - y0))
+      done
+    done;
+    { width = out_w; height = out_h; pixels }
+  end
+
+let default_image_bytes = 1_500_000
+
+let latency_model ?(variability = 1.0) rng ~image_bytes =
+  if variability < 0.0 then
+    invalid_arg "Thumbnail.latency_model: negative variability";
+  (* storage fetch: lognormal around 20 ms with occasional slow gets *)
+  let fetch_ms = Rng.lognormal rng ~mu:3.0 ~sigma:(0.45 *. variability) in
+  (* decode + downscale + encode: ~65 ms per 1.5 MB, mildly noisy *)
+  let compute_ms =
+    65.0 *. (float_of_int image_bytes /. 1_500_000.0)
+    *. (1.0 +. ((Rng.float rng 0.3 -. 0.15) *. variability))
+  in
+  (* write-back of the thumbnail *)
+  let store_ms = Rng.lognormal rng ~mu:2.3 ~sigma:(0.4 *. variability) in
+  Time.span_ms (fetch_ms +. compute_ms +. store_ms)

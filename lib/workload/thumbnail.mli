@@ -1,0 +1,36 @@
+(** The longer-running colocated function of §5.4: the SEBS
+    thumbnail generator, which fetches an image from object storage
+    and downscales it.
+
+    Two faces: {!generate} really downscales an image matrix (used by
+    examples and tests), and {!latency_model} gives the end-to-end
+    service time distribution used in the colocation simulation —
+    storage fetch plus compute, hundreds of milliseconds, matching
+    "a non-negligible fraction of serverless functions has an
+    execution time longer than 1 s" only in its tail. *)
+
+type image = { width : int; height : int; pixels : int array }
+(** Grayscale, row-major, one int per pixel in [0, 255]. *)
+
+val make_test_image : width:int -> height:int -> seed:int -> image
+(** A deterministic noise image.
+    @raise Invalid_argument on non-positive dimensions. *)
+
+val generate : image -> max_dim:int -> image
+(** Downscale so the longer side is at most [max_dim] (box filter).
+    Images already small enough are returned unchanged.
+    @raise Invalid_argument if [max_dim <= 0]. *)
+
+val latency_model :
+  ?variability:float ->
+  Horse_sim.Rng.t -> image_bytes:int -> Horse_sim.Time_ns.span
+(** Sampled service time: a storage round-trip (lognormal, ~20 ms
+    median) plus compute proportional to the image size, with a heavy
+    tail.  For the default 1.5 MB JPEG this centres around ~95 ms.
+    [variability] scales all noise terms (default 1.0): the §5.4
+    experiment thumbnails the same image repeatedly, so it uses a
+    small value and gets a tight distribution.
+    @raise Invalid_argument if [variability < 0]. *)
+
+val default_image_bytes : int
+(** 1.5 MB, a typical photo upload. *)

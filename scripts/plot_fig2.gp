@@ -1,0 +1,19 @@
+# gnuplot script for Figure 2 (vanilla resume breakdown).
+#   dune exec bench/main.exe -- csv && gnuplot scripts/plot_fig2.gp
+set datafile separator ","
+set terminal pngcairo size 900,540 enhanced
+set output "results/fig2.png"
+set title "Vanilla resume breakdown (steps of Sec 3.1)"
+set xlabel "vCPUs"
+set ylabel "time (ns)"
+set key top left
+set style data histograms
+set style histogram rowstacked
+set style fill solid 0.8 border -1
+set boxwidth 0.7
+plot "results/fig2_breakdown.csv" skip 1 using 2:xtic(1) title "1 parse", \
+     "" skip 1 using 3 title "2 lock", \
+     "" skip 1 using 4 title "3 sanity", \
+     "" skip 1 using 5 title "4 merge", \
+     "" skip 1 using 6 title "5 load", \
+     "" skip 1 using 7 title "6 finalize"

@@ -1,0 +1,15 @@
+# gnuplot script for Figure 3 (resume time per strategy).
+# Generate the data first:  dune exec bench/main.exe -- csv
+#   gnuplot scripts/plot_fig3.gp   ->  results/fig3.png
+set datafile separator ","
+set terminal pngcairo size 900,540 enhanced
+set output "results/fig3.png"
+set title "Resume time of a paused sandbox (lower is better)"
+set xlabel "vCPUs allocated to the sandbox"
+set ylabel "resume time (ns)"
+set key top left
+set grid ytics
+plot "results/fig3_strategies.csv" skip 1 using 1:2 with linespoints title "vanilla", \
+     "" skip 1 using 1:3 with linespoints title "coal", \
+     "" skip 1 using 1:4 with linespoints title "ppsm", \
+     "" skip 1 using 1:5 with linespoints title "horse"

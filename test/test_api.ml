@@ -1,0 +1,306 @@
+(* Tests for the management-plane substrate: the JSON parser and the
+   Firecracker-style API (parsing = the paper's resume step ①,
+   dispatch = the full lifecycle over the wire format). *)
+
+module Json = Horse_vmm.Json
+module Api = Horse_vmm.Api
+module Sandbox = Horse_vmm.Sandbox
+module Vmm = Horse_vmm.Vmm
+module Scheduler = Horse_sched.Scheduler
+module Topology = Horse_cpu.Topology
+module Metrics = Horse_sim.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* JSON parser                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_scalars () =
+  Alcotest.(check bool) "null" true (Json.parse "null" = Json.Null);
+  Alcotest.(check bool) "true" true (Json.parse "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (Json.parse " false " = Json.Bool false);
+  Alcotest.(check bool) "int" true (Json.parse "42" = Json.Int 42);
+  Alcotest.(check bool) "negative" true (Json.parse "-7" = Json.Int (-7));
+  Alcotest.(check bool) "float" true (Json.parse "2.5" = Json.Float 2.5);
+  Alcotest.(check bool) "exponent" true (Json.parse "1e3" = Json.Float 1000.0);
+  Alcotest.(check bool) "string" true (Json.parse {|"hi"|} = Json.String "hi")
+
+let test_json_escapes () =
+  Alcotest.(check bool) "newline" true
+    (Json.parse {|"a\nb"|} = Json.String "a\nb");
+  Alcotest.(check bool) "quote" true
+    (Json.parse {|"a\"b"|} = Json.String "a\"b");
+  Alcotest.(check bool) "backslash" true
+    (Json.parse {|"a\\b"|} = Json.String "a\\b")
+
+let test_json_composite () =
+  let v = Json.parse {| {"a": [1, 2, {"b": true}], "c": null} |} in
+  match v with
+  | Json.Object [ ("a", Json.List [ Json.Int 1; Json.Int 2; inner ]); ("c", Json.Null) ]
+    ->
+    Alcotest.(check bool) "inner object" true
+      (inner = Json.Object [ ("b", Json.Bool true) ])
+  | _ -> Alcotest.fail "unexpected structure"
+
+let expect_parse_error input =
+  match Json.parse input with
+  | _ -> Alcotest.failf "accepted %S" input
+  | exception Json.Parse_error _ -> ()
+
+let test_json_rejects () =
+  List.iter expect_parse_error
+    [
+      ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated";
+      "{\"a\" 1}"; "[1 2]"; "\"bad\\u0041\""; "nulll";
+    ]
+
+let test_json_roundtrip () =
+  let v =
+    Json.Object
+      [
+        ("vcpu_count", Json.Int 36);
+        ("name", Json.String "sb \"quoted\"");
+        ("flags", Json.List [ Json.Bool true; Json.Null ]);
+        ("ratio", Json.Float 0.5);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip" true (Json.parse (Json.to_string v) = v)
+
+let prop_json_roundtrip =
+  let rec gen_value depth =
+    let open QCheck2.Gen in
+    if depth = 0 then
+      oneof
+        [
+          return Json.Null;
+          map (fun b -> Json.Bool b) bool;
+          map (fun i -> Json.Int i) (int_range (-1000) 1000);
+          map (fun s -> Json.String s) (string_size ~gen:(char_range 'a' 'z') (0 -- 8));
+        ]
+    else
+      oneof
+        [
+          gen_value 0;
+          map (fun l -> Json.List l) (list_size (0 -- 4) (gen_value (depth - 1)));
+          map
+            (fun kvs -> Json.Object kvs)
+            (list_size (0 -- 4)
+               (pair (string_size ~gen:(char_range 'a' 'z') (1 -- 6))
+                  (gen_value (depth - 1))));
+        ]
+  in
+  QCheck2.Test.make ~name:"parse (to_string v) == v" ~count:300 (gen_value 3)
+    (fun v -> Json.parse (Json.to_string v) = v)
+
+(* total-function property: arbitrary bytes either parse or raise
+   Parse_error — never crash, never loop *)
+let prop_json_never_crashes =
+  QCheck2.Test.make ~name:"parser is total on arbitrary input" ~count:1000
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (0 -- 64))
+    (fun input ->
+      match Json.parse input with
+      | _ -> true
+      | exception Json.Parse_error _ -> true)
+
+let prop_json_prefix_of_valid_rejected_or_parses =
+  (* truncations of a valid document must never be mis-accepted as the
+     full value *)
+  QCheck2.Test.make ~name:"strict about truncated objects" ~count:200
+    QCheck2.Gen.(1 -- 40)
+    (fun cut ->
+      let full = {|{"a": [1, 2, 3], "b": {"c": "deep"}, "d": true}|} in
+      let cut = min cut (String.length full - 1) in
+      let truncated = String.sub full 0 cut in
+      match Json.parse truncated with
+      | Json.Object _ -> false (* would have to be the whole document *)
+      | _ -> false
+      | exception Json.Parse_error _ -> true)
+
+let test_json_member_accessors () =
+  let v = Json.parse {|{"n": 3, "s": "x", "b": false}|} in
+  Alcotest.(check (option int)) "int" (Some 3)
+    (Option.bind (Json.member "n" v) Json.to_int);
+  Alcotest.(check (option string)) "string" (Some "x")
+    (Option.bind (Json.member "s" v) Json.to_str);
+  Alcotest.(check bool) "bool" true
+    (Option.bind (Json.member "b" v) Json.to_bool = Some false);
+  Alcotest.(check bool) "missing" true (Json.member "zz" v = None);
+  Alcotest.(check bool) "not an object" true (Json.member "a" (Json.Int 1) = None)
+
+(* ------------------------------------------------------------------ *)
+(* API request parsing (resume step ①)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let put path body = { Api.meth = Api.Put; path; body }
+
+let patch path body = { Api.meth = Api.Patch; path; body }
+
+let get path = { Api.meth = Api.Get; path; body = "" }
+
+let test_parse_configure () =
+  match
+    Api.parse_request
+      (put "/vms/sb0/config" {|{"vcpu_count": 4, "mem_size_mib": 512}|})
+  with
+  | Ok (Api.Configure { vm_id = "sb0"; vcpus = 4; memory_mb = 512; ull = false })
+    -> ()
+  | Ok _ -> Alcotest.fail "wrong command"
+  | Error e -> Alcotest.fail e
+
+let test_parse_configure_ull () =
+  match
+    Api.parse_request
+      (put "/vms/u1/config"
+         {|{"vcpu_count": 1, "mem_size_mib": 128, "ull": true}|})
+  with
+  | Ok (Api.Configure { ull = true; _ }) -> ()
+  | Ok _ -> Alcotest.fail "ull flag lost"
+  | Error e -> Alcotest.fail e
+
+let test_parse_state_transitions () =
+  (match
+     Api.parse_request
+       (patch "/vms/sb0/state" {|{"state": "Paused", "strategy": "ppsm"}|})
+   with
+  | Ok (Api.Pause { strategy = Sandbox.Ppsm; _ }) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "pause/ppsm");
+  (match Api.parse_request (patch "/vms/sb0/state" {|{"state": "Paused"}|}) with
+  | Ok (Api.Pause { strategy = Sandbox.Horse; _ }) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "default strategy should be horse");
+  match Api.parse_request (patch "/vms/sb0/state" {|{"state": "Resumed"}|}) with
+  | Ok (Api.Resume { vm_id = "sb0" }) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "resume"
+
+let test_parse_rejections () =
+  let expect_error request =
+    match Api.parse_request request with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "should have been rejected"
+  in
+  expect_error (put "/nope" "{}");
+  expect_error (put "/vms//config" "{}");
+  expect_error (get "/vms/sb0/config");
+  expect_error (put "/vms/sb0/config" "{not json");
+  expect_error (put "/vms/sb0/config" {|{"vcpu_count": "four"}|});
+  expect_error (put "/vms/sb0/config" {|{"vcpu_count": 0, "mem_size_mib": 1}|});
+  expect_error (put "/vms/sb0/actions" {|{"action_type": "SelfDestruct"}|});
+  expect_error (patch "/vms/sb0/state" {|{"state": "Hibernated"}|});
+  expect_error (patch "/vms/sb0/state" {|{"state": "Paused", "strategy": "warp"}|})
+
+(* ------------------------------------------------------------------ *)
+(* API dispatch: lifecycle over the wire                               *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_server () =
+  let scheduler =
+    Scheduler.create ~topology:(Topology.create ~sockets:1 ~cores_per_socket:8 ()) ()
+  in
+  let vmm =
+    Vmm.create ~jitter:0.0 ~scheduler ~metrics:(Metrics.create ()) ()
+  in
+  Api.Server.create ~vmm ()
+
+let check_status expected (response : Api.response) =
+  Alcotest.(check int)
+    (Printf.sprintf "status (body: %s)" (Json.to_string response.Api.body))
+    expected response.Api.status
+
+let test_server_lifecycle () =
+  let server = fresh_server () in
+  check_status 204
+    (Api.Server.handle server
+       (put "/vms/sb0/config"
+          {|{"vcpu_count": 2, "mem_size_mib": 512, "ull": true}|}));
+  Alcotest.(check int) "registered" 1 (Api.Server.vm_count server);
+  check_status 200
+    (Api.Server.handle server
+       (put "/vms/sb0/actions" {|{"action_type": "InstanceStart"}|}));
+  check_status 200
+    (Api.Server.handle server
+       (patch "/vms/sb0/state" {|{"state": "Paused", "strategy": "horse"}|}));
+  let resume =
+    Api.Server.handle server (patch "/vms/sb0/state" {|{"state": "Resumed"}|})
+  in
+  check_status 200 resume;
+  (match Option.bind (Json.member "resume_ns" resume.Api.body) Json.to_int with
+  | Some ns -> Alcotest.(check bool) "O(1) resume over the API" true (ns < 200)
+  | None -> Alcotest.fail "resume_ns missing");
+  let info = Api.Server.handle server (get "/vms/sb0") in
+  check_status 200 info;
+  Alcotest.(check (option string)) "running again" (Some "Running")
+    (Option.bind (Json.member "state" info.Api.body) Json.to_str)
+
+let test_server_error_codes () =
+  let server = fresh_server () in
+  check_status 404 (Api.Server.handle server (get "/vms/ghost"));
+  check_status 400 (Api.Server.handle server (put "/vms/x/config" "oops"));
+  check_status 204
+    (Api.Server.handle server
+       (put "/vms/x/config" {|{"vcpu_count": 1, "mem_size_mib": 128}|}));
+  check_status 409
+    (Api.Server.handle server
+       (put "/vms/x/config" {|{"vcpu_count": 1, "mem_size_mib": 128}|}));
+  (* lifecycle violation surfaces as 409: resume before boot *)
+  check_status 409
+    (Api.Server.handle server (patch "/vms/x/state" {|{"state": "Resumed"}|}))
+
+let test_server_strategy_roundtrip () =
+  (* pausing via the API with each strategy must resume correctly *)
+  List.iter
+    (fun name ->
+      let server = fresh_server () in
+      check_status 204
+        (Api.Server.handle server
+           (put "/vms/v/config"
+              {|{"vcpu_count": 3, "mem_size_mib": 256, "ull": true}|}));
+      check_status 200
+        (Api.Server.handle server
+           (put "/vms/v/actions" {|{"action_type": "InstanceStart"}|}));
+      check_status 200
+        (Api.Server.handle server
+           (patch "/vms/v/state"
+              (Printf.sprintf {|{"state": "Paused", "strategy": "%s"}|} name)));
+      check_status 200
+        (Api.Server.handle server
+           (patch "/vms/v/state" {|{"state": "Resumed"}|}));
+      let sandbox = Option.get (Api.Server.find_sandbox server ~vm_id:"v") in
+      Alcotest.(check bool)
+        (name ^ " running")
+        true
+        (Sandbox.state sandbox = Sandbox.Running))
+    [ "vanilla"; "ppsm"; "coal"; "horse" ]
+
+let () =
+  Alcotest.run "horse_api"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "composite" `Quick test_json_composite;
+          Alcotest.test_case "rejects malformed" `Quick test_json_rejects;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_json_member_accessors;
+        ] );
+      ( "parse_request",
+        [
+          Alcotest.test_case "configure" `Quick test_parse_configure;
+          Alcotest.test_case "configure ull" `Quick test_parse_configure_ull;
+          Alcotest.test_case "state transitions" `Quick
+            test_parse_state_transitions;
+          Alcotest.test_case "rejections" `Quick test_parse_rejections;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_server_lifecycle;
+          Alcotest.test_case "error codes" `Quick test_server_error_codes;
+          Alcotest.test_case "strategy roundtrip" `Quick
+            test_server_strategy_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_json_roundtrip;
+            prop_json_never_crashes;
+            prop_json_prefix_of_valid_rejected_or_parses;
+          ] );
+    ]

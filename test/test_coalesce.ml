@@ -1,0 +1,207 @@
+(* Tests for horse_coalesce: the closed-form n-fold affine update must
+   match literal iteration, in float and in fixed point. *)
+
+module C = Horse_coalesce.Coalesce
+
+let close = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Affine (float)                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_apply () =
+  let f = { C.Affine.alpha = 2.0; beta = 3.0 } in
+  Alcotest.check close "2*5+3" 13.0 (C.Affine.apply f 5.0)
+
+let test_iterate () =
+  let f = { C.Affine.alpha = 2.0; beta = 1.0 } in
+  Alcotest.check close "zero times" 5.0 (C.Affine.iterate f 0 5.0);
+  Alcotest.check close "once" 11.0 (C.Affine.iterate f 1 5.0);
+  Alcotest.check close "thrice" 47.0 (C.Affine.iterate f 3 5.0);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Coalesce.Affine.iterate: negative count") (fun () ->
+      ignore (C.Affine.iterate f (-1) 0.0))
+
+let test_compose () =
+  let f = { C.Affine.alpha = 2.0; beta = 1.0 }
+  and g = { C.Affine.alpha = 3.0; beta = 5.0 } in
+  let gf = C.Affine.compose g f in
+  Alcotest.check close "g(f(x))"
+    (C.Affine.apply g (C.Affine.apply f 7.0))
+    (C.Affine.apply gf 7.0)
+
+let test_power_matches_iterate () =
+  let f = { C.Affine.alpha = 0.9; beta = 2.0 } in
+  List.iter
+    (fun n ->
+      let direct = C.Affine.iterate f n 100.0 in
+      let coalesced = C.Affine.apply (C.Affine.power f n) 100.0 in
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "n=%d" n)
+        direct coalesced)
+    [ 0; 1; 2; 5; 17; 36 ]
+
+let test_power_alpha_one () =
+  (* α = 1 degenerates the geometric series to n·β. *)
+  let f = { C.Affine.alpha = 1.0; beta = 4.0 } in
+  let p = C.Affine.power f 9 in
+  Alcotest.check close "alpha stays 1" 1.0 p.C.Affine.alpha;
+  Alcotest.check close "beta = 36" 36.0 p.C.Affine.beta;
+  Alcotest.check close "matches iterate" (C.Affine.iterate f 9 1.0)
+    (C.Affine.apply p 1.0)
+
+let test_pelt_constants () =
+  let y = C.Affine.pelt.C.Affine.alpha in
+  (* 32 periods halve the history *)
+  Alcotest.(check (float 1e-9)) "y^32 = 1/2" 0.5 (y ** 32.0);
+  Alcotest.(check bool) "beta positive" true (C.Affine.pelt.C.Affine.beta > 0.0)
+
+let test_pelt_fixpoint () =
+  (* A永 fully-loaded queue converges to β/(1−α) = 1024. *)
+  let f = C.Affine.pelt in
+  let converged = C.Affine.iterate f 2000 0.0 in
+  Alcotest.(check (float 0.5)) "converges to 1024" 1024.0 converged
+
+(* ------------------------------------------------------------------ *)
+(* Precomputed (the sandbox attributes of §4.2.2)                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_precomputed_roundtrip () =
+  let p = C.Precomputed.make ~alpha:0.97 ~beta:21.9 ~n:36 in
+  Alcotest.(check int) "vcpus" 36 (C.Precomputed.vcpus p);
+  let expected =
+    C.Affine.iterate { C.Affine.alpha = 0.97; beta = 21.9 } 36 500.0
+  in
+  Alcotest.(check (float 1e-6)) "apply == 36-fold" expected
+    (C.Precomputed.apply p 500.0)
+
+let test_precomputed_components () =
+  let p = C.Precomputed.make ~alpha:0.5 ~beta:1.0 ~n:3 in
+  Alcotest.check close "alpha^3" 0.125 (C.Precomputed.alpha_pow p);
+  (* 1·(1 + 0.5 + 0.25) *)
+  Alcotest.check close "geom" 1.75 (C.Precomputed.geometric_sum p)
+
+(* ------------------------------------------------------------------ *)
+(* Fixed point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixed_roundtrip () =
+  let r = C.Fixed.of_float 3.25 in
+  Alcotest.check close "3.25" 3.25 (C.Fixed.to_float r)
+
+let test_fixed_mul () =
+  let a = C.Fixed.of_float 1.5 and b = C.Fixed.of_float 2.0 in
+  Alcotest.check close "1.5*2" 3.0 (C.Fixed.to_float (C.Fixed.mul a b))
+
+let test_fixed_affine () =
+  let alpha = C.Fixed.of_float 0.5 and beta = C.Fixed.of_float 10.0 in
+  let x = C.Fixed.of_float 100.0 in
+  Alcotest.check close "0.5*100+10" 60.0
+    (C.Fixed.to_float (C.Fixed.apply_affine ~alpha ~beta x))
+
+let test_fixed_precompute_error_bound () =
+  let alpha = C.Fixed.of_float 0.97857 and beta = C.Fixed.of_float 21.93 in
+  List.iter
+    (fun n ->
+      let x = C.Fixed.of_float 800.0 in
+      let direct = C.Fixed.iterate ~alpha ~beta n x in
+      let alpha_pow, geom = C.Fixed.precompute ~alpha ~beta ~n in
+      let coalesced = C.Fixed.apply_precomputed ~alpha_pow ~geom x in
+      let err = abs ((direct : C.Fixed.repr :> int) - (coalesced :> int)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "bounded error at n=%d (err=%d)" n err)
+        true
+        (err <= C.Fixed.max_error_ulps ~n ~x))
+    [ 0; 1; 2; 8; 36 ]
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_affine =
+  QCheck2.Gen.(
+    map
+      (fun (a, b) -> { C.Affine.alpha = a; beta = b })
+      (pair (float_range 0.0 1.5) (float_range (-50.0) 50.0)))
+
+let prop_power_equals_iterate =
+  QCheck2.Test.make ~name:"power n == n-fold iterate (float, relative tol)"
+    ~count:500
+    QCheck2.Gen.(triple gen_affine (0 -- 64) (float_range (-1000.0) 1000.0))
+    (fun (f, n, x) ->
+      let direct = C.Affine.iterate f n x in
+      let coalesced = C.Affine.apply (C.Affine.power f n) x in
+      let tolerance = 1e-6 *. (1.0 +. Float.abs direct) in
+      Float.abs (direct -. coalesced) <= tolerance)
+
+let prop_compose_associative =
+  QCheck2.Test.make ~name:"compose is associative" ~count:300
+    QCheck2.Gen.(
+      quad gen_affine gen_affine gen_affine (float_range (-100.0) 100.0))
+    (fun (f, g, h, x) ->
+      let left = C.Affine.compose (C.Affine.compose h g) f in
+      let right = C.Affine.compose h (C.Affine.compose g f) in
+      let tolerance = 1e-6 *. (1.0 +. Float.abs (C.Affine.apply left x)) in
+      Float.abs (C.Affine.apply left x -. C.Affine.apply right x) <= tolerance)
+
+let prop_power_additive =
+  QCheck2.Test.make ~name:"power (m+n) == power m ∘ power n" ~count:300
+    QCheck2.Gen.(triple gen_affine (0 -- 20) (0 -- 20))
+    (fun (f, m, n) ->
+      let lhs = C.Affine.power f (m + n) in
+      let rhs = C.Affine.compose (C.Affine.power f m) (C.Affine.power f n) in
+      let x = 123.456 in
+      let tolerance = 1e-6 *. (1.0 +. Float.abs (C.Affine.apply lhs x)) in
+      Float.abs (C.Affine.apply lhs x -. C.Affine.apply rhs x) <= tolerance)
+
+let prop_fixed_error_bounded =
+  QCheck2.Test.make ~name:"fixed-point coalesce error stays within bound"
+    ~count:500
+    QCheck2.Gen.(
+      triple (float_range 0.0 1.0) (0 -- 64) (float_range 0.0 2000.0))
+    (fun (a, n, x0) ->
+      let alpha = C.Fixed.of_float a and beta = C.Fixed.of_float 21.93 in
+      let x = C.Fixed.of_float x0 in
+      let direct = C.Fixed.iterate ~alpha ~beta n x in
+      let alpha_pow, geom = C.Fixed.precompute ~alpha ~beta ~n in
+      let coalesced = C.Fixed.apply_precomputed ~alpha_pow ~geom x in
+      abs ((direct :> int) - (coalesced :> int))
+      <= C.Fixed.max_error_ulps ~n ~x)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_power_equals_iterate;
+      prop_compose_associative;
+      prop_power_additive;
+      prop_fixed_error_bounded;
+    ]
+
+let () =
+  Alcotest.run "horse_coalesce"
+    [
+      ( "affine",
+        [
+          Alcotest.test_case "apply" `Quick test_apply;
+          Alcotest.test_case "iterate" `Quick test_iterate;
+          Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "power == iterate" `Quick test_power_matches_iterate;
+          Alcotest.test_case "alpha = 1" `Quick test_power_alpha_one;
+          Alcotest.test_case "PELT constants" `Quick test_pelt_constants;
+          Alcotest.test_case "PELT fixpoint" `Quick test_pelt_fixpoint;
+        ] );
+      ( "precomputed",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_precomputed_roundtrip;
+          Alcotest.test_case "components" `Quick test_precomputed_components;
+        ] );
+      ( "fixed",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fixed_roundtrip;
+          Alcotest.test_case "mul" `Quick test_fixed_mul;
+          Alcotest.test_case "affine" `Quick test_fixed_affine;
+          Alcotest.test_case "error bound" `Quick
+            test_fixed_precompute_error_bound;
+        ] );
+      ("properties", props);
+    ]

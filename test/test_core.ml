@@ -1,0 +1,297 @@
+(* Tests for the horse facade: report rendering and the experiment
+   harness — each experiment must reproduce the paper's shape, so the
+   key claims are asserted here on reduced sweeps. *)
+
+module E = Horse.Experiments
+module Report = Horse.Report
+module Category = Horse_workload.Category
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_renders () =
+  let out =
+    Report.table ~caption:"cap" ~header:[ "a"; "bb" ]
+      [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  Alcotest.(check bool) "has caption" true
+    (String.length out > 3 && String.sub out 0 3 = "cap");
+  Alcotest.(check bool) "has rule" true (String.contains out '+');
+  Alcotest.(check bool) "pads cells" true
+    (String.length out > String.length "cap")
+
+let test_table_rejects_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Report.table: ragged row")
+    (fun () -> ignore (Report.table ~header:[ "a" ] [ [ "1"; "2" ] ]))
+
+let test_formatters () =
+  Alcotest.(check string) "ns" "147ns" (Report.ns 147.0);
+  Alcotest.(check string) "us" "1.07us" (Report.ns 1070.0);
+  Alcotest.(check string) "ms" "1.30ms" (Report.ns 1.3e6);
+  Alcotest.(check string) "s" "1.500s" (Report.ns 1.5e9);
+  Alcotest.(check string) "pct" "61.10%" (Report.pct 61.1);
+  Alcotest.(check string) "ratio" "7.16x" (Report.ratio 7.16)
+
+(* ------------------------------------------------------------------ *)
+(* Experiments: paper-shape assertions on reduced sweeps               *)
+(* ------------------------------------------------------------------ *)
+
+let repeats = 3
+
+let test_table1_shape () =
+  let cells = E.table1 ~repeats () in
+  Alcotest.(check int) "9 cells" 9 (List.length cells);
+  let cell scenario category =
+    List.find
+      (fun (c : E.table1_cell) -> c.scenario = scenario && c.category = category)
+      cells
+  in
+  (* cold dominates everything *)
+  List.iter
+    (fun cat ->
+      Alcotest.(check bool) "cold ~100%" true ((cell E.Cold cat).init_pct > 99.9))
+    Category.all;
+  (* warm init share grows as the workload shrinks: 6% -> 42% -> 61% *)
+  let w1 = (cell E.Warm Category.Cat1).init_pct
+  and w2 = (cell E.Warm Category.Cat2).init_pct
+  and w3 = (cell E.Warm Category.Cat3).init_pct in
+  Alcotest.(check bool) "cat1 ~6%" true (w1 > 4.0 && w1 < 9.0);
+  Alcotest.(check bool) "cat2 ~42%" true (w2 > 35.0 && w2 < 50.0);
+  Alcotest.(check bool) "cat3 ~61%" true (w3 > 55.0 && w3 < 67.0);
+  (* warm init ~1.1us regardless of category *)
+  List.iter
+    (fun cat ->
+      let init = (cell E.Warm cat).init_us in
+      Alcotest.(check bool) "warm ~1.1us" true (init > 0.95 && init < 1.3))
+    Category.all
+
+let test_fig2_shape () =
+  let rows = E.fig2 ~repeats ~vcpus:[ 1; 36 ] () in
+  match rows with
+  | [ r1; r36 ] ->
+    Alcotest.(check bool) "87-88% at 1" true
+      (r1.E.steps45_pct > 86.5 && r1.E.steps45_pct < 88.5);
+    Alcotest.(check bool) "93-94% at 36" true
+      (r36.E.steps45_pct > 92.5 && r36.E.steps45_pct < 94.5);
+    Alcotest.(check bool) "merge dominates" true
+      (r36.E.merge_ns > r36.E.load_ns)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_fig3_bands () =
+  let rows = E.fig3 ~repeats ~vcpus:[ 1; 18; 36 ] () in
+  let s = E.fig3_summarise rows in
+  Alcotest.(check bool) "coal band" true
+    (s.E.coal_improvement_max > 0.16 && s.E.coal_improvement_max < 0.22);
+  Alcotest.(check bool) "ppsm band" true
+    (s.E.ppsm_improvement_max > 0.55 && s.E.ppsm_improvement_max < 0.70);
+  Alcotest.(check bool) "7.16x band" true
+    (s.E.horse_speedup_max > 6.5 && s.E.horse_speedup_max < 8.0);
+  Alcotest.(check bool) "~150ns" true
+    (s.E.horse_constant_ns > 135.0 && s.E.horse_constant_ns < 165.0);
+  (* HORSE stays flat across the sweep *)
+  let horse_vals = List.map (fun r -> r.E.horse_ns) rows in
+  let spread =
+    List.fold_left Float.max 0.0 horse_vals
+    -. List.fold_left Float.min infinity horse_vals
+  in
+  Alcotest.(check bool) "O(1) resume" true (spread < 15.0)
+
+let test_fig4_shape () =
+  let cells = E.fig4 ~repeats () in
+  Alcotest.(check int) "12 cells" 12 (List.length cells);
+  let horse_pcts =
+    List.filter_map
+      (fun (c : E.fig4_cell) ->
+        if c.f4_scenario = E.Horse_start then Some c.f4_init_pct else None)
+      cells
+  in
+  let min_p = List.fold_left Float.min infinity horse_pcts in
+  let max_p = List.fold_left Float.max 0.0 horse_pcts in
+  (* paper: 0.77% - 17.64% *)
+  Alcotest.(check bool) "min ~1%" true (min_p > 0.4 && min_p < 1.6);
+  Alcotest.(check bool) "max ~17.6%" true (max_p > 15.0 && max_p < 20.0)
+
+let test_overhead_shape () =
+  let rows = E.overhead ~vcpus:[ 1; 36 ] () in
+  match rows with
+  | [ r1; r36 ] ->
+    Alcotest.(check bool) "memory grows with vcpus" true
+      (r36.E.memory_kb > r1.E.memory_kb);
+    Alcotest.(check bool) "memory well below 1% of 5GB" true
+      (r36.E.memory_pct < 1.0);
+    Alcotest.(check bool) "pause overhead sub-1%" true
+      (r36.E.pause_overhead_pct < 1.0 && r36.E.pause_overhead_pct >= 0.0);
+    Alcotest.(check bool) "resume burst sub-3%" true
+      (r36.E.resume_burst_cpu_pct < 3.0);
+    Alcotest.(check bool) "maintenance events scale" true
+      (r36.E.maintenance_events > r1.E.maintenance_events)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_colocation_shape () =
+  let rows = E.colocation ~duration_s:10.0 ~repeats:2 ~vcpus:[ 1; 36 ] () in
+  match rows with
+  | [ r1; r36 ] ->
+    (* no mean/p95 movement *)
+    Alcotest.(check bool) "mean unchanged" true
+      (Float.abs (r36.E.horse_mean_ms -. r36.E.vanilla_mean_ms)
+       /. r36.E.vanilla_mean_ms
+      < 0.001);
+    Alcotest.(check bool) "p95 unchanged" true
+      (Float.abs (r36.E.horse_p95_ms -. r36.E.vanilla_p95_ms)
+       /. r36.E.vanilla_p95_ms
+      < 0.001);
+    (* the worst-case injected delay grows with the sandbox size and
+       tops out near the paper's ~30us *)
+    Alcotest.(check bool) "delay grows" true (r36.E.max_delay_us > r1.E.max_delay_us);
+    Alcotest.(check bool) "~27.6us at 36" true
+      (r36.E.max_delay_us > 20.0 && r36.E.max_delay_us < 35.0);
+    Alcotest.(check bool) "p99 penalty bounded by one preemption" true
+      (r36.E.p99_delta_us <= r36.E.max_delay_us +. 0.001)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_xen_profile_same_shape () =
+  let s = E.fig3_summarise (E.fig3 ~profile:E.Xen ~repeats ~vcpus:[ 1; 36 ] ()) in
+  Alcotest.(check bool) "still >6x" true (s.E.horse_speedup_max > 6.0);
+  Alcotest.(check bool) "still sub-200ns" true (s.E.horse_constant_ns < 200.0)
+
+let test_ablation_ull_queues () =
+  let rows = E.ablation_ull_queues ~sandboxes:8 ~cycles:2 ~queue_counts:[ 1; 4 ] () in
+  match rows with
+  | [ one; four ] ->
+    (* more queues -> fewer cross-sandbox maintenance notifications *)
+    Alcotest.(check bool) "maintenance drops" true
+      (four.E.u_maintenance_events < one.E.u_maintenance_events);
+    (* the O(1) resume is untouched *)
+    Alcotest.(check bool) "resume flat" true
+      (Float.abs (four.E.u_resume_ns -. one.E.u_resume_ns) < 10.0);
+    (* balancing: one queue holds everything, four spread evenly *)
+    Alcotest.(check (float 1e-9)) "all on one" 1.0 one.E.u_max_queue_share;
+    Alcotest.(check (float 1e-9)) "spread over four" 0.25 four.E.u_max_queue_share
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_ablation_restore () =
+  let rows = E.ablation_restore () in
+  let find mode = List.find (fun r -> r.E.r_mode = mode) rows in
+  let eager = find "eager" and lazy_ = find "lazy" and ws = find "working-set" in
+  Alcotest.(check bool) "eager slowest to restore" true
+    (eager.E.r_restore_latency_us > ws.E.r_restore_latency_us
+    && ws.E.r_restore_latency_us > lazy_.E.r_restore_latency_us);
+  Alcotest.(check bool) "working set wins end to end" true
+    (ws.E.r_total_us < lazy_.E.r_total_us && ws.E.r_total_us < eager.E.r_total_us);
+  (* the Table-1 anchor: ~1.3ms *)
+  Alcotest.(check bool) "faasnap ~1.3ms" true
+    (ws.E.r_total_us > 1200.0 && ws.E.r_total_us < 1400.0)
+
+let test_keepalive_policies_experiment () =
+  let rows = E.keepalive_policies ~functions:15 () in
+  Alcotest.(check int) "four policies" 4 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "rates in [0,1]" true
+        (r.E.k_warm_hit_rate >= 0.0 && r.E.k_warm_hit_rate <= 1.0))
+    rows;
+  (* longer fixed windows trade idle cost for hit rate *)
+  let fixed_1m = List.nth rows 0 and fixed_1h = List.nth rows 2 in
+  Alcotest.(check bool) "longer window, more hits" true
+    (fixed_1h.E.k_warm_hit_rate >= fixed_1m.E.k_warm_hit_rate);
+  Alcotest.(check bool) "longer window, more idle cost" true
+    (fixed_1h.E.k_warm_pool_minutes > fixed_1m.E.k_warm_pool_minutes)
+
+let test_ablation_energy () =
+  let rows = E.ablation_energy ~duration_s:3.0 () in
+  Alcotest.(check int) "four rows" 4 (List.length rows);
+  let find governor strategy =
+    List.find
+      (fun r -> r.E.e_governor = governor && r.E.e_strategy = strategy)
+      rows
+  in
+  let perf_v = find "performance" "vanil" and perf_h = find "performance" "horse" in
+  let sched_v = find "schedutil" "vanil" and sched_h = find "schedutil" "horse" in
+  (* schedutil saves energy at this low utilisation *)
+  Alcotest.(check bool) "schedutil cheaper" true
+    (sched_v.E.e_joules < perf_v.E.e_joules /. 2.0);
+  (* coalescing leaves the governor signal identical *)
+  Alcotest.(check (float 1e-9)) "horse == vanilla (performance)"
+    perf_v.E.e_joules perf_h.E.e_joules;
+  Alcotest.(check (float 1e-9)) "horse == vanilla (schedutil)"
+    sched_v.E.e_joules sched_h.E.e_joules
+
+let test_ablation_timeslice () =
+  let rows = E.ablation_timeslice () in
+  match rows with
+  | [ ull; normal ] ->
+    Alcotest.(check bool) "ull queue fast" true (ull.E.t_ull_latency_us < 10.0);
+    Alcotest.(check bool) "normal queue slow" true
+      (normal.E.t_ull_latency_us > 150.0);
+    Alcotest.(check bool) "orders of magnitude" true
+      (normal.E.t_ull_latency_us /. ull.E.t_ull_latency_us > 20.0);
+    Alcotest.(check bool) "incumbent penalty bounded" true
+      (ull.E.t_incumbent_penalty_us < 50.0)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_measurement_stopping_rule () =
+  let m = E.measure_resume ~strategy:Horse_vmm.Sandbox.Horse ~vcpus:36 () in
+  (* the paper's criterion: CI <= 3% of the mean, >= 10 runs *)
+  Alcotest.(check bool) "at least 10 runs" true (m.E.runs >= 10);
+  Alcotest.(check bool)
+    (Printf.sprintf "CI %.4f <= 3%%" m.E.ci95_rel)
+    true (m.E.ci95_rel <= 0.03);
+  Alcotest.(check bool) "mean ~150ns" true
+    (m.E.mean_ns > 135.0 && m.E.mean_ns < 165.0)
+
+let test_experiments_deterministic () =
+  (* identical seeds must reproduce identical numbers, bit for bit *)
+  let a = E.fig3 ~repeats:2 ~vcpus:[ 1; 36 ] () in
+  let b = E.fig3 ~repeats:2 ~vcpus:[ 1; 36 ] () in
+  List.iter2
+    (fun (x : E.fig3_row) (y : E.fig3_row) ->
+      Alcotest.(check (float 0.0)) "vanil" x.E.vanil_ns y.E.vanil_ns;
+      Alcotest.(check (float 0.0)) "horse" x.E.horse_ns y.E.horse_ns)
+    a b;
+  let s1 = E.summary () and s2 = E.summary () in
+  Alcotest.(check (float 0.0)) "summary speedup" s1.E.resume_speedup
+    s2.E.resume_speedup
+
+let test_summary_consistency () =
+  let s = E.summary () in
+  Alcotest.(check bool) "speedup" true (s.E.resume_speedup > 6.5);
+  Alcotest.(check bool) "resume ns" true
+    (s.E.horse_resume_ns > 130.0 && s.E.horse_resume_ns < 170.0);
+  Alcotest.(check bool) "vs cold > vs warm" true
+    (s.E.init_overhead_vs_cold > s.E.init_overhead_vs_warm);
+  Alcotest.(check bool) "vs cold ~116x+" true (s.E.init_overhead_vs_cold > 80.0);
+  Alcotest.(check bool) "init pct range" true
+    (s.E.horse_init_pct_min < s.E.horse_init_pct_max)
+
+let () =
+  Alcotest.run "horse_core"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "renders" `Quick test_table_renders;
+          Alcotest.test_case "rejects ragged" `Quick test_table_rejects_ragged;
+          Alcotest.test_case "formatters" `Quick test_formatters;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "table1 shape" `Slow test_table1_shape;
+          Alcotest.test_case "fig2 shape" `Slow test_fig2_shape;
+          Alcotest.test_case "fig3 bands" `Slow test_fig3_bands;
+          Alcotest.test_case "fig4 shape" `Slow test_fig4_shape;
+          Alcotest.test_case "overhead shape" `Slow test_overhead_shape;
+          Alcotest.test_case "colocation shape" `Slow test_colocation_shape;
+          Alcotest.test_case "xen profile" `Slow test_xen_profile_same_shape;
+          Alcotest.test_case "ablation ull queues" `Slow test_ablation_ull_queues;
+          Alcotest.test_case "ablation restore" `Quick test_ablation_restore;
+          Alcotest.test_case "keepalive policies" `Slow
+            test_keepalive_policies_experiment;
+          Alcotest.test_case "ablation energy" `Slow test_ablation_energy;
+          Alcotest.test_case "ablation timeslice" `Quick
+            test_ablation_timeslice;
+          Alcotest.test_case "measurement stopping rule" `Quick
+            test_measurement_stopping_rule;
+          Alcotest.test_case "deterministic" `Slow test_experiments_deterministic;
+          Alcotest.test_case "summary" `Slow test_summary_consistency;
+        ] );
+    ]

@@ -1,0 +1,273 @@
+(* Tests for horse_cpu: topology, the calibrated cost model and the
+   DVFS governors. *)
+
+module Topology = Horse_cpu.Topology
+module Cost = Horse_cpu.Cost_model
+module Dvfs = Horse_cpu.Dvfs
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_r650_shape () =
+  Alcotest.(check int) "72 CPUs" 72 (Topology.cpu_count Topology.r650);
+  Alcotest.(check int) "144 with SMT" 144 (Topology.cpu_count Topology.r650_smt);
+  Alcotest.(check int) "2.4 GHz" 2400
+    (Topology.base_frequency_mhz Topology.r650)
+
+let test_socket_mapping () =
+  let t = Topology.r650 in
+  Alcotest.(check int) "cpu 0 socket" 0 (Topology.socket_of t 0);
+  Alcotest.(check int) "cpu 35 socket" 0 (Topology.socket_of t 35);
+  Alcotest.(check int) "cpu 36 socket" 1 (Topology.socket_of t 36);
+  Alcotest.(check int) "cpu 71 socket" 1 (Topology.socket_of t 71)
+
+let test_smt_siblings () =
+  let t = Topology.r650_smt in
+  Alcotest.(check (list int)) "cpu 0 sibling" [ 72 ] (Topology.siblings t 0);
+  Alcotest.(check (list int)) "cpu 72 sibling" [ 0 ] (Topology.siblings t 72);
+  Alcotest.(check int) "same core" (Topology.core_of t 0) (Topology.core_of t 72);
+  Alcotest.(check (list int)) "no SMT, no siblings" []
+    (Topology.siblings Topology.r650 0)
+
+let test_topology_validation () =
+  Alcotest.check_raises "bad dims"
+    (Invalid_argument "Topology.create: dimensions must be positive") (fun () ->
+      ignore (Topology.create ~sockets:0 ()));
+  Alcotest.check_raises "bad cpu id"
+    (Invalid_argument "Topology: cpu id out of range") (fun () ->
+      ignore (Topology.socket_of Topology.r650 72))
+
+(* ------------------------------------------------------------------ *)
+(* Cost model: the calibration identities from DESIGN.md §4            *)
+(* ------------------------------------------------------------------ *)
+
+let fc = Cost.firecracker
+
+let test_vanilla_1_vcpu () =
+  let ns = Cost.vanilla_resume_estimate_ns fc ~vcpus:1 in
+  Alcotest.(check bool) "~560 ns" true (ns > 520.0 && ns < 620.0)
+
+let test_vanilla_36_vcpus_is_1_1us () =
+  let ns = Cost.vanilla_resume_estimate_ns fc ~vcpus:36 in
+  (* the paper's "resuming a sandbox can take up to 1,1 µs" *)
+  Alcotest.(check bool) "~1.05-1.15 us" true (ns > 1000.0 && ns < 1150.0)
+
+let test_horse_is_150ns_constant () =
+  let ns = Cost.horse_resume_estimate_ns fc in
+  Alcotest.(check bool) "~150 ns" true (ns > 130.0 && ns < 170.0)
+
+let test_headline_speedup () =
+  let vanilla = Cost.vanilla_resume_estimate_ns fc ~vcpus:36 in
+  let horse = Cost.horse_resume_estimate_ns fc in
+  let speedup = vanilla /. horse in
+  (* the paper's 7.16x headline *)
+  Alcotest.(check bool) "6.5x-8x" true (speedup > 6.5 && speedup < 8.0)
+
+let steps45_fraction vcpus =
+  let n = float_of_int vcpus in
+  let step4 =
+    fc.Cost.runq_fetch_ns
+    +. (n
+       *. (fc.Cost.runq_select_ns +. fc.Cost.merge_walk_node_ns
+          +. fc.Cost.merge_link_ns))
+  in
+  let step5 = fc.Cost.load_first_touch_ns +. (n *. fc.Cost.load_update_ns) in
+  (step4 +. step5) /. Cost.vanilla_resume_estimate_ns fc ~vcpus
+
+let test_steps45_share () =
+  (* Fig. 2: steps ④+⑤ = 87.5 % (1 vCPU) to 93.1 % (36 vCPUs). *)
+  let f1 = steps45_fraction 1 and f36 = steps45_fraction 36 in
+  Alcotest.(check bool) "87-88% at 1 vCPU" true (f1 > 0.86 && f1 < 0.89);
+  Alcotest.(check bool) "93-94% at 36" true (f36 > 0.92 && f36 < 0.945);
+  Alcotest.(check bool) "grows with vCPUs" true (f36 > f1)
+
+let test_monotone_in_vcpus () =
+  let rec check prev n =
+    if n <= 36 then begin
+      let v = Cost.vanilla_resume_estimate_ns fc ~vcpus:n in
+      Alcotest.(check bool) "monotone" true (v > prev);
+      check v (n + 1)
+    end
+  in
+  check 0.0 1
+
+let test_xen_profile_heavier () =
+  Alcotest.(check bool) "xen fixed costs heavier" true
+    (Cost.vanilla_resume_estimate_ns Cost.xen ~vcpus:1
+    > Cost.vanilla_resume_estimate_ns fc ~vcpus:1);
+  Alcotest.(check bool) "xen horse still sub-200ns" true
+    (Cost.horse_resume_estimate_ns Cost.xen < 200.0)
+
+let test_rejects_zero_vcpus () =
+  Alcotest.check_raises "zero"
+    (Invalid_argument "Cost_model: vcpus must be positive") (fun () ->
+      ignore (Cost.vanilla_resume_estimate_ns fc ~vcpus:0))
+
+(* ------------------------------------------------------------------ *)
+(* DVFS                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_performance_governor_pins_top () =
+  let d = Dvfs.create ~topology:Topology.r650 () in
+  Alcotest.(check int) "top freq" 3500 (Dvfs.frequency_mhz d ~cpu:0);
+  Dvfs.note_utilisation d ~cpu:0 0.1;
+  Alcotest.(check int) "ignores util" 3500 (Dvfs.frequency_mhz d ~cpu:0);
+  Alcotest.(check int) "no transitions" 0 (Dvfs.transitions d)
+
+let test_powersave_governor_pins_bottom () =
+  let d = Dvfs.create ~governor:Dvfs.Powersave ~topology:Topology.r650 () in
+  Alcotest.(check int) "bottom freq" 800 (Dvfs.frequency_mhz d ~cpu:0)
+
+let test_schedutil_scales_with_load () =
+  let d = Dvfs.create ~governor:Dvfs.Schedutil ~topology:Topology.r650 () in
+  Dvfs.note_utilisation d ~cpu:3 0.1;
+  let low = Dvfs.frequency_mhz d ~cpu:3 in
+  Dvfs.note_utilisation d ~cpu:3 0.95;
+  let high = Dvfs.frequency_mhz d ~cpu:3 in
+  Alcotest.(check bool) "scales up" true (high > low);
+  Alcotest.(check bool) "reached near top" true (high >= 2400);
+  Dvfs.note_utilisation d ~cpu:3 0.1;
+  Alcotest.(check int) "scales back down" low (Dvfs.frequency_mhz d ~cpu:3);
+  Alcotest.(check bool) "counted transitions" true (Dvfs.transitions d >= 2)
+
+let test_schedutil_per_cpu_independent () =
+  let d = Dvfs.create ~governor:Dvfs.Schedutil ~topology:Topology.r650 () in
+  Dvfs.note_utilisation d ~cpu:0 1.0;
+  Alcotest.(check bool) "cpu0 raised" true (Dvfs.frequency_mhz d ~cpu:0 >= 2400);
+  Alcotest.(check int) "cpu1 untouched" 800 (Dvfs.frequency_mhz d ~cpu:1)
+
+let test_speed_factor () =
+  let d = Dvfs.create ~governor:Dvfs.Powersave ~topology:Topology.r650 () in
+  Alcotest.(check (float 1e-9)) "800/2400" (800.0 /. 2400.0)
+    (Dvfs.speed_factor d ~cpu:0)
+
+let test_dvfs_validation () =
+  let d = Dvfs.create ~topology:Topology.r650 () in
+  Alcotest.check_raises "bad util"
+    (Invalid_argument "Dvfs.note_utilisation: utilisation outside [0,1]")
+    (fun () -> Dvfs.note_utilisation d ~cpu:0 1.5);
+  Alcotest.check_raises "bad cpu"
+    (Invalid_argument "Dvfs: cpu id out of range") (fun () ->
+      ignore (Dvfs.frequency_mhz d ~cpu:999))
+
+(* ------------------------------------------------------------------ *)
+(* Energy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Energy = Horse_cpu.Energy
+module Time = Horse_sim.Time_ns
+
+let test_energy_power_curve () =
+  let e = Energy.create ~topology:Topology.r650 () in
+  (* cubic: quadrupling frequency costs far more than 4x power *)
+  let low = Energy.power_watts e ~freq_mhz:800 in
+  let nominal = Energy.power_watts e ~freq_mhz:2400 in
+  let turbo = Energy.power_watts e ~freq_mhz:3500 in
+  Alcotest.(check bool) "monotone" true (low < nominal && nominal < turbo);
+  Alcotest.(check bool) "~4.5W at nominal" true (nominal > 4.0 && nominal < 5.0);
+  Alcotest.(check bool) "cubic dominates" true
+    (turbo -. low > 2.0 *. (3500.0 -. 800.0) /. 1000.0)
+
+let test_energy_accounting () =
+  let e = Energy.create ~topology:Topology.r650 () in
+  Energy.account e ~cpu:0 ~freq_mhz:2400 (Time.span_s 2.0);
+  Alcotest.(check (float 1e-6)) "E = P*t"
+    (2.0 *. Energy.power_watts e ~freq_mhz:2400)
+    (Energy.energy_joules e ~cpu:0);
+  Energy.account_idle e ~cpu:1 (Time.span_s 10.0);
+  Alcotest.(check (float 1e-6)) "idle is static only" 12.0
+    (Energy.energy_joules e ~cpu:1);
+  Alcotest.(check (float 1e-6)) "total sums"
+    (Energy.energy_joules e ~cpu:0 +. Energy.energy_joules e ~cpu:1)
+    (Energy.total_joules e)
+
+let test_energy_average_and_guards () =
+  let e = Energy.create ~topology:Topology.r650 () in
+  Energy.account e ~cpu:0 ~freq_mhz:800 (Time.span_s 4.0);
+  let avg = Energy.average_watts e ~over:(Time.span_s 4.0) in
+  Alcotest.(check (float 1e-6)) "average" (Energy.power_watts e ~freq_mhz:800) avg;
+  Alcotest.check_raises "zero window"
+    (Invalid_argument "Energy.average_watts: zero window") (fun () ->
+      ignore (Energy.average_watts e ~over:Time.span_zero));
+  Alcotest.check_raises "bad cpu" (Invalid_argument "Energy: cpu id out of range")
+    (fun () -> ignore (Energy.energy_joules e ~cpu:999))
+
+let test_energy_governor_comparison () =
+  (* the payoff: schedutil at low utilisation burns less than the
+     performance governor pinning turbo *)
+  let duration = Time.span_s 60.0 in
+  let run governor =
+    let d = Dvfs.create ~governor ~topology:Topology.r650 () in
+    Dvfs.note_utilisation d ~cpu:0 0.10;
+    let e = Energy.create ~topology:Topology.r650 () in
+    Energy.account e ~cpu:0 ~freq_mhz:(Dvfs.frequency_mhz d ~cpu:0) duration;
+    Energy.total_joules e
+  in
+  let performance = run Dvfs.Performance in
+  let schedutil = run Dvfs.Schedutil in
+  Alcotest.(check bool)
+    (Printf.sprintf "schedutil %.0fJ < performance %.0fJ" schedutil performance)
+    true (schedutil < performance /. 2.0)
+
+let prop_schedutil_monotone =
+  QCheck2.Test.make ~name:"schedutil frequency is monotone in utilisation"
+    ~count:200
+    QCheck2.Gen.(
+      pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0))
+    (fun (u1, u2) ->
+      let lo = min u1 u2 and hi = max u1 u2 in
+      let d = Dvfs.create ~governor:Dvfs.Schedutil ~topology:Topology.r650 () in
+      Dvfs.note_utilisation d ~cpu:0 lo;
+      let f_lo = Dvfs.frequency_mhz d ~cpu:0 in
+      Dvfs.note_utilisation d ~cpu:0 hi;
+      let f_hi = Dvfs.frequency_mhz d ~cpu:0 in
+      f_hi >= f_lo)
+
+let () =
+  Alcotest.run "horse_cpu"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "r650 shape" `Quick test_r650_shape;
+          Alcotest.test_case "socket mapping" `Quick test_socket_mapping;
+          Alcotest.test_case "SMT siblings" `Quick test_smt_siblings;
+          Alcotest.test_case "validation" `Quick test_topology_validation;
+        ] );
+      ( "cost_model",
+        [
+          Alcotest.test_case "vanilla 1 vCPU" `Quick test_vanilla_1_vcpu;
+          Alcotest.test_case "vanilla 36 vCPUs ~1.1us" `Quick
+            test_vanilla_36_vcpus_is_1_1us;
+          Alcotest.test_case "horse ~150ns" `Quick test_horse_is_150ns_constant;
+          Alcotest.test_case "headline 7.16x" `Quick test_headline_speedup;
+          Alcotest.test_case "steps 4+5 share" `Quick test_steps45_share;
+          Alcotest.test_case "monotone in vCPUs" `Quick test_monotone_in_vcpus;
+          Alcotest.test_case "xen profile" `Quick test_xen_profile_heavier;
+          Alcotest.test_case "rejects zero vCPUs" `Quick test_rejects_zero_vcpus;
+        ] );
+      ( "dvfs",
+        [
+          Alcotest.test_case "performance pins top" `Quick
+            test_performance_governor_pins_top;
+          Alcotest.test_case "powersave pins bottom" `Quick
+            test_powersave_governor_pins_bottom;
+          Alcotest.test_case "schedutil scales" `Quick
+            test_schedutil_scales_with_load;
+          Alcotest.test_case "per-cpu independence" `Quick
+            test_schedutil_per_cpu_independent;
+          Alcotest.test_case "speed factor" `Quick test_speed_factor;
+          Alcotest.test_case "validation" `Quick test_dvfs_validation;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "power curve" `Quick test_energy_power_curve;
+          Alcotest.test_case "accounting" `Quick test_energy_accounting;
+          Alcotest.test_case "average + guards" `Quick
+            test_energy_average_and_guards;
+          Alcotest.test_case "governor comparison" `Quick
+            test_energy_governor_comparison;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_schedutil_monotone ] );
+    ]

@@ -1,0 +1,793 @@
+(* Tests for horse_faas: function registry, warm pools, the four
+   start modes, keep-alive, preemption injection and metrics. *)
+
+module Engine = Horse_sim.Engine
+module Time = Horse_sim.Time_ns
+module Metrics = Horse_sim.Metrics
+module Topology = Horse_cpu.Topology
+module Platform = Horse_faas.Platform
+module Function_def = Horse_faas.Function_def
+module Sandbox = Horse_vmm.Sandbox
+module Category = Horse_workload.Category
+
+let small_topology = Topology.create ~sockets:1 ~cores_per_socket:8 ()
+
+let fresh ?(keep_alive = Time.span_s 600.0) ?(seed = 11) () =
+  let engine = Engine.create ~seed () in
+  let platform =
+    Platform.create ~topology:small_topology ~keep_alive ~jitter:0.0 ~seed
+      ~engine ()
+  in
+  (engine, platform)
+
+let register_nat ?(vcpus = 1) platform =
+  Platform.register platform
+    (Function_def.create ~name:"nat" ~vcpus ~memory_mb:512
+       ~exec:(Function_def.Ull Category.Cat2) ())
+
+let ns_of = Time.span_to_ns
+
+(* ------------------------------------------------------------------ *)
+(* Function definitions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_function_def_defaults () =
+  let ull_fn =
+    Function_def.create ~name:"f" ~vcpus:1 ~memory_mb:128
+      ~exec:(Function_def.Ull Category.Cat1) ()
+  in
+  Alcotest.(check bool) "ull by default for Ull" true ull_fn.Function_def.ull;
+  let fixed_fn =
+    Function_def.create ~name:"g" ~vcpus:1 ~memory_mb:128
+      ~exec:(Function_def.Fixed (Time.span_ms 1.0)) ()
+  in
+  Alcotest.(check bool) "not ull for Fixed" false fixed_fn.Function_def.ull;
+  Alcotest.check_raises "bad vcpus"
+    (Invalid_argument "Function_def.create: vcpus must be positive") (fun () ->
+      ignore
+        (Function_def.create ~name:"h" ~vcpus:0 ~memory_mb:128
+           ~exec:(Function_def.Ull Category.Cat1) ()))
+
+let test_sample_exec_models () =
+  let rng = Horse_sim.Rng.create ~seed:1 in
+  let fixed =
+    Function_def.create ~name:"f" ~vcpus:1 ~memory_mb:128
+      ~exec:(Function_def.Fixed (Time.span_us 5.0)) ()
+  in
+  Alcotest.(check int) "fixed" 5_000
+    (ns_of (Function_def.sample_exec fixed rng));
+  let sampled =
+    Function_def.create ~name:"s" ~vcpus:1 ~memory_mb:128
+      ~exec:(Function_def.Sampled (fun _ -> Time.span_us 9.0)) ()
+  in
+  Alcotest.(check int) "sampled" 9_000
+    (ns_of (Function_def.sample_exec sampled rng))
+
+(* ------------------------------------------------------------------ *)
+(* Registry & pools                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_register_twice_rejected () =
+  let _, platform = fresh () in
+  register_nat platform;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Platform.register: nat already registered") (fun () ->
+      register_nat platform)
+
+let test_unknown_function () =
+  let _, platform = fresh () in
+  (match Platform.trigger platform ~name:"ghost" ~mode:Platform.Cold () with
+  | () -> Alcotest.fail "accepted unknown function"
+  | exception Platform.Unknown_function "ghost" -> ());
+  match Platform.provision platform ~name:"ghost" ~count:1 ~strategy:Sandbox.Horse with
+  | () -> Alcotest.fail "provisioned unknown function"
+  | exception Platform.Unknown_function "ghost" -> ()
+
+let test_provision_fills_pool () =
+  let _, platform = fresh () in
+  register_nat platform;
+  Alcotest.(check int) "empty" 0 (Platform.pool_size platform ~name:"nat");
+  Platform.provision platform ~name:"nat" ~count:3 ~strategy:Sandbox.Horse;
+  Alcotest.(check int) "three" 3 (Platform.pool_size platform ~name:"nat")
+
+let test_warm_without_pool_raises () =
+  let _, platform = fresh () in
+  register_nat platform;
+  match
+    Platform.trigger platform ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse) ()
+  with
+  | () -> Alcotest.fail "warm trigger without pool"
+  | exception Platform.No_warm_sandbox "nat" -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Start modes                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_one platform engine ~name ~mode =
+  let result = ref None in
+  Platform.trigger platform ~name ~mode
+    ~on_complete:(fun record -> result := Some record)
+    ();
+  Engine.run engine;
+  Option.get !result
+
+let test_cold_start_latency () =
+  let engine, platform = fresh () in
+  register_nat platform;
+  let r = run_one platform engine ~name:"nat" ~mode:Platform.Cold in
+  Alcotest.(check bool) "~1.5s init" true
+    (ns_of r.Platform.init > 1_400_000_000);
+  Alcotest.(check bool) "exec ~1.5us" true
+    (ns_of r.Platform.exec > 1_000 && ns_of r.Platform.exec < 2_000)
+
+let test_restore_start_latency () =
+  let engine, platform = fresh () in
+  register_nat platform;
+  let r = run_one platform engine ~name:"nat" ~mode:Platform.Restore in
+  Alcotest.(check bool) "~1.3ms init" true
+    (ns_of r.Platform.init > 1_000_000 && ns_of r.Platform.init < 2_000_000)
+
+let test_warm_vanilla_vs_horse_init () =
+  let engine, platform = fresh () in
+  register_nat platform;
+  Platform.provision platform ~name:"nat" ~count:1 ~strategy:Sandbox.Vanilla;
+  Platform.provision platform ~name:"nat" ~count:1 ~strategy:Sandbox.Horse;
+  let vanilla =
+    run_one platform engine ~name:"nat" ~mode:(Platform.Warm Sandbox.Vanilla)
+  in
+  let horse =
+    run_one platform engine ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse)
+  in
+  (* warm = dispatch (~540ns) + vanilla resume (~560ns) ~ 1.1us *)
+  Alcotest.(check bool) "warm ~1.1us" true
+    (ns_of vanilla.Platform.init > 1_000 && ns_of vanilla.Platform.init < 1_250);
+  (* horse = fast path, no dispatch: ~147ns *)
+  Alcotest.(check bool) "horse ~150ns" true
+    (ns_of horse.Platform.init > 130 && ns_of horse.Platform.init < 170)
+
+let test_warm_sandbox_returns_to_pool () =
+  let engine, platform = fresh () in
+  register_nat platform;
+  Platform.provision platform ~name:"nat" ~count:1 ~strategy:Sandbox.Horse;
+  for _ = 1 to 5 do
+    ignore (run_one platform engine ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse))
+  done;
+  Alcotest.(check int) "pool restored" 1 (Platform.pool_size platform ~name:"nat");
+  Alcotest.(check int) "five resumes" 5
+    (Metrics.counter (Platform.metrics platform) "vmm.resumes.horse")
+
+let test_records_accumulate () =
+  let engine, platform = fresh () in
+  register_nat platform;
+  Platform.provision platform ~name:"nat" ~count:3 ~strategy:Sandbox.Horse;
+  for _ = 1 to 3 do
+    Platform.trigger platform ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse) ()
+  done;
+  Alcotest.(check int) "live before run" 3 (Platform.live_invocations platform);
+  Engine.run engine;
+  Alcotest.(check int) "live drained" 0 (Platform.live_invocations platform);
+  Alcotest.(check int) "records" 3 (List.length (Platform.records platform))
+
+let test_concurrent_warm_pool_exhaustion () =
+  let _, platform = fresh () in
+  register_nat platform;
+  Platform.provision platform ~name:"nat" ~count:2 ~strategy:Sandbox.Horse;
+  Platform.trigger platform ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse) ();
+  Platform.trigger platform ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse) ();
+  match
+    Platform.trigger platform ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse) ()
+  with
+  | () -> Alcotest.fail "third concurrent warm trigger should fail"
+  | exception Platform.No_warm_sandbox "nat" -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Keep-alive                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_keep_alive_expiry () =
+  let engine, platform = fresh ~keep_alive:(Time.span_s 5.0) () in
+  register_nat platform;
+  Platform.trigger platform ~name:"nat" ~mode:Platform.Cold ();
+  (* cold start completes around 1.5s; the pause into the pool happens
+     then, the expiry only 5s later *)
+  Engine.run ~until:(Time.of_ns 3_000_000_000) engine;
+  Alcotest.(check int) "pooled after cold" 1
+    (Platform.pool_size platform ~name:"nat");
+  Engine.run engine;
+  (* the expiry event fired 5s later and reclaimed it *)
+  Alcotest.(check int) "expired" 0 (Platform.pool_size platform ~name:"nat");
+  Alcotest.(check int) "one expiry" 1
+    (Metrics.counter (Platform.metrics platform) "platform.keepalive_expiries")
+
+let test_keep_alive_reuse_prevents_expiry () =
+  let engine, platform = fresh ~keep_alive:(Time.span_s 5.0) () in
+  register_nat platform;
+  Platform.trigger platform ~name:"nat" ~mode:Platform.Cold ();
+  (* reuse the pooled sandbox within the window (cold completes ~1.5s) *)
+  ignore
+    (Engine.schedule engine ~after:(Time.span_s 3.0) (fun _ ->
+         Platform.trigger platform ~name:"nat"
+           ~mode:(Platform.Warm Sandbox.Vanilla) ()));
+  Engine.run engine;
+  Alcotest.(check int) "warm hit" 1
+    (Metrics.counter (Platform.metrics platform) "vmm.resumes.vanil")
+
+(* ------------------------------------------------------------------ *)
+(* Preemption injection                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_preemption_extends_running_invocation () =
+  (* Deterministic setup: a long function occupies CPUs; many HORSE
+     resumes fire while it runs; with a 8-CPU box and enough resumes
+     some merge thread must land on its CPUs. *)
+  let engine, platform = fresh ~seed:5 () in
+  Platform.register platform
+    (Function_def.create ~name:"long" ~vcpus:4 ~memory_mb:1024
+       ~exec:(Function_def.Fixed (Time.span_ms 50.0)) ());
+  register_nat platform ~vcpus:4;
+  Platform.provision platform ~name:"nat" ~count:1 ~strategy:Sandbox.Horse;
+  let long_record = ref None in
+  Platform.trigger platform ~name:"long" ~mode:Platform.Cold
+    ~on_complete:(fun r -> long_record := Some r)
+    ();
+  for i = 1 to 200 do
+    ignore
+      (Engine.schedule engine
+         ~after:(Time.span_us (float_of_int i *. 100.0))
+         (fun _ ->
+           match
+             Platform.trigger platform ~name:"nat"
+               ~mode:(Platform.Warm Sandbox.Horse) ()
+           with
+           | () -> ()
+           | exception Platform.No_warm_sandbox _ -> ()))
+  done;
+  Engine.run engine;
+  let r = Option.get !long_record in
+  let preemptions =
+    Metrics.counter (Platform.metrics platform) "platform.preemptions"
+  in
+  Alcotest.(check bool) "some preemptions happened" true (preemptions > 0);
+  Alcotest.(check bool) "delay recorded on the long function" true
+    (ns_of r.Platform.preemption > 0);
+  Alcotest.(check int) "total includes the delay"
+    (ns_of r.Platform.init + ns_of r.Platform.exec + ns_of r.Platform.preemption)
+    (ns_of (Platform.record_total r))
+
+let test_no_preemption_under_vanilla () =
+  let engine, platform = fresh ~seed:5 () in
+  Platform.register platform
+    (Function_def.create ~name:"long" ~vcpus:4 ~memory_mb:1024
+       ~exec:(Function_def.Fixed (Time.span_ms 50.0)) ());
+  register_nat platform ~vcpus:4;
+  Platform.provision platform ~name:"nat" ~count:1 ~strategy:Sandbox.Vanilla;
+  Platform.trigger platform ~name:"long" ~mode:Platform.Cold ();
+  for i = 1 to 200 do
+    ignore
+      (Engine.schedule engine
+         ~after:(Time.span_us (float_of_int i *. 100.0))
+         (fun _ ->
+           match
+             Platform.trigger platform ~name:"nat"
+               ~mode:(Platform.Warm Sandbox.Vanilla) ()
+           with
+           | () -> ()
+           | exception Platform.No_warm_sandbox _ -> ()))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "no preemptions on the vanilla path" 0
+    (Metrics.counter (Platform.metrics platform) "platform.preemptions")
+
+(* ------------------------------------------------------------------ *)
+(* Keep-alive policies                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Keepalive = Horse_faas.Keepalive
+
+let minutes m = Time.span_s (60.0 *. m)
+
+let test_fixed_policy_recommendation () =
+  let t = Keepalive.create (Keepalive.Fixed (minutes 10.0)) in
+  Alcotest.(check int) "constant" (Time.span_to_ns (minutes 10.0))
+    (Time.span_to_ns (Keepalive.recommendation t));
+  Keepalive.note_arrival t ~at:(Time.of_ns 0);
+  Keepalive.note_arrival t ~at:(Time.of_ns 1_000_000_000);
+  Alcotest.(check int) "still constant" (Time.span_to_ns (minutes 10.0))
+    (Time.span_to_ns (Keepalive.recommendation t))
+
+let test_histogram_policy_learns () =
+  let t =
+    Keepalive.create
+      (Keepalive.Histogram { percentile = 99.0; cap = minutes 240.0 })
+  in
+  (* before any history, the cap applies *)
+  Alcotest.(check int) "cap initially" (Time.span_to_ns (minutes 240.0))
+    (Time.span_to_ns (Keepalive.recommendation t));
+  (* feed arrivals exactly 2 minutes apart *)
+  for i = 0 to 20 do
+    Keepalive.note_arrival t
+      ~at:(Time.add Time.zero (Time.scale_span i (minutes 2.0)))
+  done;
+  (* p99 of the gaps sits in the 2-minute bucket: keep alive 3 min *)
+  Alcotest.(check int) "three minutes" (Time.span_to_ns (minutes 3.0))
+    (Time.span_to_ns (Keepalive.recommendation t))
+
+let test_histogram_cap_applies () =
+  let t =
+    Keepalive.create
+      (Keepalive.Histogram { percentile = 99.0; cap = minutes 5.0 })
+  in
+  for i = 0 to 5 do
+    Keepalive.note_arrival t
+      ~at:(Time.add Time.zero (Time.scale_span i (minutes 100.0)))
+  done;
+  Alcotest.(check int) "capped" (Time.span_to_ns (minutes 5.0))
+    (Time.span_to_ns (Keepalive.recommendation t))
+
+let test_policy_validation () =
+  Alcotest.check_raises "bad percentile"
+    (Invalid_argument "Keepalive.create: percentile outside (0, 100]")
+    (fun () ->
+      ignore
+        (Keepalive.create
+           (Keepalive.Histogram { percentile = 0.0; cap = minutes 1.0 })));
+  let t = Keepalive.create (Keepalive.Fixed (minutes 1.0)) in
+  Keepalive.note_arrival t ~at:(Time.of_ns 100);
+  Alcotest.check_raises "regression"
+    (Invalid_argument "Keepalive.note_arrival: clock went backwards")
+    (fun () -> Keepalive.note_arrival t ~at:(Time.of_ns 50))
+
+let test_evaluate_fixed () =
+  (* gaps of 1 minute against a 10-minute window: all warm but the first *)
+  let arrivals = List.init 10 (fun i -> Time.scale_span i (minutes 1.0)) in
+  let e = Keepalive.evaluate (Keepalive.Fixed (minutes 10.0)) ~arrivals in
+  Alcotest.(check int) "invocations" 10 e.Keepalive.invocations;
+  Alcotest.(check int) "one cold" 1 e.Keepalive.cold_starts;
+  Alcotest.(check int) "nine warm" 9 e.Keepalive.warm_hits;
+  Alcotest.(check (float 1e-9)) "rate" 0.9 (Keepalive.warm_hit_rate e)
+
+let test_evaluate_short_window_all_cold () =
+  let arrivals = List.init 5 (fun i -> Time.scale_span i (minutes 30.0)) in
+  let e = Keepalive.evaluate (Keepalive.Fixed (minutes 1.0)) ~arrivals in
+  Alcotest.(check int) "all cold" 5 e.Keepalive.cold_starts;
+  Alcotest.(check int) "no warm" 0 e.Keepalive.warm_hits
+
+let test_evaluate_cost_tradeoff () =
+  (* sparse arrivals: the histogram policy should pay less warm-pool
+     time than a long fixed window at a comparable hit rate *)
+  let arrivals = List.init 60 (fun i -> Time.scale_span i (minutes 2.0)) in
+  let fixed = Keepalive.evaluate (Keepalive.Fixed (minutes 60.0)) ~arrivals in
+  let histogram =
+    Keepalive.evaluate
+      (Keepalive.Histogram { percentile = 99.0; cap = minutes 60.0 })
+      ~arrivals
+  in
+  Alcotest.(check bool) "hit rates comparable" true
+    (Keepalive.warm_hit_rate histogram >= Keepalive.warm_hit_rate fixed -. 0.05);
+  Alcotest.(check bool) "histogram pays less idle time" true
+    (Time.span_to_ns histogram.Keepalive.warm_pool_span
+    < Time.span_to_ns fixed.Keepalive.warm_pool_span)
+
+let test_evaluate_rejects_unsorted () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Keepalive.evaluate: arrivals not sorted") (fun () ->
+      ignore
+        (Keepalive.evaluate (Keepalive.Fixed (minutes 1.0))
+           ~arrivals:[ minutes 5.0; minutes 1.0 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Energy / DVFS integration                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_platform_accounts_energy () =
+  let engine, platform = fresh () in
+  register_nat platform;
+  Alcotest.(check (float 1e-9)) "starts at zero" 0.0
+    (Horse_cpu.Energy.total_joules (Platform.energy platform));
+  ignore (run_one platform engine ~name:"nat" ~mode:Platform.Cold);
+  Alcotest.(check bool) "accounted something" true
+    (Horse_cpu.Energy.total_joules (Platform.energy platform) > 0.0)
+
+let test_governor_signal_identical_across_strategies () =
+  (* the coalesced step-5 update must give schedutil the same signal *)
+  let energy_of strategy =
+    let engine = Engine.create ~seed:31 () in
+    let platform =
+      Platform.create ~topology:small_topology ~jitter:0.0 ~seed:31
+        ~governor:Horse_cpu.Dvfs.Schedutil ~engine ()
+    in
+    register_nat platform;
+    Platform.provision platform ~name:"nat" ~count:1 ~strategy;
+    for _ = 1 to 20 do
+      ignore (run_one platform engine ~name:"nat" ~mode:(Platform.Warm strategy))
+    done;
+    Horse_cpu.Energy.total_joules (Platform.energy platform)
+  in
+  Alcotest.(check (float 1e-9)) "vanilla == horse energy"
+    (energy_of Sandbox.Vanilla) (energy_of Sandbox.Horse)
+
+(* ------------------------------------------------------------------ *)
+(* Autoscaler                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Autoscaler = Horse_faas.Autoscaler
+
+let test_autoscaler_tracks_concurrency () =
+  let a = Autoscaler.create () in
+  Alcotest.(check int) "idle" 0 (Autoscaler.current_concurrency a);
+  Autoscaler.note_start a ~at:(Time.of_ns 0);
+  Autoscaler.note_start a ~at:(Time.of_ns 10);
+  Alcotest.(check int) "two live" 2 (Autoscaler.current_concurrency a);
+  Autoscaler.note_complete a ~at:(Time.of_ns 20);
+  Alcotest.(check int) "one live" 1 (Autoscaler.current_concurrency a);
+  Alcotest.check_raises "underflow"
+    (Invalid_argument "Autoscaler.note_complete: no invocation outstanding")
+    (fun () ->
+      Autoscaler.note_complete a ~at:(Time.of_ns 30);
+      Autoscaler.note_complete a ~at:(Time.of_ns 40))
+
+let test_autoscaler_recommendation () =
+  let a = Autoscaler.create ~headroom:1 () in
+  (* no traffic yet: keep nothing warm *)
+  Alcotest.(check int) "cold start" 0
+    (Autoscaler.recommendation a ~at:(Time.of_ns 0));
+  (* a burst of 5 concurrent invocations *)
+  for i = 0 to 4 do
+    Autoscaler.note_start a ~at:(Time.of_ns (i * 1000))
+  done;
+  for i = 0 to 4 do
+    Autoscaler.note_complete a ~at:(Time.of_ns (10_000 + (i * 1000)))
+  done;
+  let rec_now = Autoscaler.recommendation a ~at:(Time.of_ns 20_000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "burst remembered (%d)" rec_now)
+    true (rec_now >= 5);
+  (* after the window slides past the burst, scale back down *)
+  let later = Time.of_ns (Time.span_to_ns (Time.span_s 120.0)) in
+  Alcotest.(check int) "scaled down to headroom" 1
+    (Autoscaler.recommendation a ~at:later)
+
+let test_autoscaler_caps () =
+  let a = Autoscaler.create ~max_pool:3 ~headroom:0 () in
+  for i = 0 to 9 do
+    Autoscaler.note_start a ~at:(Time.of_ns i)
+  done;
+  Alcotest.(check int) "capped" 3
+    (Autoscaler.recommendation a ~at:(Time.of_ns 100))
+
+let test_autoscaler_attached_to_platform () =
+  let engine, platform = fresh () in
+  register_nat platform;
+  let a =
+    Autoscaler.create ~window:(Time.span_s 10.0) ~headroom:1 ~percentile:99.0 ()
+  in
+  Autoscaler.attach a ~platform ~name:"nat" ~strategy:Sandbox.Horse
+    ~interval:(Time.span_s 1.0)
+    ~until:(Time.of_ns (Time.span_to_ns (Time.span_s 30.0)));
+  (* traffic burst in the first 5 seconds: 4 concurrent long-ish calls *)
+  Platform.register platform
+    (Function_def.create ~name:"steady" ~vcpus:1 ~memory_mb:128
+       ~exec:(Function_def.Fixed (Time.span_s 2.0)) ());
+  for i = 0 to 3 do
+    ignore
+      (Engine.schedule engine
+         ~after:(Time.span_ms (float_of_int i *. 100.0))
+         (fun _ ->
+           Autoscaler.note_start a ~at:(Engine.now engine);
+           Platform.trigger platform ~name:"steady" ~mode:Platform.Cold
+             ~on_complete:(fun _ ->
+               Autoscaler.note_complete a ~at:(Engine.now engine))
+             ()))
+  done;
+  Engine.run ~until:(Time.of_ns (Time.span_to_ns (Time.span_s 6.0))) engine;
+  (* the reconciler saw 4 concurrent invocations: pool grew *)
+  Alcotest.(check bool)
+    (Printf.sprintf "scaled up (%d)" (Platform.pool_size platform ~name:"nat"))
+    true
+    (Platform.pool_size platform ~name:"nat" >= 4);
+  Engine.run engine;
+  (* burst long gone: the reconciler shrank the pool to headroom *)
+  Alcotest.(check int) "scaled down" 1 (Platform.pool_size platform ~name:"nat")
+
+let test_reclaim () =
+  let _, platform = fresh () in
+  register_nat platform;
+  Platform.provision platform ~name:"nat" ~count:5 ~strategy:Sandbox.Horse;
+  Alcotest.(check int) "reclaimed 2" 2 (Platform.reclaim platform ~name:"nat" ~count:2);
+  Alcotest.(check int) "three left" 3 (Platform.pool_size platform ~name:"nat");
+  Alcotest.(check int) "reclaim beyond pool" 3
+    (Platform.reclaim platform ~name:"nat" ~count:10);
+  Alcotest.(check int) "empty" 0 (Platform.pool_size platform ~name:"nat")
+
+(* ------------------------------------------------------------------ *)
+(* Cluster                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Cluster = Horse_faas.Cluster
+
+let fresh_cluster ?(servers = 3) ?(routing = Cluster.Warm_first) () =
+  let engine = Engine.create ~seed:21 () in
+  let cluster =
+    Cluster.create ~servers ~routing ~topology:small_topology ~seed:21 ~engine ()
+  in
+  Cluster.register cluster
+    (Function_def.create ~name:"nat" ~vcpus:1 ~memory_mb:512
+       ~exec:(Function_def.Ull Category.Cat2) ());
+  (engine, cluster)
+
+let test_cluster_create_and_register () =
+  let _, cluster = fresh_cluster () in
+  Alcotest.(check int) "3 servers" 3 (Cluster.server_count cluster);
+  (* the function exists on every server: all three accept a cold start *)
+  for i = 0 to 2 do
+    Platform.trigger (Cluster.server cluster i) ~name:"nat" ~mode:Platform.Cold ()
+  done;
+  Alcotest.(check int) "three live" 3 (Cluster.live_invocations cluster);
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Cluster.server: index out of range") (fun () ->
+      ignore (Cluster.server cluster 99))
+
+let test_cluster_provision_spreads () =
+  let _, cluster = fresh_cluster () in
+  Cluster.provision cluster ~name:"nat" ~total:7 ~strategy:Sandbox.Horse;
+  Alcotest.(check int) "fleet pool" 7 (Cluster.pool_size cluster ~name:"nat");
+  let sizes =
+    List.init 3 (fun i ->
+        Platform.pool_size (Cluster.server cluster i) ~name:"nat")
+  in
+  Alcotest.(check (list int)) "spread 3/2/2" [ 3; 2; 2 ] sizes
+
+let test_cluster_round_robin () =
+  let _, cluster = fresh_cluster ~routing:Cluster.Round_robin () in
+  let picks =
+    List.init 6 (fun _ -> Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold ())
+  in
+  Alcotest.(check (list int)) "cycles" [ 0; 1; 2; 0; 1; 2 ] picks
+
+let test_cluster_least_loaded () =
+  let _, cluster = fresh_cluster ~routing:Cluster.Least_loaded () in
+  (* keep server 0 busy, the router must avoid it *)
+  let first = Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold () in
+  Alcotest.(check int) "first pick" 0 first;
+  let second = Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold () in
+  Alcotest.(check bool) "avoids busy server" true (second <> 0)
+
+let test_cluster_warm_first () =
+  let engine, cluster = fresh_cluster ~routing:Cluster.Warm_first () in
+  (* only server 1 gets a warm sandbox *)
+  Platform.provision (Cluster.server cluster 1) ~name:"nat" ~count:1
+    ~strategy:Sandbox.Horse;
+  let pick =
+    Cluster.trigger cluster ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse) ()
+  in
+  Alcotest.(check int) "routed to the warm server" 1 pick;
+  Engine.run engine;
+  Alcotest.(check int) "one completion" 1 (List.length (Cluster.records cluster))
+
+let test_cluster_warm_exhausted_raises () =
+  let _, cluster = fresh_cluster ~routing:Cluster.Warm_first () in
+  match Cluster.trigger cluster ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse) () with
+  | _ -> Alcotest.fail "should raise fleet-wide No_warm_sandbox"
+  | exception Platform.No_warm_sandbox "nat" -> ()
+
+let test_cluster_end_to_end () =
+  (* a slow function keeps several invocations in flight at once, so
+     the warm-first router has to spread across the fleet *)
+  let engine, cluster = fresh_cluster () in
+  Cluster.register cluster
+    (Function_def.create ~name:"slow" ~vcpus:1 ~memory_mb:512
+       ~exec:(Function_def.Fixed (Time.span_ms 5.0)) ());
+  Cluster.provision cluster ~name:"slow" ~total:9 ~strategy:Sandbox.Horse;
+  for i = 0 to 29 do
+    ignore
+      (Engine.schedule engine
+         ~after:(Time.span_ms (float_of_int i *. 1.0))
+         (fun _ ->
+           ignore
+             (Cluster.trigger cluster ~name:"slow"
+                ~mode:(Platform.Warm Sandbox.Horse) ())))
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "30 completions" 30
+    (List.length (Cluster.records cluster));
+  Alcotest.(check int) "pool restored" 9 (Cluster.pool_size cluster ~name:"slow");
+  let counts = Cluster.triggers_per_server cluster in
+  Alcotest.(check bool) "every server participated" true
+    (Array.for_all (fun c -> c > 0) counts)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics surface                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_recorded () =
+  let engine, platform = fresh () in
+  register_nat platform;
+  Platform.provision platform ~name:"nat" ~count:1 ~strategy:Sandbox.Horse;
+  ignore (run_one platform engine ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse));
+  let m = Platform.metrics platform in
+  Alcotest.(check int) "trigger counter" 1
+    (Metrics.counter m "platform.triggers.warm-horse");
+  Alcotest.(check int) "completion counter" 1
+    (Metrics.counter m "platform.completions");
+  Alcotest.(check bool) "init sample exists" true
+    (Metrics.sample m "platform.init.warm-horse" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_platform_conservation =
+  (* after the engine drains, every trigger has exactly one record,
+     nothing is live, and the pool is back to its provisioned size *)
+  QCheck2.Test.make ~name:"platform conserves invocations and pools" ~count:60
+    QCheck2.Gen.(
+      pair (1 -- 4) (list_size (1 -- 25) (pair (0 -- 3) (1 -- 5000))))
+    (fun (pool, script) ->
+      let engine = Engine.create ~seed:97 () in
+      let platform =
+        Platform.create ~topology:small_topology ~jitter:0.0 ~seed:97 ~engine ()
+      in
+      register_nat platform;
+      Platform.provision platform ~name:"nat" ~count:pool
+        ~strategy:Sandbox.Horse;
+      let attempted = ref 0 in
+      List.iter
+        (fun (kind, delay_us) ->
+          ignore
+            (Engine.schedule engine
+               ~after:(Time.span_us (float_of_int delay_us))
+               (fun _ ->
+                 let mode =
+                   match kind with
+                   | 0 -> Platform.Cold
+                   | 1 -> Platform.Restore
+                   | 2 -> Platform.Warm Sandbox.Horse
+                   | _ -> Platform.Warm Sandbox.Vanilla
+                 in
+                 match Platform.trigger platform ~name:"nat" ~mode () with
+                 | () -> incr attempted
+                 | exception Platform.No_warm_sandbox _ -> ())))
+        script;
+      Engine.run ~until:(Time.of_ns 60_000_000_000) engine;
+      List.length (Platform.records platform) = !attempted
+      && Platform.live_invocations platform = 0
+      && Platform.pool_size platform ~name:"nat" >= pool)
+
+let prop_keepalive_accounting =
+  QCheck2.Test.make ~name:"keep-alive: warm + cold == invocations" ~count:200
+    QCheck2.Gen.(
+      pair (1 -- 60)
+        (list_size (0 -- 40) (1 -- 3_000_000)))
+    (fun (window_s, gaps_ms) ->
+      let arrivals =
+        List.fold_left
+          (fun acc gap_ms ->
+            match acc with
+            | [] -> [ Time.span_ms (float_of_int gap_ms) ]
+            | last :: _ ->
+              Time.add_span last (Time.span_ms (float_of_int gap_ms)) :: acc)
+          [] gaps_ms
+        |> List.rev
+      in
+      let e =
+        Keepalive.evaluate
+          (Keepalive.Fixed (Time.span_s (float_of_int window_s)))
+          ~arrivals
+      in
+      e.Keepalive.warm_hits + e.Keepalive.cold_starts = e.Keepalive.invocations
+      && (arrivals = [] || e.Keepalive.cold_starts >= 1))
+
+let prop_autoscaler_bounded =
+  QCheck2.Test.make ~name:"autoscaler recommendation within [0, max_pool]"
+    ~count:200
+    QCheck2.Gen.(
+      pair (1 -- 20) (list_size (0 -- 60) bool))
+    (fun (max_pool, script) ->
+      let a = Autoscaler.create ~max_pool ~headroom:1 () in
+      let now = ref 0 in
+      List.iter
+        (fun start ->
+          now := !now + 1_000_000;
+          if start then Autoscaler.note_start a ~at:(Time.of_ns !now)
+          else if Autoscaler.current_concurrency a > 0 then
+            Autoscaler.note_complete a ~at:(Time.of_ns !now))
+        script;
+      let r = Autoscaler.recommendation a ~at:(Time.of_ns !now) in
+      r >= 0 && r <= max_pool)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_platform_conservation; prop_keepalive_accounting;
+      prop_autoscaler_bounded ]
+
+let () =
+  Alcotest.run "horse_faas"
+    [
+      ( "function_def",
+        [
+          Alcotest.test_case "defaults" `Quick test_function_def_defaults;
+          Alcotest.test_case "sample exec" `Quick test_sample_exec_models;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "register twice" `Quick test_register_twice_rejected;
+          Alcotest.test_case "unknown function" `Quick test_unknown_function;
+          Alcotest.test_case "provision fills pool" `Quick
+            test_provision_fills_pool;
+          Alcotest.test_case "warm without pool" `Quick
+            test_warm_without_pool_raises;
+        ] );
+      ( "start_modes",
+        [
+          Alcotest.test_case "cold" `Quick test_cold_start_latency;
+          Alcotest.test_case "restore" `Quick test_restore_start_latency;
+          Alcotest.test_case "warm vs horse" `Quick
+            test_warm_vanilla_vs_horse_init;
+          Alcotest.test_case "pool cycling" `Quick
+            test_warm_sandbox_returns_to_pool;
+          Alcotest.test_case "records" `Quick test_records_accumulate;
+          Alcotest.test_case "pool exhaustion" `Quick
+            test_concurrent_warm_pool_exhaustion;
+        ] );
+      ( "keep_alive",
+        [
+          Alcotest.test_case "expiry" `Quick test_keep_alive_expiry;
+          Alcotest.test_case "reuse" `Quick test_keep_alive_reuse_prevents_expiry;
+        ] );
+      ( "preemption",
+        [
+          Alcotest.test_case "extends running invocation" `Quick
+            test_preemption_extends_running_invocation;
+          Alcotest.test_case "vanilla has none" `Quick
+            test_no_preemption_under_vanilla;
+        ] );
+      ( "keepalive",
+        [
+          Alcotest.test_case "fixed recommendation" `Quick
+            test_fixed_policy_recommendation;
+          Alcotest.test_case "histogram learns" `Quick
+            test_histogram_policy_learns;
+          Alcotest.test_case "histogram cap" `Quick test_histogram_cap_applies;
+          Alcotest.test_case "validation" `Quick test_policy_validation;
+          Alcotest.test_case "evaluate fixed" `Quick test_evaluate_fixed;
+          Alcotest.test_case "short window all cold" `Quick
+            test_evaluate_short_window_all_cold;
+          Alcotest.test_case "cost tradeoff" `Quick test_evaluate_cost_tradeoff;
+          Alcotest.test_case "rejects unsorted" `Quick
+            test_evaluate_rejects_unsorted;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "accounts energy" `Quick
+            test_platform_accounts_energy;
+          Alcotest.test_case "governor signal identical" `Quick
+            test_governor_signal_identical_across_strategies;
+        ] );
+      ( "autoscaler",
+        [
+          Alcotest.test_case "tracks concurrency" `Quick
+            test_autoscaler_tracks_concurrency;
+          Alcotest.test_case "recommendation" `Quick
+            test_autoscaler_recommendation;
+          Alcotest.test_case "caps" `Quick test_autoscaler_caps;
+          Alcotest.test_case "attached to platform" `Quick
+            test_autoscaler_attached_to_platform;
+          Alcotest.test_case "reclaim" `Quick test_reclaim;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "create/register" `Quick
+            test_cluster_create_and_register;
+          Alcotest.test_case "provision spreads" `Quick
+            test_cluster_provision_spreads;
+          Alcotest.test_case "round robin" `Quick test_cluster_round_robin;
+          Alcotest.test_case "least loaded" `Quick test_cluster_least_loaded;
+          Alcotest.test_case "warm first" `Quick test_cluster_warm_first;
+          Alcotest.test_case "warm exhausted" `Quick
+            test_cluster_warm_exhausted_raises;
+          Alcotest.test_case "end to end" `Quick test_cluster_end_to_end;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "recorded" `Quick test_metrics_recorded ] );
+      ("properties", props);
+    ]

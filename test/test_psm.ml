@@ -1,0 +1,552 @@
+(* Tests for horse_psm: sorted linked lists, the reference merges and
+   P²SM itself, including the incremental-maintenance oracle. *)
+
+module Ll = Horse_psm.Linked_list
+module Psm = Horse_psm.Psm
+module Reference = Horse_psm.Reference
+
+let icmp = Int.compare
+
+let make xs = Ll.of_sorted_list ~compare:icmp xs
+
+let check_list = Alcotest.(check (list int))
+
+(* ------------------------------------------------------------------ *)
+(* Linked_list unit tests                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty () =
+  let t = Ll.create ~compare:icmp () in
+  Alcotest.(check int) "length" 0 (Ll.length t);
+  Alcotest.(check bool) "empty" true (Ll.is_empty t);
+  check_list "to_list" [] (Ll.to_list t);
+  Alcotest.(check bool) "sorted" true (Ll.is_sorted t)
+
+let test_insert_order () =
+  let t = Ll.create ~compare:icmp () in
+  List.iter (fun x -> ignore (Ll.insert_sorted t x)) [ 5; 1; 3; 2; 4 ];
+  check_list "sorted result" [ 1; 2; 3; 4; 5 ] (Ll.to_list t);
+  Alcotest.(check int) "length" 5 (Ll.length t)
+
+let test_insert_steps () =
+  let t = make [ 10; 20; 30 ] in
+  let _, s0 = Ll.insert_sorted t 5 in
+  Alcotest.(check int) "head insert walks 0" 0 s0;
+  let _, s1 = Ll.insert_sorted t 25 in
+  Alcotest.(check int) "mid insert walks 3" 3 s1;
+  let _, s2 = Ll.insert_sorted t 99 in
+  Alcotest.(check int) "tail insert walks 5" 5 s2
+
+let test_insert_stable () =
+  (* Equal keys: later insertions land after earlier ones. *)
+  let t = Ll.create ~compare:(fun (a, _) (b, _) -> Int.compare a b) () in
+  List.iter
+    (fun x -> ignore (Ll.insert_sorted t x))
+    [ (1, "a"); (1, "b"); (1, "c") ];
+  Alcotest.(check (list string))
+    "FIFO among equals" [ "a"; "b"; "c" ]
+    (List.map snd (Ll.to_list t))
+
+let test_remove_node () =
+  let t = make [ 1; 2; 3; 4 ] in
+  let node = Ll.nth_node t 2 in
+  let steps = Ll.remove_node t node in
+  Alcotest.(check int) "walked to third" 2 steps;
+  check_list "removed" [ 1; 2; 4 ] (Ll.to_list t);
+  Alcotest.check_raises "second removal" Not_found (fun () ->
+      ignore (Ll.remove_node t node))
+
+let test_pop_first () =
+  let t = make [ 7; 8 ] in
+  Alcotest.(check (option int)) "pop 7" (Some 7) (Ll.pop_first t);
+  Alcotest.(check (option int)) "pop 8" (Some 8) (Ll.pop_first t);
+  Alcotest.(check (option int)) "pop empty" None (Ll.pop_first t)
+
+let test_of_sorted_rejects_unsorted () =
+  Alcotest.check_raises "unsorted input"
+    (Invalid_argument "Linked_list.of_sorted_list: input not sorted")
+    (fun () -> ignore (make [ 3; 1 ]))
+
+let test_nth_node () =
+  let t = make [ 4; 5; 6 ] in
+  Alcotest.(check int) "nth 0" 4 (Ll.value (Ll.nth_node t 0));
+  Alcotest.(check int) "nth 2" 6 (Ll.value (Ll.nth_node t 2));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Linked_list.nth_node: out of range") (fun () ->
+      ignore (Ll.nth_node t 3))
+
+(* ------------------------------------------------------------------ *)
+(* Reference merges                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_values () =
+  check_list "simple"
+    [ 1; 2; 3; 4; 5; 6 ]
+    (Reference.merge_values ~compare:icmp [ 2; 4; 6 ] [ 1; 3; 5 ]);
+  check_list "empty a" [ 1; 2 ] (Reference.merge_values ~compare:icmp [] [ 1; 2 ]);
+  check_list "empty b" [ 1; 2 ] (Reference.merge_values ~compare:icmp [ 1; 2 ] [])
+
+let test_merge_values_stability () =
+  (* Among equals, target (second argument) elements come first. *)
+  let a = [ (1, "A") ] and b = [ (1, "B") ] in
+  let merged =
+    Reference.merge_values ~compare:(fun (x, _) (y, _) -> Int.compare x y) a b
+  in
+  Alcotest.(check (list string)) "b first" [ "B"; "A" ] (List.map snd merged)
+
+let test_insert_each () =
+  let source = make [ 2; 4 ] and target = make [ 1; 3; 5 ] in
+  let walked = Reference.insert_each ~source ~target in
+  check_list "merged" [ 1; 2; 3; 4; 5 ] (Ll.to_list target);
+  Alcotest.(check bool) "source drained" true (Ll.is_empty source);
+  Alcotest.(check bool) "walked some" true (walked > 0)
+
+(* ------------------------------------------------------------------ *)
+(* P²SM: Index                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_index_build () =
+  let b = make [ 10; 20; 30 ] in
+  let idx = Psm.Index.build b in
+  Alcotest.(check int) "length" 3 (Psm.Index.length idx);
+  Alcotest.(check bool) "consistent" true (Psm.Index.is_consistent idx);
+  Alcotest.(check bool) "anchor 0 is head" true (Psm.Index.anchor idx 0 = None);
+  Alcotest.(check int) "anchor 2 value" 20
+    (Ll.value (Option.get (Psm.Index.anchor idx 2)))
+
+let test_index_find_key () =
+  let b = make [ 10; 20; 20; 30 ] in
+  let idx = Psm.Index.build b in
+  Alcotest.(check int) "below all" 0 (Psm.Index.find_key idx 5);
+  Alcotest.(check int) "equal goes after" 3 (Psm.Index.find_key idx 20);
+  Alcotest.(check int) "between" 3 (Psm.Index.find_key idx 25);
+  Alcotest.(check int) "above all" 4 (Psm.Index.find_key idx 99)
+
+let test_index_incremental () =
+  let b = make [ 10; 30 ] in
+  let idx = Psm.Index.build b in
+  let node, pos = Ll.insert_sorted b 20 in
+  Psm.Index.note_insert idx ~pos node;
+  Alcotest.(check bool) "after insert" true (Psm.Index.is_consistent idx);
+  let victim = Ll.nth_node b 0 in
+  let pos = Ll.remove_node b victim in
+  Psm.Index.note_remove idx ~pos;
+  Alcotest.(check bool) "after remove" true (Psm.Index.is_consistent idx)
+
+let test_index_rebuild () =
+  let b = make [ 1; 2 ] in
+  let idx = Psm.Index.build b in
+  ignore (Ll.insert_sorted b 3);
+  Alcotest.(check bool) "stale" false (Psm.Index.is_consistent idx);
+  Psm.Index.rebuild idx;
+  Alcotest.(check bool) "fresh" true (Psm.Index.is_consistent idx)
+
+(* ------------------------------------------------------------------ *)
+(* P²SM: Plan build + execute                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_merge ?(binary = false) ?(parallel = 0) a_vals b_vals =
+  let a = make a_vals and b = make b_vals in
+  let idx = Psm.Index.build b in
+  let plan =
+    if binary then Psm.Plan.build_binary ~source:a ~index:idx
+    else Psm.Plan.build ~source:a ~index:idx
+  in
+  let stats =
+    if parallel > 0 then
+      Psm.Plan.execute_parallel ~domains:parallel plan ~index:idx ~source:a
+    else Psm.Plan.execute plan ~index:idx ~source:a
+  in
+  (Ll.to_list b, Ll.length b, Ll.is_empty a, stats)
+
+let test_plan_simple_merge () =
+  let merged, len, drained, stats = run_merge [ 2; 4; 6 ] [ 1; 3; 5 ] in
+  check_list "merged" [ 1; 2; 3; 4; 5; 6 ] merged;
+  Alcotest.(check int) "length" 6 len;
+  Alcotest.(check bool) "source drained" true drained;
+  Alcotest.(check int) "threads" 3 stats.Psm.Plan.threads;
+  Alcotest.(check int) "spliced" 3 stats.Psm.Plan.spliced
+
+let test_plan_merge_empty_target () =
+  let merged, _, _, stats = run_merge [ 1; 2; 3 ] [] in
+  check_list "merged" [ 1; 2; 3 ] merged;
+  Alcotest.(check int) "one segment" 1 stats.Psm.Plan.threads
+
+let test_plan_merge_empty_source () =
+  let merged, _, _, stats = run_merge [] [ 1; 2 ] in
+  check_list "unchanged" [ 1; 2 ] merged;
+  Alcotest.(check int) "no threads" 0 stats.Psm.Plan.threads
+
+let test_plan_merge_all_before () =
+  let merged, _, _, _ = run_merge [ 1; 2 ] [ 10; 20 ] in
+  check_list "prefix splice" [ 1; 2; 10; 20 ] merged
+
+let test_plan_merge_all_after () =
+  let merged, _, _, _ = run_merge [ 30; 40 ] [ 10; 20 ] in
+  check_list "suffix splice" [ 10; 20; 30; 40 ] merged
+
+let test_plan_merge_equal_values () =
+  (* equal elements: target's keep priority (come first) *)
+  let merged, _, _, _ = run_merge [ 5; 5 ] [ 5 ] in
+  check_list "ties" [ 5; 5; 5 ] merged;
+  (* with tagged equal keys, the target element must end up first *)
+  let kcmp (x, _) (y, _) = Int.compare x y in
+  let a = Ll.of_sorted_list ~compare:kcmp [ (5, "a1"); (5, "a2") ]
+  and b = Ll.of_sorted_list ~compare:kcmp [ (5, "b") ] in
+  let idx = Psm.Index.build b in
+  let plan = Psm.Plan.build ~source:a ~index:idx in
+  ignore (Psm.Plan.execute plan ~index:idx ~source:a);
+  Alcotest.(check (list string))
+    "target first among equals" [ "b"; "a1"; "a2" ]
+    (List.map snd (Ll.to_list b))
+
+let test_plan_binary_matches_linear () =
+  let merged_lin, _, _, s1 = run_merge [ 1; 5; 9 ] [ 2; 4; 6; 8 ] in
+  let merged_bin, _, _, s2 = run_merge ~binary:true [ 1; 5; 9 ] [ 2; 4; 6; 8 ] in
+  check_list "same result" merged_lin merged_bin;
+  Alcotest.(check int) "same threads" s1.Psm.Plan.threads s2.Psm.Plan.threads
+
+let test_plan_parallel_merge () =
+  let merged, _, drained, _ =
+    run_merge ~parallel:4
+      [ 1; 4; 4; 7; 11; 15 ]
+      [ 2; 3; 5; 8; 9; 10; 12 ]
+  in
+  check_list "parallel == expected"
+    (Reference.merge_values ~compare:icmp
+       [ 1; 4; 4; 7; 11; 15 ]
+       [ 2; 3; 5; 8; 9; 10; 12 ])
+    merged;
+  Alcotest.(check bool) "drained" true drained
+
+let test_plan_stale_on_unseen_target_change () =
+  let a = make [ 2 ] and b = make [ 1; 3 ] in
+  let idx = Psm.Index.build b in
+  let plan = Psm.Plan.build ~source:a ~index:idx in
+  ignore (Ll.insert_sorted b 5) (* not reported to index/plan *);
+  Alcotest.check_raises "stale" Psm.Stale (fun () ->
+      ignore (Psm.Plan.execute plan ~index:idx ~source:a))
+
+let test_plan_stale_on_double_execute () =
+  let a = make [ 2 ] and b = make [ 1; 3 ] in
+  let idx = Psm.Index.build b in
+  let plan = Psm.Plan.build ~source:a ~index:idx in
+  ignore (Psm.Plan.execute plan ~index:idx ~source:a);
+  Psm.Index.rebuild idx;
+  Alcotest.check_raises "re-execute" Psm.Stale (fun () ->
+      ignore (Psm.Plan.execute plan ~index:idx ~source:a))
+
+(* ------------------------------------------------------------------ *)
+(* P²SM: incremental maintenance                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_target_insert_split () =
+  (* source [2;4;6] vs target [5]: segment {2;4} at key 0, {6} at key 1.
+     Inserting 3 into the target must split {2;4}. *)
+  let a = make [ 2; 4; 6 ] and b = make [ 5 ] in
+  let idx = Psm.Index.build b in
+  let plan = Psm.Plan.build ~source:a ~index:idx in
+  Alcotest.(check (list int)) "keys before" [ 0; 1 ] (Psm.Plan.keys plan);
+  let node, pos = Ll.insert_sorted b 3 in
+  Psm.Plan.note_target_insert plan ~pos 3;
+  Psm.Index.note_insert idx ~pos node;
+  Alcotest.(check (list int)) "keys after" [ 0; 1; 2 ] (Psm.Plan.keys plan);
+  Alcotest.(check bool) "consistent" true
+    (Psm.Plan.is_consistent plan ~index:idx ~source:a);
+  let stats = Psm.Plan.execute plan ~index:idx ~source:a in
+  check_list "merged" [ 2; 3; 4; 5; 6 ] (Ll.to_list b);
+  Alcotest.(check int) "three segments" 3 stats.Psm.Plan.threads
+
+let test_plan_target_remove_coalesce () =
+  (* source [2;6] vs target [1;5;9]: keys 1 and 2.  Removing 5 must
+     coalesce both segments onto key 1. *)
+  let a = make [ 2; 6 ] and b = make [ 1; 5; 9 ] in
+  let idx = Psm.Index.build b in
+  let plan = Psm.Plan.build ~source:a ~index:idx in
+  Alcotest.(check (list int)) "keys before" [ 1; 2 ] (Psm.Plan.keys plan);
+  let victim = Ll.nth_node b 1 in
+  let pos = Ll.remove_node b victim in
+  Psm.Plan.note_target_remove plan ~pos;
+  Psm.Index.note_remove idx ~pos;
+  Alcotest.(check (list int)) "keys after" [ 1 ] (Psm.Plan.keys plan);
+  Alcotest.(check bool) "consistent" true
+    (Psm.Plan.is_consistent plan ~index:idx ~source:a);
+  ignore (Psm.Plan.execute plan ~index:idx ~source:a);
+  check_list "merged" [ 1; 2; 6; 9 ] (Ll.to_list b)
+
+let test_plan_source_insert () =
+  let a = make [ 2; 8 ] and b = make [ 5 ] in
+  let idx = Psm.Index.build b in
+  let plan = Psm.Plan.build ~source:a ~index:idx in
+  let node, _ = Ll.insert_sorted a 3 in
+  Psm.Plan.note_source_insert plan ~index:idx ~node;
+  Alcotest.(check int) "total" 3 (Psm.Plan.total plan);
+  Alcotest.(check bool) "consistent" true
+    (Psm.Plan.is_consistent plan ~index:idx ~source:a);
+  ignore (Psm.Plan.execute plan ~index:idx ~source:a);
+  check_list "merged" [ 2; 3; 5; 8 ] (Ll.to_list b)
+
+let test_plan_source_remove () =
+  let a = make [ 2; 3; 8 ] and b = make [ 5 ] in
+  let idx = Psm.Index.build b in
+  let plan = Psm.Plan.build ~source:a ~index:idx in
+  let node = Ll.nth_node a 1 in
+  Psm.Plan.note_source_remove plan ~node;
+  ignore (Ll.remove_node a node);
+  Alcotest.(check int) "total" 2 (Psm.Plan.total plan);
+  Alcotest.(check bool) "consistent" true
+    (Psm.Plan.is_consistent plan ~index:idx ~source:a);
+  ignore (Psm.Plan.execute plan ~index:idx ~source:a);
+  check_list "merged" [ 2; 5; 8 ] (Ll.to_list b)
+
+(* ------------------------------------------------------------------ *)
+(* Skip list (the "better queue" alternative)                          *)
+(* ------------------------------------------------------------------ *)
+
+module Sl = Horse_psm.Skip_list
+
+let test_skip_insert_sorted () =
+  let t = Sl.create ~compare:icmp () in
+  List.iter (fun x -> ignore (Sl.insert t x)) [ 5; 1; 9; 3; 7; 1 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 3; 5; 7; 9 ] (Sl.to_list t);
+  Alcotest.(check int) "length" 6 (Sl.length t);
+  Alcotest.(check bool) "consistent" true (Sl.is_consistent t)
+
+let test_skip_stable () =
+  let t = Sl.create ~compare:(fun (a, _) (b, _) -> Int.compare a b) () in
+  List.iter (fun x -> ignore (Sl.insert t x)) [ (1, "a"); (1, "b"); (1, "c") ];
+  Alcotest.(check (list string)) "FIFO among equals" [ "a"; "b"; "c" ]
+    (List.map snd (Sl.to_list t))
+
+let test_skip_pop_min () =
+  let t = Sl.of_list ~compare:icmp [ 4; 2; 8 ] in
+  Alcotest.(check (option int)) "min" (Some 2) (Sl.pop_min t);
+  Alcotest.(check (option int)) "next" (Some 4) (Sl.pop_min t);
+  Alcotest.(check int) "length" 1 (Sl.length t);
+  Alcotest.(check bool) "consistent" true (Sl.is_consistent t)
+
+let test_skip_remove_first () =
+  let t = Sl.of_list ~compare:icmp [ 1; 2; 3; 4 ] in
+  Alcotest.(check bool) "removed" true (Sl.remove_first t (fun x -> x mod 2 = 0));
+  Alcotest.(check (list int)) "2 gone" [ 1; 3; 4 ] (Sl.to_list t);
+  Alcotest.(check bool) "no match" false (Sl.remove_first t (fun x -> x > 10));
+  Alcotest.(check bool) "consistent" true (Sl.is_consistent t)
+
+let test_skip_mem () =
+  let t = Sl.of_list ~compare:icmp [ 10; 20; 30 ] in
+  Alcotest.(check bool) "present" true (Sl.mem t 20);
+  Alcotest.(check bool) "absent" false (Sl.mem t 25)
+
+let test_skip_search_is_sublinear () =
+  (* the whole point: inserting at a random position in a big skip
+     list walks far fewer nodes than the linked list does *)
+  let n = 4096 in
+  let sl = Sl.create ~compare:icmp () in
+  let ll = Ll.create ~compare:icmp () in
+  let rng = ref 12345 in
+  let next () =
+    rng := (!rng * 1103515245 + 12345) land 0x3FFFFFFF;
+    !rng mod 1_000_000
+  in
+  let sl_hops = ref 0 and ll_steps = ref 0 in
+  for _ = 1 to n do
+    let x = next () in
+    sl_hops := !sl_hops + Sl.insert sl x;
+    ll_steps := !ll_steps + snd (Ll.insert_sorted ll x)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "hops %d << steps %d" !sl_hops !ll_steps)
+    true
+    (!sl_hops * 10 < !ll_steps);
+  Alcotest.(check bool) "same contents" true (Sl.to_list sl = Ll.to_list ll)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_list_gen = QCheck2.Gen.(map (List.sort icmp) (list_size (0 -- 40) (0 -- 100)))
+
+let prop_insert_sorted_invariant =
+  QCheck2.Test.make ~name:"insert_sorted keeps the list sorted" ~count:300
+    QCheck2.Gen.(list_size (0 -- 60) (0 -- 100))
+    (fun xs ->
+      let t = Ll.create ~compare:icmp () in
+      List.iter (fun x -> ignore (Ll.insert_sorted t x)) xs;
+      Ll.is_sorted t
+      && Ll.length t = List.length xs
+      && Ll.to_list t = List.sort icmp xs)
+
+let prop_psm_equals_reference =
+  QCheck2.Test.make ~name:"P²SM merge == reference merge" ~count:300
+    QCheck2.Gen.(pair sorted_list_gen sorted_list_gen)
+    (fun (a_vals, b_vals) ->
+      let merged, _, drained, _ = run_merge a_vals b_vals in
+      drained && merged = Reference.merge_values ~compare:icmp a_vals b_vals)
+
+let prop_psm_binary_equals_linear =
+  QCheck2.Test.make ~name:"binary precompute == linear precompute" ~count:300
+    QCheck2.Gen.(pair sorted_list_gen sorted_list_gen)
+    (fun (a_vals, b_vals) ->
+      let m1, _, _, s1 = run_merge a_vals b_vals in
+      let m2, _, _, s2 = run_merge ~binary:true a_vals b_vals in
+      m1 = m2 && s1.Psm.Plan.threads = s2.Psm.Plan.threads)
+
+let prop_psm_parallel_equals_sequential =
+  QCheck2.Test.make ~name:"parallel splice == sequential splice" ~count:60
+    QCheck2.Gen.(pair sorted_list_gen sorted_list_gen)
+    (fun (a_vals, b_vals) ->
+      let m1, _, _, _ = run_merge a_vals b_vals in
+      let m2, _, _, _ = run_merge ~parallel:4 a_vals b_vals in
+      m1 = m2)
+
+(* Arbitrary mutation scripts: the incremental plan must always agree
+   with a from-scratch rebuild, and the final merge must be correct. *)
+type mutation = Target_insert of int | Target_remove of int | Source_insert of int
+
+let mutation_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun v -> Target_insert v) (0 -- 100);
+        map (fun i -> Target_remove i) (0 -- 1000);
+        map (fun v -> Source_insert v) (0 -- 100);
+      ])
+
+let apply_mutation a b idx plan = function
+  | Target_insert v ->
+    let node, pos = Ll.insert_sorted b v in
+    Psm.Plan.note_target_insert plan ~pos v;
+    Psm.Index.note_insert idx ~pos node
+  | Target_remove i when Ll.length b > 0 ->
+    let node = Ll.nth_node b (i mod Ll.length b) in
+    let pos = Ll.remove_node b node in
+    Psm.Plan.note_target_remove plan ~pos;
+    Psm.Index.note_remove idx ~pos
+  | Target_remove _ -> ()
+  | Source_insert v ->
+    let node, _ = Ll.insert_sorted a v in
+    Psm.Plan.note_source_insert plan ~index:idx ~node
+
+let prop_incremental_maintenance =
+  QCheck2.Test.make
+    ~name:"incremental posA/arrayB == from-scratch after random mutations"
+    ~count:300
+    QCheck2.Gen.(
+      triple sorted_list_gen sorted_list_gen (list_size (0 -- 25) mutation_gen))
+    (fun (a_vals, b_vals, mutations) ->
+      let a = make a_vals and b = make b_vals in
+      let idx = Psm.Index.build b in
+      let plan = Psm.Plan.build ~source:a ~index:idx in
+      List.iter (apply_mutation a b idx plan) mutations;
+      let expected =
+        Reference.merge_values ~compare:icmp (Ll.to_list a) (Ll.to_list b)
+      in
+      Psm.Index.is_consistent idx
+      && Psm.Plan.is_consistent plan ~index:idx ~source:a
+      &&
+      (ignore (Psm.Plan.execute plan ~index:idx ~source:a);
+       Ll.to_list b = expected))
+
+let prop_skip_list_matches_sorted =
+  QCheck2.Test.make
+    ~name:"skip list == List.sort under random insert/remove scripts"
+    ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (0 -- 80) (0 -- 100))
+        (list_size (0 -- 20) (0 -- 100)))
+    (fun (inserts, removals) ->
+      let t = Sl.create ~compare:icmp () in
+      List.iter (fun x -> ignore (Sl.insert t x)) inserts;
+      let expected = ref (List.sort icmp inserts) in
+      List.iter
+        (fun x ->
+          let removed = Sl.remove_first t (fun y -> y = x) in
+          let present = List.mem x !expected in
+          if present then begin
+            let rec drop = function
+              | [] -> []
+              | y :: rest -> if y = x then rest else y :: drop rest
+            in
+            expected := drop !expected
+          end;
+          if removed <> present then failwith "remove/mem disagreement")
+        removals;
+      Sl.is_consistent t && Sl.to_list t = !expected)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_insert_sorted_invariant;
+      prop_psm_equals_reference;
+      prop_psm_binary_equals_linear;
+      prop_psm_parallel_equals_sequential;
+      prop_incremental_maintenance;
+      prop_skip_list_matches_sorted;
+    ]
+
+let () =
+  Alcotest.run "horse_psm"
+    [
+      ( "linked_list",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert keeps order" `Quick test_insert_order;
+          Alcotest.test_case "insert reports steps" `Quick test_insert_steps;
+          Alcotest.test_case "stable among equals" `Quick test_insert_stable;
+          Alcotest.test_case "remove node" `Quick test_remove_node;
+          Alcotest.test_case "pop first" `Quick test_pop_first;
+          Alcotest.test_case "rejects unsorted input" `Quick
+            test_of_sorted_rejects_unsorted;
+          Alcotest.test_case "nth node" `Quick test_nth_node;
+        ] );
+      ( "reference",
+        [
+          Alcotest.test_case "merge values" `Quick test_merge_values;
+          Alcotest.test_case "merge stability" `Quick test_merge_values_stability;
+          Alcotest.test_case "insert each" `Quick test_insert_each;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "build" `Quick test_index_build;
+          Alcotest.test_case "find_key" `Quick test_index_find_key;
+          Alcotest.test_case "incremental" `Quick test_index_incremental;
+          Alcotest.test_case "rebuild" `Quick test_index_rebuild;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "simple merge" `Quick test_plan_simple_merge;
+          Alcotest.test_case "empty target" `Quick test_plan_merge_empty_target;
+          Alcotest.test_case "empty source" `Quick test_plan_merge_empty_source;
+          Alcotest.test_case "all before" `Quick test_plan_merge_all_before;
+          Alcotest.test_case "all after" `Quick test_plan_merge_all_after;
+          Alcotest.test_case "equal values" `Quick test_plan_merge_equal_values;
+          Alcotest.test_case "binary == linear" `Quick
+            test_plan_binary_matches_linear;
+          Alcotest.test_case "parallel merge" `Quick test_plan_parallel_merge;
+          Alcotest.test_case "stale on unseen change" `Quick
+            test_plan_stale_on_unseen_target_change;
+          Alcotest.test_case "stale on double execute" `Quick
+            test_plan_stale_on_double_execute;
+        ] );
+      ( "skip_list",
+        [
+          Alcotest.test_case "insert sorted" `Quick test_skip_insert_sorted;
+          Alcotest.test_case "stable" `Quick test_skip_stable;
+          Alcotest.test_case "pop min" `Quick test_skip_pop_min;
+          Alcotest.test_case "remove first" `Quick test_skip_remove_first;
+          Alcotest.test_case "mem" `Quick test_skip_mem;
+          Alcotest.test_case "sublinear search" `Quick
+            test_skip_search_is_sublinear;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "target insert splits" `Quick
+            test_plan_target_insert_split;
+          Alcotest.test_case "target remove coalesces" `Quick
+            test_plan_target_remove_coalesce;
+          Alcotest.test_case "source insert" `Quick test_plan_source_insert;
+          Alcotest.test_case "source remove" `Quick test_plan_source_remove;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,655 @@
+(* Tests for horse_sched: vCPUs, run queues (ordering, notifications,
+   P²SM merge integration), load tracking, credit2 accounting and the
+   scheduler's placement policies. *)
+
+module Vcpu = Horse_sched.Vcpu
+module Runqueue = Horse_sched.Runqueue
+module Load = Horse_sched.Load_tracking
+module Credit2 = Horse_sched.Credit2
+module Scheduler = Horse_sched.Scheduler
+module Topology = Horse_cpu.Topology
+module Ll = Horse_psm.Linked_list
+module Psm = Horse_psm.Psm
+module Time = Horse_sim.Time_ns
+
+let mk_vcpu ?(sandbox = 0) ?(index = 0) ?credit () =
+  Vcpu.create ~sandbox ~index ?credit ()
+
+(* ------------------------------------------------------------------ *)
+(* Vcpu                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_vcpu_basics () =
+  let v = mk_vcpu ~sandbox:3 ~index:1 () in
+  Alcotest.(check int) "sandbox" 3 (Vcpu.sandbox v);
+  Alcotest.(check int) "index" 1 (Vcpu.index v);
+  Alcotest.(check int) "default credit" Vcpu.default_credit (Vcpu.credit v);
+  Alcotest.(check bool) "offline" true (Vcpu.state v = Vcpu.Offline)
+
+let test_vcpu_credit_ops () =
+  let v = mk_vcpu ~credit:100 () in
+  Vcpu.burn_credit v 30;
+  Alcotest.(check int) "burned" 70 (Vcpu.credit v);
+  Vcpu.burn_credit v 100;
+  Alcotest.(check int) "negative allowed" (-30) (Vcpu.credit v);
+  Vcpu.set_credit v 500;
+  Alcotest.(check int) "set" 500 (Vcpu.credit v)
+
+let test_vcpu_ordering () =
+  let a = mk_vcpu ~credit:10 () and b = mk_vcpu ~credit:20 () in
+  Alcotest.(check bool) "least credit first" true (Vcpu.compare_credit a b < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Runqueue                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mk_queue ?kind () = Runqueue.create ?kind ~cpu:0 ~id:0 ()
+
+let test_runqueue_sorted_by_credit () =
+  let q = mk_queue () in
+  let low = mk_vcpu ~index:0 ~credit:5 ()
+  and mid = mk_vcpu ~index:1 ~credit:10 ()
+  and high = mk_vcpu ~index:2 ~credit:20 () in
+  ignore (Runqueue.enqueue q high);
+  ignore (Runqueue.enqueue q low);
+  ignore (Runqueue.enqueue q mid);
+  Alcotest.(check int) "length" 3 (Runqueue.length q);
+  Alcotest.(check (list int)) "credit order" [ 5; 10; 20 ]
+    (List.map Vcpu.credit (Ll.to_list (Runqueue.queue q)));
+  Alcotest.(check bool) "queued state" true (Vcpu.state low = Vcpu.Queued)
+
+let test_runqueue_dequeue () =
+  let q = mk_queue () in
+  let v = mk_vcpu () in
+  let node, _ = Runqueue.enqueue q v in
+  let pos = Runqueue.dequeue q node in
+  Alcotest.(check int) "pos" 0 pos;
+  Alcotest.(check int) "empty" 0 (Runqueue.length q);
+  Alcotest.(check bool) "offline" true (Vcpu.state v = Vcpu.Offline)
+
+let test_runqueue_timeslices () =
+  let normal = mk_queue () and ull = mk_queue ~kind:Runqueue.Ull () in
+  Alcotest.(check int) "ull 1us" 1_000
+    (Time.span_to_ns (Runqueue.timeslice ull));
+  Alcotest.(check int) "normal 10ms" 10_000_000
+    (Time.span_to_ns (Runqueue.timeslice normal))
+
+let test_runqueue_set_kind_guard () =
+  let q = mk_queue () in
+  ignore (Runqueue.enqueue q (mk_vcpu ()));
+  Alcotest.check_raises "non-empty"
+    (Invalid_argument "Runqueue.set_kind: queue not empty") (fun () ->
+      Runqueue.set_kind q Runqueue.Ull)
+
+let test_runqueue_notifications () =
+  let q = mk_queue () in
+  let events = ref [] in
+  let sub =
+    Runqueue.subscribe q (fun change ->
+        events :=
+          (match change with
+          | Runqueue.Inserted { pos; _ } -> `Ins pos
+          | Runqueue.Removed { pos } -> `Rem pos)
+          :: !events)
+  in
+  let v1 = mk_vcpu ~index:0 ~credit:10 () in
+  let v2 = mk_vcpu ~index:1 ~credit:5 () in
+  let n1, _ = Runqueue.enqueue q v1 in
+  ignore (Runqueue.enqueue q v2);
+  ignore (Runqueue.dequeue q n1);
+  Alcotest.(check bool) "events" true
+    (List.rev !events = [ `Ins 0; `Ins 0; `Rem 1 ]);
+  Runqueue.unsubscribe q sub;
+  ignore (Runqueue.enqueue q (mk_vcpu ~index:2 ()));
+  Alcotest.(check int) "no event after unsubscribe" 3 (List.length !events);
+  Alcotest.(check int) "subscriber count" 0 (Runqueue.subscriber_count q)
+
+let test_runqueue_pop_front_notifies () =
+  let q = mk_queue () in
+  let removed = ref 0 in
+  ignore
+    (Runqueue.subscribe q (function
+      | Runqueue.Removed _ -> incr removed
+      | Runqueue.Inserted _ -> ()));
+  ignore (Runqueue.enqueue q (mk_vcpu ~credit:1 ()));
+  ignore (Runqueue.enqueue q (mk_vcpu ~index:1 ~credit:2 ()));
+  let v = Option.get (Runqueue.pop_front q) in
+  Alcotest.(check int) "least credit popped" 1 (Vcpu.credit v);
+  Alcotest.(check int) "one removal" 1 !removed
+
+let test_runqueue_apply_merge () =
+  (* a full P²SM round-trip against a queue with a subscriber *)
+  let q = mk_queue ~kind:Runqueue.Ull () in
+  List.iter
+    (fun (i, c) -> ignore (Runqueue.enqueue q (mk_vcpu ~sandbox:9 ~index:i ~credit:c ())))
+    [ (0, 10); (1, 30) ];
+  let inserted_positions = ref [] in
+  ignore
+    (Runqueue.subscribe q (function
+      | Runqueue.Inserted { pos; _ } -> inserted_positions := pos :: !inserted_positions
+      | Runqueue.Removed _ -> ()));
+  let source = Ll.create ~compare:Vcpu.compare_credit () in
+  List.iter
+    (fun (i, c) -> ignore (Ll.insert_sorted source (mk_vcpu ~sandbox:1 ~index:i ~credit:c ())))
+    [ (0, 5); (1, 20); (2, 40) ];
+  let index = Psm.Index.build (Runqueue.queue q) in
+  let plan = Psm.Plan.build ~source ~index in
+  let stats, nodes = Runqueue.apply_merge q ~plan ~index ~source in
+  Alcotest.(check int) "3 spliced" 3 stats.Psm.Plan.spliced;
+  Alcotest.(check int) "3 nodes returned" 3 (List.length nodes);
+  Alcotest.(check (list int)) "final order" [ 5; 10; 20; 30; 40 ]
+    (List.map Vcpu.credit (Ll.to_list (Runqueue.queue q)));
+  Alcotest.(check (list int)) "positions as sequential inserts" [ 0; 2; 4 ]
+    (List.rev !inserted_positions);
+  Alcotest.(check bool) "spliced vcpus queued" true
+    (List.for_all (fun n -> Vcpu.state (Ll.value n) = Vcpu.Queued) nodes)
+
+let test_runqueue_merge_wrong_index_rejected () =
+  let q = mk_queue () and other = Runqueue.create ~cpu:1 ~id:1 () in
+  let source = Ll.create ~compare:Vcpu.compare_credit () in
+  let index = Psm.Index.build (Runqueue.queue other) in
+  let plan = Psm.Plan.build ~source ~index in
+  Alcotest.check_raises "wrong queue"
+    (Invalid_argument "Runqueue.apply_merge: index built over a different queue")
+    (fun () -> ignore (Runqueue.apply_merge q ~plan ~index ~source))
+
+(* ------------------------------------------------------------------ *)
+(* Load tracking                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_load_enqueue_decay () =
+  let l = Load.create () in
+  Alcotest.(check (float 0.0)) "initial" 0.0 (Load.load l);
+  Load.on_enqueue l;
+  let after_one = Load.load l in
+  Alcotest.(check bool) "positive" true (after_one > 0.0);
+  Load.decay l ~periods:32;
+  Alcotest.(check (float 1e-9)) "halved after 32 periods" (after_one /. 2.0)
+    (Load.load l)
+
+let test_load_coalesced_equals_iterated () =
+  let a = Load.create () and b = Load.create () in
+  for _ = 1 to 36 do
+    Load.on_enqueue a
+  done;
+  let pelt = Horse_coalesce.Coalesce.Affine.pelt in
+  Load.on_enqueue_coalesced b
+    (Horse_coalesce.Coalesce.Precomputed.make
+       ~alpha:pelt.Horse_coalesce.Coalesce.Affine.alpha
+       ~beta:pelt.Horse_coalesce.Coalesce.Affine.beta ~n:36);
+  Alcotest.(check (float 1e-6)) "same load" (Load.load a) (Load.load b);
+  Alcotest.(check int) "36 lock writes vanilla" 36 (Load.updates a);
+  Alcotest.(check int) "1 lock write coalesced" 1 (Load.updates b)
+
+let test_load_utilisation_clamped () =
+  let l = Load.create () in
+  Alcotest.(check (float 0.0)) "zero" 0.0 (Load.utilisation l);
+  for _ = 1 to 10_000 do
+    Load.on_enqueue l
+  done;
+  Alcotest.(check (float 1e-9)) "saturates at 1" 1.0 (Load.utilisation l)
+
+let test_load_dequeue_floor () =
+  let l = Load.create () in
+  Load.on_dequeue l;
+  Alcotest.(check (float 0.0)) "never negative" 0.0 (Load.load l)
+
+(* ------------------------------------------------------------------ *)
+(* Credit2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_credit2_pick_least () =
+  let q = mk_queue () in
+  ignore (Runqueue.enqueue q (mk_vcpu ~index:0 ~credit:50 ()));
+  ignore (Runqueue.enqueue q (mk_vcpu ~index:1 ~credit:10 ()));
+  let v = Option.get (Credit2.pick_next q) in
+  Alcotest.(check int) "least credit" 10 (Vcpu.credit v);
+  Alcotest.(check bool) "running" true (Vcpu.state v = Vcpu.Running)
+
+let test_credit2_reset_when_exhausted () =
+  let q = mk_queue () in
+  ignore (Runqueue.enqueue q (mk_vcpu ~index:0 ~credit:(-5) ()));
+  ignore (Runqueue.enqueue q (mk_vcpu ~index:1 ~credit:(-20) ()));
+  Alcotest.(check bool) "needs reset" true (Credit2.needs_reset q);
+  let v = Option.get (Credit2.pick_next q) in
+  Alcotest.(check bool) "topped up" true (Vcpu.credit v > 0);
+  (* the most-starved vCPU still runs first after the uniform top-up *)
+  Alcotest.(check int) "still least" (Vcpu.default_credit - 20) (Vcpu.credit v)
+
+let test_credit2_charge () =
+  let v = mk_vcpu ~credit:1000 () in
+  Credit2.charge v ~ran_for:(Time.span_us 100.0);
+  Alcotest.(check int) "burned 100us" 900 (Vcpu.credit v);
+  Credit2.charge v ~ran_for:(Time.span_ns 10);
+  Alcotest.(check int) "at least 1" 899 (Vcpu.credit v)
+
+let test_credit2_empty () =
+  let q = mk_queue () in
+  Alcotest.(check bool) "no pick" true (Credit2.pick_next q = None);
+  Alcotest.(check bool) "no reset" false (Credit2.needs_reset q)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let small_topology = Topology.create ~sockets:1 ~cores_per_socket:8 ()
+
+let test_scheduler_create () =
+  let s = Scheduler.create ~topology:small_topology () in
+  Alcotest.(check int) "8 queues" 8 (Scheduler.cpu_count s);
+  Alcotest.(check int) "1 ull" 1 (List.length (Scheduler.ull_runqueues s));
+  Alcotest.(check bool) "last cpu reserved" true
+    (Runqueue.is_ull (Scheduler.runqueue s ~cpu:7));
+  Alcotest.(check bool) "first cpu normal" false
+    (Runqueue.is_ull (Scheduler.runqueue s ~cpu:0))
+
+let test_scheduler_ull_count_validation () =
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Scheduler.create: bad ull_count") (fun () ->
+      ignore (Scheduler.create ~ull_count:9 ~topology:small_topology ()))
+
+let test_scheduler_select_normal_spreads () =
+  let s = Scheduler.create ~topology:small_topology () in
+  let q1 = Scheduler.select_normal s in
+  ignore (Runqueue.enqueue q1 (mk_vcpu ()));
+  Horse_sched.Load_tracking.on_enqueue (Runqueue.load q1);
+  let q2 = Scheduler.select_normal s in
+  Alcotest.(check bool) "avoids loaded queue" true
+    (Runqueue.id q1 <> Runqueue.id q2);
+  Alcotest.(check bool) "never ull" false (Runqueue.is_ull q2)
+
+let test_scheduler_ull_balance () =
+  let s = Scheduler.create ~ull_count:2 ~topology:small_topology () in
+  let q1 = Scheduler.select_ull_for_pause s in
+  Scheduler.attach_paused s q1;
+  let q2 = Scheduler.select_ull_for_pause s in
+  Alcotest.(check bool) "balances" true (Runqueue.id q1 <> Runqueue.id q2);
+  Scheduler.attach_paused s q2;
+  Scheduler.detach_paused s q1;
+  let q3 = Scheduler.select_ull_for_pause s in
+  Alcotest.(check int) "prefers emptier" (Runqueue.id q1) (Runqueue.id q3)
+
+let test_scheduler_detach_guard () =
+  let s = Scheduler.create ~topology:small_topology () in
+  let q = Scheduler.select_ull_for_pause s in
+  Alcotest.check_raises "none attached"
+    (Invalid_argument "Scheduler.detach_paused: none attached") (fun () ->
+      Scheduler.detach_paused s q)
+
+let test_scheduler_add_ull () =
+  let s = Scheduler.create ~topology:small_topology () in
+  let q = Scheduler.add_ull_runqueue s in
+  Alcotest.(check int) "2 ull queues" 2 (List.length (Scheduler.ull_runqueues s));
+  Alcotest.(check bool) "converted" true (Runqueue.is_ull q);
+  Alcotest.(check int) "highest free id picked" 6 (Runqueue.id q)
+
+let test_scheduler_total_queued () =
+  let s = Scheduler.create ~topology:small_topology () in
+  Alcotest.(check int) "empty" 0 (Scheduler.total_queued s);
+  ignore (Runqueue.enqueue (Scheduler.runqueue s ~cpu:0) (mk_vcpu ()));
+  ignore (Runqueue.enqueue (Scheduler.runqueue s ~cpu:1) (mk_vcpu ~index:1 ()));
+  Alcotest.(check int) "two" 2 (Scheduler.total_queued s)
+
+(* ------------------------------------------------------------------ *)
+(* CPU executor                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Executor = Horse_sched.Cpu_executor
+module Engine = Horse_sim.Engine
+
+let executor_fixture () =
+  let engine = Engine.create ~seed:17 () in
+  let scheduler =
+    Scheduler.create ~ull_count:1
+      ~topology:(Topology.create ~sockets:1 ~cores_per_socket:4 ())
+      ()
+  in
+  let ex =
+    Executor.create_with_context_switch ~engine ~scheduler
+      ~context_switch:(Time.span_ns 100) ()
+  in
+  (engine, scheduler, ex)
+
+let test_executor_runs_one_task () =
+  let engine, scheduler, ex = executor_fixture () in
+  let queue = Scheduler.runqueue scheduler ~cpu:0 in
+  let done_at = ref None in
+  Executor.submit ex ~queue ~vcpu:(mk_vcpu ()) ~work:(Time.span_us 5.0)
+    ~on_done:(fun at -> done_at := Some at);
+  Alcotest.(check int) "one outstanding" 1 (Executor.outstanding ex);
+  Engine.run engine;
+  (* 5us of work in one 10ms-slice bite + one context switch *)
+  Alcotest.(check (option int)) "completion time" (Some 5_100)
+    (Option.map Time.to_ns !done_at);
+  Alcotest.(check int) "drained" 0 (Executor.outstanding ex)
+
+let test_executor_timeslice_rotation () =
+  (* §4.1.3's point: on the 1us-timeslice ull queue, a sub-us task
+     behind a long task completes after at most one slice; on a
+     normal 10ms-slice queue it waits out the incumbent. *)
+  let latency_on kind =
+    let engine, scheduler, ex = executor_fixture () in
+    let cpu = match kind with Runqueue.Ull -> 3 | Runqueue.Normal -> 0 in
+    let queue = Scheduler.runqueue scheduler ~cpu in
+    (* long incumbent: 200us of work, enqueued first *)
+    Executor.submit ex ~queue ~vcpu:(mk_vcpu ~sandbox:1 ())
+      ~work:(Time.span_us 200.0) ~on_done:(fun _ -> ());
+    (* the uLL task arrives 2us later *)
+    let ull_done = ref None in
+    ignore
+      (Engine.schedule engine ~after:(Time.span_us 2.0) (fun _ ->
+           Executor.submit ex ~queue
+             ~vcpu:(mk_vcpu ~sandbox:2 ~credit:1 ())
+             ~work:(Time.span_ns 700)
+             ~on_done:(fun at -> ull_done := Some (Time.to_ns at))));
+    Engine.run engine;
+    Option.get !ull_done
+  in
+  let on_ull = latency_on Runqueue.Ull in
+  let on_normal = latency_on Runqueue.Normal in
+  (* ull queue: done within a few microseconds; normal queue: waits
+     out the incumbent's 200us *)
+  Alcotest.(check bool)
+    (Printf.sprintf "ull fast (%dns)" on_ull)
+    true (on_ull < 10_000);
+  Alcotest.(check bool)
+    (Printf.sprintf "normal slow (%dns)" on_normal)
+    true (on_normal > 200_000);
+  Alcotest.(check bool) "order of magnitude apart" true
+    (on_normal / on_ull > 10)
+
+let test_executor_least_credit_priority () =
+  (* the paper's run-queue order (least remaining credit first) gives
+     strict priority: a vCPU that has run keeps winning the queue, so
+     equal submissions complete sequentially, not round-robin *)
+  let engine, scheduler, ex = executor_fixture () in
+  let queue = Scheduler.runqueue scheduler ~cpu:3 (* ull: 1us slices *) in
+  let finished = ref [] in
+  List.iter
+    (fun id ->
+      Executor.submit ex ~queue ~vcpu:(mk_vcpu ~sandbox:id ())
+        ~work:(Time.span_us 5.0)
+        ~on_done:(fun at -> finished := (id, Time.to_ns at) :: !finished))
+    [ 1; 2 ];
+  Engine.run engine;
+  match List.rev !finished with
+  | [ (first, t1); (second, t2) ] ->
+    Alcotest.(check int) "first submitted finishes first" 1 first;
+    Alcotest.(check int) "second follows" 2 second;
+    (* 5 slices of (1us + 100ns switch) each *)
+    Alcotest.(check int) "first at 5.5us" 5_500 t1;
+    Alcotest.(check int) "second at 11us" 11_000 t2
+  | _ -> Alcotest.fail "expected two completions"
+
+let test_executor_validation () =
+  let _, scheduler, ex = executor_fixture () in
+  let queue = Scheduler.runqueue scheduler ~cpu:0 in
+  let vcpu = mk_vcpu () in
+  Alcotest.check_raises "zero work"
+    (Invalid_argument "Cpu_executor.submit: work must be positive") (fun () ->
+      Executor.submit ex ~queue ~vcpu ~work:Time.span_zero ~on_done:ignore);
+  Executor.submit ex ~queue ~vcpu ~work:(Time.span_us 1.0) ~on_done:ignore;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Cpu_executor.submit: vCPU already has outstanding work")
+    (fun () ->
+      Executor.submit ex ~queue ~vcpu ~work:(Time.span_us 1.0) ~on_done:ignore)
+
+let test_executor_feeds_psm_subscribers () =
+  (* work churning an ull queue must keep notifying paused plans *)
+  let engine, scheduler, ex = executor_fixture () in
+  let queue = Scheduler.runqueue scheduler ~cpu:3 in
+  let events = ref 0 in
+  ignore (Runqueue.subscribe queue (fun _ -> incr events));
+  Executor.submit ex ~queue ~vcpu:(mk_vcpu ()) ~work:(Time.span_us 3.0)
+    ~on_done:(fun _ -> ());
+  Engine.run engine;
+  (* 3 slices: 1 initial enqueue + 2 re-enqueues + 3 pops = 6 events *)
+  Alcotest.(check int) "notifications flowed" 6 !events
+
+(* ------------------------------------------------------------------ *)
+(* PELT                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Pelt = Horse_sched.Pelt
+
+let test_pelt_decay_halves_at_32 () =
+  (* kernel-faithful: the shift gives the exact half, then the 0.32
+     fixed-point multiply by y^0 = 0xffffffff truncates one ulp *)
+  Alcotest.(check int) "halving (one truncation ulp)" 499
+    (Pelt.decay_load 1000 ~periods:32);
+  Alcotest.(check int) "quartering" 249 (Pelt.decay_load 1000 ~periods:64);
+  Alcotest.(check int) "identity" 1000 (Pelt.decay_load 1000 ~periods:0);
+  Alcotest.(check int) "deep decay to zero" 0
+    (Pelt.decay_load Pelt.load_avg_max ~periods:4000)
+
+let test_pelt_decay_monotone () =
+  let prev = ref max_int in
+  for k = 0 to 120 do
+    let v = Pelt.decay_load 40_000 ~periods:k in
+    Alcotest.(check bool) "non-increasing" true (v <= !prev);
+    prev := v
+  done
+
+let test_pelt_table_bounds () =
+  Alcotest.(check int32) "y^0 = ~1.0" 0xffffffffl (Pelt.decay_multiplier 0);
+  (* y^16 = sqrt(1/2) ~ 0.7071 in 0.32 fixed point *)
+  Alcotest.(check int32) "y^16" 0xb504f333l (Pelt.decay_multiplier 16);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Pelt.decay_multiplier: k outside [0,31]") (fun () ->
+      ignore (Pelt.decay_multiplier 32))
+
+let test_pelt_entity_saturates () =
+  let e = Pelt.create () in
+  (* run flat out for 400 periods: converge near LOAD_AVG_MAX *)
+  Pelt.update e ~now_us:(400 * Pelt.period_us) ~running:true;
+  let v = Pelt.load_avg e in
+  Alcotest.(check bool)
+    (Printf.sprintf "near max (%d)" v)
+    true
+    (v > Pelt.load_avg_max * 95 / 100 && v <= Pelt.load_avg_max);
+  Alcotest.(check bool) "utilisation ~1" true (Pelt.utilisation e > 0.95)
+
+let test_pelt_entity_sleep_decays () =
+  let e = Pelt.create () in
+  Pelt.update e ~now_us:(100 * Pelt.period_us) ~running:true;
+  let busy = Pelt.load_avg e in
+  Pelt.update e ~now_us:(132 * Pelt.period_us) ~running:false;
+  let rested = Pelt.load_avg e in
+  (* 32 idle periods halve the average *)
+  Alcotest.(check bool)
+    (Printf.sprintf "halved (%d -> %d)" busy rested)
+    true
+    (abs (rested - (busy / 2)) <= busy / 50)
+
+let test_pelt_entity_duty_cycle () =
+  let e = Pelt.create () in
+  (* 50% duty cycle: alternate one period running, one sleeping *)
+  for i = 0 to 399 do
+    Pelt.update e ~now_us:((i + 1) * Pelt.period_us) ~running:(i mod 2 = 0)
+  done;
+  let u = Pelt.utilisation e in
+  Alcotest.(check bool)
+    (Printf.sprintf "utilisation ~0.5 (%f)" u)
+    true
+    (u > 0.40 && u < 0.60)
+
+let test_pelt_clock_regression () =
+  let e = Pelt.create () in
+  Pelt.update e ~now_us:100 ~running:true;
+  Alcotest.check_raises "regression"
+    (Invalid_argument "Pelt.update: clock went backwards") (fun () ->
+      Pelt.update e ~now_us:50 ~running:true)
+
+let test_pelt_runqueue_sum () =
+  let e1 = Pelt.create () and e2 = Pelt.create () in
+  Pelt.update e1 ~now_us:(200 * Pelt.period_us) ~running:true;
+  Pelt.update e2 ~now_us:(200 * Pelt.period_us) ~running:true;
+  let s = Pelt.Runqueue_sum.create () in
+  Pelt.Runqueue_sum.attach s e1;
+  Pelt.Runqueue_sum.attach s e2;
+  Alcotest.(check int) "sum of both"
+    (Pelt.load_avg e1 + Pelt.load_avg e2)
+    (Pelt.Runqueue_sum.total s);
+  Alcotest.(check (float 1e-9)) "utilisation clamps" 1.0
+    (Pelt.Runqueue_sum.utilisation s);
+  Pelt.Runqueue_sum.detach s e1;
+  Pelt.Runqueue_sum.detach s e2;
+  Alcotest.(check int) "empty again" 0 (Pelt.Runqueue_sum.total s)
+
+let prop_pelt_decay_split =
+  QCheck2.Test.make
+    ~name:"decay(v, a+b) ~= decay(decay(v, a), b) within rounding" ~count:300
+    QCheck2.Gen.(triple (0 -- Pelt.load_avg_max) (0 -- 100) (0 -- 100))
+    (fun (v, a, b) ->
+      let joint = Pelt.decay_load v ~periods:(a + b) in
+      let split = Pelt.decay_load (Pelt.decay_load v ~periods:a) ~periods:b in
+      (* each truncating step loses at most a few ulps *)
+      abs (joint - split) <= 4 + (v / 10_000))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_runqueue_always_sorted =
+  QCheck2.Test.make ~name:"run queue stays credit-sorted under churn" ~count:200
+    QCheck2.Gen.(list_size (1 -- 60) (0 -- 1000))
+    (fun credits ->
+      let q = mk_queue () in
+      let nodes =
+        List.mapi
+          (fun index credit ->
+            fst (Runqueue.enqueue q (mk_vcpu ~index ~credit ())))
+          credits
+      in
+      (* remove every third node, then check the sort invariant *)
+      List.iteri
+        (fun i node -> if i mod 3 = 0 then ignore (Runqueue.dequeue q node))
+        nodes;
+      Ll.is_sorted (Runqueue.queue q))
+
+let prop_merge_positions_track_subscriber =
+  QCheck2.Test.make
+    ~name:"subscriber replaying merge notifications reconstructs the queue"
+    ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (0 -- 20) (0 -- 100))
+        (list_size (0 -- 20) (0 -- 100)))
+    (fun (queue_credits, source_credits) ->
+      let q = mk_queue ~kind:Runqueue.Ull () in
+      List.iteri
+        (fun index credit ->
+          ignore (Runqueue.enqueue q (mk_vcpu ~sandbox:2 ~index ~credit ())))
+        queue_credits;
+      (* shadow copy maintained only from notifications *)
+      let shadow = ref (List.map Vcpu.credit (Ll.to_list (Runqueue.queue q))) in
+      let insert_at pos x =
+        let rec go i = function
+          | rest when i = pos -> x :: rest
+          | [] -> [ x ]
+          | y :: rest -> y :: go (i + 1) rest
+        in
+        go 0
+      in
+      ignore
+        (Runqueue.subscribe q (function
+          | Runqueue.Inserted { pos; node } ->
+            shadow := insert_at pos (Vcpu.credit (Ll.value node)) !shadow
+          | Runqueue.Removed { pos } ->
+            shadow := List.filteri (fun i _ -> i <> pos) !shadow));
+      let source = Ll.create ~compare:Vcpu.compare_credit () in
+      List.iteri
+        (fun index credit ->
+          ignore
+            (Ll.insert_sorted source (mk_vcpu ~sandbox:3 ~index ~credit ())))
+        source_credits;
+      let index = Psm.Index.build (Runqueue.queue q) in
+      let plan = Psm.Plan.build ~source ~index in
+      ignore (Runqueue.apply_merge q ~plan ~index ~source);
+      !shadow = List.map Vcpu.credit (Ll.to_list (Runqueue.queue q)))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_runqueue_always_sorted;
+      prop_merge_positions_track_subscriber;
+      prop_pelt_decay_split;
+    ]
+
+let () =
+  Alcotest.run "horse_sched"
+    [
+      ( "vcpu",
+        [
+          Alcotest.test_case "basics" `Quick test_vcpu_basics;
+          Alcotest.test_case "credit ops" `Quick test_vcpu_credit_ops;
+          Alcotest.test_case "ordering" `Quick test_vcpu_ordering;
+        ] );
+      ( "runqueue",
+        [
+          Alcotest.test_case "sorted by credit" `Quick
+            test_runqueue_sorted_by_credit;
+          Alcotest.test_case "dequeue" `Quick test_runqueue_dequeue;
+          Alcotest.test_case "timeslices" `Quick test_runqueue_timeslices;
+          Alcotest.test_case "set_kind guard" `Quick test_runqueue_set_kind_guard;
+          Alcotest.test_case "notifications" `Quick test_runqueue_notifications;
+          Alcotest.test_case "pop_front notifies" `Quick
+            test_runqueue_pop_front_notifies;
+          Alcotest.test_case "apply_merge" `Quick test_runqueue_apply_merge;
+          Alcotest.test_case "merge guards queue identity" `Quick
+            test_runqueue_merge_wrong_index_rejected;
+        ] );
+      ( "load",
+        [
+          Alcotest.test_case "enqueue + decay" `Quick test_load_enqueue_decay;
+          Alcotest.test_case "coalesced == iterated" `Quick
+            test_load_coalesced_equals_iterated;
+          Alcotest.test_case "utilisation clamps" `Quick
+            test_load_utilisation_clamped;
+          Alcotest.test_case "dequeue floor" `Quick test_load_dequeue_floor;
+        ] );
+      ( "credit2",
+        [
+          Alcotest.test_case "pick least" `Quick test_credit2_pick_least;
+          Alcotest.test_case "reset on exhaustion" `Quick
+            test_credit2_reset_when_exhausted;
+          Alcotest.test_case "charge" `Quick test_credit2_charge;
+          Alcotest.test_case "empty queue" `Quick test_credit2_empty;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "runs one task" `Quick test_executor_runs_one_task;
+          Alcotest.test_case "timeslice rotation" `Quick
+            test_executor_timeslice_rotation;
+          Alcotest.test_case "least-credit priority" `Quick
+            test_executor_least_credit_priority;
+          Alcotest.test_case "validation" `Quick test_executor_validation;
+          Alcotest.test_case "feeds P2SM subscribers" `Quick
+            test_executor_feeds_psm_subscribers;
+        ] );
+      ( "pelt",
+        [
+          Alcotest.test_case "decay halves at 32" `Quick
+            test_pelt_decay_halves_at_32;
+          Alcotest.test_case "decay monotone" `Quick test_pelt_decay_monotone;
+          Alcotest.test_case "table bounds" `Quick test_pelt_table_bounds;
+          Alcotest.test_case "entity saturates" `Quick test_pelt_entity_saturates;
+          Alcotest.test_case "sleep decays" `Quick test_pelt_entity_sleep_decays;
+          Alcotest.test_case "duty cycle" `Quick test_pelt_entity_duty_cycle;
+          Alcotest.test_case "clock regression" `Quick test_pelt_clock_regression;
+          Alcotest.test_case "runqueue sum" `Quick test_pelt_runqueue_sum;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "create" `Quick test_scheduler_create;
+          Alcotest.test_case "ull_count validation" `Quick
+            test_scheduler_ull_count_validation;
+          Alcotest.test_case "select_normal spreads" `Quick
+            test_scheduler_select_normal_spreads;
+          Alcotest.test_case "ull balance" `Quick test_scheduler_ull_balance;
+          Alcotest.test_case "detach guard" `Quick test_scheduler_detach_guard;
+          Alcotest.test_case "add ull queue" `Quick test_scheduler_add_ull;
+          Alcotest.test_case "total queued" `Quick test_scheduler_total_queued;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,591 @@
+(* Tests for horse_sim: virtual time, the heap and event queue, the
+   engine's determinism, statistics and the metric registry. *)
+
+module Time = Horse_sim.Time_ns
+module Rng = Horse_sim.Rng
+module Heap = Horse_sim.Binary_heap
+module Eq = Horse_sim.Event_queue
+module Engine = Horse_sim.Engine
+module Stats = Horse_sim.Stats
+module Metrics = Horse_sim.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Time                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_time_arithmetic () =
+  let t = Time.add Time.zero (Time.span_ns 500) in
+  Alcotest.(check int) "add" 500 (Time.to_ns t);
+  let t2 = Time.add t (Time.span_us 1.0) in
+  Alcotest.(check int) "us" 1500 (Time.to_ns t2);
+  Alcotest.(check int) "diff" 1000 (Time.span_to_ns (Time.diff t2 t));
+  Alcotest.check_raises "negative diff"
+    (Invalid_argument "Time_ns.diff: negative interval") (fun () ->
+      ignore (Time.diff t t2))
+
+let test_time_conversions () =
+  Alcotest.(check int) "ms" 2_500_000 (Time.span_to_ns (Time.span_ms 2.5));
+  Alcotest.(check int) "s" 1_000_000_000 (Time.span_to_ns (Time.span_s 1.0));
+  Alcotest.(check (float 1e-9)) "to_us" 1.5 (Time.span_to_us (Time.span_ns 1500));
+  Alcotest.check_raises "negative span"
+    (Invalid_argument "Time_ns.span_ns: negative") (fun () ->
+      ignore (Time.span_ns (-1)))
+
+let test_span_ops () =
+  let a = Time.span_ns 300 and b = Time.span_ns 200 in
+  Alcotest.(check int) "add" 500 (Time.span_to_ns (Time.add_span a b));
+  Alcotest.(check int) "sub" 100 (Time.span_to_ns (Time.sub_span a b));
+  Alcotest.(check int) "scale" 900 (Time.span_to_ns (Time.scale_span 3 a));
+  Alcotest.(check int) "max" 300 (Time.span_to_ns (Time.max_span a b))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 10);
+    let f = Rng.float r 2.0 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:3 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean close to 5" true (abs_float (mean -. 5.0) < 0.2)
+
+let test_rng_pareto_shape () =
+  (* Pareto(shape=2, scale=1): mean = shape*scale/(shape-1) = 2 *)
+  let r = Rng.create ~seed:5 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.pareto r ~shape:2.0 ~scale:1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f near 2" mean)
+    true
+    (mean > 1.8 && mean < 2.2);
+  Alcotest.check_raises "bad shape"
+    (Invalid_argument "Rng.pareto: shape and scale must be positive") (fun () ->
+      ignore (Rng.pareto r ~shape:0.0 ~scale:1.0))
+
+let test_rng_lognormal_median () =
+  (* median of lognormal(mu, sigma) is e^mu *)
+  let r = Rng.create ~seed:6 in
+  let n = 20_001 in
+  let draws = Array.init n (fun _ -> Rng.lognormal r ~mu:2.0 ~sigma:0.7) in
+  Array.sort Float.compare draws;
+  let median = draws.(n / 2) in
+  let expected = exp 2.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "median %.3f near %.3f" median expected)
+    true
+    (Float.abs (median -. expected) /. expected < 0.05)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create ~seed:8 in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle r b;
+  Alcotest.(check bool) "same multiset" true
+    (List.sort Int.compare (Array.to_list b) = Array.to_list a);
+  Alcotest.(check bool) "actually moved" true (a <> b)
+
+let test_rng_split_independent () =
+  let r = Rng.create ~seed:9 in
+  let s = Rng.split r in
+  (* The split stream must not simply replay the parent's. *)
+  Alcotest.(check bool) "different" true (Rng.bits64 r <> Rng.bits64 s)
+
+(* ------------------------------------------------------------------ *)
+(* Binary heap                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_orders () =
+  let h = Heap.create ~compare:Int.compare () in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 5; 8; 9 ]
+    (let rec drain acc =
+       match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+     in
+     drain [])
+
+let test_heap_peek_pop () =
+  let h = Heap.create ~compare:Int.compare () in
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Heap.push h 4;
+  Alcotest.(check (option int)) "peek" (Some 4) (Heap.peek h);
+  Alcotest.(check int) "length" 1 (Heap.length h);
+  Alcotest.(check (option int)) "pop" (Some 4) (Heap.pop h);
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Binary_heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_heap_grows () =
+  let h = Heap.create ~capacity:2 ~compare:Int.compare () in
+  for i = 100 downto 1 do
+    Heap.push h i
+  done;
+  Alcotest.(check int) "length" 100 (Heap.length h);
+  Alcotest.(check (option int)) "min" (Some 1) (Heap.peek h);
+  Alcotest.(check (list int)) "to_sorted_list" (List.init 100 (fun i -> i + 1))
+    (Heap.to_sorted_list h);
+  Alcotest.(check int) "non destructive" 100 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck2.Gen.(list_size (0 -- 200) int)
+    (fun xs ->
+      let h = Heap.create ~compare:Int.compare () in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Event queue                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let at ns = Time.of_ns ns
+
+let test_eq_ordering () =
+  let q = Eq.create () in
+  ignore (Eq.schedule q ~at:(at 30) "c");
+  ignore (Eq.schedule q ~at:(at 10) "a");
+  ignore (Eq.schedule q ~at:(at 20) "b");
+  let pop () = snd (Option.get (Eq.pop q)) in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ())
+
+let test_eq_fifo_ties () =
+  let q = Eq.create () in
+  ignore (Eq.schedule q ~at:(at 5) "first");
+  ignore (Eq.schedule q ~at:(at 5) "second");
+  ignore (Eq.schedule q ~at:(at 5) "third");
+  let pop () = snd (Option.get (Eq.pop q)) in
+  Alcotest.(check string) "fifo 1" "first" (pop ());
+  Alcotest.(check string) "fifo 2" "second" (pop ());
+  Alcotest.(check string) "fifo 3" "third" (pop ())
+
+let test_eq_cancel () =
+  let q = Eq.create () in
+  let h = Eq.schedule q ~at:(at 1) "x" in
+  ignore (Eq.schedule q ~at:(at 2) "y");
+  Alcotest.(check bool) "cancel ok" true (Eq.cancel q h);
+  Alcotest.(check bool) "cancel twice" false (Eq.cancel q h);
+  Alcotest.(check int) "length" 1 (Eq.length q);
+  Alcotest.(check string) "skips cancelled" "y" (snd (Option.get (Eq.pop q)));
+  Alcotest.(check bool) "drained" true (Eq.is_empty q)
+
+let test_eq_next_time () =
+  let q = Eq.create () in
+  Alcotest.(check bool) "empty" true (Eq.next_time q = None);
+  let h = Eq.schedule q ~at:(at 9) () in
+  Alcotest.(check bool) "next" true (Eq.next_time q = Some (at 9));
+  ignore (Eq.cancel q h);
+  Alcotest.(check bool) "after cancel" true (Eq.next_time q = None)
+
+(* ------------------------------------------------------------------ *)
+(* Timer wheel                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Tw = Horse_sim.Timer_wheel
+
+let test_wheel_orders () =
+  let w = Tw.create () in
+  List.iter
+    (fun (ns, tag) -> ignore (Tw.schedule w ~at:(at ns) tag))
+    [ (300, "c"); (10, "a"); (200, "b"); (5_000_000, "e"); (70_000, "d") ];
+  let drain () =
+    let rec go acc =
+      match Tw.pop w with
+      | None -> List.rev acc
+      | Some (_, tag) -> go (tag :: acc)
+    in
+    go []
+  in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c"; "d"; "e" ] (drain ())
+
+let test_wheel_fifo_ties () =
+  let w = Tw.create () in
+  ignore (Tw.schedule w ~at:(at 42) "first");
+  ignore (Tw.schedule w ~at:(at 42) "second");
+  ignore (Tw.schedule w ~at:(at 42) "third");
+  let pop () = snd (Option.get (Tw.pop w)) in
+  Alcotest.(check string) "1" "first" (pop ());
+  Alcotest.(check string) "2" "second" (pop ());
+  Alcotest.(check string) "3" "third" (pop ())
+
+let test_wheel_cancel () =
+  let w = Tw.create () in
+  let h = Tw.schedule w ~at:(at 10) "x" in
+  ignore (Tw.schedule w ~at:(at 20) "y");
+  Alcotest.(check bool) "cancel" true (Tw.cancel w h);
+  Alcotest.(check bool) "cancel twice" false (Tw.cancel w h);
+  Alcotest.(check int) "length" 1 (Tw.length w);
+  Alcotest.(check string) "skips cancelled" "y" (snd (Option.get (Tw.pop w)))
+
+let test_wheel_overflow_horizon () =
+  (* events beyond slots^levels land in the overflow and still fire *)
+  let w = Tw.create ~levels:2 ~slots:4 () in
+  (* horizon = 16 ticks *)
+  ignore (Tw.schedule w ~at:(at 1000) "far");
+  ignore (Tw.schedule w ~at:(at 3) "near");
+  Alcotest.(check string) "near first" "near" (snd (Option.get (Tw.pop w)));
+  Alcotest.(check string) "far still fires" "far" (snd (Option.get (Tw.pop w)));
+  Alcotest.(check bool) "empty" true (Tw.is_empty w)
+
+let test_wheel_rejects_past () =
+  let w = Tw.create () in
+  ignore (Tw.schedule w ~at:(at 100) ());
+  ignore (Tw.pop w);
+  Alcotest.(check int) "clock" 100 (Horse_sim.Time_ns.to_ns (Tw.now w));
+  Alcotest.check_raises "past"
+    (Invalid_argument "Timer_wheel.schedule: timestamp before the wheel clock")
+    (fun () -> ignore (Tw.schedule w ~at:(at 50) ()))
+
+let test_wheel_next_time () =
+  let w = Tw.create () in
+  Alcotest.(check bool) "empty" true (Tw.next_time w = None);
+  ignore (Tw.schedule w ~at:(at 777) ());
+  Alcotest.(check bool) "set" true (Tw.next_time w = Some (at 777))
+
+(* The oracle: interleave random schedules and pops on both structures
+   and require identical observable traces, including FIFO ties. *)
+let prop_wheel_matches_event_queue =
+  QCheck2.Test.make
+    ~name:"timer wheel trace == event queue trace (random interleavings)"
+    ~count:200
+    QCheck2.Gen.(
+      list_size (1 -- 120)
+        (oneof
+           [
+             map (fun d -> `Schedule d) (0 -- 2_000_000);
+             return `Pop;
+           ]))
+    (fun script ->
+      let w = Tw.create ~levels:3 ~slots:8 () in
+      let q = Eq.create () in
+      let tag = ref 0 in
+      let wheel_now = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Schedule delta ->
+            (* keep timestamps legal for the wheel: never in its past *)
+            let at_ns = !wheel_now + delta in
+            incr tag;
+            ignore (Tw.schedule w ~at:(at at_ns) !tag);
+            ignore (Eq.schedule q ~at:(at at_ns) !tag)
+          | `Pop -> (
+            match (Tw.pop w, Eq.pop q) with
+            | None, None -> ()
+            | Some (t1, v1), Some (t2, v2) ->
+              if not (Time.equal t1 t2 && v1 = v2) then ok := false;
+              wheel_now := Time.to_ns t1
+            | Some _, None | None, Some _ -> ok := false))
+        script;
+      (* drain both to the end *)
+      let rec drain () =
+        match (Tw.pop w, Eq.pop q) with
+        | None, None -> ()
+        | Some (t1, v1), Some (t2, v2) ->
+          if not (Time.equal t1 t2 && v1 = v2) then ok := false
+          else drain ()
+        | Some _, None | None, Some _ -> ok := false
+      in
+      drain ();
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag t = log := (tag, Time.to_ns (Engine.now t)) :: !log in
+  ignore (Engine.schedule e ~after:(Time.span_ns 20) (note "b"));
+  ignore (Engine.schedule e ~after:(Time.span_ns 10) (note "a"));
+  ignore (Engine.schedule e ~after:(Time.span_ns 30) (note "c"));
+  Engine.run e;
+  Alcotest.(check (list (pair string int)))
+    "ordered" [ ("a", 10); ("b", 20); ("c", 30) ] (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore
+    (Engine.schedule e ~after:(Time.span_ns 5) (fun t ->
+         incr fired;
+         ignore
+           (Engine.schedule t ~after:(Time.span_ns 5) (fun _ -> incr fired))));
+  Engine.run e;
+  Alcotest.(check int) "both fired" 2 !fired;
+  Alcotest.(check int) "clock at 10" 10 (Time.to_ns (Engine.now e))
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun ns ->
+      ignore
+        (Engine.schedule e ~after:(Time.span_ns ns) (fun _ ->
+             fired := ns :: !fired)))
+    [ 10; 20; 30 ];
+  Engine.run ~until:(at 20) e;
+  Alcotest.(check (list int)) "only up to 20" [ 10; 20 ] (List.rev !fired);
+  Alcotest.(check int) "clock parked" 20 (Time.to_ns (Engine.now e));
+  Alcotest.(check int) "one pending" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check (list int)) "rest fired" [ 10; 20; 30 ] (List.rev !fired)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~after:(Time.span_ns 5) (fun _ -> fired := true) in
+  Alcotest.(check bool) "cancelled" true (Engine.cancel e h);
+  Engine.run e;
+  Alcotest.(check bool) "not fired" false !fired
+
+let test_engine_past_schedule_rejected () =
+  let e = Engine.create () in
+  ignore
+    (Engine.schedule e ~after:(Time.span_ns 10) (fun t ->
+         Alcotest.check_raises "past"
+           (Invalid_argument "Engine.schedule_at: timestamp in the past")
+           (fun () -> ignore (Engine.schedule_at t ~at:(at 3) (fun _ -> ())))));
+  Engine.run e
+
+let test_engine_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "empty step" false (Engine.step e);
+  ignore (Engine.schedule e ~after:(Time.span_ns 1) (fun _ -> ()));
+  Alcotest.(check bool) "steps once" true (Engine.step e);
+  Alcotest.(check bool) "then empty" false (Engine.step e)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_online_stats () =
+  let s = Stats.Online.create () in
+  List.iter (Stats.Online.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Stats.Online.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Online.mean s);
+  Alcotest.(check (float 1e-6)) "stddev" 2.13809 (Stats.Online.stddev s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.Online.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.Online.max s)
+
+let test_online_empty () =
+  let s = Stats.Online.create () in
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Stats.Online.mean s);
+  Alcotest.(check (float 0.0)) "variance" 0.0 (Stats.Online.variance s);
+  Alcotest.check_raises "min" (Invalid_argument "Stats.Online.min: empty")
+    (fun () -> ignore (Stats.Online.min s))
+
+let test_sample_percentiles () =
+  let s = Stats.Sample.create () in
+  for i = 1 to 100 do
+    Stats.Sample.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.Sample.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.Sample.percentile s 100.0);
+  Alcotest.(check (float 1e-6)) "p50" 50.5 (Stats.Sample.percentile s 50.0);
+  Alcotest.(check (float 1e-6)) "p99" 99.01 (Stats.Sample.percentile s 99.0);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Stats.Sample.mean s)
+
+let test_sample_interleaved_reads () =
+  (* Percentile queries between adds must not lose observations. *)
+  let s = Stats.Sample.create () in
+  Stats.Sample.add s 10.0;
+  ignore (Stats.Sample.percentile s 50.0);
+  Stats.Sample.add s 20.0;
+  Alcotest.(check int) "count" 2 (Stats.Sample.count s);
+  Alcotest.(check (float 1e-9)) "p100" 20.0 (Stats.Sample.percentile s 100.0)
+
+let prop_percentile_matches_sorted =
+  QCheck2.Test.make ~name:"percentile agrees with exact rank on sorted data"
+    ~count:200
+    QCheck2.Gen.(list_size (1 -- 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let s = Stats.Sample.create () in
+      List.iter (Stats.Sample.add s) xs;
+      let sorted = List.sort Float.compare xs in
+      let last = List.nth sorted (List.length sorted - 1) in
+      Stats.Sample.percentile s 100.0 = last
+      && Stats.Sample.percentile s 0.0 = List.hd sorted)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  List.iter (Stats.Histogram.add h) [ -1.0; 0.5; 3.0; 9.9; 15.0 ];
+  Alcotest.(check int) "count" 5 (Stats.Histogram.count h);
+  Alcotest.(check int) "under" 1 (Stats.Histogram.underflow h);
+  Alcotest.(check int) "over" 1 (Stats.Histogram.overflow h);
+  Alcotest.(check (array int)) "buckets" [| 1; 1; 0; 0; 1 |]
+    (Stats.Histogram.bucket_counts h)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr m "resumes";
+  Metrics.incr m ~by:3 "resumes";
+  Alcotest.(check int) "counter" 4 (Metrics.counter m "resumes");
+  Alcotest.(check int) "unknown" 0 (Metrics.counter m "nope");
+  Alcotest.(check (list (pair string int)))
+    "listing" [ ("resumes", 4) ] (Metrics.counters m)
+
+let test_metrics_samples () =
+  let m = Metrics.create () in
+  Metrics.observe m "latency" 5.0;
+  Metrics.observe_span m "latency" (Time.span_ns 15);
+  let s = Option.get (Metrics.sample m "latency") in
+  Alcotest.(check int) "count" 2 (Stats.Sample.count s);
+  Alcotest.(check (float 1e-9)) "mean" 10.0 (Stats.Sample.mean s);
+  Alcotest.(check bool) "missing" true (Metrics.sample m "none" = None)
+
+(* The engine must fire callbacks in timestamp order with FIFO ties,
+   even when callbacks schedule further events. *)
+let prop_engine_fires_in_order =
+  QCheck2.Test.make ~name:"engine fires in order under nested scheduling"
+    ~count:200
+    QCheck2.Gen.(list_size (1 -- 40) (pair (0 -- 10_000) (0 -- 500)))
+    (fun script ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iteri
+        (fun i (base, extra) ->
+          ignore
+            (Engine.schedule e ~after:(Time.span_ns base) (fun t ->
+                 fired := (Time.to_ns (Engine.now t), 2 * i) :: !fired;
+                 (* nested event strictly later or equal *)
+                 ignore
+                   (Engine.schedule t ~after:(Time.span_ns extra) (fun t ->
+                        fired :=
+                          (Time.to_ns (Engine.now t), (2 * i) + 1) :: !fired)))))
+        script;
+      Engine.run e;
+      let trace = List.rev !fired in
+      (* timestamps non-decreasing *)
+      let rec monotone = function
+        | (t1, _) :: ((t2, _) :: _ as rest) -> t1 <= t2 && monotone rest
+        | [ _ ] | [] -> true
+      in
+      monotone trace && List.length trace = 2 * List.length script)
+
+let prop_engine_clock_matches_event_time =
+  QCheck2.Test.make ~name:"engine clock equals the firing event's timestamp"
+    ~count:100
+    QCheck2.Gen.(list_size (1 -- 30) (0 -- 100_000))
+    (fun delays ->
+      let e = Engine.create () in
+      let ok = ref true in
+      List.iter
+        (fun d ->
+          ignore
+            (Engine.schedule e ~after:(Time.span_ns d) (fun t ->
+                 if Time.to_ns (Engine.now t) <> d then ok := false)))
+        delays;
+      Engine.run e;
+      !ok)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_heap_sorts;
+      prop_percentile_matches_sorted;
+      prop_wheel_matches_event_queue;
+      prop_engine_fires_in_order;
+      prop_engine_clock_matches_event_time;
+    ]
+
+let () =
+  Alcotest.run "horse_sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
+          Alcotest.test_case "conversions" `Quick test_time_conversions;
+          Alcotest.test_case "span ops" `Quick test_span_ops;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "pareto shape" `Quick test_rng_pareto_shape;
+          Alcotest.test_case "lognormal median" `Quick test_rng_lognormal_median;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "orders" `Quick test_heap_orders;
+          Alcotest.test_case "peek/pop" `Quick test_heap_peek_pop;
+          Alcotest.test_case "grows" `Quick test_heap_grows;
+        ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_eq_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_eq_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_eq_cancel;
+          Alcotest.test_case "next_time" `Quick test_eq_next_time;
+        ] );
+      ( "timer_wheel",
+        [
+          Alcotest.test_case "orders" `Quick test_wheel_orders;
+          Alcotest.test_case "FIFO ties" `Quick test_wheel_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_wheel_cancel;
+          Alcotest.test_case "overflow horizon" `Quick
+            test_wheel_overflow_horizon;
+          Alcotest.test_case "rejects past" `Quick test_wheel_rejects_past;
+          Alcotest.test_case "next_time" `Quick test_wheel_next_time;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "nested scheduling" `Quick
+            test_engine_nested_scheduling;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "rejects past" `Quick
+            test_engine_past_schedule_rejected;
+          Alcotest.test_case "step" `Quick test_engine_step;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "online" `Quick test_online_stats;
+          Alcotest.test_case "online empty" `Quick test_online_empty;
+          Alcotest.test_case "percentiles" `Quick test_sample_percentiles;
+          Alcotest.test_case "interleaved reads" `Quick
+            test_sample_interleaved_reads;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "samples" `Quick test_metrics_samples;
+        ] );
+      ("properties", props);
+    ]

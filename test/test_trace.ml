@@ -1,0 +1,345 @@
+(* Tests for horse_trace: the Azure dataset schema, the synthetic
+   generator's statistical shape and the arrival samplers. *)
+
+module Azure = Horse_trace.Azure
+module Synthetic = Horse_trace.Synthetic
+module Arrivals = Horse_trace.Arrivals
+module Rng = Horse_sim.Rng
+module Time = Horse_sim.Time_ns
+
+let flat_counts value = Array.make Azure.minutes_per_day value
+
+let sample_row ?(counts = flat_counts 0) () =
+  Azure.make_row ~owner:"o1" ~app:"a1" ~func:"f1" ~trigger:Azure.Http ~counts
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_row_validation () =
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Azure.make_row: counts must have 1440 entries")
+    (fun () ->
+      ignore
+        (Azure.make_row ~owner:"o" ~app:"a" ~func:"f" ~trigger:Azure.Http
+           ~counts:[| 1; 2 |]));
+  let negative = flat_counts 0 in
+  negative.(7) <- -1;
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Azure.make_row: negative count") (fun () ->
+      ignore
+        (Azure.make_row ~owner:"o" ~app:"a" ~func:"f" ~trigger:Azure.Http
+           ~counts:negative))
+
+let test_line_roundtrip () =
+  let counts = flat_counts 0 in
+  counts.(0) <- 3;
+  counts.(719) <- 42;
+  counts.(1439) <- 1;
+  let row = sample_row ~counts () in
+  let parsed = Azure.parse_line (Azure.to_line row) in
+  Alcotest.(check string) "owner" row.Azure.owner parsed.Azure.owner;
+  Alcotest.(check string) "func" row.Azure.func parsed.Azure.func;
+  Alcotest.(check bool) "trigger" true (parsed.Azure.trigger = Azure.Http);
+  Alcotest.(check (array int)) "counts" row.Azure.counts parsed.Azure.counts
+
+let test_parse_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Azure.parse_line line with
+      | _ -> Alcotest.failf "accepted %S" (String.sub line 0 (min 30 (String.length line)))
+      | exception Invalid_argument _ -> ())
+    [
+      "a,b,c";
+      "a,b,c,http,1,2,3";
+      "a,b,c,http," ^ String.concat "," (List.init 1440 (fun _ -> "x"));
+    ]
+
+let test_parse_string_skips_header () =
+  let row = sample_row () in
+  let contents = Azure.header_line ^ "\n" ^ Azure.to_line row ^ "\n\n" in
+  let rows = Azure.parse_string contents in
+  Alcotest.(check int) "one row" 1 (List.length rows)
+
+let test_load_file () =
+  let row = sample_row () in
+  let path = Filename.temp_file "horse_trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (Azure.header_line ^ "\n" ^ Azure.to_line row ^ "\n");
+      close_out oc;
+      let rows = Azure.load_file path in
+      Alcotest.(check int) "one row" 1 (List.length rows);
+      Alcotest.(check string) "func" "f1" (List.hd rows).Azure.func)
+
+let test_trigger_names () =
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Azure.trigger_to_string t)
+        true
+        (Azure.trigger_of_string (Azure.trigger_to_string t) = t))
+    [ Azure.Http; Azure.Queue; Azure.Timer; Azure.Event; Azure.Storage;
+      Azure.Orchestration; Azure.Others ];
+  Alcotest.(check bool) "unknown maps to others" true
+    (Azure.trigger_of_string "weird" = Azure.Others)
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic generator                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_generate_rows_shape () =
+  let rows = Synthetic.generate_rows ~seed:1 ~functions:200 in
+  Alcotest.(check int) "200 rows" 200 (List.length rows);
+  let totals =
+    List.map Azure.total_invocations rows |> List.sort Int.compare
+  in
+  let sum = List.fold_left ( + ) 0 totals in
+  (* heavy tail: the top 10% of functions carry most invocations *)
+  let top = List.filteri (fun i _ -> i >= 180) totals in
+  let top_sum = List.fold_left ( + ) 0 top in
+  Alcotest.(check bool) "positive mass" true (sum > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "skewed popularity (top decile %d of %d)" top_sum sum)
+    true
+    (float_of_int top_sum > 0.5 *. float_of_int sum)
+
+let test_generate_row_rate () =
+  let rng = Rng.create ~seed:2 in
+  let row = Synthetic.generate_row ~rng ~id:0 ~mean_rate_per_min:10.0 in
+  let mean =
+    float_of_int (Azure.total_invocations row)
+    /. float_of_int Azure.minutes_per_day
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.2f near 10" mean)
+    true
+    (mean > 8.0 && mean < 12.0)
+
+let test_generate_row_zero_rate () =
+  let rng = Rng.create ~seed:3 in
+  let row = Synthetic.generate_row ~rng ~id:0 ~mean_rate_per_min:0.0 in
+  Alcotest.(check int) "no invocations" 0 (Azure.total_invocations row)
+
+let test_generate_deterministic () =
+  let a = Synthetic.generate_rows ~seed:7 ~functions:5 in
+  let b = Synthetic.generate_rows ~seed:7 ~functions:5 in
+  List.iter2
+    (fun ra rb ->
+      Alcotest.(check (array int)) "same counts" ra.Azure.counts rb.Azure.counts)
+    a b
+
+(* ------------------------------------------------------------------ *)
+(* Arrivals                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_row_counts_and_order () =
+  let counts = flat_counts 0 in
+  counts.(3) <- 5;
+  counts.(100) <- 2;
+  let row = sample_row ~counts () in
+  let rng = Rng.create ~seed:4 in
+  let arrivals = Arrivals.of_row ~rng row in
+  Alcotest.(check int) "7 arrivals" 7 (List.length arrivals);
+  let ns = List.map Time.span_to_ns arrivals in
+  Alcotest.(check (list int)) "sorted" (List.sort Int.compare ns) ns;
+  List.iteri
+    (fun i v ->
+      let minute = v / 60_000_000_000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "arrival %d in declared minute" i)
+        true
+        (minute = 3 || minute = 100))
+    ns
+
+let test_chunk_window () =
+  let counts = flat_counts 1 in
+  let row = sample_row ~counts () in
+  let rng = Rng.create ~seed:5 in
+  let duration = Time.span_s 30.0 in
+  let arrivals = Arrivals.chunk ~rng row ~start_minute:720 ~duration in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "inside window" true
+        (Time.span_to_ns a >= 0 && Time.span_to_ns a < Time.span_to_ns duration))
+    arrivals;
+  (* one invocation per minute, 30s window -> 0 or 1 arrivals *)
+  Alcotest.(check bool) "at most 1" true (List.length arrivals <= 1)
+
+let test_chunk_rejects_out_of_day () =
+  let row = sample_row () in
+  let rng = Rng.create ~seed:6 in
+  Alcotest.check_raises "window outside"
+    (Invalid_argument "Arrivals.chunk: window outside the day") (fun () ->
+      ignore
+        (Arrivals.chunk ~rng row ~start_minute:1439 ~duration:(Time.span_s 120.0)))
+
+let test_poisson_process_rate () =
+  let rng = Rng.create ~seed:7 in
+  let arrivals =
+    Arrivals.poisson_process ~rng ~rate_per_s:100.0 ~duration:(Time.span_s 50.0)
+  in
+  let n = List.length arrivals in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d arrivals near 5000" n)
+    true
+    (n > 4500 && n < 5500)
+
+let test_periodic () =
+  let arrivals =
+    Arrivals.periodic ~every:(Time.span_ms 100.0) ~duration:(Time.span_s 1.0)
+  in
+  Alcotest.(check int) "10 ticks" 10 (List.length arrivals);
+  Alcotest.(check int) "first at 0" 0 (Time.span_to_ns (List.hd arrivals));
+  Alcotest.check_raises "zero period"
+    (Invalid_argument "Arrivals.periodic: zero period") (fun () ->
+      ignore (Arrivals.periodic ~every:Time.span_zero ~duration:(Time.span_s 1.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Durations schema                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Durations = Horse_trace.Durations
+
+let sample_duration_row () =
+  Durations.make_row ~owner:"o" ~app:"a" ~func:"f" ~average_ms:120.0 ~count:500
+    ~minimum_ms:5.0 ~maximum_ms:9000.0
+    ~percentiles_ms:
+      [ (0, 5.0); (1, 10.0); (25, 40.0); (50, 90.0); (75, 200.0);
+        (99, 2500.0); (100, 9000.0) ]
+
+let test_durations_validation () =
+  Alcotest.check_raises "non-monotone values"
+    (Invalid_argument "Durations.make_row: percentile values not monotone")
+    (fun () ->
+      ignore
+        (Durations.make_row ~owner:"o" ~app:"a" ~func:"f" ~average_ms:1.0
+           ~count:1 ~minimum_ms:1.0 ~maximum_ms:10.0
+           ~percentiles_ms:[ (0, 5.0); (50, 3.0) ]));
+  Alcotest.check_raises "min > max"
+    (Invalid_argument "Durations.make_row: minimum exceeds maximum") (fun () ->
+      ignore
+        (Durations.make_row ~owner:"o" ~app:"a" ~func:"f" ~average_ms:1.0
+           ~count:1 ~minimum_ms:10.0 ~maximum_ms:1.0 ~percentiles_ms:[]))
+
+let test_durations_roundtrip () =
+  let row = sample_duration_row () in
+  let parsed = Durations.parse_line (Durations.to_line row) in
+  Alcotest.(check string) "func" row.Durations.func parsed.Durations.func;
+  Alcotest.(check int) "count" row.Durations.count parsed.Durations.count;
+  Alcotest.(check (float 1e-3)) "p99" 2500.0
+    (List.assoc 99 parsed.Durations.percentiles_ms);
+  Alcotest.(check int) "header columns"
+    (List.length (String.split_on_char ',' Durations.header_line))
+    (List.length (String.split_on_char ',' (Durations.to_line row)))
+
+let test_durations_generate () =
+  let rng = Rng.create ~seed:13 in
+  let row = Durations.generate ~rng ~id:3 ~median_ms:100.0 ~spread:1.0 in
+  Alcotest.(check (float 1.0)) "median honoured" 100.0
+    (List.assoc 50 row.Durations.percentiles_ms);
+  Alcotest.(check bool) "tail above median" true
+    (List.assoc 99 row.Durations.percentiles_ms > 500.0);
+  (* generated rows always re-parse *)
+  let parsed = Durations.parse_line (Durations.to_line row) in
+  Alcotest.(check string) "roundtrips" row.Durations.func parsed.Durations.func
+
+let test_durations_sampler () =
+  let row = sample_duration_row () in
+  let rng = Rng.create ~seed:14 in
+  let n = 5_000 in
+  let draws =
+    List.init n (fun _ -> Time.span_to_ms (Durations.sampler row rng))
+  in
+  List.iter
+    (fun ms ->
+      Alcotest.(check bool) "within envelope" true (ms >= 5.0 && ms <= 9000.0))
+    draws;
+  let sorted = List.sort Float.compare draws in
+  let median = List.nth sorted (n / 2) in
+  (* the p50 of the samples must sit near the row's p50 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "median %.1f near 90" median)
+    true
+    (median > 70.0 && median < 110.0)
+
+let test_long_running_fraction () =
+  let row = sample_duration_row () in
+  (* 1s crossed between p75 (200ms) and p99 (2500ms) *)
+  let fraction = Durations.long_running_fraction row in
+  Alcotest.(check bool)
+    (Printf.sprintf "fraction %.3f in (0.01, 0.25)" fraction)
+    true
+    (fraction > 0.01 && fraction < 0.25);
+  let fast =
+    Durations.make_row ~owner:"o" ~app:"a" ~func:"f" ~average_ms:1.0 ~count:1
+      ~minimum_ms:0.5 ~maximum_ms:2.0
+      ~percentiles_ms:[ (0, 0.5); (50, 1.0); (100, 2.0) ]
+  in
+  Alcotest.(check (float 1e-9)) "all fast" 0.0
+    (Durations.long_running_fraction fast)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"parse_line (to_line row) == row" ~count:100
+    QCheck2.Gen.(array_repeat 1440 (0 -- 50))
+    (fun counts ->
+      let row = sample_row ~counts () in
+      let parsed = Azure.parse_line (Azure.to_line row) in
+      parsed.Azure.counts = row.Azure.counts
+      && parsed.Azure.owner = row.Azure.owner)
+
+let prop_of_row_mass_conservation =
+  QCheck2.Test.make ~name:"of_row yields exactly the declared invocations"
+    ~count:100
+    QCheck2.Gen.(pair (array_repeat 1440 (0 -- 3)) (0 -- 1000))
+    (fun (counts, seed) ->
+      let row = sample_row ~counts () in
+      let rng = Rng.create ~seed in
+      List.length (Arrivals.of_row ~rng row) = Azure.total_invocations row)
+
+let () =
+  Alcotest.run "horse_trace"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "validation" `Quick test_row_validation;
+          Alcotest.test_case "line roundtrip" `Quick test_line_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_parse_rejects_garbage;
+          Alcotest.test_case "skips header" `Quick test_parse_string_skips_header;
+          Alcotest.test_case "load file" `Quick test_load_file;
+          Alcotest.test_case "trigger names" `Quick test_trigger_names;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "skewed popularity" `Quick test_generate_rows_shape;
+          Alcotest.test_case "rate honoured" `Quick test_generate_row_rate;
+          Alcotest.test_case "zero rate" `Quick test_generate_row_zero_rate;
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+        ] );
+      ( "arrivals",
+        [
+          Alcotest.test_case "of_row" `Quick test_of_row_counts_and_order;
+          Alcotest.test_case "chunk window" `Quick test_chunk_window;
+          Alcotest.test_case "chunk bounds" `Quick test_chunk_rejects_out_of_day;
+          Alcotest.test_case "poisson rate" `Quick test_poisson_process_rate;
+          Alcotest.test_case "periodic" `Quick test_periodic;
+        ] );
+      ( "durations",
+        [
+          Alcotest.test_case "validation" `Quick test_durations_validation;
+          Alcotest.test_case "roundtrip" `Quick test_durations_roundtrip;
+          Alcotest.test_case "generate" `Quick test_durations_generate;
+          Alcotest.test_case "sampler" `Quick test_durations_sampler;
+          Alcotest.test_case "long-running fraction" `Quick
+            test_long_running_fraction;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_of_row_mass_conservation ] );
+    ]
