@@ -1,6 +1,6 @@
 # Convenience targets for the HORSE reproduction.
 
-.PHONY: all build test bench examples clean doc
+.PHONY: all build test bench bench-json examples clean doc
 
 all: build
 
@@ -12,6 +12,11 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# machine-readable wall-clock record (sequential vs parallel per
+# experiment); jobs defaults to cores-1, override with JOBS=n
+bench-json:
+	dune exec bench/main.exe -- summary $(if $(JOBS),--jobs $(JOBS),) --json BENCH_summary.json
 
 examples:
 	dune exec examples/quickstart.exe

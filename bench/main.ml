@@ -3,7 +3,12 @@
    micro-benchmarks (Bechamel) of the real algorithm implementations.
 
    Usage:  main.exe [table1|fig1|fig2|fig3|fig4|overhead|colocation|
-                     summary|xen|micro|all]            (default: all) *)
+                     summary|xen|micro|all]            (default: all)
+                    [--jobs N]   fan experiment tasks over N strands
+                                 (default: recommended_domain_count - 1;
+                                 results are bit-identical for any N)
+                    [--json F]   record per-experiment wall-clock
+                                 (sequential vs parallel) into F *)
 
 module E = Horse.Experiments
 module Report = Horse.Report
@@ -11,6 +16,45 @@ module Category = Horse_workload.Category
 
 let section title =
   Printf.printf "\n==== %s ====\n\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Wall-clock harness: --jobs / --json                                 *)
+(* ------------------------------------------------------------------ *)
+
+let jobs = ref (Horse_parallel.Pool.default_jobs ())
+
+let json_path : string option ref = ref None
+
+let timings : Report.timing list ref = ref []
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+(* Time one experiment's computation (not its rendering) at the
+   requested --jobs.  With --json and jobs > 1, the computation is
+   re-run at jobs = 1 to record the sequential reference wall-clock
+   in the same process — determinism guarantees the reference
+   computes the very same rows, so only the timing differs. *)
+let timed name f =
+  let t0 = now_s () in
+  let result = f ~jobs:!jobs in
+  let wall_par = now_s () -. t0 in
+  let wall_seq =
+    match !json_path with
+    | Some _ when !jobs > 1 ->
+      let t1 = now_s () in
+      ignore (f ~jobs:1);
+      now_s () -. t1
+    | Some _ | None -> wall_par
+  in
+  timings :=
+    {
+      Report.t_name = name;
+      t_jobs = !jobs;
+      t_wall_seq_s = wall_seq;
+      t_wall_par_s = wall_par;
+    }
+    :: !timings;
+  result
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: initialization and execution times                         *)
@@ -31,7 +75,7 @@ let paper_table1 = function
 
 let table1 () =
   section "Table 1 - uLL workloads: init + exec per start scenario";
-  let cells = E.table1 () in
+  let cells = timed "table1" (fun ~jobs -> E.table1 ~jobs ()) in
   let rows =
     List.map
       (fun (c : E.table1_cell) ->
@@ -62,7 +106,7 @@ let table1 () =
 
 let fig1 () =
   section "Figure 1 - sandbox initialization share of the pipeline";
-  let cells = E.table1 () in
+  let cells = timed "fig1" (fun ~jobs -> E.table1 ~jobs ()) in
   let scenarios = [ E.Cold; E.Restore; E.Warm ] in
   let rows =
     List.map
@@ -106,7 +150,7 @@ let fig2 () =
           Report.ns r.finalize_ns;
           Report.pct r.steps45_pct;
         ])
-      (E.fig2 ())
+      (timed "fig2" (fun ~jobs -> E.fig2 ~jobs ()))
   in
   Report.print
     ~caption:
@@ -123,7 +167,7 @@ let fig2 () =
 
 let fig3 () =
   section "Figure 3 - resume time: vanil / ppsm / coal / horse";
-  let rows3 = E.fig3 () in
+  let rows3 = timed "fig3" (fun ~jobs -> E.fig3 ~jobs ()) in
   let rows =
     List.map
       (fun (r : E.fig3_row) ->
@@ -163,7 +207,7 @@ let fig3 () =
 
 let fig4 () =
   section "Figure 4 - init share: cold / restore / warm / HORSE";
-  let cells = E.fig4 () in
+  let cells = timed "fig4" (fun ~jobs -> E.fig4 ~jobs ()) in
   let scenarios = [ E.Cold; E.Restore; E.Warm; E.Horse_start ] in
   let rows =
     List.map
@@ -239,7 +283,7 @@ let overhead () =
           Printf.sprintf "%.4f%%" r.resume_burst_cpu_pct;
           string_of_int r.maintenance_events;
         ])
-      (E.overhead ())
+      (timed "overhead" (fun ~jobs -> E.overhead ~jobs ()))
   in
   Report.print
     ~caption:
@@ -274,7 +318,7 @@ let colocation () =
           string_of_int r.affected;
           Printf.sprintf "%.1fus" r.max_delay_us;
         ])
-      (E.colocation ())
+      (timed "colocation" (fun ~jobs -> E.colocation ~jobs ()))
   in
   Report.print
     ~caption:
@@ -393,7 +437,7 @@ let ablations () =
 
 let summary () =
   section "Headline claims";
-  let s = E.summary () in
+  let s = timed "summary" (fun ~jobs -> E.summary ~jobs ()) in
   Report.print ~caption:"Measured vs paper"
     ~header:[ "claim"; "measured"; "paper" ]
     [
@@ -417,7 +461,9 @@ let summary () =
 
 let xen () =
   section "Xen profile - same shape on the second virtualization system";
-  let s = E.fig3_summarise (E.fig3 ~profile:E.Xen ()) in
+  let s =
+    E.fig3_summarise (timed "fig3:xen" (fun ~jobs -> E.fig3 ~profile:E.Xen ~jobs ()))
+  in
   Report.print
     ~caption:
       "Paper reports 'similar observations' on Xen; the improvements must \
@@ -430,7 +476,9 @@ let xen () =
       [ "coal improvement (max)"; Report.pct (100.0 *. s.coal_improvement_max) ];
     ];
   (* the platform-level view (Figure 4 style) on Xen *)
-  let cells = E.fig4 ~profile:E.Xen ~repeats:5 () in
+  let cells =
+    timed "fig4:xen" (fun ~jobs -> E.fig4 ~profile:E.Xen ~repeats:5 ~jobs ())
+  in
   let scenarios = [ E.Cold; E.Restore; E.Warm; E.Horse_start ] in
   Report.print
     ~caption:"Init share per scenario on the Xen profile"
@@ -693,7 +741,7 @@ let csv () =
            f r.E.sanity_ns; f r.E.merge_ns; f r.E.load_ns; f r.E.finalize_ns;
            f r.E.steps45_pct;
          ])
-       (E.fig2 ()));
+       (E.fig2 ~jobs:!jobs ()));
   write_csv (Filename.concat dir "fig3_strategies.csv")
     [ "vcpus"; "vanil_ns"; "coal_ns"; "ppsm_ns"; "horse_ns" ]
     (List.map
@@ -702,7 +750,7 @@ let csv () =
            string_of_int r.E.vcpus; f r.E.vanil_ns; f r.E.coal_ns;
            f r.E.ppsm_ns; f r.E.horse_ns;
          ])
-       (E.fig3 ()));
+       (E.fig3 ~jobs:!jobs ()));
   write_csv (Filename.concat dir "fig4_init_share.csv")
     [ "category"; "scenario"; "init_pct" ]
     (List.map
@@ -711,7 +759,7 @@ let csv () =
            Category.name c.E.f4_category; E.scenario_name c.E.f4_scenario;
            f c.E.f4_init_pct;
          ])
-       (E.fig4 ()));
+       (E.fig4 ~jobs:!jobs ()));
   write_csv (Filename.concat dir "colocation.csv")
     [ "ull_vcpus"; "vanilla_mean_ms"; "vanilla_p95_ms"; "vanilla_p99_ms";
       "horse_mean_ms"; "horse_p95_ms"; "horse_p99_ms"; "p99_delta_us";
@@ -724,7 +772,7 @@ let csv () =
            f r.E.horse_p95_ms; f r.E.horse_p99_ms; f r.E.p99_delta_us;
            string_of_int r.E.affected; f r.E.max_delay_us;
          ])
-       (E.colocation ()))
+       (E.colocation ~jobs:!jobs ()))
 
 (* ------------------------------------------------------------------ *)
 
@@ -750,15 +798,44 @@ let () =
       ("micro", micro); ("csv", csv); ("all", all);
     ]
   in
-  match Sys.argv with
-  | [| _ |] -> all ()
-  | [| _; name |] -> (
+  let usage () =
+    Printf.eprintf "usage: %s [experiment] [--jobs N] [--json FILE]\n" Sys.argv.(0);
+    Printf.eprintf "experiments: %s\n" (String.concat ", " (List.map fst experiments));
+    exit 1
+  in
+  let rec parse positional = function
+    | [] -> List.rev positional
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := j;
+        parse positional rest
+      | Some _ | None ->
+        Printf.eprintf "--jobs: expected a positive integer, got %S\n" n;
+        exit 1)
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse positional rest
+    | [ (("--jobs" | "--json") as flag) ] ->
+      Printf.eprintf "missing value after %s\n" flag;
+      usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+      Printf.eprintf "unknown option %S\n" arg;
+      usage ()
+    | name :: rest -> parse (name :: positional) rest
+  in
+  let run name =
     match List.assoc_opt name experiments with
     | Some f -> f ()
     | None ->
       Printf.eprintf "unknown experiment %S; available: %s\n" name
         (String.concat ", " (List.map fst experiments));
-      exit 1)
-  | _ ->
-    Printf.eprintf "usage: %s [experiment]\n" Sys.argv.(0);
-    exit 1
+      exit 1
+  in
+  (match parse [] (List.tl (Array.to_list Sys.argv)) with
+  | [] -> all ()
+  | [ name ] -> run name
+  | _ -> usage ());
+  match !json_path with
+  | None -> ()
+  | Some path -> Report.write_json ~path ~jobs:!jobs (List.rev !timings)

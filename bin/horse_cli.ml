@@ -39,6 +39,25 @@ let seed_arg =
     value & opt int 42
     & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic random seed.")
 
+let jobs_arg =
+  let positive_int =
+    Arg.conv
+      ( (fun s ->
+          match Arg.conv_parser Arg.int s with
+          | Ok n when n >= 1 -> Ok n
+          | Ok _ -> Error (`Msg "expected a positive integer")
+          | Error _ as e -> e),
+        Arg.conv_printer Arg.int )
+  in
+  Arg.(
+    value
+    & opt positive_int (Horse_parallel.Pool.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan the experiment's independent tasks over $(docv) domains \
+           (default: recommended_domain_count - 1).  Results are \
+           bit-identical for every N; only the wall-clock changes.")
+
 let strategy_conv =
   Arg.enum
     [
@@ -107,8 +126,8 @@ let resume_cmd =
 (* ------------------------------------------------------------------ *)
 
 let sweep_cmd =
-  let run profile seed =
-    let rows = E.fig3 ~profile ~seed () in
+  let run profile seed jobs =
+    let rows = E.fig3 ~profile ~seed ~jobs () in
     Report.print
       ~caption:
         (Printf.sprintf "Resume time per strategy (%s profile)"
@@ -128,7 +147,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep vCPU counts across all four strategies.")
-    Term.(const run $ profile_arg $ seed_arg)
+    Term.(const run $ profile_arg $ seed_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace-gen / trace-stats                                             *)
@@ -284,8 +303,8 @@ let serve_cmd =
 (* ------------------------------------------------------------------ *)
 
 let summary_cmd =
-  let run profile seed =
-    let s = E.summary ~profile ~seed () in
+  let run profile seed jobs =
+    let s = E.summary ~profile ~seed ~jobs () in
     Report.print
       ~caption:
         (Printf.sprintf "Headline claims (%s profile)" (E.profile_name profile))
@@ -300,7 +319,7 @@ let summary_cmd =
   in
   Cmd.v
     (Cmd.info "summary" ~doc:"Print the headline paper-vs-measured summary.")
-    Term.(const run $ profile_arg $ seed_arg)
+    Term.(const run $ profile_arg $ seed_arg $ jobs_arg)
 
 let () =
   let info =

@@ -55,3 +55,48 @@ let span s = ns (float_of_int (Horse_sim.Time_ns.span_to_ns s))
 let pct v = Printf.sprintf "%.2f%%" v
 
 let ratio v = Printf.sprintf "%.2fx" v
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable bench records                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Horse_vmm.Json
+
+type timing = {
+  t_name : string;
+  t_jobs : int;
+  t_wall_seq_s : float;
+  t_wall_par_s : float;
+}
+
+let speedup t =
+  if t.t_wall_par_s > 0.0 then t.t_wall_seq_s /. t.t_wall_par_s else 1.0
+
+let timing_to_json t =
+  Json.Object
+    [
+      ("name", Json.String t.t_name);
+      ("jobs", Json.Int t.t_jobs);
+      ("wall_seq_s", Json.Float t.t_wall_seq_s);
+      ("wall_par_s", Json.Float t.t_wall_par_s);
+      ("speedup", Json.Float (speedup t));
+    ]
+
+let to_json ~jobs timings =
+  Json.to_string
+    (Json.Object
+       [
+         ("schema", Json.String "horse-bench/1");
+         ("jobs", Json.Int jobs);
+         ("experiments", Json.List (List.map timing_to_json timings));
+       ])
+
+let write_json ~path ~jobs timings =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json ~jobs timings);
+      output_char oc '\n');
+  Printf.printf "wrote %s (%d experiments, jobs=%d)\n%!" path
+    (List.length timings) jobs

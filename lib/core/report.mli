@@ -24,3 +24,28 @@ val pct : float -> string
 
 val ratio : float -> string
 (** Multiplier with two decimals ("7.16x"). *)
+
+(** {1 Machine-readable bench records}
+
+    The bench harness's [--json] mode dumps per-experiment wall-clock
+    timings so the repo's perf trajectory can be tracked run over
+    run (schema ["horse-bench/1"]). *)
+
+type timing = {
+  t_name : string;  (** experiment label, e.g. ["fig3"] *)
+  t_jobs : int;  (** parallelism of the timed run *)
+  t_wall_seq_s : float;  (** wall-clock at [--jobs 1], seconds *)
+  t_wall_par_s : float;  (** wall-clock at [--jobs t_jobs], seconds *)
+}
+
+val speedup : timing -> float
+(** [t_wall_seq_s /. t_wall_par_s] (1.0 when the parallel time is
+    zero). *)
+
+val to_json : jobs:int -> timing list -> string
+(** The whole run as one JSON document: schema tag, requested [jobs],
+    and one object per experiment with both wall-clocks and the
+    sequential/parallel speedup. *)
+
+val write_json : path:string -> jobs:int -> timing list -> unit
+(** [to_json] to a file, with a one-line confirmation on stdout. *)

@@ -1,0 +1,52 @@
+type 'a t = {
+  mutable buf : 'a option array;  (* capacity is a power of two *)
+  mutable head : int;  (* next slot to steal from (top) *)
+  mutable tail : int;  (* next slot to push into (bottom) *)
+  lock : Mutex.t;
+}
+
+let create () =
+  { buf = Array.make 16 None; head = 0; tail = 0; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let slot t i = i land (Array.length t.buf - 1)
+
+let grow t =
+  let old = t.buf in
+  let capacity = Array.length old in
+  let buf = Array.make (2 * capacity) None in
+  for i = t.head to t.tail - 1 do
+    buf.(i land ((2 * capacity) - 1)) <- old.(i land (capacity - 1))
+  done;
+  t.buf <- buf
+
+let push t x =
+  with_lock t @@ fun () ->
+  if t.tail - t.head = Array.length t.buf then grow t;
+  t.buf.(slot t t.tail) <- Some x;
+  t.tail <- t.tail + 1
+
+let pop t =
+  with_lock t @@ fun () ->
+  if t.tail = t.head then None
+  else begin
+    t.tail <- t.tail - 1;
+    let x = t.buf.(slot t t.tail) in
+    t.buf.(slot t t.tail) <- None;
+    x
+  end
+
+let steal t =
+  with_lock t @@ fun () ->
+  if t.tail = t.head then None
+  else begin
+    let x = t.buf.(slot t t.head) in
+    t.buf.(slot t t.head) <- None;
+    t.head <- t.head + 1;
+    x
+  end
+
+let length t = with_lock t @@ fun () -> t.tail - t.head

@@ -1,0 +1,29 @@
+(** A work-stealing double-ended queue of tasks.
+
+    One deque per pool domain: the owner pushes and pops at the
+    bottom (LIFO, cache-friendly for recursively spawned work), while
+    thieves — other workers or a submitter helping out — steal from
+    the top (FIFO, taking the oldest and usually largest task).
+
+    The implementation is a growable power-of-two ring buffer behind
+    a single mutex.  Simulation tasks are coarse (whole sweep points,
+    whole repeats), so the lock is never contended enough to matter;
+    what the pool needs from this module is correctness and the
+    owner/thief end discipline, not a lock-free fast path. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Add at the bottom (owner end). Safe from any domain. *)
+
+val pop : 'a t -> 'a option
+(** Take from the bottom — newest first. Safe from any domain. *)
+
+val steal : 'a t -> 'a option
+(** Take from the top — oldest first. Safe from any domain. *)
+
+val length : 'a t -> int
+(** Number of queued tasks (a snapshot; may be stale by the time the
+    caller acts on it). *)

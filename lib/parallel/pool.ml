@@ -1,0 +1,162 @@
+type task = unit -> unit
+
+type t = {
+  deques : task Deque.t array;  (* one per worker domain *)
+  mutable workers : unit Domain.t array;
+  sem : Semaphore.Counting.t;  (* tokens ~ queued tasks; wakes workers *)
+  closed : bool Atomic.t;
+  submit_cursor : int Atomic.t;  (* round-robin dealing position *)
+  pool_jobs : int;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* One batch of tasks submitted together; completion of the last task
+   signals the waiting (and helping) submitter. *)
+type batch = {
+  remaining : int Atomic.t;
+  batch_lock : Mutex.t;
+  batch_done : Condition.t;
+}
+
+(* Scan every deque for work: a worker prefers its own bottom, then
+   steals oldest-first from the others; the submitter (own = -1) only
+   steals. *)
+let find_task t ~own =
+  let k = Array.length t.deques in
+  let grab i = if i = own then Deque.pop t.deques.(i) else Deque.steal t.deques.(i) in
+  let rec scan i =
+    if i >= k then None
+    else
+      let j = if own >= 0 then (own + i) mod k else i in
+      match grab j with Some _ as task -> task | None -> scan (i + 1)
+  in
+  scan 0
+
+let worker_loop t w () =
+  let rec loop () =
+    Semaphore.Counting.acquire t.sem;
+    if not (Atomic.get t.closed) then begin
+      (match find_task t ~own:w with Some task -> task () | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = match jobs with None -> default_jobs () | Some j -> j in
+  if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  let worker_count = jobs - 1 in
+  let t =
+    {
+      deques = Array.init (max 1 worker_count) (fun _ -> Deque.create ());
+      workers = [||];
+      sem = Semaphore.Counting.make 0;
+      closed = Atomic.make false;
+      submit_cursor = Atomic.make 0;
+      pool_jobs = jobs;
+    }
+  in
+  t.workers <- Array.init worker_count (fun w -> Domain.spawn (worker_loop t w));
+  t
+
+let jobs t = t.pool_jobs
+
+let shutdown t =
+  if not (Atomic.exchange t.closed true) then begin
+    (* one wake-up token per worker: each sees [closed] and exits *)
+    Array.iter (fun _ -> Semaphore.Counting.release t.sem) t.workers;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run_list t thunks =
+  if Atomic.get t.closed then invalid_arg "Pool.run_list: pool is shut down";
+  let thunks = Array.of_list thunks in
+  let n = Array.length thunks in
+  if n = 0 then []
+  else if t.pool_jobs = 1 || Array.length t.workers = 0 then
+    (* the sequential reference semantics, literally *)
+    Array.to_list (Array.map (fun thunk -> thunk ()) thunks)
+  else begin
+    let results = Array.make n None in
+    let batch =
+      {
+        remaining = Atomic.make n;
+        batch_lock = Mutex.create ();
+        batch_done = Condition.create ();
+      }
+    in
+    let task i () =
+      (try results.(i) <- Some (Ok (thunks.(i) ()))
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         results.(i) <- Some (Error (e, bt)));
+      ignore (Atomic.fetch_and_add batch.remaining (-1));
+      (* wake the submitter after every completion: it either finds
+         more work to help with or re-checks [remaining] *)
+      Mutex.lock batch.batch_lock;
+      Condition.broadcast batch.batch_done;
+      Mutex.unlock batch.batch_lock
+    in
+    let k = Array.length t.deques in
+    for i = 0 to n - 1 do
+      let d = Atomic.fetch_and_add t.submit_cursor 1 mod k in
+      Deque.push t.deques.(d) (task i);
+      Semaphore.Counting.release t.sem
+    done;
+    (* help: the submitting domain is one of the pool's strands *)
+    let rec help () =
+      if Atomic.get batch.remaining > 0 then begin
+        (match find_task t ~own:(-1) with
+        | Some task -> task ()
+        | None ->
+          Mutex.lock batch.batch_lock;
+          if Atomic.get batch.remaining > 0 then
+            Condition.wait batch.batch_done batch.batch_lock;
+          Mutex.unlock batch.batch_lock);
+        help ()
+      end
+    in
+    help ();
+    (* the lowest-indexed failure wins, independent of the schedule *)
+    Array.iter
+      (function
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+         results)
+  end
+
+let map t ~f xs = run_list t (List.mapi (fun i x () -> f i x) xs)
+
+let map_seeded t ~seed ~f xs =
+  let root = Horse_sim.Rng.create ~seed in
+  map t
+    ~f:(fun i x -> f ~rng:(Horse_sim.Rng.derive root ~index:i) i x)
+    xs
+
+(* ------------------------------------------------------------------ *)
+(* The process-wide shared pool                                        *)
+(* ------------------------------------------------------------------ *)
+
+let shared_pool : t option ref = ref None
+
+let shared_lock = Mutex.create ()
+
+let shared () =
+  Mutex.lock shared_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock shared_lock) @@ fun () ->
+  match !shared_pool with
+  | Some t when not (Atomic.get t.closed) -> t
+  | Some _ | None ->
+    let t = create () in
+    shared_pool := Some t;
+    t

@@ -1,0 +1,79 @@
+(** A fixed-size domain pool for deterministic parallel sweeps.
+
+    The experiment harness runs many independent, seeded simulation
+    tasks (sweep points, repeats, table cells).  This pool fans them
+    out over OCaml domains while keeping the one property the whole
+    repo is built on: {e bit-identical results regardless of
+    parallelism}.  Three rules deliver it:
+
+    - tasks are closed over their inputs (including any seed
+      arithmetic) when submitted, never at execution time, so the
+      schedule cannot change what a task computes;
+    - results are collected into a slot per task index and returned
+      in submission order;
+    - when several tasks fail, the exception of the {e
+      lowest-indexed} failed task is re-raised, so even the error is
+      schedule-independent.
+
+    A pool of [jobs] strands runs [jobs - 1] worker domains; the
+    submitting domain is the remaining strand — it executes tasks
+    too while it waits for a batch ({e helping}), so [jobs = 1]
+    degenerates to plain in-order [List.map] with no domain spawned
+    and no synchronisation at all.
+
+    Each worker owns a work-stealing {!Deque}: batches are dealt
+    round-robin across the deques, owners pop newest-first, and idle
+    workers (or the helping submitter) steal oldest-first from the
+    others — this is what keeps an unbalanced sweep (the 36-vCPU
+    point costs ~36x the 1-vCPU point) from serialising on one
+    domain.
+
+    For tasks that need their own random stream, {!map_seeded} hands
+    task [i] an RNG derived from [(seed, i)] with {!Horse_sim.Rng.derive}
+    — per-task streams that are independent of both the schedule and
+    the number of jobs. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1] (the submitter is the
+    extra strand), at least 1. *)
+
+val create : ?jobs:int -> unit -> t
+(** A pool of [jobs] strands (default {!default_jobs}), spawning
+    [jobs - 1] worker domains.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The parallelism the pool was created with. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent.  Submitting to a shut-down
+    pool raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] — also on exceptions. *)
+
+val run_list : t -> (unit -> 'a) list -> 'a list
+(** Run every thunk (possibly in parallel) and return the results in
+    list order.  If any thunk raises, the exception of the
+    lowest-indexed failing thunk is re-raised after the whole batch
+    has settled (no task is left running).  Re-entrant: a task may
+    itself submit a batch, to this or another pool. *)
+
+val map : t -> f:(int -> 'a -> 'b) -> 'a list -> 'b list
+(** [map pool ~f xs] is [List.mapi f xs], possibly in parallel. *)
+
+val map_seeded :
+  t -> seed:int -> f:(rng:Horse_sim.Rng.t -> int -> 'a -> 'b) -> 'a list ->
+  'b list
+(** Like {!map}, but task [i] additionally receives a private RNG
+    derived from [(seed, i)] — the deterministic seed-splitting
+    rule.  The streams do not depend on [jobs], on the schedule, or
+    on each other. *)
+
+val shared : unit -> t
+(** The process-wide pool ({!default_jobs} strands), created lazily
+    on first use — the pool P²SM's parallel merge submits to, so
+    repeated merges never pay domain spawns.  Re-created if it has
+    been {!shutdown}. *)

@@ -356,19 +356,27 @@ module Plan = struct
     let segments = Array.of_list t.segments in
     let n = Array.length segments in
     let workers = min domains (max n 1) in
-    if n > 0 then begin
-      let spawn w =
-        Domain.spawn (fun () ->
-            (* worker [w] handles segments w, w+workers, w+2·workers … *)
-            let i = ref w in
-            while !i < n do
-              splice_one index target segments.(!i);
-              i := !i + workers
-            done)
-      in
-      let handles = List.init workers spawn in
-      List.iter Domain.join handles
-    end;
+    if n > 0 then
+      if workers = 1 then Array.iter (splice_one index target) segments
+      else begin
+        (* strand [w] handles segments w, w+workers, w+2·workers …;
+           distinct keys touch disjoint [next] pointers, so the
+           strands need no mutual exclusion.  The strands run on the
+           process-wide Horse_parallel pool: repeated merges reuse
+           its domains instead of paying a spawn/join per resume. *)
+        let strand w () =
+          let i = ref w in
+          while !i < n do
+            splice_one index target segments.(!i);
+            i := !i + workers
+          done
+        in
+        ignore
+          (Horse_parallel.Pool.run_list
+             (Horse_parallel.Pool.shared ())
+             (List.init workers strand)
+            : unit list)
+      end;
     finish t ~source ~target
 
   let is_consistent t ~index ~source =

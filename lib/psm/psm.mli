@@ -132,8 +132,10 @@ module Plan : sig
 
   val execute_parallel :
     domains:int -> 'a t -> index:'a Index.t -> source:'a Linked_list.t -> stats
-  (** Same, splicing segments from [domains] OCaml domains in
-      parallel — the no-mutual-exclusion claim, executed for real.
+  (** Same, splicing segments from up to [domains] parallel strands
+      of the shared {!Horse_parallel.Pool} — the no-mutual-exclusion
+      claim, executed for real, without a spawn/join per merge.
+      [domains = 1] splices inline.
       @raise Invalid_argument if [domains < 1]. *)
 
   val is_consistent : 'a t -> index:'a Index.t -> source:'a Linked_list.t -> bool

@@ -41,7 +41,12 @@ let step t =
     true
 
 let run ?until t =
-  if t.running then invalid_arg "Engine.run: already running";
+  if t.running then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.run: re-entrant call at virtual time %dns (the engine is \
+          already draining its event queue; schedule a callback instead)"
+         (Time_ns.to_ns t.clock));
   t.running <- true;
   Fun.protect ~finally:(fun () -> t.running <- false) @@ fun () ->
   let continue () =

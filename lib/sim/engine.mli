@@ -37,7 +37,8 @@ val pending : t -> int
 val run : ?until:Time_ns.t -> t -> unit
 (** Drive the loop until the queue drains, or until the first event
     strictly after [until] (which remains queued; the clock is left at
-    [until]).  Re-entrant calls are a bug and raise. *)
+    [until]).  Re-entrant calls are a bug and raise
+    [Invalid_argument] naming the current virtual time. *)
 
 val step : t -> bool
 (** Fire exactly the next event; [false] if the queue was empty. *)

@@ -15,6 +15,14 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+let derive t ~index =
+  if index < 0 then invalid_arg "Rng.derive: negative index";
+  (* Jump the splitmix counter [index + 1] gammas ahead of [t]'s
+     current position and mix once: a keyed, non-advancing split, so
+     (state, index) alone determines the derived stream. *)
+  let z = Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (index + 1))) in
+  { state = mix z }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* keep 62 bits so the value stays non-negative in OCaml's 63-bit int *)

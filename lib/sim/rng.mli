@@ -15,6 +15,16 @@ val split : t -> t
 (** A statistically independent generator derived from [t]'s stream,
     advancing [t].  Use to give sub-components their own streams. *)
 
+val derive : t -> index:int -> t
+(** [derive t ~index] is a statistically independent generator keyed
+    by [(t, index)] {e without} advancing [t]: the same parent state
+    and index always yield the same stream, and distinct indices
+    yield distinct streams.  This is the seed-splitting rule of the
+    parallel experiment runner — task [i] of a sweep draws from
+    [derive root ~index:i], so its randomness does not depend on how
+    many domains run the sweep or in which order tasks complete.
+    @raise Invalid_argument if [index < 0]. *)
+
 val bits64 : t -> int64
 (** The next raw 64-bit output. *)
 

@@ -112,6 +112,22 @@ let test_rng_split_independent () =
   (* The split stream must not simply replay the parent's. *)
   Alcotest.(check bool) "different" true (Rng.bits64 r <> Rng.bits64 s)
 
+let test_rng_derive_streams () =
+  (* keyed derivation: reproducible per index, distinct across
+     indices, and the parent is left untouched *)
+  let parent = Rng.create ~seed:123 in
+  let draws index = Rng.bits64 (Rng.derive parent ~index) in
+  Alcotest.(check bool) "reproducible" true (draws 5 = draws 5);
+  let firsts = List.init 32 draws in
+  Alcotest.(check int) "pairwise distinct" 32
+    (List.length (List.sort_uniq Int64.compare firsts));
+  let fresh = Rng.create ~seed:123 in
+  Alcotest.(check bool) "parent not advanced" true
+    (Rng.bits64 parent = Rng.bits64 fresh);
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.derive: negative index") (fun () ->
+      ignore (Rng.derive parent ~index:(-1)))
+
 (* ------------------------------------------------------------------ *)
 (* Binary heap                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -375,6 +391,22 @@ let test_engine_past_schedule_rejected () =
            (fun () -> ignore (Engine.schedule_at t ~at:(at 3) (fun _ -> ())))));
   Engine.run e
 
+let test_engine_reentrant_run_rejected () =
+  let e = Engine.create () in
+  let caught = ref None in
+  ignore
+    (Engine.schedule e ~after:(Time.span_ns 37) (fun _ ->
+         try Engine.run e
+         with Invalid_argument msg -> caught := Some msg));
+  Engine.run e;
+  match !caught with
+  | None -> Alcotest.fail "re-entrant Engine.run did not raise"
+  | Some msg ->
+    Alcotest.(check string) "message names the virtual time"
+      "Engine.run: re-entrant call at virtual time 37ns (the engine is \
+       already draining its event queue; schedule a callback instead)"
+      msg
+
 let test_engine_step () =
   let e = Engine.create () in
   Alcotest.(check bool) "empty step" false (Engine.step e);
@@ -538,6 +570,7 @@ let () =
           Alcotest.test_case "lognormal median" `Quick test_rng_lognormal_median;
           Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "derive streams" `Quick test_rng_derive_streams;
         ] );
       ( "heap",
         [
@@ -572,6 +605,8 @@ let () =
           Alcotest.test_case "rejects past" `Quick
             test_engine_past_schedule_rejected;
           Alcotest.test_case "step" `Quick test_engine_step;
+          Alcotest.test_case "re-entrant run rejected" `Quick
+            test_engine_reentrant_run_rejected;
         ] );
       ( "stats",
         [
