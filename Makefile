@@ -1,8 +1,8 @@
 # Convenience targets for the HORSE reproduction.
 
-.PHONY: all build test bench bench-json examples clean doc
+.PHONY: all build test verify bench bench-json bench-check perf examples clean doc
 
-all: build
+all: verify
 
 build:
 	dune build @all
@@ -10,13 +10,41 @@ build:
 test:
 	dune runtest
 
+# the default flow: build, tests, regenerate the bench record, gate on it
+verify: build test bench-json bench-check
+
 bench:
 	dune exec bench/main.exe
 
+# A larger per-domain minor heap for the timed runs: the sweeps
+# allocate heavily, and on multi-domain runs every minor collection is
+# a stop-the-world across all domains, so fewer collections benefit
+# the parallel side the most (the sequential reference gets the same
+# setting — the comparison stays fair).
+BENCH_RUNPARAM ?= s=8M
+
 # machine-readable wall-clock record (sequential vs parallel per
-# experiment); jobs defaults to cores-1, override with JOBS=n
+# experiment, min-of-N interleaved): every timed sweep, recorded into
+# BENCH_summary.json; override parallelism with JOBS=n, task
+# granularity with CHUNK=n
+JOBS ?= 4
+CHUNK ?= 4
 bench-json:
-	dune exec bench/main.exe -- summary $(if $(JOBS),--jobs $(JOBS),) --json BENCH_summary.json
+	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/main.exe -- sweeps --jobs $(JOBS) --chunk $(CHUNK) --json BENCH_summary.json
+
+# gate on the recorded artifact: sweeps at jobs >= 4 must not regress
+# (speedup >= 1.0 on multi-core hosts; >= 0.75 overhead floor on a
+# single-core host, where >1x is physically impossible), and the
+# event-queue must allocate >= 2x fewer words per event than the
+# boxed reference
+bench-check:
+	dune exec bench/bench_check.exe -- BENCH_summary.json $(wildcard BENCH_micro.json)
+
+# hot-path microbenchmarks (event queue ns+words/event, pool dispatch
+# ns/task) in release mode; also records BENCH_micro.json so
+# bench-check gates the allocation budget
+perf:
+	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/micro.exe -- --json BENCH_micro.json
 
 examples:
 	dune exec examples/quickstart.exe

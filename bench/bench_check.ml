@@ -1,0 +1,113 @@
+(* Gate on the recorded bench artifacts (horse-bench/1 JSON).
+
+   Usage:  bench_check.exe [FILE ...]   (default: BENCH_summary.json)
+
+   Rules:
+   - every experiment entry recorded at jobs >= 4 must show
+     speedup >= 1.0 — parallel sweeps must win, never regress (the
+     seed artifact recorded 0.48x; this check keeps that from coming
+     back).  On a single-core host a genuine >1x is physically
+     impossible (the domains timeshare one core and only add
+     context-switch and stop-the-world cost), so the bound there is
+     the overhead floor 0.75: dispatch plus multi-domain GC
+     coordination may cost at most 25%, which still catches any
+     per-task-dispatch collapse.
+   - every [alloc:*] entry (event-queue words-per-event pairs from
+     micro.exe) must show >= 2.0 — the flat queue must allocate at
+     most half the words per event of the boxed baseline.
+   - [micro:*] timing entries are informational.
+
+   Exits non-zero listing every violated entry. *)
+
+module Json = Horse_vmm.Json
+
+let host_cores = Domain.recommended_domain_count ()
+
+let sweep_floor = if host_cores >= 2 then 1.0 else 0.75
+
+let alloc_floor = 2.0
+
+let failures = ref 0
+
+let number = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | Some _ | None -> None
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let check_entry ~file entry =
+  let name =
+    match Option.bind (Json.member "name" entry) Json.to_str with
+    | Some n -> n
+    | None -> "?"
+  in
+  let jobs =
+    Option.value ~default:1
+      (Option.bind (Json.member "jobs" entry) Json.to_int)
+  in
+  let speedup = number (Json.member "speedup" entry) in
+  let verdict required =
+    match speedup with
+    | None ->
+      incr failures;
+      Printf.printf "FAIL %s: %s has no speedup field\n" file name
+    | Some s when s < required ->
+      incr failures;
+      Printf.printf "FAIL %s: %s speedup %.3f < %.2f (jobs %d)\n" file name s
+        required jobs
+    | Some s ->
+      Printf.printf "ok   %s: %s speedup %.3f >= %.2f\n" file name s required
+  in
+  if starts_with ~prefix:"alloc:" name then verdict alloc_floor
+  else if jobs >= 4 then verdict sweep_floor
+  else
+    Printf.printf "info %s: %s speedup %s (jobs %d, not gated)\n" file name
+      (match speedup with Some s -> Printf.sprintf "%.3f" s | None -> "n/a")
+      jobs
+
+let check_file file =
+  if not (Sys.file_exists file) then begin
+    incr failures;
+    Printf.printf "FAIL %s: file not found (run `make bench-json` first)\n" file
+  end
+  else begin
+    let contents =
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse contents with
+    | exception Json.Parse_error { position; message } ->
+      incr failures;
+      Printf.printf "FAIL %s: JSON parse error at byte %d: %s\n" file position
+        message
+    | json -> (
+      match Json.member "experiments" json with
+      | Some (Json.List entries) -> List.iter (check_entry ~file) entries
+      | Some _ | None ->
+        incr failures;
+        Printf.printf "FAIL %s: no \"experiments\" array\n" file)
+  end
+
+let () =
+  let files =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "BENCH_summary.json" ]
+    | files -> files
+  in
+  if host_cores < 2 then
+    Printf.printf
+      "note: single-core host (recommended_domain_count = %d); parallel \
+       speedup > 1.0 is not physically reachable here, gating sweeps at \
+       >= %.2f instead (>= 1.00 is enforced on multi-core hosts)\n"
+      host_cores sweep_floor;
+  List.iter check_file files;
+  if !failures > 0 then begin
+    Printf.printf "bench-check: %d failure(s)\n" !failures;
+    exit 1
+  end
+  else Printf.printf "bench-check: all gates passed\n"

@@ -3,12 +3,18 @@
    micro-benchmarks (Bechamel) of the real algorithm implementations.
 
    Usage:  main.exe [table1|fig1|fig2|fig3|fig4|overhead|colocation|
-                     summary|xen|micro|all]            (default: all)
+                     summary|xen|sweeps|micro|all]     (default: all)
                     [--jobs N]   fan experiment tasks over N strands
                                  (default: recommended_domain_count - 1;
                                  results are bit-identical for any N)
+                    [--chunk C]  group C consecutive tasks per dispatch
+                                 (default 1; results are bit-identical
+                                 for any C)
                     [--json F]   record per-experiment wall-clock
-                                 (sequential vs parallel) into F *)
+                                 (sequential vs parallel) into F
+
+   [sweeps] runs every timed experiment sweep back to back — the
+   input `make bench-json` feeds to BENCH_summary.json. *)
 
 module E = Horse.Experiments
 module Report = Horse.Report
@@ -23,38 +29,79 @@ let section title =
 
 let jobs = ref (Horse_parallel.Pool.default_jobs ())
 
+let chunk : int option ref = ref None
+
 let json_path : string option ref = ref None
 
 let timings : Report.timing list ref = ref []
 
 let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
+(* min-of-N interleaved rounds when recording timings: alternating
+   sequential and parallel runs exposes both sides to the same cache,
+   GC and machine-noise conditions, and the minimum is the stable
+   floor of each.  (The old shape — one parallel run first, one
+   sequential run second — handed the sequential side a warmed-up
+   process and charged the parallel side the pool spawn.) *)
+let timing_rounds = 7
+
 (* Time one experiment's computation (not its rendering) at the
    requested --jobs.  With --json and jobs > 1, the computation is
-   re-run at jobs = 1 to record the sequential reference wall-clock
+   also run at jobs = 1 to record the sequential reference wall-clock
    in the same process — determinism guarantees the reference
    computes the very same rows, so only the timing differs. *)
 let timed name f =
-  let t0 = now_s () in
-  let result = f ~jobs:!jobs in
-  let wall_par = now_s () -. t0 in
-  let wall_seq =
-    match !json_path with
-    | Some _ when !jobs > 1 ->
-      let t1 = now_s () in
-      ignore (f ~jobs:1);
-      now_s () -. t1
-    | Some _ | None -> wall_par
+  let time g =
+    (* settle the major heap first, so one round's collection debt is
+       not billed to whichever side happens to run next *)
+    Gc.full_major ();
+    let t0 = now_s () in
+    let r = g () in
+    (now_s () -. t0, r)
   in
-  timings :=
-    {
-      Report.t_name = name;
-      t_jobs = !jobs;
-      t_wall_seq_s = wall_seq;
-      t_wall_par_s = wall_par;
-    }
-    :: !timings;
-  result
+  match !json_path with
+  | Some _ when !jobs > 1 ->
+    (* untimed warm-up pays one-time costs (shared-pool spawn, lazy
+       initialisers) for both sides *)
+    let result = f ~jobs:!jobs in
+    (* calibrate an iteration count so every timed run lasts at least
+       ~50ms: the shortest sweeps are ~0.5ms of wall, where a single
+       scheduler hiccup reads as a 20% "regression" *)
+    let approx, _ = time (fun () -> f ~jobs:1) in
+    let iters = max 1 (int_of_float (ceil (0.05 /. Float.max 1e-6 approx))) in
+    let run j () =
+      for _ = 1 to iters do
+        ignore (f ~jobs:j)
+      done
+    in
+    let wall_seq = ref infinity and wall_par = ref infinity in
+    for _ = 1 to timing_rounds do
+      let s, () = time (run 1) in
+      if s < !wall_seq then wall_seq := s;
+      let p, () = time (run !jobs) in
+      if p < !wall_par then wall_par := p
+    done;
+    let per_iter w = w /. float_of_int iters in
+    timings :=
+      {
+        Report.t_name = name;
+        t_jobs = !jobs;
+        t_wall_seq_s = per_iter !wall_seq;
+        t_wall_par_s = per_iter !wall_par;
+      }
+      :: !timings;
+    result
+  | Some _ | None ->
+    let wall, result = time (fun () -> f ~jobs:!jobs) in
+    timings :=
+      {
+        Report.t_name = name;
+        t_jobs = !jobs;
+        t_wall_seq_s = wall;
+        t_wall_par_s = wall;
+      }
+      :: !timings;
+    result
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: initialization and execution times                         *)
@@ -75,7 +122,7 @@ let paper_table1 = function
 
 let table1 () =
   section "Table 1 - uLL workloads: init + exec per start scenario";
-  let cells = timed "table1" (fun ~jobs -> E.table1 ~jobs ()) in
+  let cells = timed "table1" (fun ~jobs -> E.table1 ~jobs ?chunk:!chunk ()) in
   let rows =
     List.map
       (fun (c : E.table1_cell) ->
@@ -106,7 +153,7 @@ let table1 () =
 
 let fig1 () =
   section "Figure 1 - sandbox initialization share of the pipeline";
-  let cells = timed "fig1" (fun ~jobs -> E.table1 ~jobs ()) in
+  let cells = timed "fig1" (fun ~jobs -> E.table1 ~jobs ?chunk:!chunk ()) in
   let scenarios = [ E.Cold; E.Restore; E.Warm ] in
   let rows =
     List.map
@@ -150,7 +197,7 @@ let fig2 () =
           Report.ns r.finalize_ns;
           Report.pct r.steps45_pct;
         ])
-      (timed "fig2" (fun ~jobs -> E.fig2 ~jobs ()))
+      (timed "fig2" (fun ~jobs -> E.fig2 ~jobs ?chunk:!chunk ()))
   in
   Report.print
     ~caption:
@@ -167,7 +214,7 @@ let fig2 () =
 
 let fig3 () =
   section "Figure 3 - resume time: vanil / ppsm / coal / horse";
-  let rows3 = timed "fig3" (fun ~jobs -> E.fig3 ~jobs ()) in
+  let rows3 = timed "fig3" (fun ~jobs -> E.fig3 ~jobs ?chunk:!chunk ()) in
   let rows =
     List.map
       (fun (r : E.fig3_row) ->
@@ -207,7 +254,7 @@ let fig3 () =
 
 let fig4 () =
   section "Figure 4 - init share: cold / restore / warm / HORSE";
-  let cells = timed "fig4" (fun ~jobs -> E.fig4 ~jobs ()) in
+  let cells = timed "fig4" (fun ~jobs -> E.fig4 ~jobs ?chunk:!chunk ()) in
   let scenarios = [ E.Cold; E.Restore; E.Warm; E.Horse_start ] in
   let rows =
     List.map
@@ -283,7 +330,7 @@ let overhead () =
           Printf.sprintf "%.4f%%" r.resume_burst_cpu_pct;
           string_of_int r.maintenance_events;
         ])
-      (timed "overhead" (fun ~jobs -> E.overhead ~jobs ()))
+      (timed "overhead" (fun ~jobs -> E.overhead ~jobs ?chunk:!chunk ()))
   in
   Report.print
     ~caption:
@@ -318,7 +365,7 @@ let colocation () =
           string_of_int r.affected;
           Printf.sprintf "%.1fus" r.max_delay_us;
         ])
-      (timed "colocation" (fun ~jobs -> E.colocation ~jobs ()))
+      (timed "colocation" (fun ~jobs -> E.colocation ~jobs ?chunk:!chunk ()))
   in
   Report.print
     ~caption:
@@ -437,7 +484,7 @@ let ablations () =
 
 let summary () =
   section "Headline claims";
-  let s = timed "summary" (fun ~jobs -> E.summary ~jobs ()) in
+  let s = timed "summary" (fun ~jobs -> E.summary ~jobs ?chunk:!chunk ()) in
   Report.print ~caption:"Measured vs paper"
     ~header:[ "claim"; "measured"; "paper" ]
     [
@@ -462,7 +509,7 @@ let summary () =
 let xen () =
   section "Xen profile - same shape on the second virtualization system";
   let s =
-    E.fig3_summarise (timed "fig3:xen" (fun ~jobs -> E.fig3 ~profile:E.Xen ~jobs ()))
+    E.fig3_summarise (timed "fig3:xen" (fun ~jobs -> E.fig3 ~profile:E.Xen ~jobs ?chunk:!chunk ()))
   in
   Report.print
     ~caption:
@@ -477,7 +524,7 @@ let xen () =
     ];
   (* the platform-level view (Figure 4 style) on Xen *)
   let cells =
-    timed "fig4:xen" (fun ~jobs -> E.fig4 ~profile:E.Xen ~repeats:5 ~jobs ())
+    timed "fig4:xen" (fun ~jobs -> E.fig4 ~profile:E.Xen ~repeats:5 ~jobs ?chunk:!chunk ())
   in
   let scenarios = [ E.Cold; E.Restore; E.Warm; E.Horse_start ] in
   Report.print
@@ -741,7 +788,7 @@ let csv () =
            f r.E.sanity_ns; f r.E.merge_ns; f r.E.load_ns; f r.E.finalize_ns;
            f r.E.steps45_pct;
          ])
-       (E.fig2 ~jobs:!jobs ()));
+       (E.fig2 ~jobs:!jobs ?chunk:!chunk ()));
   write_csv (Filename.concat dir "fig3_strategies.csv")
     [ "vcpus"; "vanil_ns"; "coal_ns"; "ppsm_ns"; "horse_ns" ]
     (List.map
@@ -750,7 +797,7 @@ let csv () =
            string_of_int r.E.vcpus; f r.E.vanil_ns; f r.E.coal_ns;
            f r.E.ppsm_ns; f r.E.horse_ns;
          ])
-       (E.fig3 ~jobs:!jobs ()));
+       (E.fig3 ~jobs:!jobs ?chunk:!chunk ()));
   write_csv (Filename.concat dir "fig4_init_share.csv")
     [ "category"; "scenario"; "init_pct" ]
     (List.map
@@ -759,7 +806,7 @@ let csv () =
            Category.name c.E.f4_category; E.scenario_name c.E.f4_scenario;
            f c.E.f4_init_pct;
          ])
-       (E.fig4 ~jobs:!jobs ()));
+       (E.fig4 ~jobs:!jobs ?chunk:!chunk ()));
   write_csv (Filename.concat dir "colocation.csv")
     [ "ull_vcpus"; "vanilla_mean_ms"; "vanilla_p95_ms"; "vanilla_p99_ms";
       "horse_mean_ms"; "horse_p95_ms"; "horse_p99_ms"; "p99_delta_us";
@@ -772,9 +819,22 @@ let csv () =
            f r.E.horse_p95_ms; f r.E.horse_p99_ms; f r.E.p99_delta_us;
            string_of_int r.E.affected; f r.E.max_delay_us;
          ])
-       (E.colocation ~jobs:!jobs ()))
+       (E.colocation ~jobs:!jobs ?chunk:!chunk ()))
 
 (* ------------------------------------------------------------------ *)
+
+(* Every timed experiment sweep, back to back — what `make bench-json`
+   runs so BENCH_summary.json covers the full evaluation, not one
+   figure.  (fig1 re-times table1's computation, so it is skipped.) *)
+let sweeps () =
+  table1 ();
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  overhead ();
+  colocation ();
+  summary ();
+  xen ()
 
 let all () =
   table1 ();
@@ -794,12 +854,13 @@ let () =
     [
       ("table1", table1); ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
       ("fig4", fig4); ("overhead", overhead); ("colocation", colocation);
-      ("summary", summary); ("xen", xen); ("ablations", ablations);
-      ("micro", micro); ("csv", csv); ("all", all);
+      ("summary", summary); ("xen", xen); ("sweeps", sweeps);
+      ("ablations", ablations); ("micro", micro); ("csv", csv); ("all", all);
     ]
   in
   let usage () =
-    Printf.eprintf "usage: %s [experiment] [--jobs N] [--json FILE]\n" Sys.argv.(0);
+    Printf.eprintf "usage: %s [experiment] [--jobs N] [--chunk C] [--json FILE]\n"
+      Sys.argv.(0);
     Printf.eprintf "experiments: %s\n" (String.concat ", " (List.map fst experiments));
     exit 1
   in
@@ -813,10 +874,18 @@ let () =
       | Some _ | None ->
         Printf.eprintf "--jobs: expected a positive integer, got %S\n" n;
         exit 1)
+    | "--chunk" :: c :: rest -> (
+      match int_of_string_opt c with
+      | Some c when c >= 1 ->
+        chunk := Some c;
+        parse positional rest
+      | Some _ | None ->
+        Printf.eprintf "--chunk: expected a positive integer, got %S\n" c;
+        exit 1)
     | "--json" :: path :: rest ->
       json_path := Some path;
       parse positional rest
-    | [ (("--jobs" | "--json") as flag) ] ->
+    | [ (("--jobs" | "--chunk" | "--json") as flag) ] ->
       Printf.eprintf "missing value after %s\n" flag;
       usage ()
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->

@@ -1,0 +1,237 @@
+(* Hot-path microbenchmarks: ns/op and words/op for the event core and
+   the pool dispatch path.
+
+   Usage:  micro.exe [--quick] [--json FILE]
+
+   Each benchmark is reported as a (baseline, optimised) pair in the
+   horse-bench/1 schema — the baseline lands in [wall_seq_s], the
+   optimised implementation in [wall_par_s], so the schema's "speedup"
+   field reads as "times better than the baseline":
+
+   - [micro:eq-*]    flat Event_queue vs the boxed-cell
+                     Event_queue_reference, ns per event
+   - [alloc:eq-*]    the same pair, minor-heap words per event
+                     (`make bench-check` requires >= 2x here)
+   - [micro:pool:*]  shared-pool dispatch, ns per trivial task,
+                     chunk 1 vs chunk 32
+
+   Methodology: every queue benchmark runs on a persistent queue in
+   schedule-a-batch / drain-a-batch rounds with one untimed warm-up
+   round, so the arrays have reached steady state and neither
+   implementation is billed its cold-start growth.  Timings are the
+   minimum over trials (the stable floor); allocation counts are exact
+   [Gc.minor_words] deltas, which don't need a minimum. *)
+
+module Time_ns = Horse_sim.Time_ns
+module Rng = Horse_sim.Rng
+module Report = Horse.Report
+module Pool = Horse_parallel.Pool
+
+let quick = ref false
+
+let json_path : string option ref = ref None
+
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+(* ------------------------------------------------------------------ *)
+(* Event queue: flat vs reference                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The operations both implementations share, so one bench body can
+   drive either. *)
+module type QUEUE = sig
+  type 'a t
+
+  type handle
+
+  val create : unit -> 'a t
+
+  val schedule : 'a t -> at:Time_ns.t -> 'a -> handle
+
+  val cancel : 'a t -> handle -> bool
+
+  val pop : 'a t -> (Time_ns.t * 'a) option
+end
+
+module Flat : QUEUE = Horse_sim.Event_queue
+
+module Boxed : QUEUE = Horse_sim.Event_queue_reference
+
+type cost = { ns_per_op : float; words_per_op : float }
+
+(* [horizon] decides which structure the flat queue exercises: spans
+   under its 4096ns near-window hit the timer-wheel ring, larger ones
+   the 4-ary heap. *)
+let eq_schedule_pop (module Q : QUEUE) ~batch ~rounds ~trials ~horizon =
+  let offs =
+    let rng = Rng.create ~seed:7 in
+    Array.init batch (fun _ -> Rng.int rng horizon)
+  in
+  let q = Q.create () in
+  let base = ref 0 in
+  let round () =
+    let b = !base in
+    for i = 0 to batch - 1 do
+      ignore (Q.schedule q ~at:(Time_ns.of_ns (b + offs.(i))) i)
+    done;
+    let rec drain () = match Q.pop q with Some _ -> drain () | None -> () in
+    drain ();
+    base := b + horizon
+  in
+  round () (* warm-up: grow arrays to steady state *);
+  let best_ns = ref infinity in
+  let words = ref 0.0 in
+  for trial = 1 to trials do
+    let w0 = Gc.minor_words () in
+    let t0 = now_ns () in
+    for _ = 1 to rounds do
+      round ()
+    done;
+    let dt = now_ns () -. t0 in
+    if dt < !best_ns then best_ns := dt;
+    if trial = 1 then words := Gc.minor_words () -. w0
+  done;
+  let ops = float_of_int (batch * rounds) in
+  { ns_per_op = !best_ns /. ops; words_per_op = !words /. ops }
+
+(* schedule a batch, cancel all of it — no pops, so cancel cost is
+   isolated (ring tombstone / heap sift for the flat queue, tombstone
+   flag for the boxed one). *)
+let eq_cancel (module Q : QUEUE) ~batch ~rounds ~trials ~horizon =
+  let offs =
+    let rng = Rng.create ~seed:11 in
+    Array.init batch (fun _ -> Rng.int rng horizon)
+  in
+  let q = Q.create () in
+  let handles = Array.make batch None in
+  let base = ref 0 in
+  let round () =
+    let b = !base in
+    for i = 0 to batch - 1 do
+      handles.(i) <- Some (Q.schedule q ~at:(Time_ns.of_ns (b + offs.(i))) i)
+    done;
+    for i = 0 to batch - 1 do
+      match handles.(i) with
+      | Some h -> ignore (Q.cancel q h)
+      | None -> ()
+    done;
+    (* the boxed queue only reclaims tombstones at pop time *)
+    let rec drain () = match Q.pop q with Some _ -> drain () | None -> () in
+    drain ();
+    base := b + horizon
+  in
+  round ();
+  let best_ns = ref infinity in
+  for _ = 1 to trials do
+    let t0 = now_ns () in
+    for _ = 1 to rounds do
+      round ()
+    done;
+    let dt = now_ns () -. t0 in
+    if dt < !best_ns then best_ns := dt
+  done;
+  { ns_per_op = !best_ns /. float_of_int (batch * rounds); words_per_op = 0.0 }
+
+(* ------------------------------------------------------------------ *)
+(* Pool dispatch latency                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Trivial tasks, so the measured time IS the dispatch machinery:
+   deque push + wake-up + steal + completion accounting, per task. *)
+let pool_dispatch ~jobs ~chunk ~ntasks ~trials =
+  let pool = Pool.shared ~jobs () in
+  let tasks = List.init ntasks (fun i () -> i) in
+  ignore (Pool.run_list ~chunk pool tasks) (* warm-up *);
+  let best_ns = ref infinity in
+  for _ = 1 to trials do
+    let t0 = now_ns () in
+    ignore (Pool.run_list ~chunk pool tasks);
+    let dt = now_ns () -. t0 in
+    if dt < !best_ns then best_ns := dt
+  done;
+  !best_ns /. float_of_int ntasks
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "usage: micro.exe [--quick] [--json FILE] (got %S)\n" arg;
+      exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let trials = if !quick then 3 else 7 in
+  let rounds = if !quick then 20 else 100 in
+  let batch = 1024 in
+  let near = 2048 (* inside the flat queue's 4096ns ring window *) in
+  let far = 10_000_000 (* far beyond it: the 4-ary heap path *) in
+  let pair name ~baseline ~flat =
+    {
+      Report.t_name = name;
+      t_jobs = 1;
+      t_wall_seq_s = baseline;
+      t_wall_par_s = flat;
+    }
+  in
+  let eq name horizon =
+    let boxed =
+      eq_schedule_pop (module Boxed) ~batch ~rounds ~trials ~horizon
+    in
+    let flat = eq_schedule_pop (module Flat) ~batch ~rounds ~trials ~horizon in
+    [
+      pair
+        (Printf.sprintf "micro:eq-%s:ns-per-event" name)
+        ~baseline:boxed.ns_per_op ~flat:flat.ns_per_op;
+      pair
+        (Printf.sprintf "alloc:eq-%s:words-per-event" name)
+        ~baseline:boxed.words_per_op ~flat:flat.words_per_op;
+    ]
+  in
+  let cancels =
+    let boxed =
+      eq_cancel (module Boxed) ~batch ~rounds ~trials ~horizon:far
+    in
+    let flat = eq_cancel (module Flat) ~batch ~rounds ~trials ~horizon:far in
+    [
+      pair "micro:eq-cancel:ns-per-op" ~baseline:boxed.ns_per_op
+        ~flat:flat.ns_per_op;
+    ]
+  in
+  let pool =
+    let jobs = 4 and ntasks = if !quick then 512 else 4096 in
+    let fine = pool_dispatch ~jobs ~chunk:1 ~ntasks ~trials in
+    let coarse = pool_dispatch ~jobs ~chunk:32 ~ntasks ~trials in
+    [ pair "micro:pool:dispatch-ns-per-task" ~baseline:fine ~flat:coarse ]
+  in
+  let timings = eq "near" near @ eq "far" far @ cancels @ pool in
+  Report.print
+    ~caption:
+      "Event core: flat arena+ring+4-ary-heap queue vs the boxed-cell \
+       reference; pool: per-task dispatch cost, chunk 1 vs 32.  \
+       'baseline/new' is ns (or minor words) per operation."
+    ~header:[ "benchmark"; "baseline"; "new"; "improvement" ]
+    (List.map
+       (fun t ->
+         let fmt v =
+           if String.length t.Report.t_name >= 5
+              && String.sub t.Report.t_name 0 5 = "alloc"
+           then Printf.sprintf "%.1fw" v
+           else Report.ns v
+         in
+         [
+           t.Report.t_name;
+           fmt t.Report.t_wall_seq_s;
+           fmt t.Report.t_wall_par_s;
+           Report.ratio (Report.speedup t);
+         ])
+       timings);
+  match !json_path with
+  | None -> ()
+  | Some path -> Report.write_json ~path ~jobs:1 timings

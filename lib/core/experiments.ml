@@ -34,15 +34,18 @@ let default_sweep = [ 1; 2; 4; 8; 12; 16; 20; 24; 28; 32; 36 ]
 
 let mean values = Stats.mean_of values
 
-(* Fan independent experiment tasks over a pool of [jobs] strands.
-   Every task closes over its complete input — profile, seed
-   arithmetic, sweep point — at submission, and results come back in
-   list order, so the output is bit-identical to [List.map] for any
-   [jobs] (the determinism test pins this).  [jobs = 1] *is*
-   [List.map]: no pool, no domains. *)
-let fan ~jobs f items =
+(* Fan independent experiment tasks over the cached process-wide pool
+   of [jobs] strands.  Every task closes over its complete input —
+   profile, seed arithmetic, sweep point — at submission, and results
+   come back in list order, so the output is bit-identical to
+   [List.map] for any [jobs] and any [chunk] (the determinism tests
+   pin both).  [jobs = 1] *is* [List.map]: no pool, no domains.
+   Reusing [Pool.shared] means a sweep never pays domain spawns —
+   with per-call pools the spawn/join cost alone outweighed the
+   tasks. *)
+let fan ?chunk ~jobs f items =
   if jobs <= 1 then List.map f items
-  else Pool.with_pool ~jobs (fun pool -> Pool.map pool ~f:(fun _ x -> f x) items)
+  else Pool.map ?chunk (Pool.shared ~jobs ()) ~f:(fun _ x -> f x) items
 
 let ns_of span = float_of_int (Time.span_to_ns span)
 
@@ -105,7 +108,7 @@ let scenario_mode = function
   | Warm -> Platform.Warm Sandbox.Vanilla
   | Horse_start -> Platform.Warm Sandbox.Horse
 
-let run_start_scenarios ~profile ~repeats ~seed ~scenarios ~jobs =
+let run_start_scenarios ?chunk ~profile ~repeats ~seed ~scenarios ~jobs () =
   (* one task per (category, scenario) cell: each owns a private
      engine + platform, so cells parallelise without sharing state *)
   let cells =
@@ -113,7 +116,7 @@ let run_start_scenarios ~profile ~repeats ~seed ~scenarios ~jobs =
       (fun category -> List.map (fun scenario -> (category, scenario)) scenarios)
       Category.all
   in
-  fan ~jobs
+  fan ?chunk ~jobs
     (fun (category, scenario) ->
       let engine = Engine.create ~seed () in
           let platform =
@@ -149,10 +152,10 @@ let run_start_scenarios ~profile ~repeats ~seed ~scenarios ~jobs =
           })
     cells
 
-let table1 ?(profile = Firecracker) ?(repeats = 10) ?(seed = 42) ?(jobs = 1) ()
-    =
-  run_start_scenarios ~profile ~repeats ~seed ~jobs
-    ~scenarios:[ Cold; Restore; Warm ]
+let table1 ?(profile = Firecracker) ?(repeats = 10) ?(seed = 42) ?(jobs = 1)
+    ?chunk () =
+  run_start_scenarios ?chunk ~profile ~repeats ~seed ~jobs
+    ~scenarios:[ Cold; Restore; Warm ] ()
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2                                                            *)
@@ -170,8 +173,8 @@ type fig2_row = {
 }
 
 let fig2 ?(profile = Firecracker) ?(repeats = 10) ?(seed = 42)
-    ?(vcpus = default_sweep) ?(jobs = 1) () =
-  fan ~jobs
+    ?(vcpus = default_sweep) ?(jobs = 1) ?chunk () =
+  fan ?chunk ~jobs
     (fun n ->
       let breakdowns =
         List.init repeats (fun r ->
@@ -214,7 +217,7 @@ type fig3_row = {
 }
 
 let fig3 ?(profile = Firecracker) ?(repeats = 10) ?(seed = 42)
-    ?(vcpus = default_sweep) ?(jobs = 1) () =
+    ?(vcpus = default_sweep) ?(jobs = 1) ?chunk () =
   let measure (n, strategy) =
     mean
       (List.init repeats (fun r ->
@@ -229,7 +232,7 @@ let fig3 ?(profile = Firecracker) ?(repeats = 10) ?(seed = 42)
   let tasks =
     List.concat_map (fun n -> List.map (fun s -> (n, s)) strategies) vcpus
   in
-  let measured = fan ~jobs measure tasks in
+  let measured = fan ?chunk ~jobs measure tasks in
   let rec rows vcpus measured =
     match (vcpus, measured) with
     | [], [] -> []
@@ -269,10 +272,10 @@ type fig4_cell = {
   f4_init_pct : float;
 }
 
-let fig4 ?(profile = Firecracker) ?(repeats = 10) ?(seed = 42) ?(jobs = 1) ()
-    =
-  run_start_scenarios ~profile ~repeats ~seed ~jobs
-    ~scenarios:[ Cold; Restore; Warm; Horse_start ]
+let fig4 ?(profile = Firecracker) ?(repeats = 10) ?(seed = 42) ?(jobs = 1)
+    ?chunk () =
+  run_start_scenarios ?chunk ~profile ~repeats ~seed ~jobs
+    ~scenarios:[ Cold; Restore; Warm; Horse_start ] ()
   |> List.map (fun cell ->
          {
            f4_category = cell.category;
@@ -294,7 +297,7 @@ type overhead_row = {
 }
 
 let overhead ?(profile = Firecracker) ?(seed = 42) ?(vcpus = default_sweep)
-    ?(jobs = 1) () =
+    ?(jobs = 1) ?chunk () =
   let sampling_window_ns = 500e6 (* the paper records usage every 500 ms *) in
   let run_pauses ~strategy n =
     (* 10 background 1-vCPU sandboxes + 10 uLL sandboxes of size n,
@@ -324,7 +327,7 @@ let overhead ?(profile = Firecracker) ?(seed = 42) ?(vcpus = default_sweep)
     let events = Metrics.counter metrics "psm.maintenance_events" in
     (pause_ns, memory_bytes, resume_results, events)
   in
-  fan ~jobs
+  fan ?chunk ~jobs
     (fun n ->
       let vanilla_pause_ns, _, _, _ = run_pauses ~strategy:Sandbox.Vanilla n in
       let horse_pause_ns, memory_bytes, resume_results, events =
@@ -446,7 +449,7 @@ let colocation_run ~profile ~seed ~duration ~ull_vcpus ~strategy ~arrivals =
   (latencies, !affected, !max_delay_ns)
 
 let colocation ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 30.0)
-    ?(repeats = 10) ?(vcpus = [ 1; 8; 16; 24; 36 ]) ?(jobs = 1) () =
+    ?(repeats = 10) ?(vcpus = [ 1; 8; 16; 24; 36 ]) ?(jobs = 1) ?chunk () =
   let duration = Time.span_s duration_s in
   (* The paper reports the worst penalty over its 10 runs ("up to");
      we do the same: per repeat, a paired vanilla/HORSE run on
@@ -468,7 +471,7 @@ let colocation ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 30.0)
   let tasks =
     List.concat_map (fun n -> List.init repeats (fun r -> (n, r))) vcpus
   in
-  let all_runs = fan ~jobs one_repeat tasks in
+  let all_runs = fan ?chunk ~jobs one_repeat tasks in
   let rec chunk k xs =
     if k = 0 then ([], xs)
     else
@@ -774,9 +777,9 @@ type summary = {
   horse_init_pct_max : float;
 }
 
-let summary ?(profile = Firecracker) ?(seed = 42) ?(jobs = 1) () =
-  let f3 = fig3_summarise (fig3 ~profile ~seed ~jobs ()) in
-  let f4 = fig4 ~profile ~seed ~jobs () in
+let summary ?(profile = Firecracker) ?(seed = 42) ?(jobs = 1) ?chunk () =
+  let f3 = fig3_summarise (fig3 ~profile ~seed ~jobs ?chunk ()) in
+  let f4 = fig4 ~profile ~seed ~jobs ?chunk () in
   let pct_of scenario category =
     let cell =
       List.find

@@ -8,10 +8,13 @@
 
     The sweep-shaped experiments take [?jobs] (default 1): their
     independent tasks — table cells, sweep points, paired repeats —
-    fan out over a {!Horse_parallel.Pool} of that many strands.
-    Results are {e bit-identical for every value of [jobs]}: tasks
-    close over their seeds at submission and results are collected in
-    task order, so parallelism only changes wall-clock time, never a
+    fan out over the cached process-wide {!Horse_parallel.Pool} of
+    that many strands ({!Horse_parallel.Pool.shared}, so repeated
+    experiments never pay domain spawns).  [?chunk] (default 1)
+    groups that many consecutive tasks per dispatch.  Results are {e
+    bit-identical for every value of [jobs] and [chunk]}: tasks close
+    over their seeds at submission and results are collected in task
+    order, so parallelism only changes wall-clock time, never a
     number. *)
 
 type profile = Firecracker | Xen
@@ -35,8 +38,8 @@ type table1_cell = {
 }
 
 val table1 :
-  ?profile:profile -> ?repeats:int -> ?seed:int -> ?jobs:int -> unit ->
-  table1_cell list
+  ?profile:profile -> ?repeats:int -> ?seed:int -> ?jobs:int -> ?chunk:int ->
+  unit -> table1_cell list
 (** The paper's Table 1: categories × (cold, restore, warm).
     Figure 1 is the [init_pct] column of the same cells. *)
 
@@ -55,7 +58,7 @@ type fig2_row = {
 
 val fig2 :
   ?profile:profile -> ?repeats:int -> ?seed:int -> ?vcpus:int list ->
-  ?jobs:int -> unit -> fig2_row list
+  ?jobs:int -> ?chunk:int -> unit -> fig2_row list
 (** Vanilla resume broken into §3.1's six steps while the vCPU count
     sweeps 1 → 36. *)
 
@@ -94,7 +97,7 @@ type fig3_row = {
 
 val fig3 :
   ?profile:profile -> ?repeats:int -> ?seed:int -> ?vcpus:int list ->
-  ?jobs:int -> unit -> fig3_row list
+  ?jobs:int -> ?chunk:int -> unit -> fig3_row list
 
 type fig3_summary = {
   coal_improvement_max : float;  (** fraction of vanilla saved, peak *)
@@ -115,8 +118,8 @@ type fig4_cell = {
 }
 
 val fig4 :
-  ?profile:profile -> ?repeats:int -> ?seed:int -> ?jobs:int -> unit ->
-  fig4_cell list
+  ?profile:profile -> ?repeats:int -> ?seed:int -> ?jobs:int -> ?chunk:int ->
+  unit -> fig4_cell list
 (** Categories × (cold, restore, warm, HORSE). *)
 
 (** {1 §5.2 — overhead of HORSE} *)
@@ -133,8 +136,8 @@ type overhead_row = {
 }
 
 val overhead :
-  ?profile:profile -> ?seed:int -> ?vcpus:int list -> ?jobs:int -> unit ->
-  overhead_row list
+  ?profile:profile -> ?seed:int -> ?vcpus:int list -> ?jobs:int ->
+  ?chunk:int -> unit -> overhead_row list
 
 (** {1 §5.4 — colocation with longer-running functions} *)
 
@@ -157,7 +160,7 @@ type colocation_row = {
 
 val colocation :
   ?profile:profile -> ?seed:int -> ?duration_s:float -> ?repeats:int ->
-  ?vcpus:int list -> ?jobs:int -> unit -> colocation_row list
+  ?vcpus:int list -> ?jobs:int -> ?chunk:int -> unit -> colocation_row list
 (** Thumbnail invocations driven by an Azure-shaped 30 s arrival
     chunk, colocated with 10 uLL resumes per second, vanilla vs
     HORSE; paired runs, [repeats] (default 10) times per point, worst
@@ -255,4 +258,5 @@ type summary = {
   horse_init_pct_max : float;  (** paper: 17.64 % *)
 }
 
-val summary : ?profile:profile -> ?seed:int -> ?jobs:int -> unit -> summary
+val summary :
+  ?profile:profile -> ?seed:int -> ?jobs:int -> ?chunk:int -> unit -> summary

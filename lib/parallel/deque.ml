@@ -1,52 +1,68 @@
+(* Slots beyond the [head, tail) window hold a dummy (the Binary_heap
+   trick), so pushes store the element bare instead of boxing it in an
+   option, and taken slots are overwritten with the dummy so the GC
+   can reclaim tasks promptly. *)
+
 type 'a t = {
-  mutable buf : 'a option array;  (* capacity is a power of two *)
+  mutable buf : 'a array;  (* capacity is a power of two *)
   mutable head : int;  (* next slot to steal from (top) *)
   mutable tail : int;  (* next slot to push into (bottom) *)
   lock : Mutex.t;
 }
 
-let create () =
-  { buf = Array.make 16 None; head = 0; tail = 0; lock = Mutex.create () }
+let dummy : 'a. unit -> 'a = fun () -> Obj.magic 0
 
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let create () =
+  { buf = Array.make 16 (dummy ()); head = 0; tail = 0; lock = Mutex.create () }
 
 let slot t i = i land (Array.length t.buf - 1)
 
 let grow t =
   let old = t.buf in
   let capacity = Array.length old in
-  let buf = Array.make (2 * capacity) None in
+  let buf = Array.make (2 * capacity) (dummy ()) in
   for i = t.head to t.tail - 1 do
     buf.(i land ((2 * capacity) - 1)) <- old.(i land (capacity - 1))
   done;
   t.buf <- buf
 
 let push t x =
-  with_lock t @@ fun () ->
+  Mutex.lock t.lock;
   if t.tail - t.head = Array.length t.buf then grow t;
-  t.buf.(slot t t.tail) <- Some x;
-  t.tail <- t.tail + 1
+  t.buf.(slot t t.tail) <- x;
+  t.tail <- t.tail + 1;
+  Mutex.unlock t.lock
 
 let pop t =
-  with_lock t @@ fun () ->
-  if t.tail = t.head then None
+  Mutex.lock t.lock;
+  if t.tail = t.head then begin
+    Mutex.unlock t.lock;
+    None
+  end
   else begin
     t.tail <- t.tail - 1;
     let x = t.buf.(slot t t.tail) in
-    t.buf.(slot t t.tail) <- None;
-    x
+    t.buf.(slot t t.tail) <- dummy ();
+    Mutex.unlock t.lock;
+    Some x
   end
 
 let steal t =
-  with_lock t @@ fun () ->
-  if t.tail = t.head then None
+  Mutex.lock t.lock;
+  if t.tail = t.head then begin
+    Mutex.unlock t.lock;
+    None
+  end
   else begin
     let x = t.buf.(slot t t.head) in
-    t.buf.(slot t t.head) <- None;
+    t.buf.(slot t t.head) <- dummy ();
     t.head <- t.head + 1;
-    x
+    Mutex.unlock t.lock;
+    Some x
   end
 
-let length t = with_lock t @@ fun () -> t.tail - t.head
+let length t =
+  Mutex.lock t.lock;
+  let n = t.tail - t.head in
+  Mutex.unlock t.lock;
+  n

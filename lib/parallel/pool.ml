@@ -3,7 +3,7 @@ type task = unit -> unit
 type t = {
   deques : task Deque.t array;  (* one per worker domain *)
   mutable workers : unit Domain.t array;
-  sem : Semaphore.Counting.t;  (* tokens ~ queued tasks; wakes workers *)
+  sem : Semaphore.Counting.t;  (* wake-up tokens; batched, not per-task *)
   closed : bool Atomic.t;
   submit_cursor : int Atomic.t;  (* round-robin dealing position *)
   pool_jobs : int;
@@ -11,8 +11,15 @@ type t = {
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
+(* How many [cpu_relax] probes an idle strand makes before paying the
+   futex to block.  Sweep tasks arrive in bursts, so a short spin
+   usually catches the next burst without a syscall; past the budget
+   the strand parks and stops burning the core. *)
+let spin_budget = 64
+
 (* One batch of tasks submitted together; completion of the last task
-   signals the waiting (and helping) submitter. *)
+   signals the waiting (and helping) submitter — intermediate
+   completions touch only the atomic counter. *)
 type batch = {
   remaining : int Atomic.t;
   batch_lock : Mutex.t;
@@ -33,11 +40,36 @@ let find_task t ~own =
   in
   scan 0
 
+(* Per wake-up token a worker drains until every deque scans empty,
+   then spins down its budget before parking again.  Draining-all per
+   token is what makes batched tokens sound: the submitter releases
+   [min tasks workers] tokens for a whole batch, and any task a woken
+   worker does not reach is reached by another drainer or the helping
+   submitter. *)
 let worker_loop t w () =
+  let rec drain () =
+    match find_task t ~own:w with
+    | Some task ->
+      task ();
+      drain ()
+    | None -> ()
+  in
+  let rec spin n =
+    if n > 0 then begin
+      Domain.cpu_relax ();
+      match find_task t ~own:w with
+      | Some task ->
+        task ();
+        drain ();
+        spin spin_budget
+      | None -> spin (n - 1)
+    end
+  in
   let rec loop () =
     Semaphore.Counting.acquire t.sem;
     if not (Atomic.get t.closed) then begin
-      (match find_task t ~own:w with Some task -> task () | None -> ());
+      drain ();
+      spin spin_budget;
       loop ()
     end
   in
@@ -74,8 +106,9 @@ let with_pool ?jobs f =
   let t = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let run_list t thunks =
+let run_list ?(chunk = 1) t thunks =
   if Atomic.get t.closed then invalid_arg "Pool.run_list: pool is shut down";
+  if chunk < 1 then invalid_arg "Pool.run_list: chunk < 1";
   let thunks = Array.of_list thunks in
   let n = Array.length thunks in
   if n = 0 then []
@@ -84,45 +117,72 @@ let run_list t thunks =
     Array.to_list (Array.map (fun thunk -> thunk ()) thunks)
   else begin
     let results = Array.make n None in
+    (* thunk [i] always writes slot [i] and chunks run their thunks in
+       ascending index order, so chunking changes scheduling
+       granularity but never results *)
+    let run_one i =
+      try results.(i) <- Some (Ok (thunks.(i) ()))
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        results.(i) <- Some (Error (e, bt))
+    in
+    let ntasks = (n + chunk - 1) / chunk in
     let batch =
       {
-        remaining = Atomic.make n;
+        remaining = Atomic.make ntasks;
         batch_lock = Mutex.create ();
         batch_done = Condition.create ();
       }
     in
-    let task i () =
-      (try results.(i) <- Some (Ok (thunks.(i) ()))
-       with e ->
-         let bt = Printexc.get_raw_backtrace () in
-         results.(i) <- Some (Error (e, bt)));
-      ignore (Atomic.fetch_and_add batch.remaining (-1));
-      (* wake the submitter after every completion: it either finds
-         more work to help with or re-checks [remaining] *)
-      Mutex.lock batch.batch_lock;
-      Condition.broadcast batch.batch_done;
-      Mutex.unlock batch.batch_lock
-    in
-    let k = Array.length t.deques in
-    for i = 0 to n - 1 do
-      let d = Atomic.fetch_and_add t.submit_cursor 1 mod k in
-      Deque.push t.deques.(d) (task i);
-      Semaphore.Counting.release t.sem
-    done;
-    (* help: the submitting domain is one of the pool's strands *)
-    let rec help () =
-      if Atomic.get batch.remaining > 0 then begin
-        (match find_task t ~own:(-1) with
-        | Some task -> task ()
-        | None ->
-          Mutex.lock batch.batch_lock;
-          if Atomic.get batch.remaining > 0 then
-            Condition.wait batch.batch_done batch.batch_lock;
-          Mutex.unlock batch.batch_lock);
-        help ()
+    let task c () =
+      let lo = c * chunk in
+      let hi = min (lo + chunk) n - 1 in
+      for i = lo to hi do
+        run_one i
+      done;
+      if Atomic.fetch_and_add batch.remaining (-1) = 1 then begin
+        (* last task of the batch: this is the only wake-up the
+           submitter needs, so it is the only one paid for *)
+        Mutex.lock batch.batch_lock;
+        Condition.broadcast batch.batch_done;
+        Mutex.unlock batch.batch_lock
       end
     in
-    help ();
+    let k = Array.length t.deques in
+    for c = 0 to ntasks - 1 do
+      let d = Atomic.fetch_and_add t.submit_cursor 1 mod k in
+      Deque.push t.deques.(d) (task c)
+    done;
+    (* batched wake-up: a token per worker that can usefully run, once
+       the whole batch is visible — not a semaphore round-trip per
+       task.  Each token makes its worker drain until empty. *)
+    for _ = 1 to min ntasks (Array.length t.workers) do
+      Semaphore.Counting.release t.sem
+    done;
+    (* help: the submitting domain is one of the pool's strands.  When
+       the deques run dry it spins briefly for straggler work (nested
+       batches push concurrently), then blocks until the last task
+       signals. *)
+    let rec help spin =
+      if Atomic.get batch.remaining > 0 then
+        match find_task t ~own:(-1) with
+        | Some task ->
+          task ();
+          help spin_budget
+        | None ->
+          if spin > 0 then begin
+            Domain.cpu_relax ();
+            help (spin - 1)
+          end
+          else begin
+            Mutex.lock batch.batch_lock;
+            if Atomic.get batch.remaining > 0 then
+              Condition.wait batch.batch_done batch.batch_lock;
+            Mutex.unlock batch.batch_lock;
+            help spin_budget
+          end
+    in
+    help spin_budget;
     (* the lowest-indexed failure wins, independent of the schedule *)
     Array.iter
       (function
@@ -135,28 +195,33 @@ let run_list t thunks =
          results)
   end
 
-let map t ~f xs = run_list t (List.mapi (fun i x () -> f i x) xs)
+let map ?chunk t ~f xs = run_list ?chunk t (List.mapi (fun i x () -> f i x) xs)
 
-let map_seeded t ~seed ~f xs =
+let map_seeded ?chunk t ~seed ~f xs =
   let root = Horse_sim.Rng.create ~seed in
-  map t
+  map ?chunk t
     ~f:(fun i x -> f ~rng:(Horse_sim.Rng.derive root ~index:i) i x)
     xs
 
 (* ------------------------------------------------------------------ *)
-(* The process-wide shared pool                                        *)
+(* The process-wide shared pools                                       *)
 (* ------------------------------------------------------------------ *)
 
-let shared_pool : t option ref = ref None
+(* One cached pool per distinct [jobs], so a sweep at --jobs 4 and
+   P²SM's default-width merges can coexist without either paying
+   domain spawns per call. *)
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
 
 let shared_lock = Mutex.create ()
 
-let shared () =
+let shared ?jobs () =
+  let jobs = match jobs with None -> default_jobs () | Some j -> j in
+  if jobs < 1 then invalid_arg "Pool.shared: jobs < 1";
   Mutex.lock shared_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock shared_lock) @@ fun () ->
-  match !shared_pool with
+  match Hashtbl.find_opt shared_pools jobs with
   | Some t when not (Atomic.get t.closed) -> t
   | Some _ | None ->
-    let t = create () in
-    shared_pool := Some t;
+    let t = create ~jobs () in
+    Hashtbl.replace shared_pools jobs t;
     t

@@ -28,6 +28,15 @@
     point costs ~36x the 1-vCPU point) from serialising on one
     domain.
 
+    Dispatch overhead is kept off the per-task path: submitting a
+    batch releases {e one} wake-up token per worker (each woken worker
+    drains until every deque is empty), only the {e last} completion
+    of a batch takes the lock to signal the submitter, idle strands
+    spin a bounded budget of [cpu_relax] probes before blocking, and
+    [~chunk] folds several consecutive tasks into one dispatch for
+    fine-grained sweeps.  None of this changes results — chunked or
+    not, a map is slot-for-slot the sequential map.
+
     For tasks that need their own random stream, {!map_seeded} hands
     task [i] an RNG derived from [(seed, i)] with {!Horse_sim.Rng.derive}
     — per-task streams that are independent of both the schedule and
@@ -54,26 +63,31 @@ val shutdown : t -> unit
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run, [shutdown] — also on exceptions. *)
 
-val run_list : t -> (unit -> 'a) list -> 'a list
+val run_list : ?chunk:int -> t -> (unit -> 'a) list -> 'a list
 (** Run every thunk (possibly in parallel) and return the results in
-    list order.  If any thunk raises, the exception of the
-    lowest-indexed failing thunk is re-raised after the whole batch
-    has settled (no task is left running).  Re-entrant: a task may
-    itself submit a batch, to this or another pool. *)
+    list order.  [chunk] (default 1) groups that many consecutive
+    thunks into one scheduled task, run in ascending index order —
+    coarser dispatch for cheap thunks, identical results.  If any
+    thunk raises, the exception of the lowest-indexed failing thunk
+    is re-raised after the whole batch has settled (no task is left
+    running).  Re-entrant: a task may itself submit a batch, to this
+    or another pool.
+    @raise Invalid_argument if [chunk < 1]. *)
 
-val map : t -> f:(int -> 'a -> 'b) -> 'a list -> 'b list
+val map : ?chunk:int -> t -> f:(int -> 'a -> 'b) -> 'a list -> 'b list
 (** [map pool ~f xs] is [List.mapi f xs], possibly in parallel. *)
 
 val map_seeded :
-  t -> seed:int -> f:(rng:Horse_sim.Rng.t -> int -> 'a -> 'b) -> 'a list ->
-  'b list
+  ?chunk:int -> t -> seed:int -> f:(rng:Horse_sim.Rng.t -> int -> 'a -> 'b) ->
+  'a list -> 'b list
 (** Like {!map}, but task [i] additionally receives a private RNG
     derived from [(seed, i)] — the deterministic seed-splitting
     rule.  The streams do not depend on [jobs], on the schedule, or
     on each other. *)
 
-val shared : unit -> t
-(** The process-wide pool ({!default_jobs} strands), created lazily
-    on first use — the pool P²SM's parallel merge submits to, so
-    repeated merges never pay domain spawns.  Re-created if it has
-    been {!shutdown}. *)
+val shared : ?jobs:int -> unit -> t
+(** The process-wide pool of the given width (default
+    {!default_jobs}), created lazily on first use and cached per
+    distinct [jobs] — the pool P²SM's parallel merge and the
+    experiment sweeps submit to, so repeated calls never pay domain
+    spawns.  Re-created if it has been {!shutdown}. *)

@@ -1,3 +1,13 @@
+(* A 4-ary layout: node [i]'s children are [4i+1 .. 4i+4], its parent
+   [(i-1)/4].  The shallower tree does fewer cache-missing levels per
+   sift than the classic 2-ary layout, at the price of up to four
+   comparisons per sift_down level — a good trade when compare is
+   cheap, which every user of this heap (timestamps, deadlines,
+   credits) satisfies.  Sifts move a hole instead of swapping, so each
+   displaced element is written once. *)
+
+let arity = 4
+
 type 'a t = {
   compare : 'a -> 'a -> int;
   mutable data : 'a array;
@@ -19,36 +29,39 @@ let grow t =
   Array.blit t.data 0 data 0 t.size;
   t.data <- data
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if t.compare t.data.(i) t.data.(parent) < 0 then begin
-      let tmp = t.data.(i) in
+(* Place [x], currently homeless, by floating the hole at [i] up. *)
+let rec sift_up t i x =
+  if i = 0 then t.data.(0) <- x
+  else begin
+    let parent = (i - 1) / arity in
+    if t.compare x t.data.(parent) < 0 then begin
       t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
+      sift_up t parent x
     end
+    else t.data.(i) <- x
   end
 
-let rec sift_down t i =
-  let left = (2 * i) + 1 and right = (2 * i) + 2 in
-  let smallest = ref i in
-  if left < t.size && t.compare t.data.(left) t.data.(!smallest) < 0 then
-    smallest := left;
-  if right < t.size && t.compare t.data.(right) t.data.(!smallest) < 0 then
-    smallest := right;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
+let rec sift_down t i x =
+  let first = (arity * i) + 1 in
+  if first >= t.size then t.data.(i) <- x
+  else begin
+    let last = min (first + arity - 1) (t.size - 1) in
+    let smallest = ref first in
+    for c = first + 1 to last do
+      if t.compare t.data.(c) t.data.(!smallest) < 0 then smallest := c
+    done;
+    let smallest = !smallest in
+    if t.compare t.data.(smallest) x < 0 then begin
+      t.data.(i) <- t.data.(smallest);
+      sift_down t smallest x
+    end
+    else t.data.(i) <- x
   end
 
 let push t x =
   if t.size = Array.length t.data then grow t;
-  t.data.(t.size) <- x;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  sift_up t (t.size - 1) x
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
@@ -58,8 +71,8 @@ let pop t =
     let top = t.data.(0) in
     t.size <- t.size - 1;
     if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
+      let x = t.data.(t.size) in
+      sift_down t 0 x
     end;
     (* Drop the stale slot so the GC can reclaim the element. *)
     t.data.(t.size) <- t.data.(0);

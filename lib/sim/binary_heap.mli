@@ -1,9 +1,11 @@
-(** A resizable array-backed binary min-heap.
+(** A resizable array-backed min-heap (4-ary layout).
 
-    The event queue of the simulation engine sits on top of this heap;
-    it is also reused by schedulers that need a cheap priority queue.
-    Ordering is supplied at creation time, so the same structure serves
-    timestamps, deadlines and credits. *)
+    The reference event queue sits on top of this heap; it is also
+    reused by schedulers that need a cheap priority queue.  Ordering
+    is supplied at creation time, so the same structure serves
+    timestamps, deadlines and credits.  (The production
+    {!Event_queue} no longer uses it — its hot path inlines a flat
+    int-keyed heap — but the API is unchanged.) *)
 
 type 'a t
 (** A min-heap of ['a] values. *)

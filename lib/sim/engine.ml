@@ -49,17 +49,15 @@ let run ?until t =
          (Time_ns.to_ns t.clock));
   t.running <- true;
   Fun.protect ~finally:(fun () -> t.running <- false) @@ fun () ->
-  let continue () =
-    match Event_queue.next_time t.queue with
-    | None -> false
-    | Some at -> (
-      match until with
-      | None -> true
-      | Some limit -> Time_ns.(at <= limit))
+  let rec drain () =
+    match Event_queue.pop_until t.queue ~limit:until with
+    | None -> ()
+    | Some (at, f) ->
+      t.clock <- at;
+      f t;
+      drain ()
   in
-  while continue () do
-    ignore (step t)
-  done;
+  drain ();
   match until with
   | Some limit when Time_ns.(t.clock < limit) -> t.clock <- limit
   | Some _ | None -> ()

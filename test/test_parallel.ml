@@ -174,6 +174,57 @@ let test_shared_pool () =
     (Pool.map a ~f:(fun i _ -> i * i) (List.init 4 Fun.id))
 
 (* ------------------------------------------------------------------ *)
+(* Chunked submission                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_chunk_results_invariant () =
+  (* chunking changes scheduling granularity, never results or order;
+     use skewed tasks so chunks genuinely finish out of order *)
+  let xs = List.init 100 Fun.id in
+  let expected = List.mapi skewed_square xs in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      List.iter
+        (fun chunk ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "chunk %d" chunk)
+            expected
+            (Pool.map ~chunk pool ~f:skewed_square xs))
+        [ 1; 7; 100; 1000 ])
+
+let test_chunk_rejects_nonpositive () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.check_raises "chunk < 1"
+        (Invalid_argument "Pool.run_list: chunk < 1") (fun () ->
+          ignore (Pool.run_list ~chunk:0 pool [ (fun () -> 1) ])))
+
+let test_chunk_exception_lowest_index () =
+  (* the lowest-indexed failure must win even when the failures land
+     in different chunks on different workers *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let task i () = if i = 9 || i = 37 then failwith (string_of_int i) in
+      List.iter
+        (fun chunk ->
+          Alcotest.check_raises
+            (Printf.sprintf "chunk %d: first failure by index" chunk)
+            (Failure "9")
+            (fun () -> ignore (Pool.run_list ~chunk pool (List.init 64 task))))
+        [ 1; 7; 64 ])
+
+let test_map_seeded_chunk_invariant () =
+  let xs = List.init 64 Fun.id in
+  let reference =
+    Pool.with_pool ~jobs:1 (fun p -> Pool.map_seeded p ~seed:42 ~f:draw xs)
+  in
+  Pool.with_pool ~jobs:4 (fun p ->
+      List.iter
+        (fun chunk ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "chunk %d == sequential" chunk)
+            reference
+            (Pool.map_seeded ~chunk p ~seed:42 ~f:draw xs))
+        [ 1; 7; 64 ])
+
+(* ------------------------------------------------------------------ *)
 (* Experiments: parallel == sequential, bit for bit                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -186,6 +237,22 @@ let test_table1_jobs_invariant () =
         (Printf.sprintf "seed %d: jobs:4 == jobs:1" seed)
         true
         (sequential = parallel))
+    [ 1; 42; 1337 ]
+
+let test_table1_chunk_invariant () =
+  (* chunked parallel submission must stay bit-identical to sequential
+     for every seed and every granularity, including one chunk per
+     task and everything in a single chunk *)
+  List.iter
+    (fun seed ->
+      let sequential = E.table1 ~seed ~jobs:1 () in
+      List.iter
+        (fun chunk ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: chunk %d == sequential" seed chunk)
+            true
+            (sequential = E.table1 ~seed ~jobs:4 ~chunk ()))
+        [ 1; 7; 1000 ])
     [ 1; 42; 1337 ]
 
 let test_fig2_fig3_jobs_invariant () =
@@ -256,6 +323,17 @@ let () =
             test_pool_exception_inline;
           Alcotest.test_case "shared pool" `Quick test_shared_pool;
         ] );
+      ( "chunking",
+        [
+          Alcotest.test_case "results invariant" `Quick
+            test_chunk_results_invariant;
+          Alcotest.test_case "rejects chunk<1" `Quick
+            test_chunk_rejects_nonpositive;
+          Alcotest.test_case "exception lowest index" `Quick
+            test_chunk_exception_lowest_index;
+          Alcotest.test_case "map_seeded invariant" `Quick
+            test_map_seeded_chunk_invariant;
+        ] );
       ( "seed-splitting",
         [
           Alcotest.test_case "jobs-invariant" `Quick
@@ -267,6 +345,8 @@ let () =
         [
           Alcotest.test_case "table1 seeds 1/42/1337" `Slow
             test_table1_jobs_invariant;
+          Alcotest.test_case "table1 chunks 1/7/n" `Slow
+            test_table1_chunk_invariant;
           Alcotest.test_case "fig2+fig3" `Slow test_fig2_fig3_jobs_invariant;
           Alcotest.test_case "overhead+colocation" `Slow
             test_overhead_colocation_jobs_invariant;

@@ -5,6 +5,7 @@ module Time = Horse_sim.Time_ns
 module Rng = Horse_sim.Rng
 module Heap = Horse_sim.Binary_heap
 module Eq = Horse_sim.Event_queue
+module Eqr = Horse_sim.Event_queue_reference
 module Engine = Horse_sim.Engine
 module Stats = Horse_sim.Stats
 module Metrics = Horse_sim.Metrics
@@ -217,6 +218,131 @@ let test_eq_next_time () =
   Alcotest.(check bool) "next" true (Eq.next_time q = Some (at 9));
   ignore (Eq.cancel q h);
   Alcotest.(check bool) "after cancel" true (Eq.next_time q = None)
+
+let test_eq_pop_until () =
+  let q = Eq.create () in
+  ignore (Eq.schedule q ~at:(at 10) "a");
+  ignore (Eq.schedule q ~at:(at 20) "b");
+  ignore (Eq.schedule q ~at:(at 30) "c");
+  Alcotest.(check bool) "limit before first: None" true
+    (Eq.pop_until q ~limit:(Some (at 5)) = None);
+  Alcotest.(check int) "nothing consumed" 3 (Eq.length q);
+  Alcotest.(check bool) "limit inclusive" true
+    (Eq.pop_until q ~limit:(Some (at 10)) = Some (at 10, "a"));
+  Alcotest.(check bool) "limit between events" true
+    (Eq.pop_until q ~limit:(Some (at 25)) = Some (at 20, "b"));
+  Alcotest.(check bool) "no limit pops" true
+    (Eq.pop_until q ~limit:None = Some (at 30, "c"));
+  Alcotest.(check bool) "empty" true (Eq.pop_until q ~limit:None = None)
+
+let test_eq_ring_heap_fifo_boundary () =
+  (* Equal timestamps must stay FIFO even when the two events live in
+     different internal structures: "far" lands in the heap (scheduled
+     4096+ns out), then after the clock advances "late" lands in the
+     near-horizon ring at the very same timestamp. *)
+  let q = Eq.create () in
+  ignore (Eq.schedule q ~at:(at 3000) "warm");
+  ignore (Eq.schedule q ~at:(at 5000) "far");
+  Alcotest.(check string) "advance clock" "warm" (snd (Option.get (Eq.pop q)));
+  ignore (Eq.schedule q ~at:(at 5000) "late");
+  Alcotest.(check string) "heap event first (older seq)" "far"
+    (snd (Option.get (Eq.pop q)));
+  Alcotest.(check string) "ring event second" "late"
+    (snd (Option.get (Eq.pop q)));
+  (* the exact near/far split: clock is now 5000, so 5000+4095 is the
+     last ring tick and 5000+4096 the first heap-bound timestamp *)
+  ignore (Eq.schedule q ~at:(at (5000 + 4096)) "first-heap");
+  ignore (Eq.schedule q ~at:(at (5000 + 4095)) "last-ring");
+  Alcotest.(check string) "edge order 1" "last-ring"
+    (snd (Option.get (Eq.pop q)));
+  Alcotest.(check string) "edge order 2" "first-heap"
+    (snd (Option.get (Eq.pop q)));
+  Alcotest.(check bool) "drained" true (Eq.is_empty q)
+
+let test_eq_handle_reuse () =
+  (* Freed slots are recycled with a bumped generation: handles to
+     dead events must stay dead even after their slot is reused. *)
+  let q = Eq.create () in
+  let h1 = Eq.schedule q ~at:(at 10) "x" in
+  Alcotest.(check bool) "cancel live" true (Eq.cancel q h1);
+  let h2 = Eq.schedule q ~at:(at 20) "y" in
+  Alcotest.(check bool) "stale handle, reused slot" false (Eq.cancel q h1);
+  Alcotest.(check int) "one live event" 1 (Eq.length q);
+  Alcotest.(check bool) "survivor pops" true (Eq.pop q = Some (at 20, "y"));
+  Alcotest.(check bool) "cancel after pop" false (Eq.cancel q h2);
+  Alcotest.(check bool) "empty" true (Eq.is_empty q)
+
+(* The oracle for the flat arena+ring+heap queue: drive seeded random
+   op scripts (schedules across the near/far split, pops, cancels of
+   live / already-cancelled / already-popped handles) through both the
+   production queue and the boxed-cell reference, and require identical
+   observable traces: pop results, cancel verdicts, lengths and
+   next_time after every step. *)
+let prop_flat_matches_reference =
+  QCheck2.Test.make
+    ~name:"flat event queue trace == boxed reference trace (random scripts)"
+    ~count:300
+    QCheck2.Gen.(
+      list_size (1 -- 150)
+        (frequency
+           [
+             (4, map (fun d -> `Schedule d) (0 -- 10_000));
+             (2, return `Pop);
+             (2, map (fun k -> `Cancel k) (0 -- 1 lsl 20));
+           ]))
+    (fun script ->
+      let q = Eq.create () in
+      let r = Eqr.create () in
+      let handles = ref [||] in
+      let nhandles = ref 0 in
+      let remember h1 h2 =
+        if !nhandles = Array.length !handles then begin
+          let grown = Array.make (max 8 (2 * !nhandles)) (None, None) in
+          Array.blit !handles 0 grown 0 !nhandles;
+          handles := grown
+        end;
+        !handles.(!nhandles) <- (Some h1, Some h2);
+        incr nhandles
+      in
+      let now = ref 0 in
+      let tag = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          (match op with
+          | `Schedule d ->
+            (* relative to the last popped time, so deltas straddle
+               the queue's 4096ns near-horizon window *)
+            let at_ns = at (!now + d) in
+            incr tag;
+            remember (Eq.schedule q ~at:at_ns !tag)
+              (Eqr.schedule r ~at:at_ns !tag)
+          | `Pop -> (
+            match (Eq.pop q, Eqr.pop r) with
+            | None, None -> ()
+            | Some (t1, v1), Some (t2, v2) ->
+              if not (Time.equal t1 t2 && v1 = v2) then ok := false
+              else now := Time.to_ns t1
+            | Some _, None | None, Some _ -> ok := false)
+          | `Cancel k ->
+            if !nhandles > 0 then begin
+              match !handles.(k mod !nhandles) with
+              | Some h1, Some h2 ->
+                if Eq.cancel q h1 <> Eqr.cancel r h2 then ok := false
+              | _ -> ()
+            end);
+          if Eq.length q <> Eqr.length r then ok := false;
+          if Eq.next_time q <> Eqr.next_time r then ok := false)
+        script;
+      let rec drain () =
+        match (Eq.pop q, Eqr.pop r) with
+        | None, None -> ()
+        | Some (t1, v1), Some (t2, v2) ->
+          if not (Time.equal t1 t2 && v1 = v2) then ok := false else drain ()
+        | Some _, None | None, Some _ -> ok := false
+      in
+      drain ();
+      !ok && Eq.is_empty q && Eqr.is_empty r)
 
 (* ------------------------------------------------------------------ *)
 (* Timer wheel                                                         *)
@@ -546,6 +672,7 @@ let props =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_heap_sorts;
+      prop_flat_matches_reference;
       prop_percentile_matches_sorted;
       prop_wheel_matches_event_queue;
       prop_engine_fires_in_order;
@@ -584,6 +711,10 @@ let () =
           Alcotest.test_case "FIFO ties" `Quick test_eq_fifo_ties;
           Alcotest.test_case "cancel" `Quick test_eq_cancel;
           Alcotest.test_case "next_time" `Quick test_eq_next_time;
+          Alcotest.test_case "pop_until" `Quick test_eq_pop_until;
+          Alcotest.test_case "ring/heap FIFO boundary" `Quick
+            test_eq_ring_heap_fifo_boundary;
+          Alcotest.test_case "handle reuse" `Quick test_eq_handle_reuse;
         ] );
       ( "timer_wheel",
         [
