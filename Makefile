@@ -1,6 +1,6 @@
 # Convenience targets for the HORSE reproduction.
 
-.PHONY: all build test verify bench bench-json bench-check perf examples clean doc
+.PHONY: all build test verify bench bench-json bench-micro bench-check bench-storm perf examples clean doc
 
 all: verify
 
@@ -10,8 +10,9 @@ build:
 test:
 	dune runtest
 
-# the default flow: build, tests, regenerate the bench record, gate on it
-verify: build test bench-json bench-check
+# the default flow: build, tests, regenerate both bench records, gate
+# on them (sweeps must not regress; alloc:* and flat:* must hold 2x)
+verify: build test bench-json bench-micro bench-check
 
 bench:
 	dune exec bench/main.exe
@@ -32,17 +33,30 @@ CHUNK ?= 4
 bench-json:
 	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/main.exe -- sweeps --jobs $(JOBS) --chunk $(CHUNK) --json BENCH_summary.json
 
-# gate on the recorded artifact: sweeps at jobs >= 4 must not regress
+# quick microbenchmark record: event-queue + run-queue ns/op, words/op
+# and the dequeue flatness sweep, in release mode (quick trials are
+# enough for the 2x gates; `make perf` records the full-length runs)
+bench-micro:
+	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/micro.exe -- --quick --json BENCH_micro.json
+
+# gate on the recorded artifacts: sweeps at jobs >= 4 must not regress
 # (speedup >= 1.0 on multi-core hosts; >= 0.75 overhead floor on a
-# single-core host, where >1x is physically impossible), and the
-# event-queue must allocate >= 2x fewer words per event than the
-# boxed reference
+# single-core host, where >1x is physically impossible); alloc:*
+# entries must show >= 2x fewer words than the boxed baselines; flat:*
+# entries must show the arena hot path scaling >= 2x flatter than the
+# walking baseline
 bench-check:
 	dune exec bench/bench_check.exe -- BENCH_summary.json $(wildcard BENCH_micro.json)
 
-# hot-path microbenchmarks (event queue ns+words/event, pool dispatch
-# ns/task) in release mode; also records BENCH_micro.json so
-# bench-check gates the allocation budget
+# the resume-storm macro-benchmark: 1000 paused uLL sandboxes on one
+# ull_runqueue, churn at 0/100/1000 subscribers, then resume them all
+# back-to-back (wall-clock; QUICK=1 for a 200-sandbox smoke run)
+bench-storm:
+	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/storm.exe -- $(if $(QUICK),--quick)
+
+# full-length hot-path microbenchmarks (event queue, pool dispatch,
+# run queue) in release mode; also records BENCH_micro.json so
+# bench-check gates the allocation and flatness budgets
 perf:
 	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/micro.exe -- --json BENCH_micro.json
 

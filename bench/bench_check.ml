@@ -12,9 +12,15 @@
      the overhead floor 0.75: dispatch plus multi-domain GC
      coordination may cost at most 25%, which still catches any
      per-task-dispatch collapse.
-   - every [alloc:*] entry (event-queue words-per-event pairs from
-     micro.exe) must show >= 2.0 — the flat queue must allocate at
-     most half the words per event of the boxed baseline.
+   - every [alloc:*] entry (words-per-operation pairs from micro.exe)
+     must show >= 2.0 — the flat structures must allocate at most
+     half the words per operation of their boxed baselines.
+   - every [flat:*] entry must show >= 2.0.  These pairs record
+     latency *growth factors* across a queue-size sweep (e.g.
+     dequeue-by-node ns at n=1024 over n=64), so the "speedup" field
+     reads as "the baseline's latency grows this many times faster
+     than the arena's" — the arena hot path must stay at least twice
+     as flat as the walking baseline.
    - [micro:*] timing entries are informational.
 
    Exits non-zero listing every violated entry. *)
@@ -26,6 +32,8 @@ let host_cores = Domain.recommended_domain_count ()
 let sweep_floor = if host_cores >= 2 then 1.0 else 0.75
 
 let alloc_floor = 2.0
+
+let flat_floor = 2.0
 
 let failures = ref 0
 
@@ -62,6 +70,7 @@ let check_entry ~file entry =
       Printf.printf "ok   %s: %s speedup %.3f >= %.2f\n" file name s required
   in
   if starts_with ~prefix:"alloc:" name then verdict alloc_floor
+  else if starts_with ~prefix:"flat:" name then verdict flat_floor
   else if jobs >= 4 then verdict sweep_floor
   else
     Printf.printf "info %s: %s speedup %s (jobs %d, not gated)\n" file name

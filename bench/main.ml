@@ -550,6 +550,7 @@ let xen () =
 (* ------------------------------------------------------------------ *)
 
 module Ll = Horse_psm.Linked_list
+module Al = Horse_psm.Arena_list
 module Psm = Horse_psm.Psm
 module Reference = Horse_psm.Reference
 module Coalesce = Horse_coalesce.Coalesce
@@ -562,6 +563,21 @@ let merge_setup ~source_len ~target_len =
   in
   let source = Ll.of_sorted_list ~compare:Int.compare (sorted source_len) in
   let target = Ll.of_sorted_list ~compare:Int.compare (sorted target_len) in
+  (source, target)
+
+(* Same content, but as arena lists sharing one arena — what the real
+   run-queue substrate uses and what P²SM now operates on. *)
+let merge_setup_arena ~source_len ~target_len =
+  let rng = Horse_sim.Rng.create ~seed:17 in
+  let sorted n =
+    List.sort Int.compare
+      (List.init n (fun _ -> Horse_sim.Rng.int rng 1_000_000))
+  in
+  let arena =
+    Al.create_arena ~capacity:(source_len + target_len) ~compare:Int.compare ()
+  in
+  let source = Al.of_sorted_list arena (sorted source_len) in
+  let target = Al.of_sorted_list arena (sorted target_len) in
   (source, target)
 
 (* The two merge operations consume their inputs, so they cannot run
@@ -618,7 +634,7 @@ let manual_merge_benches () =
           ~name:(Printf.sprintf "merge/psm-splice 36 into %d" target_len)
           ~batch:1001
           ~allocate:(fun () ->
-            let source, target = merge_setup ~source_len:36 ~target_len in
+            let source, target = merge_setup_arena ~source_len:36 ~target_len in
             let index = Psm.Index.build target in
             let plan = Psm.Plan.build ~source ~index in
             (source, index, plan))
@@ -628,7 +644,7 @@ let manual_merge_benches () =
     [ 128; 1024; 4096 ]
 
 let bench_psm_precompute ~source_len ~target_len =
-  let source, target = merge_setup ~source_len ~target_len in
+  let source, target = merge_setup_arena ~source_len ~target_len in
   let index = Psm.Index.build target in
   Bechamel.Test.make
     ~name:
@@ -638,7 +654,7 @@ let bench_psm_precompute ~source_len ~target_len =
 
 (* the O(|A|·log|B|) variant of the paper's O(n) position scan *)
 let bench_psm_precompute_binary ~source_len ~target_len =
-  let source, target = merge_setup ~source_len ~target_len in
+  let source, target = merge_setup_arena ~source_len ~target_len in
   let index = Psm.Index.build target in
   Bechamel.Test.make
     ~name:

@@ -14,6 +14,17 @@
                      (`make bench-check` requires >= 2x here)
    - [micro:pool:*]  shared-pool dispatch, ns per trivial task,
                      chunk 1 vs chunk 32
+   - [micro:rq-*]    arena-backed Runqueue vs a reconstruction of the
+                     boxed run queue it replaced (Linked_list +
+                     Hashtbl subscribers + per-mutation change
+                     record): enqueue/dequeue ns and notify fan-out
+                     ns per subscriber
+   - [alloc:rq-*]    the same pair, minor words per queue mutation
+                     (gated >= 2x)
+   - [flat:rq-*]     dequeue-by-node latency growth from n=64 to
+                     n=1024, baseline growth over arena growth (gated
+                     >= 2x: the arena queue must scale at least twice
+                     as flat as the walking baseline)
 
    Methodology: every queue benchmark runs on a persistent queue in
    schedule-a-batch / drain-a-batch rounds with one untimed warm-up
@@ -152,6 +163,159 @@ let pool_dispatch ~jobs ~chunk ~ntasks ~trials =
   !best_ns /. float_of_int ntasks
 
 (* ------------------------------------------------------------------ *)
+(* Run queue: arena substrate vs the boxed design it replaced          *)
+(* ------------------------------------------------------------------ *)
+
+module Vcpu = Horse_sched.Vcpu
+module Runqueue = Horse_sched.Runqueue
+
+(* Reconstruction of the pre-arena run queue, kept here as the
+   baseline: a boxed sorted linked list, a [Hashtbl] of subscriber
+   callbacks, and a change record allocated for every mutation. *)
+module Boxed_rq = struct
+  module Ll = Horse_psm.Linked_list
+
+  type change =
+    | Inserted of { pos : int; node : Vcpu.t Ll.node }
+    | Removed of { pos : int }
+
+  type t = {
+    queue : Vcpu.t Ll.t;
+    subs : (int, change -> unit) Hashtbl.t;
+    mutable next_sub : int;
+  }
+
+  let create () =
+    {
+      queue = Ll.create ~compare:Vcpu.compare_credit ();
+      subs = Hashtbl.create 8;
+      next_sub = 0;
+    }
+
+  let notify t change = Hashtbl.iter (fun _ f -> f change) t.subs
+
+  let subscribe t f =
+    let id = t.next_sub in
+    t.next_sub <- id + 1;
+    Hashtbl.replace t.subs id f
+
+  let enqueue t vcpu =
+    let node, steps = Ll.insert_sorted t.queue vcpu in
+    Vcpu.set_state vcpu Vcpu.Queued;
+    notify t (Inserted { pos = steps; node });
+    node
+
+  let dequeue t node =
+    let vcpu = Ll.value node in
+    let pos = Ll.remove_node t.queue node in
+    Vcpu.set_state vcpu Vcpu.Offline;
+    notify t (Removed { pos });
+    pos
+end
+
+type rq_cost = { enq_ns : float; deq_ns : float; words_per_mut : float }
+
+(* Distinct random credits so inserts land all over the queue and
+   dequeues-by-node hit interior positions, like a resume storm does. *)
+let rq_vcpus n =
+  let rng = Rng.create ~seed:13 in
+  Array.init n (fun i ->
+      Vcpu.create ~sandbox:0 ~index:i ~credit:(Rng.int rng 1_000_000) ())
+
+(* Keep subscriber callbacks honest: fold every notified position into
+   a live accumulator so nothing is dead-code-eliminated. *)
+let rq_sink = ref 0
+
+(* Steady-state churn on a persistent queue: each round dequeues every
+   node (timed separately) then re-enqueues every vCPU.  One run gives
+   enqueue ns, dequeue-by-node ns, and minor words per mutation. *)
+let rq_churn_boxed ~n ~subs ~rounds ~trials =
+  let q = Boxed_rq.create () in
+  for _ = 1 to subs do
+    Boxed_rq.subscribe q (fun change ->
+        rq_sink :=
+          !rq_sink
+          +
+          match change with
+          | Boxed_rq.Inserted { pos; _ } -> pos
+          | Boxed_rq.Removed { pos } -> pos)
+  done;
+  let vcpus = rq_vcpus n in
+  let nodes = Array.map (Boxed_rq.enqueue q) vcpus (* warm-up fill *) in
+  let best = ref infinity in
+  let enq_ns = ref 0.0 and deq_ns = ref 0.0 and words = ref 0.0 in
+  for trial = 1 to trials do
+    let e = ref 0.0 and d = ref 0.0 in
+    let w0 = Gc.minor_words () in
+    for _ = 1 to rounds do
+      let t0 = now_ns () in
+      for i = 0 to n - 1 do
+        ignore (Boxed_rq.dequeue q nodes.(i))
+      done;
+      let t1 = now_ns () in
+      for i = 0 to n - 1 do
+        nodes.(i) <- Boxed_rq.enqueue q vcpus.(i)
+      done;
+      let t2 = now_ns () in
+      d := !d +. (t1 -. t0);
+      e := !e +. (t2 -. t1)
+    done;
+    if trial = 1 then words := Gc.minor_words () -. w0;
+    if !e +. !d < !best then begin
+      best := !e +. !d;
+      enq_ns := !e;
+      deq_ns := !d
+    end
+  done;
+  let ops = float_of_int (n * rounds) in
+  {
+    enq_ns = !enq_ns /. ops;
+    deq_ns = !deq_ns /. ops;
+    words_per_mut = !words /. (2.0 *. ops);
+  }
+
+let rq_churn_arena ~n ~subs ~rounds ~trials =
+  let q = Runqueue.create ~cpu:0 ~id:0 () in
+  for _ = 1 to subs do
+    ignore
+      (Runqueue.subscribe q (fun _event ~pos ~node:_ ->
+           rq_sink := !rq_sink + pos))
+  done;
+  let vcpus = rq_vcpus n in
+  let nodes = Array.map (fun v -> fst (Runqueue.enqueue q v)) vcpus in
+  let best = ref infinity in
+  let enq_ns = ref 0.0 and deq_ns = ref 0.0 and words = ref 0.0 in
+  for trial = 1 to trials do
+    let e = ref 0.0 and d = ref 0.0 in
+    let w0 = Gc.minor_words () in
+    for _ = 1 to rounds do
+      let t0 = now_ns () in
+      for i = 0 to n - 1 do
+        ignore (Runqueue.dequeue q nodes.(i))
+      done;
+      let t1 = now_ns () in
+      for i = 0 to n - 1 do
+        nodes.(i) <- fst (Runqueue.enqueue q vcpus.(i))
+      done;
+      let t2 = now_ns () in
+      d := !d +. (t1 -. t0);
+      e := !e +. (t2 -. t1)
+    done;
+    if trial = 1 then words := Gc.minor_words () -. w0;
+    if !e +. !d < !best then begin
+      best := !e +. !d;
+      enq_ns := !e;
+      deq_ns := !d
+    end
+  done;
+  let ops = float_of_int (n * rounds) in
+  {
+    enq_ns = !enq_ns /. ops;
+    deq_ns = !deq_ns /. ops;
+    words_per_mut = !words /. (2.0 *. ops);
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let rec parse = function
@@ -210,19 +374,55 @@ let () =
     let coarse = pool_dispatch ~jobs ~chunk:32 ~ntasks ~trials in
     [ pair "micro:pool:dispatch-ns-per-task" ~baseline:fine ~flat:coarse ]
   in
-  let timings = eq "near" near @ eq "far" far @ cancels @ pool in
+  let rq =
+    let n = 256 and fan = 64 in
+    let b0 = rq_churn_boxed ~n ~subs:0 ~rounds ~trials in
+    let f0 = rq_churn_arena ~n ~subs:0 ~rounds ~trials in
+    let b8 = rq_churn_boxed ~n ~subs:fan ~rounds ~trials in
+    let f8 = rq_churn_arena ~n ~subs:fan ~rounds ~trials in
+    (* fan-out cost: what each extra subscriber adds to a mutation *)
+    let per_sub c8 c0 =
+      Float.max 0.01
+        ((c8.enq_ns +. c8.deq_ns -. c0.enq_ns -. c0.deq_ns)
+        /. float_of_int fan)
+    in
+    (* flatness: how much dequeue-by-node slows down when the queue
+       grows 16x.  A walking baseline degrades ~linearly; the arena's
+       growth must stay at least 2x flatter. *)
+    let b_small = rq_churn_boxed ~n:64 ~subs:0 ~rounds ~trials in
+    let b_large = rq_churn_boxed ~n:1024 ~subs:0 ~rounds ~trials in
+    let f_small = rq_churn_arena ~n:64 ~subs:0 ~rounds ~trials in
+    let f_large = rq_churn_arena ~n:1024 ~subs:0 ~rounds ~trials in
+    [
+      pair "micro:rq-enqueue:ns-per-op" ~baseline:b0.enq_ns ~flat:f0.enq_ns;
+      pair "micro:rq-dequeue:ns-per-op" ~baseline:b0.deq_ns ~flat:f0.deq_ns;
+      pair "micro:rq-notify:ns-per-sub" ~baseline:(per_sub b8 b0)
+        ~flat:(per_sub f8 f0);
+      pair "alloc:rq-mutation:words-per-mutation" ~baseline:b8.words_per_mut
+        ~flat:f8.words_per_mut;
+      pair "flat:rq-dequeue:growth-64-to-1024"
+        ~baseline:(b_large.deq_ns /. b_small.deq_ns)
+        ~flat:(f_large.deq_ns /. f_small.deq_ns);
+    ]
+  in
+  let timings = eq "near" near @ eq "far" far @ cancels @ pool @ rq in
   Report.print
     ~caption:
       "Event core: flat arena+ring+4-ary-heap queue vs the boxed-cell \
-       reference; pool: per-task dispatch cost, chunk 1 vs 32.  \
-       'baseline/new' is ns (or minor words) per operation."
+       reference; pool: per-task dispatch cost, chunk 1 vs 32; run \
+       queue: arena Runqueue vs the boxed list+Hashtbl design.  \
+       'baseline/new' is ns (or minor words, or a growth factor) per \
+       operation."
     ~header:[ "benchmark"; "baseline"; "new"; "improvement" ]
     (List.map
        (fun t ->
+         let prefixed p =
+           String.length t.Report.t_name >= String.length p
+           && String.sub t.Report.t_name 0 (String.length p) = p
+         in
          let fmt v =
-           if String.length t.Report.t_name >= 5
-              && String.sub t.Report.t_name 0 5 = "alloc"
-           then Printf.sprintf "%.1fw" v
+           if prefixed "alloc" then Printf.sprintf "%.1fw" v
+           else if prefixed "flat" then Printf.sprintf "%.2fx" v
            else Report.ns v
          in
          [

@@ -1,30 +1,15 @@
+module Al = Arena_list
+
 exception Stale
 
 module Index = struct
   type 'a t = {
-    target : 'a Linked_list.t;
-    mutable nodes : 'a Linked_list.node array;
+    target : 'a Al.t;
+    mutable nodes : Al.handle array;
     mutable size : int;
   }
 
-  let snapshot target =
-    let size = Linked_list.length target in
-    match Linked_list.first target with
-    | None -> ([||], 0)
-    | Some first ->
-      let nodes = Array.make size first in
-      let rec fill i = function
-        | None -> ()
-        | Some node ->
-          nodes.(i) <- node;
-          fill (i + 1) (Linked_list.next node)
-      in
-      fill 0 (Some first);
-      (nodes, size)
-
-  let build target =
-    let nodes, size = snapshot target in
-    { target; nodes; size }
+  let build target = { target; nodes = Al.handles target; size = Al.length target }
 
   let target t = t.target
 
@@ -32,12 +17,12 @@ module Index = struct
 
   let anchor t k =
     if k < 0 || k > t.size then invalid_arg "Psm.Index.anchor: key out of range";
-    if k = 0 then None else Some t.nodes.(k - 1)
+    if k = 0 then Al.nil else t.nodes.(k - 1)
 
   let ensure_capacity t =
     if t.size = Array.length t.nodes then begin
       let capacity = max 8 (2 * t.size) in
-      let nodes = Array.make capacity t.nodes.(0) in
+      let nodes = Array.make capacity Al.nil in
       Array.blit t.nodes 0 nodes 0 t.size;
       t.nodes <- nodes
     end
@@ -45,7 +30,6 @@ module Index = struct
   let note_insert t ~pos node =
     if pos < 0 || pos > t.size then
       invalid_arg "Psm.Index.note_insert: position out of range";
-    if t.size = 0 then t.nodes <- Array.make 8 node;
     ensure_capacity t;
     Array.blit t.nodes pos t.nodes (pos + 1) (t.size - pos);
     t.nodes.(pos) <- node;
@@ -58,18 +42,17 @@ module Index = struct
     t.size <- t.size - 1
 
   let rebuild t =
-    let nodes, size = snapshot t.target in
-    t.nodes <- nodes;
-    t.size <- size
+    t.nodes <- Al.handles t.target;
+    t.size <- Al.length t.target
 
   (* #{b in B : b <= a}: first position whose node value exceeds [a]. *)
   let find_key t a =
-    let compare = Linked_list.compare_fn t.target in
+    let compare = Al.compare_fn t.target in
     let rec search lo hi =
       if lo >= hi then lo
       else begin
         let mid = (lo + hi) / 2 in
-        if compare (Linked_list.value t.nodes.(mid)) a <= 0 then
+        if compare (Al.value t.target t.nodes.(mid)) a <= 0 then
           search (mid + 1) hi
         else search lo mid
       end
@@ -77,297 +60,313 @@ module Index = struct
     search 0 t.size
 
   let is_consistent t =
-    t.size = Linked_list.length t.target
+    t.size = Al.length t.target
     &&
-    let rec walk i node =
-      match node with
-      | None -> i = t.size
-      | Some n -> i < t.size && t.nodes.(i) == n && walk (i + 1) (Linked_list.next n)
-    in
-    walk 0 (Linked_list.first t.target)
+    let fresh = Al.handles t.target in
+    let ok = ref true in
+    Array.iteri (fun i h -> if not (Al.equal h t.nodes.(i)) then ok := false) fresh;
+    !ok
 end
 
 module Plan = struct
-  type 'a segment = {
-    mutable head : 'a Linked_list.node;
-    mutable tail : 'a Linked_list.node;
-    mutable count : int;
-  }
-
+  (* posA as four parallel arrays over segment index: splice key,
+     first/last source handle, element count.  Keys are strictly
+     ascending; segments are contiguous runs of the (sorted) source
+     chain, so [heads]/[tails] chain into each other in array order.
+     Flat storage makes the per-mutation maintenance (the note_target
+     operations) in-place int arithmetic: the resume-storm hot path
+     allocates nothing per notification. *)
   type 'a t = {
+    source : 'a Al.t;
     compare : 'a -> 'a -> int;
-    mutable segments : (int * 'a segment) list;  (* sorted by key *)
+    mutable keys : int array;
+    mutable heads : Al.handle array;
+    mutable tails : Al.handle array;
+    mutable counts : int array;
+    mutable nseg : int;
     mutable total : int;
     mutable valid : bool;
   }
 
   type stats = { threads : int; spliced : int; max_segment : int }
 
-  let of_keyed_nodes compare keyed =
-    (* [keyed] is (key, node) in source order with non-decreasing keys;
-       group runs of equal keys into segments. *)
-    let rec group acc = function
-      | [] -> List.rev acc
-      | (k, node) :: rest -> (
-        match acc with
-        | (k', seg) :: _ when k' = k ->
-          seg.tail <- node;
-          seg.count <- seg.count + 1;
-          group acc rest
-        | _ -> group ((k, { head = node; tail = node; count = 1 }) :: acc) rest)
-    in
-    let segments = group [] keyed in
-    let total = List.fold_left (fun acc (_, s) -> acc + s.count) 0 segments in
-    { compare; segments; total; valid = true }
+  let create_empty source =
+    {
+      source;
+      compare = Al.compare_fn source;
+      keys = Array.make 8 0;
+      heads = Array.make 8 Al.nil;
+      tails = Array.make 8 Al.nil;
+      counts = Array.make 8 0;
+      nseg = 0;
+      total = 0;
+      valid = true;
+    }
 
-  let source_nodes source =
-    let rec walk acc = function
-      | None -> List.rev acc
-      | Some node -> walk (node :: acc) (Linked_list.next node)
-    in
-    walk [] (Linked_list.first source)
+  let ensure_seg_capacity t =
+    if t.nseg = Array.length t.keys then begin
+      let cap = max 8 (2 * t.nseg) in
+      let grow arr fill =
+        let n = Array.make cap fill in
+        Array.blit arr 0 n 0 t.nseg;
+        n
+      in
+      t.keys <- grow t.keys 0;
+      t.heads <- grow t.heads Al.nil;
+      t.tails <- grow t.tails Al.nil;
+      t.counts <- grow t.counts 0
+    end
+
+  (* Shift segments [i, nseg) one place right/left (all four arrays). *)
+  let shift_right t i =
+    ensure_seg_capacity t;
+    let n = t.nseg - i in
+    Array.blit t.keys i t.keys (i + 1) n;
+    Array.blit t.heads i t.heads (i + 1) n;
+    Array.blit t.tails i t.tails (i + 1) n;
+    Array.blit t.counts i t.counts (i + 1) n;
+    t.nseg <- t.nseg + 1
+
+  let shift_left t i =
+    let n = t.nseg - i - 1 in
+    Array.blit t.keys (i + 1) t.keys i n;
+    Array.blit t.heads (i + 1) t.heads i n;
+    Array.blit t.tails (i + 1) t.tails i n;
+    Array.blit t.counts (i + 1) t.counts i n;
+    t.nseg <- t.nseg - 1
+
+  (* Append during build: keys arrive non-decreasing, so a repeat key
+     extends the last segment. *)
+  let push t ~key ~node =
+    if t.nseg > 0 && t.keys.(t.nseg - 1) = key then begin
+      t.tails.(t.nseg - 1) <- node;
+      t.counts.(t.nseg - 1) <- t.counts.(t.nseg - 1) + 1
+    end
+    else begin
+      ensure_seg_capacity t;
+      t.keys.(t.nseg) <- key;
+      t.heads.(t.nseg) <- node;
+      t.tails.(t.nseg) <- node;
+      t.counts.(t.nseg) <- 1;
+      t.nseg <- t.nseg + 1
+    end;
+    t.total <- t.total + 1
+
+  (* Segment index holding [key], or -1. *)
+  let find_seg t key =
+    let lo = ref 0 and hi = ref t.nseg in
+    while !lo < !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      if t.keys.(mid) < key then lo := mid + 1 else hi := mid
+    done;
+    if !lo < t.nseg && t.keys.(!lo) = key then !lo else -1
 
   let build ~source ~(index : 'a Index.t) =
-    let compare = Linked_list.compare_fn source in
+    let t = create_empty source in
     (* Two-pointer scan: both lists are sorted, so the key is found by
        advancing a single cursor over the index. *)
     let cursor = ref 0 in
-    let keyed =
-      List.map
-        (fun node ->
-          let a = Linked_list.value node in
-          while
-            !cursor < Index.length index
-            && compare
-                 (Linked_list.value
-                    (match Index.anchor index (!cursor + 1) with
-                    | Some n -> n
-                    | None -> assert false))
-                 a
-               <= 0
-          do
-            incr cursor
-          done;
-          (!cursor, node))
-        (source_nodes source)
-    in
-    of_keyed_nodes compare keyed
+    let n = Index.length index in
+    Array.iter
+      (fun node ->
+        let a = Al.value source node in
+        while
+          !cursor < n
+          && t.compare (Al.value index.Index.target index.Index.nodes.(!cursor)) a
+             <= 0
+        do
+          incr cursor
+        done;
+        push t ~key:!cursor ~node)
+      (Al.handles source);
+    t
 
   let build_binary ~source ~index =
-    let compare = Linked_list.compare_fn source in
-    let keyed =
-      List.map
-        (fun node -> (Index.find_key index (Linked_list.value node), node))
-        (source_nodes source)
-    in
-    of_keyed_nodes compare keyed
+    let t = create_empty source in
+    Array.iter
+      (fun node ->
+        push t ~key:(Index.find_key index (Al.value source node)) ~node)
+      (Al.handles source);
+    t
 
-  let key_count t = List.length t.segments
+  let key_count t = t.nseg
 
   let total t = t.total
 
-  let keys t = List.map fst t.segments
+  let keys t = Array.to_list (Array.sub t.keys 0 t.nseg)
+
+  let keys_counts t = (Array.sub t.keys 0 t.nseg, Array.sub t.counts 0 t.nseg)
 
   let segments_snapshot t =
-    let nodes_of seg =
-      let rec walk node remaining acc =
-        let acc = node :: acc in
-        if remaining <= 1 then List.rev acc
-        else
-          match Linked_list.next node with
-          | Some next -> walk next (remaining - 1) acc
-          | None -> List.rev acc
-      in
-      if seg.count = 0 then [] else walk seg.head seg.count []
-    in
-    List.map (fun (k, seg) -> (k, nodes_of seg)) t.segments
+    List.init t.nseg (fun i ->
+        let rec walk node remaining acc =
+          let acc = node :: acc in
+          if remaining <= 1 then List.rev acc
+          else walk (Al.next t.source node) (remaining - 1) acc
+        in
+        (t.keys.(i), walk t.heads.(i) t.counts.(i) []))
 
   (* Split the segment at [key]: the suffix of elements [a] with
      [v <= a] moves to [key + 1] (they now follow the new target
      element). *)
   let split_segment t key v =
-    let rec walk_to node steps =
-      (* the node [steps] hops after [node] *)
-      if steps = 0 then node
-      else
-        match Linked_list.next node with
-        | Some next -> walk_to next (steps - 1)
-        | None -> assert false
-    in
-    match List.assoc_opt key t.segments with
-    | None -> ()
-    | Some seg -> (
+    let i = find_seg t key in
+    if i >= 0 then begin
+      let count = t.counts.(i) in
       (* first element of the segment that must follow the new target
          element, i.e. the first [a] with [v <= a] (sorted, so a
          suffix) *)
       let rec first_moved node walked =
-        if walked >= seg.count then None
-        else if t.compare v (Linked_list.value node) <= 0 then
+        if walked >= count then None
+        else if t.compare v (Al.value t.source node) <= 0 then
           Some (node, walked)
-        else
-          match Linked_list.next node with
-          | Some next -> first_moved next (walked + 1)
-          | None -> None
+        else first_moved (Al.next t.source node) (walked + 1)
       in
-      match first_moved seg.head 0 with
+      match first_moved t.heads.(i) 0 with
       | None -> ()  (* every element stays before the new target node *)
       | Some (_, 0) ->
-        (* the whole segment moves: just re-key it *)
-        t.segments <-
-          List.map
-            (fun (k, s) -> if k = key then (key + 1, s) else (k, s))
-            t.segments
+        (* the whole segment moves: just re-key it (pos+1 is free —
+           strictly greater keys were already shifted) *)
+        t.keys.(i) <- key + 1
       | Some (node, walked) ->
-        let moved =
-          { head = node; tail = seg.tail; count = seg.count - walked }
-        in
-        seg.tail <- walk_to seg.head (walked - 1);
-        seg.count <- walked;
-        t.segments <-
-          List.merge
-            (fun (a, _) (b, _) -> Int.compare a b)
-            t.segments
-            [ (key + 1, moved) ])
+        let old_tail = t.tails.(i) in
+        t.tails.(i) <- Al.prev t.source node;
+        t.counts.(i) <- walked;
+        shift_right t (i + 1);
+        t.keys.(i + 1) <- key + 1;
+        t.heads.(i + 1) <- node;
+        t.tails.(i + 1) <- old_tail;
+        t.counts.(i + 1) <- count - walked
+    end
 
   let note_target_insert t ~pos v =
     (* Order matters: first re-key strictly-greater segments (freeing
        key pos+1), then split the straddling one so its moved suffix
        lands at pos+1 without being double-shifted. *)
-    t.segments <-
-      List.map (fun (k, s) -> if k > pos then (k + 1, s) else (k, s)) t.segments;
+    for j = 0 to t.nseg - 1 do
+      if t.keys.(j) > pos then t.keys.(j) <- t.keys.(j) + 1
+    done;
     split_segment t pos v
 
   let note_target_remove t ~pos =
     let q = pos + 1 in
     (* the removed element was the q-th (1-based) of the target *)
-    let moved = List.assoc_opt q t.segments in
-    let rest = List.filter (fun (k, _) -> k <> q) t.segments in
-    let rest = List.map (fun (k, s) -> if k > q then (k - 1, s) else (k, s)) rest in
-    match moved with
-    | None -> t.segments <- rest
-    | Some seg -> (
-      match List.assoc_opt (q - 1) rest with
-      | None ->
-        t.segments <-
-          List.merge (fun (a, _) (b, _) -> Int.compare a b) rest [ (q - 1, seg) ]
-      | Some prev ->
-        (* contiguous runs of the source: prev.tail chains into seg.head *)
-        prev.tail <- seg.tail;
-        prev.count <- prev.count + seg.count;
-        t.segments <- rest)
+    let i = find_seg t q in
+    for j = 0 to t.nseg - 1 do
+      if t.keys.(j) > q then t.keys.(j) <- t.keys.(j) - 1
+    done;
+    if i >= 0 then
+      if i > 0 && t.keys.(i - 1) = q - 1 then begin
+        (* contiguous runs of the source: segment i chains right after
+           segment i-1, so the merge is pure bookkeeping *)
+        t.tails.(i - 1) <- t.tails.(i);
+        t.counts.(i - 1) <- t.counts.(i - 1) + t.counts.(i);
+        shift_left t i
+      end
+      else t.keys.(i) <- q - 1
 
   let note_source_insert t ~index ~node =
-    let v = Linked_list.value node in
+    let v = Al.value t.source node in
     let key = Index.find_key index v in
-    (match List.assoc_opt key t.segments with
-    | Some seg ->
-      if t.compare v (Linked_list.value seg.head) < 0 then seg.head <- node;
-      if t.compare v (Linked_list.value seg.tail) >= 0 then seg.tail <- node;
-      seg.count <- seg.count + 1
-    | None ->
-      t.segments <-
-        List.merge
-          (fun (a, _) (b, _) -> Int.compare a b)
-          t.segments
-          [ (key, { head = node; tail = node; count = 1 }) ]);
+    let i = find_seg t key in
+    if i >= 0 then begin
+      if t.compare v (Al.value t.source t.heads.(i)) < 0 then t.heads.(i) <- node;
+      if t.compare v (Al.value t.source t.tails.(i)) >= 0 then t.tails.(i) <- node;
+      t.counts.(i) <- t.counts.(i) + 1
+    end
+    else begin
+      (* first index with a greater key *)
+      let lo = ref 0 and hi = ref t.nseg in
+      while !lo < !hi do
+        let mid = (!lo + !hi) lsr 1 in
+        if t.keys.(mid) < key then lo := mid + 1 else hi := mid
+      done;
+      shift_right t !lo;
+      t.keys.(!lo) <- key;
+      t.heads.(!lo) <- node;
+      t.tails.(!lo) <- node;
+      t.counts.(!lo) <- 1
+    end;
     t.total <- t.total + 1
 
   let note_source_remove t ~node =
-    let contains seg =
-      let rec walk cur walked =
-        if cur == node then true
-        else if walked + 1 >= seg.count then false
-        else
-          match Linked_list.next cur with
-          | Some next -> walk next (walked + 1)
-          | None -> false
-      in
-      walk seg.head 0
-    in
-    let rec find = function
-      | [] -> raise Not_found
-      | (key, seg) :: rest -> if contains seg then (key, seg) else find rest
-    in
-    let key, seg = find t.segments in
-    if seg.count = 1 then
-      t.segments <- List.filter (fun (k, _) -> k <> key) t.segments
-    else if seg.head == node then
-      seg.head <-
-        (match Linked_list.next node with Some n -> n | None -> assert false)
-    else if seg.tail == node then begin
-      let rec predecessor cur =
-        match Linked_list.next cur with
-        | Some n when n == node -> cur
-        | Some n -> predecessor n
-        | None -> assert false
-      in
-      seg.tail <- predecessor seg.head
+    (* Segments tile the source in order, so the covering segment
+       falls out of the node's position and the count prefix sums. *)
+    let pos = Al.position t.source node in
+    let i = ref 0 and cum = ref 0 in
+    while !i < t.nseg && !cum + t.counts.(!i) <= pos do
+      cum := !cum + t.counts.(!i);
+      incr i
+    done;
+    if !i >= t.nseg then raise Not_found;
+    let i = !i in
+    if t.counts.(i) = 1 then shift_left t i
+    else begin
+      if Al.equal t.heads.(i) node then t.heads.(i) <- Al.next t.source node
+      else if Al.equal t.tails.(i) node then t.tails.(i) <- Al.prev t.source node;
+      t.counts.(i) <- t.counts.(i) - 1
     end;
-    if seg.count > 1 then seg.count <- seg.count - 1;
     t.total <- t.total - 1
 
   let check_fresh t ~index ~source =
     if not t.valid then raise Stale;
-    if Index.length index <> Linked_list.length (Index.target index) then
-      raise Stale;
-    if t.total <> Linked_list.length source then raise Stale;
-    List.iter
-      (fun (k, _) -> if k < 0 || k > Index.length index then raise Stale)
-      t.segments
+    if Index.length index <> Al.length (Index.target index) then raise Stale;
+    if t.total <> Al.length source then raise Stale;
+    for j = 0 to t.nseg - 1 do
+      if t.keys.(j) < 0 || t.keys.(j) > Index.length index then raise Stale
+    done
 
-  let splice_one index target (key, seg) =
-    match Index.anchor index key with
-    | None ->
-      let tmp = Linked_list.Unsafe.get_first target in
-      Linked_list.Unsafe.set_first target (Some seg.head);
-      Linked_list.Unsafe.set_next seg.tail tmp
-    | Some anchor ->
-      let tmp = Linked_list.next anchor in
-      Linked_list.Unsafe.set_next anchor (Some seg.head);
-      Linked_list.Unsafe.set_next seg.tail tmp
+  let splice_one t index target i =
+    Al.Unsafe.link_after target ~anchor:(Index.anchor index t.keys.(i))
+      ~first:t.heads.(i) ~last:t.tails.(i)
 
-  let finish t ~source ~target =
-    Linked_list.Unsafe.add_length target t.total;
-    Linked_list.Unsafe.set_first source None;
-    Linked_list.Unsafe.add_length source (-t.total);
+  let finish t =
+    let max_segment = ref 0 in
+    for j = 0 to t.nseg - 1 do
+      if t.counts.(j) > !max_segment then max_segment := t.counts.(j)
+    done;
     let stats =
-      {
-        threads = List.length t.segments;
-        spliced = t.total;
-        max_segment =
-          List.fold_left (fun acc (_, s) -> max acc s.count) 0 t.segments;
-      }
+      { threads = t.nseg; spliced = t.total; max_segment = !max_segment }
     in
     t.valid <- false;
-    t.segments <- [];
+    t.nseg <- 0;
     t.total <- 0;
     stats
+
+  let commit t ~target ~source =
+    Al.Unsafe.merge_commit ~target ~source ~keys:t.keys ~counts:t.counts
+      ~nseg:t.nseg;
+    finish t
 
   let execute t ~index ~source =
     check_fresh t ~index ~source;
     let target = Index.target index in
-    List.iter (splice_one index target) t.segments;
-    finish t ~source ~target
+    for i = 0 to t.nseg - 1 do
+      splice_one t index target i
+    done;
+    commit t ~target ~source
 
   let execute_parallel ~domains t ~index ~source =
     if domains < 1 then invalid_arg "Psm.Plan.execute_parallel: domains < 1";
     check_fresh t ~index ~source;
     let target = Index.target index in
-    let segments = Array.of_list t.segments in
-    let n = Array.length segments in
+    let n = t.nseg in
     let workers = min domains (max n 1) in
     if n > 0 then
-      if workers = 1 then Array.iter (splice_one index target) segments
+      if workers = 1 then
+        for i = 0 to n - 1 do
+          splice_one t index target i
+        done
       else begin
         (* strand [w] handles segments w, w+workers, w+2·workers …;
-           distinct keys touch disjoint [next] pointers, so the
-           strands need no mutual exclusion.  The strands run on the
+           distinct keys touch disjoint chain cells, so the strands
+           need no mutual exclusion.  The strands run on the
            process-wide Horse_parallel pool: repeated merges reuse
            its domains instead of paying a spawn/join per resume. *)
         let strand w () =
           let i = ref w in
           while !i < n do
-            splice_one index target segments.(!i);
+            splice_one t index target !i;
             i := !i + workers
           done
         in
@@ -377,16 +376,23 @@ module Plan = struct
              (List.init workers strand)
             : unit list)
       end;
-    finish t ~source ~target
+    commit t ~target ~source
 
   let is_consistent t ~index ~source =
     t.valid
-    && t.total = Linked_list.length source
+    && t.total = Al.length source
     &&
     let fresh = build ~source ~index in
-    let same (k1, s1) (k2, s2) =
-      k1 = k2 && s1.count = s2.count && s1.head == s2.head && s1.tail == s2.tail
-    in
-    List.length fresh.segments = List.length t.segments
-    && List.for_all2 same fresh.segments t.segments
+    fresh.nseg = t.nseg
+    &&
+    let ok = ref true in
+    for j = 0 to t.nseg - 1 do
+      if
+        fresh.keys.(j) <> t.keys.(j)
+        || fresh.counts.(j) <> t.counts.(j)
+        || not (Al.equal fresh.heads.(j) t.heads.(j))
+        || not (Al.equal fresh.tails.(j) t.tails.(j))
+      then ok := false
+    done;
+    !ok
 end

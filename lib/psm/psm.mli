@@ -4,17 +4,21 @@
     sorted list [B] (the [ull_runqueue]) in O(1) pointer writes, by
     precomputing:
 
-    - {!Index} — the paper's [arrayB]: position [k] → the node of [B]
-      at position [k], so splice points are addressable without
-      walking;
+    - {!Index} — the paper's [arrayB]: position [k] → the handle of
+      [B]'s node at position [k], so splice points are addressable
+      without walking;
     - {!Plan} — the paper's [posA]: a map from splice position in [B]
       to the contiguous sublist of [A] that belongs there.
+
+    Both lists live in one {!Arena_list.arena}, so the splice is plain
+    [int]-array surgery and a handle stays valid across the merge (the
+    slot is re-owned by the target, not copied).
 
     The key of an element [a] of [A] is [#{b ∈ B : b ≤ a}]: the
     number of elements of [B] it must be placed after (equal elements
     of [B] keep priority, matching the stable FIFO order of a run
-    queue).  Sublists with distinct keys touch disjoint [next]
-    pointers, so the merge needs no mutual exclusion — Algorithm 1's
+    queue).  Sublists with distinct keys touch disjoint chain cells,
+    so the merge needs no mutual exclusion — Algorithm 1's
     parallelism argument — and {!Plan.execute_parallel} really runs
     it on OCaml domains.
 
@@ -23,7 +27,10 @@
     ull_runqueue is reflected with {!Plan.note_target_insert} /
     {!Plan.note_target_remove} (and {!Index.note_insert} /
     {!Index.note_remove}), and every vCPU added to the paused set
-    with {!Plan.note_source_insert}. *)
+    with {!Plan.note_source_insert}.  The maintenance path is
+    in-place over flat [int] arrays: it allocates nothing per event,
+    which is what keeps resume storms (thousands of subscribed paused
+    sandboxes) affordable. *)
 
 exception Stale
 (** Raised by merge execution when the precomputed structures do not
@@ -35,25 +42,25 @@ module Index : sig
   (** The [arrayB] of the paper: direct node addressing for a target
       list. *)
 
-  val build : 'a Linked_list.t -> 'a t
-  (** Snapshot the node array of [B] (O(|B|)). *)
+  val build : 'a Arena_list.t -> 'a t
+  (** Snapshot the handle array of [B] (O(|B|)). *)
 
-  val target : 'a t -> 'a Linked_list.t
+  val target : 'a t -> 'a Arena_list.t
 
   val length : 'a t -> int
   (** Number of indexed nodes; must equal [length (target t)] for the
       index to be fresh. *)
 
-  val anchor : 'a t -> int -> 'a Linked_list.node option
-  (** [anchor t k] is the node to splice after for key [k]: [None]
-      denotes the list head (key 0), [Some n] the [k]-th node
-      (1-based).  @raise Invalid_argument if [k] is outside
-      [0, length t]. *)
+  val anchor : 'a t -> int -> Arena_list.handle
+  (** [anchor t k] is the node to splice after for key [k]:
+      {!Arena_list.nil} denotes the list head (key 0), otherwise the
+      [k]-th node (1-based).  @raise Invalid_argument if [k] is
+      outside [0, length t]. *)
 
-  val note_insert : 'a t -> pos:int -> 'a Linked_list.node -> unit
-  (** Reflect an insertion into [B]: the new [node] now sits at
-      0-based position [pos] (the step count returned by
-      {!Linked_list.insert_sorted}). *)
+  val note_insert : 'a t -> pos:int -> Arena_list.handle -> unit
+  (** Reflect an insertion into [B]: the new node now sits at 0-based
+      position [pos] (the step count returned by
+      {!Arena_list.insert_sorted}). *)
 
   val note_remove : 'a t -> pos:int -> unit
   (** Reflect a removal from [B] at 0-based position [pos]. *)
@@ -63,8 +70,8 @@ module Index : sig
 
   val find_key : 'a t -> 'a -> int
   (** [find_key t a] is [#{b ∈ B : b ≤ a}] by binary search over the
-      node array (O(log |B|)) — the fast variant of the paper's O(n)
-      position computation. *)
+      handle array (O(log |B|)) — the fast variant of the paper's
+      O(n) position computation. *)
 
   val is_consistent : 'a t -> bool
   (** True iff the array matches a fresh walk of the target. *)
@@ -72,7 +79,10 @@ end
 
 module Plan : sig
   type 'a t
-  (** The [posA] of the paper, for one (source, target) pair. *)
+  (** The [posA] of the paper, for one (source, target) pair.  Stored
+      as flat parallel arrays (key, head handle, tail handle, count
+      per segment), so incremental maintenance is in-place int
+      arithmetic. *)
 
   type stats = {
     threads : int;  (** segments spliced = merge threads used *)
@@ -80,11 +90,11 @@ module Plan : sig
     max_segment : int;  (** longest sublist (0 if empty source) *)
   }
 
-  val build : source:'a Linked_list.t -> index:'a Index.t -> 'a t
+  val build : source:'a Arena_list.t -> index:'a Index.t -> 'a t
   (** The precompute phase, by a linear two-pointer scan
-      (O(|A| + |B|)). *)
+      (O(|A| + |B|)).  Source and target must share an arena. *)
 
-  val build_binary : source:'a Linked_list.t -> index:'a Index.t -> 'a t
+  val build_binary : source:'a Arena_list.t -> index:'a Index.t -> 'a t
   (** Same result via per-element binary search (O(|A|·log |B|));
       faster when [A] is tiny next to [B].  Ablation material. *)
 
@@ -96,11 +106,15 @@ module Plan : sig
   val keys : 'a t -> int list
   (** Sorted splice keys (for inspection and tests). *)
 
-  val segments_snapshot : 'a t -> (int * 'a Linked_list.node list) list
+  val keys_counts : 'a t -> int array * int array
+  (** Fresh copies of the (key, element count) pairs, segment order.
+      Taken {e before} {!execute}, they let the run-queue layer tell
+      other subscribers where each element landed (§4.1.3's continuous
+      updates after a merge) in one pass. *)
+
+  val segments_snapshot : 'a t -> (int * Arena_list.handle list) list
   (** The current (key, nodes) decomposition, keys ascending and nodes
-      in source order.  Taken {e before} {!execute}, it lets the
-      run-queue layer tell other subscribers where each element landed
-      (§4.1.3's continuous updates after a merge). *)
+      in source order (test/debug inspection). *)
 
   val note_target_insert : 'a t -> pos:int -> 'a -> unit
   (** The target gained an element with value [v] at 0-based position
@@ -113,32 +127,39 @@ module Plan : sig
       adjacent. *)
 
   val note_source_insert :
-    'a t -> index:'a Index.t -> node:'a Linked_list.node -> unit
+    'a t -> index:'a Index.t -> node:Arena_list.handle -> unit
   (** A node was just inserted (sorted) into the source list; extends
       or creates the segment its value belongs to. *)
 
-  val note_source_remove : 'a t -> node:'a Linked_list.node -> unit
+  val note_source_remove : 'a t -> node:Arena_list.handle -> unit
   (** A node is about to be removed from the source list.  Must be
       called {e before} unlinking it.
       @raise Not_found if the node is not covered by the plan. *)
 
   val execute :
-    'a t -> index:'a Index.t -> source:'a Linked_list.t -> stats
-  (** The merge phase (Algorithm 1), sequential splicing: two pointer
-      writes per key.  Consumes the source (left empty), grows the
-      target, invalidates the plan and leaves the index stale (call
-      {!Index.rebuild}).
+    'a t -> index:'a Index.t -> source:'a Arena_list.t -> stats
+  (** The merge phase (Algorithm 1): two chain writes per key, then
+      one O(|A| + |B|) order-buffer commit ({!Arena_list.Unsafe.merge_commit})
+      — per merge, not per subscriber.  Consumes the source (left
+      empty; its handles stay valid, re-owned by the target), grows
+      the target, invalidates the plan and leaves the index stale
+      (call {!Index.rebuild}).
       @raise Stale if index or plan do not match the lists. *)
 
   val execute_parallel :
-    domains:int -> 'a t -> index:'a Index.t -> source:'a Linked_list.t -> stats
+    domains:int ->
+    'a t ->
+    index:'a Index.t ->
+    source:'a Arena_list.t ->
+    stats
   (** Same, splicing segments from up to [domains] parallel strands
       of the shared {!Horse_parallel.Pool} — the no-mutual-exclusion
       claim, executed for real, without a spawn/join per merge.
       [domains = 1] splices inline.
       @raise Invalid_argument if [domains < 1]. *)
 
-  val is_consistent : 'a t -> index:'a Index.t -> source:'a Linked_list.t -> bool
+  val is_consistent :
+    'a t -> index:'a Index.t -> source:'a Arena_list.t -> bool
   (** True iff rebuilding from scratch yields this plan — the
       incremental-maintenance correctness oracle used by tests. *)
 end

@@ -1,9 +1,9 @@
-module Ll = Horse_psm.Linked_list
+module Al = Horse_psm.Arena_list
 module Time = Horse_sim.Time_ns
 
 let needs_reset rq =
-  Ll.length (Runqueue.queue rq) > 0
-  && Ll.fold
+  Al.length (Runqueue.queue rq) > 0
+  && Al.fold
        (fun acc vcpu -> acc && Vcpu.credit vcpu <= 0)
        true (Runqueue.queue rq)
 
@@ -11,7 +11,7 @@ let reset rq =
   (* Credits all shift by the same clamp-to-default rule, which is
      monotone, so the sorted order is preserved in place. *)
   let count = ref 0 in
-  Ll.iter
+  Al.iter
     (fun vcpu ->
       incr count;
       Vcpu.set_credit vcpu

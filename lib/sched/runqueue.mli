@@ -7,10 +7,15 @@
     timeslice is capped at 1 µs, and paused sandboxes {e subscribe}
     to its changes so their P²SM structures stay fresh.
 
-    Each structural mutation reports the nodes walked (for cost
-    accounting) and notifies subscribers with enough detail
-    ([pos] + [node]) to drive {!Horse_psm.Psm.Index.note_insert} and
-    {!Horse_psm.Psm.Plan.note_target_insert} incrementally. *)
+    The queue is an {!Horse_psm.Arena_list}: removals are O(1), and
+    every structural mutation still reports the nodes the boxed
+    oracle would have walked (for cost accounting) and notifies
+    subscribers with enough detail ([pos] + handle) to drive
+    {!Horse_psm.Psm.Index.note_insert} and
+    {!Horse_psm.Psm.Plan.note_target_insert} incrementally.  The
+    notification itself passes only immediate arguments in
+    deterministic (ascending subscription) order — nothing is
+    allocated per mutation per subscriber. *)
 
 type t
 
@@ -18,14 +23,29 @@ type kind =
   | Normal  (** general-purpose queue *)
   | Ull  (** reserved for uLL sandboxes, 1 µs timeslice *)
 
-type change =
-  | Inserted of { pos : int; node : Vcpu.t Horse_psm.Linked_list.node }
-      (** a vCPU landed at 0-based position [pos] *)
-  | Removed of { pos : int }  (** the vCPU at [pos] left the queue *)
+type event =
+  | Inserted  (** a vCPU landed at the notified position *)
+  | Removed  (** the vCPU at the notified position left the queue *)
+
+type callback = event -> pos:int -> node:Horse_psm.Arena_list.handle -> unit
+(** For [Inserted] the handle is live on this queue; for [Removed] it
+    is the already-freed handle of the departed node
+    ({!Horse_psm.Arena_list.nil} after a {!pop_front}) — it
+    identifies, it must not be dereferenced. *)
 
 type subscription
 
-val create : ?kind:kind -> cpu:Horse_cpu.Topology.cpu_id -> id:int -> unit -> t
+val create :
+  ?arena:Vcpu.t Horse_psm.Arena_list.arena ->
+  ?kind:kind ->
+  cpu:Horse_cpu.Topology.cpu_id ->
+  id:int ->
+  unit ->
+  t
+(** [arena] shares slot storage between queues (the scheduler passes
+    one arena for all its queues, which is what lets P²SM splice a
+    paused sandbox's list into a queue); by default the queue gets a
+    private arena. *)
 
 val id : t -> int
 
@@ -45,21 +65,25 @@ val timeslice : t -> Horse_sim.Time_ns.span
 
 val length : t -> int
 
-val queue : t -> Vcpu.t Horse_psm.Linked_list.t
+val queue : t -> Vcpu.t Horse_psm.Arena_list.t
 (** The underlying sorted list (P²SM indexes are built over it). *)
+
+val arena : t -> Vcpu.t Horse_psm.Arena_list.arena
+(** The slot arena backing this queue (shared across a scheduler). *)
 
 val load : t -> Load_tracking.t
 
-val enqueue : t -> Vcpu.t -> Vcpu.t Horse_psm.Linked_list.node * int
-(** Sorted insert (step ④ for one vCPU).  Returns the node (the
+val enqueue : t -> Vcpu.t -> Horse_psm.Arena_list.handle * int
+(** Sorted insert (step ④ for one vCPU).  Returns the handle (the
     caller keeps it to dequeue later) and the nodes walked.  Marks
     the vCPU [Queued] and notifies subscribers.  Does {e not} touch
     the load — the resume path chooses vanilla or coalesced load
     updates separately. *)
 
-val dequeue : t -> Vcpu.t Horse_psm.Linked_list.node -> int
-(** Unlink a previously enqueued node; returns nodes walked.  Marks
-    the vCPU [Offline] and notifies subscribers.
+val dequeue : t -> Horse_psm.Arena_list.handle -> int
+(** Unlink a previously enqueued node; returns the nodes the oracle
+    would have walked (= its position).  Marks the vCPU [Offline] and
+    notifies subscribers.
     @raise Not_found if the node is not on this queue. *)
 
 val pop_front : t -> Vcpu.t option
@@ -70,17 +94,18 @@ val apply_merge :
   t ->
   plan:Vcpu.t Horse_psm.Psm.Plan.t ->
   index:Vcpu.t Horse_psm.Psm.Index.t ->
-  source:Vcpu.t Horse_psm.Linked_list.t ->
-  Horse_psm.Psm.Plan.stats * Vcpu.t Horse_psm.Linked_list.node list
+  source:Vcpu.t Horse_psm.Arena_list.t ->
+  Horse_psm.Psm.Plan.stats * Horse_psm.Arena_list.handle array
 (** The P²SM merge of a resuming sandbox's [merge_vcpus] into this
     queue.  Subscribers receive one [Inserted] per spliced vCPU (the
     resuming sandbox must unsubscribe first).  All spliced vCPUs are
-    marked [Queued].  Also returns the spliced nodes so the resumer
-    can record its placements.
+    marked [Queued].  Also returns the spliced handles (source order)
+    so the resumer can record its placements.
     @raise Horse_psm.Psm.Stale as {!Horse_psm.Psm.Plan.execute}. *)
 
-val subscribe : t -> (change -> unit) -> subscription
-(** Register a paused sandbox's maintenance callback. *)
+val subscribe : t -> callback -> subscription
+(** Register a paused sandbox's maintenance callback.  Callbacks fire
+    in ascending subscription order, deterministically. *)
 
 val unsubscribe : t -> subscription -> unit
 (** Idempotent. *)

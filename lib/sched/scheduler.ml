@@ -2,6 +2,7 @@ module Topology = Horse_cpu.Topology
 
 type t = {
   topology : Topology.t;
+  arena : Vcpu.t Horse_psm.Arena_list.arena;
   queues : Runqueue.t array;
   mutable ull : Runqueue.t list;
   paused_attached : (int, int) Hashtbl.t;  (* runqueue id -> count *)
@@ -12,7 +13,16 @@ let create ?(ull_count = 1) ~topology () =
   let n = Topology.cpu_count topology in
   if ull_count < 0 || ull_count > n then
     invalid_arg "Scheduler.create: bad ull_count";
-  let queues = Array.init n (fun cpu -> Runqueue.create ~cpu ~id:cpu ()) in
+  (* One arena for every queue (and for the merge_vcpus of sandboxes
+     pausing against them): P²SM can only splice lists that share
+     slot storage. *)
+  let arena =
+    Horse_psm.Arena_list.create_arena ~capacity:64
+      ~compare:Vcpu.compare_credit ()
+  in
+  let queues =
+    Array.init n (fun cpu -> Runqueue.create ~arena ~cpu ~id:cpu ())
+  in
   (* Reserve the highest-numbered CPUs: they are the farthest from CPU
      0 where the control plane runs. *)
   let ull =
@@ -23,6 +33,7 @@ let create ?(ull_count = 1) ~topology () =
   in
   {
     topology;
+    arena;
     queues;
     ull;
     paused_attached = Hashtbl.create 8;
@@ -30,6 +41,8 @@ let create ?(ull_count = 1) ~topology () =
   }
 
 let topology t = t.topology
+
+let arena t = t.arena
 
 let cpu_count t = Array.length t.queues
 

@@ -20,6 +20,10 @@ val create :
 
 val topology : t -> Horse_cpu.Topology.t
 
+val arena : t -> Vcpu.t Horse_psm.Arena_list.arena
+(** The slot arena shared by all of this scheduler's queues (paused
+    sandboxes build their [merge_vcpus] in it so P²SM can splice). *)
+
 val cpu_count : t -> int
 
 val runqueue : t -> cpu:Horse_cpu.Topology.cpu_id -> Runqueue.t

@@ -12,6 +12,12 @@ val create : unit -> t
 val incr : t -> ?by:int -> string -> unit
 (** Bump the counter [name] (created at 0 on first use). *)
 
+val counter_ref : t -> string -> int ref
+(** The live cell behind counter [name] (created at 0 on first use).
+    Hot paths that bump the same counter on every event hoist this
+    lookup once instead of re-hashing the name each time; the cell
+    stays visible to {!counter} and {!counters} immediately. *)
+
 val counter : t -> string -> int
 (** Current value; 0 if never bumped. *)
 

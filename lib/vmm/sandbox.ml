@@ -13,12 +13,12 @@ let strategy_name = function
 
 type placement = {
   vcpu : Vcpu.t;
-  node : Vcpu.t Horse_psm.Linked_list.node;
+  node : Horse_psm.Arena_list.handle;
   queue : Horse_sched.Runqueue.t;
 }
 
 type horse_state = {
-  merge_vcpus : Vcpu.t Horse_psm.Linked_list.t;
+  merge_vcpus : Vcpu.t Horse_psm.Arena_list.t;
   ull_queue : Horse_sched.Runqueue.t;
   index : Vcpu.t Psm.Index.t;
   plan : Vcpu.t Psm.Plan.t;
@@ -90,16 +90,19 @@ let horse_state t = t.horse_state
 
 let set_horse_state t h = t.horse_state <- h
 
-(* Rough per-entry sizes in bytes: an index slot is one pointer, a
-   plan segment is a small record, a merge_vcpus cell is a cons-like
-   node.  The absolute number only feeds the §5.2 memory report. *)
+(* Rough per-entry sizes in bytes: an index slot is one handle, a
+   plan segment is four array cells, a merge_vcpus element is its
+   share of the arena's parallel arrays.  The constants predate the
+   arena representation and are kept as-is: the absolute number only
+   feeds the §5.2 memory report, which must stay comparable across
+   revisions. *)
 let horse_memory_footprint_bytes t =
   match t.horse_state with
   | None -> 0
   | Some h ->
     let index_bytes = 8 * Psm.Index.length h.index in
     let plan_bytes = 48 * Psm.Plan.key_count h.plan in
-    let merge_bytes = 24 * Horse_psm.Linked_list.length h.merge_vcpus in
+    let merge_bytes = 24 * Horse_psm.Arena_list.length h.merge_vcpus in
     index_bytes + plan_bytes + merge_bytes + 64
 
 let pp ppf t =

@@ -25,14 +25,15 @@ val strategy_name : strategy -> string
 
 type placement = {
   vcpu : Horse_sched.Vcpu.t;
-  node : Horse_sched.Vcpu.t Horse_psm.Linked_list.node;
+  node : Horse_psm.Arena_list.handle;
   queue : Horse_sched.Runqueue.t;
 }
-(** Where one vCPU currently sits. *)
+(** Where one vCPU currently sits (the handle is live on [queue]). *)
 
 type horse_state = {
-  merge_vcpus : Horse_sched.Vcpu.t Horse_psm.Linked_list.t;
-      (** the sandbox's vCPUs, pre-sorted by the scheduler's key *)
+  merge_vcpus : Horse_sched.Vcpu.t Horse_psm.Arena_list.t;
+      (** the sandbox's vCPUs, pre-sorted by the scheduler's key, in
+          the ull_runqueue's arena so the merge can splice them *)
   ull_queue : Horse_sched.Runqueue.t;  (** assigned at pause time *)
   index : Horse_sched.Vcpu.t Horse_psm.Psm.Index.t;  (** arrayB *)
   plan : Horse_sched.Vcpu.t Horse_psm.Psm.Plan.t;  (** posA *)

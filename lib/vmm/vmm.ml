@@ -7,7 +7,7 @@ module Scheduler = Horse_sched.Scheduler
 module Runqueue = Horse_sched.Runqueue
 module Load_tracking = Horse_sched.Load_tracking
 module Vcpu = Horse_sched.Vcpu
-module Ll = Horse_psm.Linked_list
+module Al = Horse_psm.Arena_list
 module Psm = Horse_psm.Psm
 module Coalesce = Horse_coalesce.Coalesce
 
@@ -122,24 +122,30 @@ let make_precomputed n =
 (* Pause-side setup of the §4.1.3 structures: merge_vcpus, arrayB,
    posA and the subscription that keeps them fresh. *)
 let build_horse_state t sandbox ~with_coalesce =
-  let merge_vcpus = Ll.create ~compare:Vcpu.compare_credit () in
-  Array.iter
-    (fun vcpu -> ignore (Ll.insert_sorted merge_vcpus vcpu))
-    (Sandbox.vcpus sandbox);
   let ull_queue = Scheduler.select_ull_for_pause t.scheduler in
   Scheduler.attach_paused t.scheduler ull_queue;
+  (* merge_vcpus lives in the queue's arena: the eventual splice is
+     slot surgery, not a copy. *)
+  let merge_vcpus = Al.create (Runqueue.arena ull_queue) in
+  Array.iter
+    (fun vcpu -> ignore (Al.insert_sorted merge_vcpus vcpu))
+    (Sandbox.vcpus sandbox);
   let index = Psm.Index.build (Runqueue.queue ull_queue) in
   let plan = Psm.Plan.build ~source:merge_vcpus ~index in
   let state_ref = ref None in
-  let on_change change =
-    (match change with
-    | Runqueue.Inserted { pos; node } ->
-      Psm.Plan.note_target_insert plan ~pos (Ll.value node);
+  (* hoisted: the callback fires for every queue mutation while the
+     sandbox is paused — don't re-hash the counter name each time *)
+  let maintenance_total = Metrics.counter_ref t.metrics "psm.maintenance_events" in
+  let on_change event ~pos ~node =
+    (match event with
+    | Runqueue.Inserted ->
+      Psm.Plan.note_target_insert plan ~pos
+        (Al.value (Runqueue.queue ull_queue) node);
       Psm.Index.note_insert index ~pos node
-    | Runqueue.Removed { pos } ->
+    | Runqueue.Removed ->
       Psm.Plan.note_target_remove plan ~pos;
       Psm.Index.note_remove index ~pos);
-    Metrics.incr t.metrics "psm.maintenance_events";
+    incr maintenance_total;
     match !state_ref with
     | Some hs -> hs.Sandbox.maintenance_events <- hs.Sandbox.maintenance_events + 1
     | None -> ()
@@ -291,11 +297,14 @@ let resume t sandbox =
             ~index:hs.Sandbox.index ~source:hs.Sandbox.merge_vcpus
         in
         Scheduler.detach_paused t.scheduler hs.Sandbox.ull_queue;
+        let queue = Runqueue.queue hs.Sandbox.ull_queue in
         let placements =
-          List.map
-            (fun node ->
-              { Sandbox.vcpu = Ll.value node; node; queue = hs.Sandbox.ull_queue })
-            nodes
+          Array.fold_right
+            (fun node acc ->
+              { Sandbox.vcpu = Al.value queue node; node;
+                queue = hs.Sandbox.ull_queue }
+              :: acc)
+            nodes []
         in
         Sandbox.set_placements sandbox placements;
         let merge_ns =

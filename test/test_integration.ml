@@ -11,7 +11,7 @@ module Scheduler = Horse_sched.Scheduler
 module Runqueue = Horse_sched.Runqueue
 module Executor = Horse_sched.Cpu_executor
 module Vcpu = Horse_sched.Vcpu
-module Ll = Horse_psm.Linked_list
+module Al = Horse_psm.Arena_list
 module Sandbox = Horse_vmm.Sandbox
 module Vmm = Horse_vmm.Vmm
 module Api = Horse_vmm.Api
@@ -71,7 +71,7 @@ let test_psm_stays_fresh_under_execution_churn () =
   ignore (Engine.schedule engine ~after:(Time.span_us 3.0) churn);
   Engine.run engine;
   Alcotest.(check int) "all work completed" 4 !completions;
-  Alcotest.(check bool) "ull queue sorted" true (Ll.is_sorted (Runqueue.queue ull));
+  Alcotest.(check bool) "ull queue sorted" true (Al.is_sorted (Runqueue.queue ull));
   Alcotest.(check int) "12 churn cycles ran" 12 !cycle;
   (* both sandboxes must still resume correctly after all the churn *)
   List.iter
@@ -188,7 +188,7 @@ let test_api_driven_fleet () =
   (* every ull queue involved is still sorted *)
   List.iter
     (fun q ->
-      Alcotest.(check bool) "sorted" true (Ll.is_sorted (Runqueue.queue q)))
+      Alcotest.(check bool) "sorted" true (Al.is_sorted (Runqueue.queue q)))
     (Scheduler.ull_runqueues scheduler)
 
 (* ------------------------------------------------------------------ *)

@@ -276,20 +276,21 @@ let test_overhead_colocation_jobs_invariant () =
 (* ------------------------------------------------------------------ *)
 
 let test_psm_merge_on_pool () =
-  let module Ll = Horse_psm.Linked_list in
+  let module Al = Horse_psm.Arena_list in
   let module Psm = Horse_psm.Psm in
   let rng = Rng.create ~seed:99 in
   let sorted n = List.sort Int.compare (List.init n (fun _ -> Rng.int rng 1000)) in
   let source_values = sorted 36 and target_values = sorted 256 in
   let merged strategy =
-    let source = Ll.of_sorted_list ~compare:Int.compare source_values in
-    let target = Ll.of_sorted_list ~compare:Int.compare target_values in
+    let arena = Al.create_arena ~compare:Int.compare () in
+    let source = Al.of_sorted_list arena source_values in
+    let target = Al.of_sorted_list arena target_values in
     let index = Psm.Index.build target in
     let plan = Psm.Plan.build ~source ~index in
     (match strategy with
     | `Sequential -> ignore (Psm.Plan.execute plan ~index ~source)
     | `Pool n -> ignore (Psm.Plan.execute_parallel ~domains:n plan ~index ~source));
-    Ll.to_list target
+    Al.to_list target
   in
   let reference = merged `Sequential in
   List.iter

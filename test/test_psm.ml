@@ -1,7 +1,11 @@
-(* Tests for horse_psm: sorted linked lists, the reference merges and
-   P²SM itself, including the incremental-maintenance oracle. *)
+(* Tests for horse_psm: the boxed reference list, the flat arena list
+   that replaced it on the hot path, the reference merges and P²SM
+   itself, including the incremental-maintenance oracle and the
+   arena-vs-reference trace-equality scripts. *)
 
 module Ll = Horse_psm.Linked_list
+module Al = Horse_psm.Arena_list
+module Si = Horse_psm.Sorted_intf
 module Psm = Horse_psm.Psm
 module Reference = Horse_psm.Reference
 
@@ -9,10 +13,12 @@ let icmp = Int.compare
 
 let make xs = Ll.of_sorted_list ~compare:icmp xs
 
+let amake xs = Al.of_sorted_list (Al.create_arena ~compare:icmp ()) xs
+
 let check_list = Alcotest.(check (list int))
 
 (* ------------------------------------------------------------------ *)
-(* Linked_list unit tests                                              *)
+(* Linked_list unit tests (the reference oracle, unchanged)            *)
 (* ------------------------------------------------------------------ *)
 
 let test_empty () =
@@ -76,6 +82,124 @@ let test_nth_node () =
       ignore (Ll.nth_node t 3))
 
 (* ------------------------------------------------------------------ *)
+(* Arena_list unit tests                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_arena_empty () =
+  let t = Al.create (Al.create_arena ~compare:icmp ()) in
+  Alcotest.(check int) "length" 0 (Al.length t);
+  Alcotest.(check bool) "empty" true (Al.is_empty t);
+  check_list "to_list" [] (Al.to_list t);
+  Alcotest.(check bool) "sorted" true (Al.is_sorted t);
+  Alcotest.(check bool) "first is nil" true (Al.is_nil (Al.first t))
+
+let test_arena_insert_order () =
+  let t = Al.create (Al.create_arena ~compare:icmp ()) in
+  List.iter (fun x -> ignore (Al.insert_sorted t x)) [ 5; 1; 3; 2; 4 ];
+  check_list "sorted result" [ 1; 2; 3; 4; 5 ] (Al.to_list t);
+  Alcotest.(check int) "length" 5 (Al.length t);
+  Alcotest.(check bool) "invariants" true (Al.is_sorted t)
+
+let test_arena_insert_steps () =
+  (* Must report exactly the walk counts of the boxed oracle. *)
+  let t = amake [ 10; 20; 30 ] in
+  let _, s0 = Al.insert_sorted t 5 in
+  Alcotest.(check int) "head insert walks 0" 0 s0;
+  let _, s1 = Al.insert_sorted t 25 in
+  Alcotest.(check int) "mid insert walks 3" 3 s1;
+  let _, s2 = Al.insert_sorted t 99 in
+  Alcotest.(check int) "tail insert walks 5" 5 s2
+
+let test_arena_insert_stable () =
+  let t =
+    Al.create (Al.create_arena ~compare:(fun (a, _) (b, _) -> icmp a b) ())
+  in
+  List.iter
+    (fun x -> ignore (Al.insert_sorted t x))
+    [ (1, "a"); (1, "b"); (1, "c") ];
+  Alcotest.(check (list string))
+    "FIFO among equals" [ "a"; "b"; "c" ]
+    (List.map snd (Al.to_list t))
+
+let test_arena_remove_node () =
+  let t = amake [ 1; 2; 3; 4 ] in
+  let node = Al.nth t 2 in
+  let steps = Al.remove_node t node in
+  Alcotest.(check int) "reports position" 2 steps;
+  check_list "removed" [ 1; 2; 4 ] (Al.to_list t);
+  Alcotest.(check bool) "invariants" true (Al.is_sorted t);
+  Alcotest.check_raises "stale handle detected" Not_found (fun () ->
+      ignore (Al.remove_node t node))
+
+let test_arena_pop_first () =
+  let t = amake [ 7; 8 ] in
+  Alcotest.(check (option int)) "pop 7" (Some 7) (Al.pop_first t);
+  Alcotest.(check (option int)) "pop 8" (Some 8) (Al.pop_first t);
+  Alcotest.(check (option int)) "pop empty" None (Al.pop_first t)
+
+let test_arena_of_sorted_rejects_unsorted () =
+  Alcotest.check_raises "unsorted input"
+    (Invalid_argument "Arena_list.of_sorted_list: input not sorted")
+    (fun () -> ignore (amake [ 3; 1 ]))
+
+let test_arena_nth_position () =
+  let t = amake [ 4; 5; 6 ] in
+  Alcotest.(check int) "nth 0" 4 (Al.value t (Al.nth t 0));
+  Alcotest.(check int) "nth 2" 6 (Al.value t (Al.nth t 2));
+  Alcotest.(check int) "position of nth 1" 1 (Al.position t (Al.nth t 1));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Arena_list.nth: out of range") (fun () ->
+      ignore (Al.nth t 3))
+
+let test_arena_two_lists_shared () =
+  (* Two lists in one arena stay independent; a foreign handle is
+     rejected. *)
+  let arena = Al.create_arena ~compare:icmp () in
+  let a = Al.create arena and b = Al.create arena in
+  List.iter (fun x -> ignore (Al.insert_sorted a x)) [ 3; 1; 5 ];
+  List.iter (fun x -> ignore (Al.insert_sorted b x)) [ 4; 2 ];
+  check_list "a" [ 1; 3; 5 ] (Al.to_list a);
+  check_list "b" [ 2; 4 ] (Al.to_list b);
+  let ha = Al.nth a 1 in
+  Alcotest.check_raises "foreign handle" Not_found (fun () ->
+      ignore (Al.value b ha));
+  ignore (Al.remove_node a ha);
+  check_list "a after remove" [ 1; 5 ] (Al.to_list a);
+  check_list "b untouched" [ 2; 4 ] (Al.to_list b);
+  Alcotest.(check bool) "a sorted" true (Al.is_sorted a);
+  Alcotest.(check bool) "b sorted" true (Al.is_sorted b)
+
+let test_arena_growth () =
+  (* Push far past the initial capacity; mix in removals. *)
+  let t = Al.create (Al.create_arena ~capacity:4 ~compare:icmp ()) in
+  for i = 0 to 199 do
+    ignore (Al.insert_sorted t ((i * 37) mod 100))
+  done;
+  for _ = 1 to 50 do
+    ignore (Al.pop_first t)
+  done;
+  Alcotest.(check int) "length" 150 (Al.length t);
+  Alcotest.(check bool) "invariants" true (Al.is_sorted t)
+
+let test_arena_handles_survive_merge () =
+  (* After a P²SM merge the source's handles are re-owned by the
+     target: still valid, same values, positions now in the target. *)
+  let arena = Al.create_arena ~compare:icmp () in
+  let src = Al.of_sorted_list arena [ 2; 6 ]
+  and tgt = Al.of_sorted_list arena [ 1; 5; 9 ] in
+  let h2 = Al.nth src 0 and h6 = Al.nth src 1 in
+  let idx = Psm.Index.build tgt in
+  let plan = Psm.Plan.build ~source:src ~index:idx in
+  ignore (Psm.Plan.execute plan ~index:idx ~source:src);
+  check_list "merged" [ 1; 2; 5; 6; 9 ] (Al.to_list tgt);
+  Alcotest.(check bool) "src empty" true (Al.is_empty src);
+  Alcotest.(check bool) "h2 now in target" true (Al.mem tgt h2);
+  Alcotest.(check int) "h2 value" 2 (Al.value tgt h2);
+  Alcotest.(check int) "h2 position" 1 (Al.position tgt h2);
+  Alcotest.(check int) "h6 position" 3 (Al.position tgt h6);
+  Alcotest.(check bool) "no longer in source" false (Al.mem src h2)
+
+(* ------------------------------------------------------------------ *)
 (* Reference merges                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -106,16 +230,16 @@ let test_insert_each () =
 (* ------------------------------------------------------------------ *)
 
 let test_index_build () =
-  let b = make [ 10; 20; 30 ] in
+  let b = amake [ 10; 20; 30 ] in
   let idx = Psm.Index.build b in
   Alcotest.(check int) "length" 3 (Psm.Index.length idx);
   Alcotest.(check bool) "consistent" true (Psm.Index.is_consistent idx);
-  Alcotest.(check bool) "anchor 0 is head" true (Psm.Index.anchor idx 0 = None);
-  Alcotest.(check int) "anchor 2 value" 20
-    (Ll.value (Option.get (Psm.Index.anchor idx 2)))
+  Alcotest.(check bool) "anchor 0 is head" true
+    (Al.is_nil (Psm.Index.anchor idx 0));
+  Alcotest.(check int) "anchor 2 value" 20 (Al.value b (Psm.Index.anchor idx 2))
 
 let test_index_find_key () =
-  let b = make [ 10; 20; 20; 30 ] in
+  let b = amake [ 10; 20; 20; 30 ] in
   let idx = Psm.Index.build b in
   Alcotest.(check int) "below all" 0 (Psm.Index.find_key idx 5);
   Alcotest.(check int) "equal goes after" 3 (Psm.Index.find_key idx 20);
@@ -123,20 +247,20 @@ let test_index_find_key () =
   Alcotest.(check int) "above all" 4 (Psm.Index.find_key idx 99)
 
 let test_index_incremental () =
-  let b = make [ 10; 30 ] in
+  let b = amake [ 10; 30 ] in
   let idx = Psm.Index.build b in
-  let node, pos = Ll.insert_sorted b 20 in
+  let node, pos = Al.insert_sorted b 20 in
   Psm.Index.note_insert idx ~pos node;
   Alcotest.(check bool) "after insert" true (Psm.Index.is_consistent idx);
-  let victim = Ll.nth_node b 0 in
-  let pos = Ll.remove_node b victim in
+  let victim = Al.nth b 0 in
+  let pos = Al.remove_node b victim in
   Psm.Index.note_remove idx ~pos;
   Alcotest.(check bool) "after remove" true (Psm.Index.is_consistent idx)
 
 let test_index_rebuild () =
-  let b = make [ 1; 2 ] in
+  let b = amake [ 1; 2 ] in
   let idx = Psm.Index.build b in
-  ignore (Ll.insert_sorted b 3);
+  ignore (Al.insert_sorted b 3);
   Alcotest.(check bool) "stale" false (Psm.Index.is_consistent idx);
   Psm.Index.rebuild idx;
   Alcotest.(check bool) "fresh" true (Psm.Index.is_consistent idx)
@@ -146,7 +270,9 @@ let test_index_rebuild () =
 (* ------------------------------------------------------------------ *)
 
 let run_merge ?(binary = false) ?(parallel = 0) a_vals b_vals =
-  let a = make a_vals and b = make b_vals in
+  let arena = Al.create_arena ~compare:icmp () in
+  let a = Al.of_sorted_list arena a_vals
+  and b = Al.of_sorted_list arena b_vals in
   let idx = Psm.Index.build b in
   let plan =
     if binary then Psm.Plan.build_binary ~source:a ~index:idx
@@ -157,7 +283,7 @@ let run_merge ?(binary = false) ?(parallel = 0) a_vals b_vals =
       Psm.Plan.execute_parallel ~domains:parallel plan ~index:idx ~source:a
     else Psm.Plan.execute plan ~index:idx ~source:a
   in
-  (Ll.to_list b, Ll.length b, Ll.is_empty a, stats)
+  (Al.to_list b, Al.length b, Al.is_empty a, stats)
 
 let test_plan_simple_merge () =
   let merged, len, drained, stats = run_merge [ 2; 4; 6 ] [ 1; 3; 5 ] in
@@ -191,14 +317,15 @@ let test_plan_merge_equal_values () =
   check_list "ties" [ 5; 5; 5 ] merged;
   (* with tagged equal keys, the target element must end up first *)
   let kcmp (x, _) (y, _) = Int.compare x y in
-  let a = Ll.of_sorted_list ~compare:kcmp [ (5, "a1"); (5, "a2") ]
-  and b = Ll.of_sorted_list ~compare:kcmp [ (5, "b") ] in
+  let arena = Al.create_arena ~compare:kcmp () in
+  let a = Al.of_sorted_list arena [ (5, "a1"); (5, "a2") ]
+  and b = Al.of_sorted_list arena [ (5, "b") ] in
   let idx = Psm.Index.build b in
   let plan = Psm.Plan.build ~source:a ~index:idx in
   ignore (Psm.Plan.execute plan ~index:idx ~source:a);
   Alcotest.(check (list string))
     "target first among equals" [ "b"; "a1"; "a2" ]
-    (List.map snd (Ll.to_list b))
+    (List.map snd (Al.to_list b))
 
 let test_plan_binary_matches_linear () =
   let merged_lin, _, _, s1 = run_merge [ 1; 5; 9 ] [ 2; 4; 6; 8 ] in
@@ -220,15 +347,19 @@ let test_plan_parallel_merge () =
   Alcotest.(check bool) "drained" true drained
 
 let test_plan_stale_on_unseen_target_change () =
-  let a = make [ 2 ] and b = make [ 1; 3 ] in
+  let arena = Al.create_arena ~compare:icmp () in
+  let a = Al.of_sorted_list arena [ 2 ]
+  and b = Al.of_sorted_list arena [ 1; 3 ] in
   let idx = Psm.Index.build b in
   let plan = Psm.Plan.build ~source:a ~index:idx in
-  ignore (Ll.insert_sorted b 5) (* not reported to index/plan *);
+  ignore (Al.insert_sorted b 5) (* not reported to index/plan *);
   Alcotest.check_raises "stale" Psm.Stale (fun () ->
       ignore (Psm.Plan.execute plan ~index:idx ~source:a))
 
 let test_plan_stale_on_double_execute () =
-  let a = make [ 2 ] and b = make [ 1; 3 ] in
+  let arena = Al.create_arena ~compare:icmp () in
+  let a = Al.of_sorted_list arena [ 2 ]
+  and b = Al.of_sorted_list arena [ 1; 3 ] in
   let idx = Psm.Index.build b in
   let plan = Psm.Plan.build ~source:a ~index:idx in
   ignore (Psm.Plan.execute plan ~index:idx ~source:a);
@@ -240,64 +371,160 @@ let test_plan_stale_on_double_execute () =
 (* P²SM: incremental maintenance                                       *)
 (* ------------------------------------------------------------------ *)
 
+let pair_in_arena a_vals b_vals =
+  let arena = Al.create_arena ~compare:icmp () in
+  (Al.of_sorted_list arena a_vals, Al.of_sorted_list arena b_vals)
+
 let test_plan_target_insert_split () =
   (* source [2;4;6] vs target [5]: segment {2;4} at key 0, {6} at key 1.
      Inserting 3 into the target must split {2;4}. *)
-  let a = make [ 2; 4; 6 ] and b = make [ 5 ] in
+  let a, b = pair_in_arena [ 2; 4; 6 ] [ 5 ] in
   let idx = Psm.Index.build b in
   let plan = Psm.Plan.build ~source:a ~index:idx in
   Alcotest.(check (list int)) "keys before" [ 0; 1 ] (Psm.Plan.keys plan);
-  let node, pos = Ll.insert_sorted b 3 in
+  let node, pos = Al.insert_sorted b 3 in
   Psm.Plan.note_target_insert plan ~pos 3;
   Psm.Index.note_insert idx ~pos node;
   Alcotest.(check (list int)) "keys after" [ 0; 1; 2 ] (Psm.Plan.keys plan);
   Alcotest.(check bool) "consistent" true
     (Psm.Plan.is_consistent plan ~index:idx ~source:a);
   let stats = Psm.Plan.execute plan ~index:idx ~source:a in
-  check_list "merged" [ 2; 3; 4; 5; 6 ] (Ll.to_list b);
+  check_list "merged" [ 2; 3; 4; 5; 6 ] (Al.to_list b);
   Alcotest.(check int) "three segments" 3 stats.Psm.Plan.threads
 
 let test_plan_target_remove_coalesce () =
   (* source [2;6] vs target [1;5;9]: keys 1 and 2.  Removing 5 must
      coalesce both segments onto key 1. *)
-  let a = make [ 2; 6 ] and b = make [ 1; 5; 9 ] in
+  let a, b = pair_in_arena [ 2; 6 ] [ 1; 5; 9 ] in
   let idx = Psm.Index.build b in
   let plan = Psm.Plan.build ~source:a ~index:idx in
   Alcotest.(check (list int)) "keys before" [ 1; 2 ] (Psm.Plan.keys plan);
-  let victim = Ll.nth_node b 1 in
-  let pos = Ll.remove_node b victim in
+  let victim = Al.nth b 1 in
+  let pos = Al.remove_node b victim in
   Psm.Plan.note_target_remove plan ~pos;
   Psm.Index.note_remove idx ~pos;
   Alcotest.(check (list int)) "keys after" [ 1 ] (Psm.Plan.keys plan);
   Alcotest.(check bool) "consistent" true
     (Psm.Plan.is_consistent plan ~index:idx ~source:a);
   ignore (Psm.Plan.execute plan ~index:idx ~source:a);
-  check_list "merged" [ 1; 2; 6; 9 ] (Ll.to_list b)
+  check_list "merged" [ 1; 2; 6; 9 ] (Al.to_list b)
 
 let test_plan_source_insert () =
-  let a = make [ 2; 8 ] and b = make [ 5 ] in
+  let a, b = pair_in_arena [ 2; 8 ] [ 5 ] in
   let idx = Psm.Index.build b in
   let plan = Psm.Plan.build ~source:a ~index:idx in
-  let node, _ = Ll.insert_sorted a 3 in
+  let node, _ = Al.insert_sorted a 3 in
   Psm.Plan.note_source_insert plan ~index:idx ~node;
   Alcotest.(check int) "total" 3 (Psm.Plan.total plan);
   Alcotest.(check bool) "consistent" true
     (Psm.Plan.is_consistent plan ~index:idx ~source:a);
   ignore (Psm.Plan.execute plan ~index:idx ~source:a);
-  check_list "merged" [ 2; 3; 5; 8 ] (Ll.to_list b)
+  check_list "merged" [ 2; 3; 5; 8 ] (Al.to_list b)
 
 let test_plan_source_remove () =
-  let a = make [ 2; 3; 8 ] and b = make [ 5 ] in
+  let a, b = pair_in_arena [ 2; 3; 8 ] [ 5 ] in
   let idx = Psm.Index.build b in
   let plan = Psm.Plan.build ~source:a ~index:idx in
-  let node = Ll.nth_node a 1 in
+  let node = Al.nth a 1 in
   Psm.Plan.note_source_remove plan ~node;
-  ignore (Ll.remove_node a node);
+  ignore (Al.remove_node a node);
   Alcotest.(check int) "total" 2 (Psm.Plan.total plan);
   Alcotest.(check bool) "consistent" true
     (Psm.Plan.is_consistent plan ~index:idx ~source:a);
   ignore (Psm.Plan.execute plan ~index:idx ~source:a);
-  check_list "merged" [ 2; 5; 8 ] (Ll.to_list b)
+  check_list "merged" [ 2; 5; 8 ] (Al.to_list b)
+
+(* ------------------------------------------------------------------ *)
+(* Trace equality: arena list vs the boxed oracle                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed-seed random op scripts applied through the shared signature:
+   both implementations must produce identical traces — same walk
+   counts, same pop results, same contents after every op. *)
+
+type script_op = Ins of int | Rem of int | Pop
+
+let gen_script st n =
+  List.init n (fun _ ->
+      match Random.State.int st 10 with
+      | 0 | 1 | 2 | 3 | 4 -> Ins (Random.State.int st 100)
+      | 5 | 6 | 7 -> Rem (Random.State.int st 1000)
+      | _ -> Pop)
+
+let run_script (module S : Si.S) ops =
+  let t = S.create ~compare:icmp () in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun op ->
+      (match op with
+      | Ins v ->
+        let _, steps = S.insert_sorted t v in
+        Buffer.add_string buf (Printf.sprintf "i%d@%d" v steps)
+      | Rem i when S.length t > 0 ->
+        let p = i mod S.length t in
+        let steps = S.remove_node t (S.nth t p) in
+        Buffer.add_string buf (Printf.sprintf "r%d@%d" p steps)
+      | Rem _ -> Buffer.add_string buf "r-"
+      | Pop -> (
+        match S.pop_first t with
+        | Some v -> Buffer.add_string buf (Printf.sprintf "p%d" v)
+        | None -> Buffer.add_string buf "p-"));
+      Buffer.add_char buf '[';
+      List.iter
+        (fun v -> Buffer.add_string buf (string_of_int v ^ ","))
+        (S.to_list t);
+      Buffer.add_string buf "];")
+    ops;
+  Buffer.add_string buf (if S.is_sorted t then "ok" else "BROKEN");
+  Buffer.contents buf
+
+let test_trace_equality seed () =
+  let ops = gen_script (Random.State.make [| seed |]) 400 in
+  Alcotest.(check string)
+    "identical traces"
+    (run_script (module Si.Boxed) ops)
+    (run_script (module Si.Flat) ops)
+
+(* Same idea with P²SM merges in the script: the arena target absorbs
+   random source lists through real plans while the oracle is rebuilt
+   from Reference.merge_values. *)
+let test_merge_script_equality seed () =
+  let st = Random.State.make [| seed |] in
+  let arena = Al.create_arena ~compare:icmp () in
+  let fl = Al.create arena in
+  let bx = ref (Ll.create ~compare:icmp ()) in
+  for _ = 1 to 250 do
+    (match Random.State.int st 10 with
+    | 0 | 1 | 2 | 3 ->
+      let v = Random.State.int st 100 in
+      let _, s_flat = Al.insert_sorted fl v in
+      let _, s_boxed = Ll.insert_sorted !bx v in
+      Alcotest.(check int) "insert steps" s_boxed s_flat
+    | 4 | 5 ->
+      if Al.length fl > 0 then begin
+        let p = Random.State.int st (Al.length fl) in
+        let s_flat = Al.remove_node fl (Al.nth fl p) in
+        let s_boxed = Ll.remove_node !bx (Ll.nth_node !bx p) in
+        Alcotest.(check int) "remove steps" s_boxed s_flat
+      end
+    | 6 ->
+      Alcotest.(check (option int)) "pop" (Ll.pop_first !bx) (Al.pop_first fl)
+    | _ ->
+      let n = Random.State.int st 8 in
+      let vals =
+        List.sort icmp (List.init n (fun _ -> Random.State.int st 100))
+      in
+      let src = Al.of_sorted_list arena vals in
+      let idx = Psm.Index.build fl in
+      let plan = Psm.Plan.build ~source:src ~index:idx in
+      ignore (Psm.Plan.execute plan ~index:idx ~source:src);
+      bx :=
+        Ll.of_sorted_list ~compare:icmp
+          (Reference.merge_values ~compare:icmp vals (Ll.to_list !bx)));
+    Alcotest.(check int) "length agrees" (Ll.length !bx) (Al.length fl)
+  done;
+  check_list "final contents" (Ll.to_list !bx) (Al.to_list fl);
+  Alcotest.(check bool) "invariants" true (Al.is_sorted fl)
 
 (* ------------------------------------------------------------------ *)
 (* Skip list (the "better queue" alternative)                          *)
@@ -376,6 +603,17 @@ let prop_insert_sorted_invariant =
       && Ll.length t = List.length xs
       && Ll.to_list t = List.sort icmp xs)
 
+let prop_arena_insert_sorted_invariant =
+  QCheck2.Test.make ~name:"arena insert_sorted keeps the list sorted"
+    ~count:300
+    QCheck2.Gen.(list_size (0 -- 60) (0 -- 100))
+    (fun xs ->
+      let t = Al.create (Al.create_arena ~compare:icmp ()) in
+      List.iter (fun x -> ignore (Al.insert_sorted t x)) xs;
+      Al.is_sorted t
+      && Al.length t = List.length xs
+      && Al.to_list t = List.sort icmp xs)
+
 let prop_psm_equals_reference =
   QCheck2.Test.make ~name:"P²SM merge == reference merge" ~count:300
     QCheck2.Gen.(pair sorted_list_gen sorted_list_gen)
@@ -414,17 +652,17 @@ let mutation_gen =
 
 let apply_mutation a b idx plan = function
   | Target_insert v ->
-    let node, pos = Ll.insert_sorted b v in
+    let node, pos = Al.insert_sorted b v in
     Psm.Plan.note_target_insert plan ~pos v;
     Psm.Index.note_insert idx ~pos node
-  | Target_remove i when Ll.length b > 0 ->
-    let node = Ll.nth_node b (i mod Ll.length b) in
-    let pos = Ll.remove_node b node in
+  | Target_remove i when Al.length b > 0 ->
+    let node = Al.nth b (i mod Al.length b) in
+    let pos = Al.remove_node b node in
     Psm.Plan.note_target_remove plan ~pos;
     Psm.Index.note_remove idx ~pos
   | Target_remove _ -> ()
   | Source_insert v ->
-    let node, _ = Ll.insert_sorted a v in
+    let node, _ = Al.insert_sorted a v in
     Psm.Plan.note_source_insert plan ~index:idx ~node
 
 let prop_incremental_maintenance =
@@ -434,18 +672,18 @@ let prop_incremental_maintenance =
     QCheck2.Gen.(
       triple sorted_list_gen sorted_list_gen (list_size (0 -- 25) mutation_gen))
     (fun (a_vals, b_vals, mutations) ->
-      let a = make a_vals and b = make b_vals in
+      let a, b = pair_in_arena a_vals b_vals in
       let idx = Psm.Index.build b in
       let plan = Psm.Plan.build ~source:a ~index:idx in
       List.iter (apply_mutation a b idx plan) mutations;
       let expected =
-        Reference.merge_values ~compare:icmp (Ll.to_list a) (Ll.to_list b)
+        Reference.merge_values ~compare:icmp (Al.to_list a) (Al.to_list b)
       in
       Psm.Index.is_consistent idx
       && Psm.Plan.is_consistent plan ~index:idx ~source:a
       &&
       (ignore (Psm.Plan.execute plan ~index:idx ~source:a);
-       Ll.to_list b = expected))
+       Al.to_list b = expected))
 
 let prop_skip_list_matches_sorted =
   QCheck2.Test.make
@@ -478,6 +716,7 @@ let props =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_insert_sorted_invariant;
+      prop_arena_insert_sorted_invariant;
       prop_psm_equals_reference;
       prop_psm_binary_equals_linear;
       prop_psm_parallel_equals_sequential;
@@ -499,6 +738,26 @@ let () =
           Alcotest.test_case "rejects unsorted input" `Quick
             test_of_sorted_rejects_unsorted;
           Alcotest.test_case "nth node" `Quick test_nth_node;
+        ] );
+      ( "arena_list",
+        [
+          Alcotest.test_case "empty" `Quick test_arena_empty;
+          Alcotest.test_case "insert keeps order" `Quick
+            test_arena_insert_order;
+          Alcotest.test_case "insert reports steps" `Quick
+            test_arena_insert_steps;
+          Alcotest.test_case "stable among equals" `Quick
+            test_arena_insert_stable;
+          Alcotest.test_case "remove node" `Quick test_arena_remove_node;
+          Alcotest.test_case "pop first" `Quick test_arena_pop_first;
+          Alcotest.test_case "rejects unsorted input" `Quick
+            test_arena_of_sorted_rejects_unsorted;
+          Alcotest.test_case "nth and position" `Quick test_arena_nth_position;
+          Alcotest.test_case "two lists share an arena" `Quick
+            test_arena_two_lists_shared;
+          Alcotest.test_case "growth" `Quick test_arena_growth;
+          Alcotest.test_case "handles survive merge" `Quick
+            test_arena_handles_survive_merge;
         ] );
       ( "reference",
         [
@@ -528,6 +787,20 @@ let () =
             test_plan_stale_on_unseen_target_change;
           Alcotest.test_case "stale on double execute" `Quick
             test_plan_stale_on_double_execute;
+        ] );
+      ( "trace_equality",
+        [
+          Alcotest.test_case "ops script, seed 1" `Quick (test_trace_equality 1);
+          Alcotest.test_case "ops script, seed 42" `Quick
+            (test_trace_equality 42);
+          Alcotest.test_case "ops script, seed 1337" `Quick
+            (test_trace_equality 1337);
+          Alcotest.test_case "merge script, seed 1" `Quick
+            (test_merge_script_equality 1);
+          Alcotest.test_case "merge script, seed 42" `Quick
+            (test_merge_script_equality 42);
+          Alcotest.test_case "merge script, seed 1337" `Quick
+            (test_merge_script_equality 1337);
         ] );
       ( "skip_list",
         [

@@ -8,7 +8,7 @@ module Load = Horse_sched.Load_tracking
 module Credit2 = Horse_sched.Credit2
 module Scheduler = Horse_sched.Scheduler
 module Topology = Horse_cpu.Topology
-module Ll = Horse_psm.Linked_list
+module Al = Horse_psm.Arena_list
 module Psm = Horse_psm.Psm
 module Time = Horse_sim.Time_ns
 
@@ -55,7 +55,7 @@ let test_runqueue_sorted_by_credit () =
   ignore (Runqueue.enqueue q mid);
   Alcotest.(check int) "length" 3 (Runqueue.length q);
   Alcotest.(check (list int)) "credit order" [ 5; 10; 20 ]
-    (List.map Vcpu.credit (Ll.to_list (Runqueue.queue q)));
+    (List.map Vcpu.credit (Al.to_list (Runqueue.queue q)));
   Alcotest.(check bool) "queued state" true (Vcpu.state low = Vcpu.Queued)
 
 let test_runqueue_dequeue () =
@@ -85,11 +85,11 @@ let test_runqueue_notifications () =
   let q = mk_queue () in
   let events = ref [] in
   let sub =
-    Runqueue.subscribe q (fun change ->
+    Runqueue.subscribe q (fun event ~pos ~node:_ ->
         events :=
-          (match change with
-          | Runqueue.Inserted { pos; _ } -> `Ins pos
-          | Runqueue.Removed { pos } -> `Rem pos)
+          (match event with
+          | Runqueue.Inserted -> `Ins pos
+          | Runqueue.Removed -> `Rem pos)
           :: !events)
   in
   let v1 = mk_vcpu ~index:0 ~credit:10 () in
@@ -108,9 +108,10 @@ let test_runqueue_pop_front_notifies () =
   let q = mk_queue () in
   let removed = ref 0 in
   ignore
-    (Runqueue.subscribe q (function
-      | Runqueue.Removed _ -> incr removed
-      | Runqueue.Inserted _ -> ()));
+    (Runqueue.subscribe q (fun event ~pos:_ ~node:_ ->
+         match event with
+         | Runqueue.Removed -> incr removed
+         | Runqueue.Inserted -> ()));
   ignore (Runqueue.enqueue q (mk_vcpu ~credit:1 ()));
   ignore (Runqueue.enqueue q (mk_vcpu ~index:1 ~credit:2 ()));
   let v = Option.get (Runqueue.pop_front q) in
@@ -125,28 +126,95 @@ let test_runqueue_apply_merge () =
     [ (0, 10); (1, 30) ];
   let inserted_positions = ref [] in
   ignore
-    (Runqueue.subscribe q (function
-      | Runqueue.Inserted { pos; _ } -> inserted_positions := pos :: !inserted_positions
-      | Runqueue.Removed _ -> ()));
-  let source = Ll.create ~compare:Vcpu.compare_credit () in
+    (Runqueue.subscribe q (fun event ~pos ~node:_ ->
+         match event with
+         | Runqueue.Inserted -> inserted_positions := pos :: !inserted_positions
+         | Runqueue.Removed -> ()));
+  let source = Al.create (Runqueue.arena q) in
   List.iter
-    (fun (i, c) -> ignore (Ll.insert_sorted source (mk_vcpu ~sandbox:1 ~index:i ~credit:c ())))
+    (fun (i, c) -> ignore (Al.insert_sorted source (mk_vcpu ~sandbox:1 ~index:i ~credit:c ())))
     [ (0, 5); (1, 20); (2, 40) ];
   let index = Psm.Index.build (Runqueue.queue q) in
   let plan = Psm.Plan.build ~source ~index in
   let stats, nodes = Runqueue.apply_merge q ~plan ~index ~source in
   Alcotest.(check int) "3 spliced" 3 stats.Psm.Plan.spliced;
-  Alcotest.(check int) "3 nodes returned" 3 (List.length nodes);
+  Alcotest.(check int) "3 nodes returned" 3 (Array.length nodes);
   Alcotest.(check (list int)) "final order" [ 5; 10; 20; 30; 40 ]
-    (List.map Vcpu.credit (Ll.to_list (Runqueue.queue q)));
+    (List.map Vcpu.credit (Al.to_list (Runqueue.queue q)));
   Alcotest.(check (list int)) "positions as sequential inserts" [ 0; 2; 4 ]
     (List.rev !inserted_positions);
   Alcotest.(check bool) "spliced vcpus queued" true
-    (List.for_all (fun n -> Vcpu.state (Ll.value n) = Vcpu.Queued) nodes)
+    (Array.for_all
+       (fun n -> Vcpu.state (Al.value (Runqueue.queue q) n) = Vcpu.Queued)
+       nodes)
+
+(* Satellite: subscriber notification order is deterministic.  Two
+   subscribers registered at different times must observe identical
+   change sequences, with the earlier subscription always fired first
+   (ascending subscription id — the Hashtbl this replaced made no such
+   promise), and a rerun of the same seed must reproduce the exact
+   sequence. *)
+let churn_with_two_subscribers seed =
+  let st = Random.State.make [| seed |] in
+  let q = mk_queue ~kind:Runqueue.Ull () in
+  let log_a = ref [] and log_b = ref [] and firing = ref [] in
+  let record tag log event ~pos ~node:_ =
+    firing := tag :: !firing;
+    log :=
+      (match event with
+      | Runqueue.Inserted -> (true, pos)
+      | Runqueue.Removed -> (false, pos))
+      :: !log
+  in
+  ignore (Runqueue.subscribe q (record 'a' log_a));
+  let nodes = ref [] in
+  (* subscriber b arrives only after some churn has already happened:
+     its log must still replay b-for-b against a's tail *)
+  let b_joined = ref 0 in
+  for i = 0 to 199 do
+    if i = 50 then begin
+      ignore (Runqueue.subscribe q (record 'b' log_b));
+      b_joined := List.length !log_a
+    end;
+    match Random.State.int st 3 with
+    | 0 | 1 ->
+      let n, _ =
+        Runqueue.enqueue q
+          (mk_vcpu ~sandbox:i ~credit:(Random.State.int st 100) ())
+      in
+      nodes := n :: !nodes
+    | _ -> (
+      match !nodes with
+      | [] -> ()
+      | n :: rest ->
+        nodes := rest;
+        ignore (Runqueue.dequeue q n))
+  done;
+  let tail_of_a =
+    List.filteri (fun i _ -> i < List.length !log_a - !b_joined) !log_a
+  in
+  (List.rev !log_a, List.rev !log_b, List.rev tail_of_a, List.rev !firing)
+
+let test_subscriber_determinism seed () =
+  let log_a, log_b, a_since_b, firing = churn_with_two_subscribers seed in
+  Alcotest.(check bool) "b saw exactly a's events since joining" true
+    (log_b = a_since_b);
+  Alcotest.(check bool) "a fires before b on every event" true
+    (let rec alternates = function
+       | [] -> true
+       | 'a' :: 'b' :: rest -> alternates rest
+       | 'a' :: rest -> alternates rest (* before b subscribed *)
+       | _ -> false
+     in
+     alternates firing);
+  (* bit-for-bit reproducible *)
+  let log_a', log_b', _, firing' = churn_with_two_subscribers seed in
+  Alcotest.(check bool) "identical across reruns" true
+    (log_a = log_a' && log_b = log_b' && firing = firing')
 
 let test_runqueue_merge_wrong_index_rejected () =
   let q = mk_queue () and other = Runqueue.create ~cpu:1 ~id:1 () in
-  let source = Ll.create ~compare:Vcpu.compare_credit () in
+  let source = Al.create (Runqueue.arena other) in
   let index = Psm.Index.build (Runqueue.queue other) in
   let plan = Psm.Plan.build ~source ~index in
   Alcotest.check_raises "wrong queue"
@@ -399,7 +467,7 @@ let test_executor_feeds_psm_subscribers () =
   let engine, scheduler, ex = executor_fixture () in
   let queue = Scheduler.runqueue scheduler ~cpu:3 in
   let events = ref 0 in
-  ignore (Runqueue.subscribe queue (fun _ -> incr events));
+  ignore (Runqueue.subscribe queue (fun _ ~pos:_ ~node:_ -> incr events));
   Executor.submit ex ~queue ~vcpu:(mk_vcpu ()) ~work:(Time.span_us 3.0)
     ~on_done:(fun _ -> ());
   Engine.run engine;
@@ -525,7 +593,7 @@ let prop_runqueue_always_sorted =
       List.iteri
         (fun i node -> if i mod 3 = 0 then ignore (Runqueue.dequeue q node))
         nodes;
-      Ll.is_sorted (Runqueue.queue q))
+      Al.is_sorted (Runqueue.queue q))
 
 let prop_merge_positions_track_subscriber =
   QCheck2.Test.make
@@ -542,7 +610,7 @@ let prop_merge_positions_track_subscriber =
           ignore (Runqueue.enqueue q (mk_vcpu ~sandbox:2 ~index ~credit ())))
         queue_credits;
       (* shadow copy maintained only from notifications *)
-      let shadow = ref (List.map Vcpu.credit (Ll.to_list (Runqueue.queue q))) in
+      let shadow = ref (List.map Vcpu.credit (Al.to_list (Runqueue.queue q))) in
       let insert_at pos x =
         let rec go i = function
           | rest when i = pos -> x :: rest
@@ -552,21 +620,25 @@ let prop_merge_positions_track_subscriber =
         go 0
       in
       ignore
-        (Runqueue.subscribe q (function
-          | Runqueue.Inserted { pos; node } ->
-            shadow := insert_at pos (Vcpu.credit (Ll.value node)) !shadow
-          | Runqueue.Removed { pos } ->
-            shadow := List.filteri (fun i _ -> i <> pos) !shadow));
-      let source = Ll.create ~compare:Vcpu.compare_credit () in
+        (Runqueue.subscribe q (fun event ~pos ~node ->
+             match event with
+             | Runqueue.Inserted ->
+               shadow :=
+                 insert_at pos
+                   (Vcpu.credit (Al.value (Runqueue.queue q) node))
+                   !shadow
+             | Runqueue.Removed ->
+               shadow := List.filteri (fun i _ -> i <> pos) !shadow));
+      let source = Al.create (Runqueue.arena q) in
       List.iteri
         (fun index credit ->
           ignore
-            (Ll.insert_sorted source (mk_vcpu ~sandbox:3 ~index ~credit ())))
+            (Al.insert_sorted source (mk_vcpu ~sandbox:3 ~index ~credit ())))
         source_credits;
       let index = Psm.Index.build (Runqueue.queue q) in
       let plan = Psm.Plan.build ~source ~index in
       ignore (Runqueue.apply_merge q ~plan ~index ~source);
-      !shadow = List.map Vcpu.credit (Ll.to_list (Runqueue.queue q)))
+      !shadow = List.map Vcpu.credit (Al.to_list (Runqueue.queue q)))
 
 let props =
   List.map QCheck_alcotest.to_alcotest
@@ -598,6 +670,12 @@ let () =
           Alcotest.test_case "apply_merge" `Quick test_runqueue_apply_merge;
           Alcotest.test_case "merge guards queue identity" `Quick
             test_runqueue_merge_wrong_index_rejected;
+          Alcotest.test_case "deterministic notify, seed 1" `Quick
+            (test_subscriber_determinism 1);
+          Alcotest.test_case "deterministic notify, seed 42" `Quick
+            (test_subscriber_determinism 42);
+          Alcotest.test_case "deterministic notify, seed 1337" `Quick
+            (test_subscriber_determinism 1337);
         ] );
       ( "load",
         [

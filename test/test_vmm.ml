@@ -11,7 +11,7 @@ module Topology = Horse_cpu.Topology
 module Cost = Horse_cpu.Cost_model
 module Metrics = Horse_sim.Metrics
 module Time = Horse_sim.Time_ns
-module Ll = Horse_psm.Linked_list
+module Al = Horse_psm.Arena_list
 
 let topology = Topology.create ~sockets:1 ~cores_per_socket:8 ()
 
@@ -276,7 +276,7 @@ let test_two_paused_sandboxes_share_queue () =
   let ull = List.hd (Scheduler.ull_runqueues scheduler) in
   Alcotest.(check int) "all 5 vcpus on ull queue" 5 (Runqueue.length ull);
   Alcotest.(check bool) "queue still sorted" true
-    (Ll.is_sorted (Runqueue.queue ull));
+    (Al.is_sorted (Runqueue.queue ull));
   Alcotest.(check bool) "sb2 resume still O(1)" true
     (ns_of r2.Vmm.total < 200)
 
@@ -301,7 +301,7 @@ let test_pause_resume_cycles_stay_consistent () =
   Alcotest.(check int) "every vcpu back"
     (List.fold_left (fun acc sb -> acc + Sandbox.vcpu_count sb) 0 sandboxes)
     (Runqueue.length ull);
-  Alcotest.(check bool) "sorted" true (Ll.is_sorted (Runqueue.queue ull))
+  Alcotest.(check bool) "sorted" true (Al.is_sorted (Runqueue.queue ull))
 
 let test_memory_footprint_while_paused () =
   let vmm, _, _ = fresh () in
@@ -512,7 +512,7 @@ let prop_random_lifecycles =
           | Sandbox.Created | Sandbox.Booting | Sandbox.Stopped -> ())
         strategies;
       Array.for_all
-        (fun q -> Ll.is_sorted (Runqueue.queue q))
+        (fun q -> Al.is_sorted (Runqueue.queue q))
         (Scheduler.runqueues scheduler))
 
 let () =
