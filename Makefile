@@ -1,6 +1,6 @@
 # Convenience targets for the HORSE reproduction.
 
-.PHONY: all build test verify bench bench-json bench-micro bench-check bench-storm perf examples clean doc
+.PHONY: all build test test-stress verify bench bench-json bench-micro bench-check bench-storm perf examples clean doc
 
 all: verify
 
@@ -10,9 +10,18 @@ build:
 test:
 	dune runtest
 
-# the default flow: build, tests, regenerate both bench records, gate
-# on them (sweeps must not regress; alloc:* and flat:* must hold 2x)
-verify: build test bench-json bench-micro bench-check
+# the model-based suites (harness-driven oracle scripts in test_sim,
+# test_psm, test_fault) at 10x script length and count, seeds
+# 1/42/1337; the plain `dune runtest` tier-1 stays fast
+test-stress:
+	HORSE_STRESS=1 dune exec test/test_sim.exe
+	HORSE_STRESS=1 dune exec test/test_psm.exe
+	HORSE_STRESS=1 dune exec test/test_fault.exe
+
+# the default flow: build, tests (incl. stressed model-based suites),
+# regenerate both bench records, gate on them (sweeps must not
+# regress; alloc:* and flat:* must hold 2x)
+verify: build test test-stress bench-json bench-micro bench-check
 
 bench:
 	dune exec bench/main.exe

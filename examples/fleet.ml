@@ -48,9 +48,9 @@ let run routing =
                      (float_of_int (Time.span_to_ns record.Platform.init)))
                  ()
              with
-             | (_ : int) -> ()
-             | exception Platform.No_warm_sandbox _ ->
-               (* a dry server: fall back to a cold start *)
+             | Cluster.Accepted _ -> ()
+             | Cluster.Rejected _ ->
+               (* a dry fleet: fall back to a cold start *)
                incr cold;
                ignore
                  (Cluster.trigger cluster ~name:"infer" ~mode:Platform.Cold ()))))

@@ -81,5 +81,6 @@ let () =
   Printf.printf "lifecycle round-trip completed; sandbox is %s\n"
     (match Sandbox.state sb with
     | Sandbox.Running -> "running"
-    | Sandbox.Created | Sandbox.Booting | Sandbox.Paused | Sandbox.Stopped ->
+    | Sandbox.Created | Sandbox.Booting | Sandbox.Paused | Sandbox.Stopped
+    | Sandbox.Crashed ->
       "not running (bug)")

@@ -10,7 +10,9 @@ module Sandbox = Horse_vmm.Sandbox
 module Vmm = Horse_vmm.Vmm
 module Category = Horse_workload.Category
 module Platform = Horse_faas.Platform
+module Cluster = Horse_faas.Cluster
 module Function_def = Horse_faas.Function_def
+module Fault = Horse_fault.Fault
 
 module Pool = Horse_parallel.Pool
 
@@ -762,6 +764,117 @@ let ablation_timeslice ?(seed = 42) () =
     }
   in
   [ run Horse_sched.Runqueue.Ull; run Horse_sched.Runqueue.Normal ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault-rate sweep: tail latency and completion under injected chaos  *)
+(* ------------------------------------------------------------------ *)
+
+type fault_row = {
+  fr_rate_pct : float;
+  fr_strategy : string;
+  fr_p50_us : float;
+  fr_p99_us : float;
+  fr_p999_us : float;
+  fr_attempted : int;
+  fr_completed : int;
+  fr_rejected : int;
+  fr_completion_pct : float;
+  fr_faults : int;
+  fr_fallbacks : int;
+  fr_retries : int;
+}
+
+(* Sum every counter under [prefix] in a registry. *)
+let sum_counters metrics ~prefix =
+  List.fold_left
+    (fun acc (name, value) ->
+      if String.starts_with ~prefix name then acc + value else acc)
+    0
+    (Metrics.counters metrics)
+
+let fault_run ~profile ~seed ~duration ~rate ~strategy =
+  let engine = Engine.create ~seed () in
+  let faults =
+    (* the plan seed is offset from the platform seeds so fault streams
+       never correlate with jitter or service-time draws *)
+    Fault.Plan.uniform ~seed:(seed + 31337) ~rate ()
+  in
+  let cluster =
+    Cluster.create ~servers:4 ~topology:Topology.r650_smt
+      ~cost:(cost_of_profile profile) ~seed ~faults
+      ~recovery:Platform.Recovery.default ~engine ()
+  in
+  Cluster.register cluster
+    (Function_def.create ~name:"ull" ~vcpus:2 ~memory_mb:512
+       ~exec:(Function_def.Ull Category.Cat2) ());
+  Cluster.provision cluster ~name:"ull" ~total:16 ~strategy;
+  let arrivals =
+    (* the same Azure-shaped stream for every (rate, strategy) cell —
+       only the injected faults differ between cells *)
+    let rng = Rng.create ~seed:(seed + 514229) in
+    let row =
+      Horse_trace.Synthetic.generate_row ~rng ~id:0 ~mean_rate_per_min:6000.0
+    in
+    Horse_trace.Arrivals.chunk ~rng row ~start_minute:720 ~duration
+  in
+  List.iter
+    (fun offset ->
+      ignore
+        (Engine.schedule engine ~after:offset (fun _ ->
+             ignore
+               (Cluster.trigger cluster ~name:"ull" ~mode:(Platform.Warm strategy)
+                  ()))))
+    arrivals;
+  ignore (Cluster.schedule_faults cluster ~horizon:duration);
+  Engine.run engine;
+  let latencies = Stats.Sample.create () in
+  List.iter
+    (fun (_, r) ->
+      Stats.Sample.add latencies (ns_of (Platform.record_total r) /. 1e3))
+    (Cluster.records cluster);
+  let sum_servers ~prefix =
+    let acc = ref 0 in
+    for i = 0 to Cluster.server_count cluster - 1 do
+      acc :=
+        !acc
+        + sum_counters (Platform.metrics (Cluster.server cluster i)) ~prefix
+    done;
+    !acc
+  in
+  let attempted = List.length arrivals in
+  let completed = List.length (Cluster.records cluster) in
+  let p q = Stats.Sample.percentile latencies q in
+  {
+    fr_rate_pct = rate *. 100.0;
+    fr_strategy = Sandbox.strategy_name strategy;
+    fr_p50_us = p 50.0;
+    fr_p99_us = p 99.0;
+    fr_p999_us = p 99.9;
+    fr_attempted = attempted;
+    fr_completed = completed;
+    fr_rejected = List.length (Cluster.rejections cluster);
+    fr_completion_pct =
+      (if attempted = 0 then 100.0
+       else 100.0 *. float_of_int completed /. float_of_int attempted);
+    fr_faults =
+      sum_servers ~prefix:"fault.injected."
+      + Metrics.counter (Cluster.metrics cluster) "cluster.blackouts";
+    fr_fallbacks = sum_servers ~prefix:"platform.fallbacks.";
+    fr_retries = sum_servers ~prefix:"platform.retries";
+  }
+
+let faults ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 5.0)
+    ?(rates = [ 0.0; 0.001; 0.01; 0.1 ]) ?(jobs = 1) ?chunk () =
+  let duration = Time.span_s duration_s in
+  let tasks =
+    List.concat_map
+      (fun rate ->
+        [ (rate, Sandbox.Vanilla); (rate, Sandbox.Horse) ])
+      rates
+  in
+  fan ?chunk ~jobs
+    (fun (rate, strategy) -> fault_run ~profile ~seed ~duration ~rate ~strategy)
+    tasks
 
 (* ------------------------------------------------------------------ *)
 (* Headline summary                                                    *)

@@ -246,6 +246,35 @@ val ablation_timeslice : ?seed:int -> unit -> timeslice_row list
     a few slices; on a normal 10 ms-slice queue it waits out the
     incumbent. *)
 
+(** {1 Fault-rate sweep — robustness under injected chaos} *)
+
+type fault_row = {
+  fr_rate_pct : float;  (** per-trigger fault probability, percent *)
+  fr_strategy : string;  (** "vanil" or "horse" *)
+  fr_p50_us : float;  (** end-to-end invocation latency percentiles *)
+  fr_p99_us : float;
+  fr_p999_us : float;
+  fr_attempted : int;  (** arrivals fired at the cluster *)
+  fr_completed : int;  (** invocations that produced a record *)
+  fr_rejected : int;  (** typed router rejections *)
+  fr_completion_pct : float;
+  fr_faults : int;
+      (** injected faults, all triggers + whole-server blackouts *)
+  fr_fallbacks : int;  (** Warm→Restore→Cold ladder descents *)
+  fr_retries : int;  (** post-crash backed-off retries *)
+}
+
+val faults :
+  ?profile:profile -> ?seed:int -> ?duration_s:float -> ?rates:float list ->
+  ?jobs:int -> ?chunk:int -> unit -> fault_row list
+(** Sweep per-trigger fault rates (default 0 %, 0.1 %, 1 %, 10 %) over
+    an Azure-shaped uLL storm on a 4-server cluster running
+    {!Horse_faas.Platform.Recovery.default}, for Vanilla vs HORSE warm
+    pools.  Latency percentiles are honest: every failed rung, retry
+    wait and slowdown is inside the records.  The 0 % row is
+    bit-identical to a run with no fault plan at all, and rows are
+    bit-identical for every [jobs]/[chunk]. *)
+
 (** {1 Headline summary} *)
 
 type summary = {

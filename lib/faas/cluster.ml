@@ -1,6 +1,9 @@
+module Engine = Horse_sim.Engine
 module Time = Horse_sim.Time_ns
+module Metrics = Horse_sim.Metrics
 module Topology = Horse_cpu.Topology
 module Cost_model = Horse_cpu.Cost_model
+module Fault = Horse_fault.Fault
 
 type routing = Round_robin | Least_loaded | Warm_first
 
@@ -9,28 +12,59 @@ let routing_name = function
   | Least_loaded -> "least-loaded"
   | Warm_first -> "warm-first"
 
+type reject_reason = All_servers_down | No_warm_capacity
+
+let reject_reason_name = function
+  | All_servers_down -> "all-servers-down"
+  | No_warm_capacity -> "no-warm-capacity"
+
+type rejection = {
+  reason : reject_reason;
+  function_name : string;
+  at : Time.t;
+}
+
+type outcome = Accepted of int | Rejected of rejection
+
 type t = {
+  engine : Engine.t;
   platforms : Platform.t array;
   routing : routing;
+  metrics : Metrics.t;  (* fleet-level counters (rejections, blackouts) *)
+  faults : Fault.Plan.t;  (* cluster-level plan: the blackout schedule *)
+  healthy : bool array;
   mutable rr_cursor : int;
   trigger_counts : int array;
   mutable completed : (int * Platform.record) list;  (* newest first *)
+  mutable rejected : rejection list;  (* newest first *)
 }
 
 let create ?(servers = 4) ?(routing = Warm_first) ?(topology = Topology.r650)
-    ?(cost = Cost_model.firecracker) ?keep_alive ?(seed = 42) ~engine () =
+    ?(cost = Cost_model.firecracker) ?keep_alive ?(seed = 42)
+    ?(faults = Fault.Plan.none) ?recovery ~engine () =
   if servers <= 0 then invalid_arg "Cluster.create: servers <= 0";
   let platforms =
+    (* each server gets its own derived plan: per-server fault
+       sequences depend only on (cluster seed, server index), never on
+       how triggers happened to be routed *)
     Array.init servers (fun i ->
         Platform.create ~topology ~cost ?keep_alive ~seed:(seed + (97 * i))
-          ~engine ())
+          ~faults:(Fault.Plan.derive faults ~index:i)
+          ?recovery ~engine ())
   in
+  let metrics = Metrics.create () in
+  Fault.Plan.attach_metrics faults metrics;
   {
+    engine;
     platforms;
     routing;
+    metrics;
+    faults;
+    healthy = Array.make servers true;
     rr_cursor = 0;
     trigger_counts = Array.make servers 0;
     completed = [];
+    rejected = [];
   }
 
 let server_count t = Array.length t.platforms
@@ -41,6 +75,26 @@ let server t i =
   t.platforms.(i)
 
 let routing t = t.routing
+
+let metrics t = t.metrics
+
+let healthy t i =
+  if i < 0 || i >= server_count t then
+    invalid_arg "Cluster.healthy: index out of range";
+  t.healthy.(i)
+
+let healthy_count t =
+  Array.fold_left (fun acc up -> if up then acc + 1 else acc) 0 t.healthy
+
+let mark_down t i =
+  if i < 0 || i >= server_count t then
+    invalid_arg "Cluster.mark_down: index out of range";
+  t.healthy.(i) <- false
+
+let mark_up t i =
+  if i < 0 || i >= server_count t then
+    invalid_arg "Cluster.mark_up: index out of range";
+  t.healthy.(i) <- true
 
 let register t fn = Array.iter (fun p -> Platform.register p fn) t.platforms
 
@@ -54,21 +108,39 @@ let provision t ~name ~total ~strategy =
 let pool_size t ~name =
   Array.fold_left (fun acc p -> acc + Platform.pool_size p ~name) 0 t.platforms
 
+(* Least-loaded among healthy servers; [None] when the fleet is down. *)
 let least_loaded_index t =
-  let best = ref 0 in
+  let best = ref None in
   Array.iteri
     (fun i p ->
-      if Platform.live_invocations p < Platform.live_invocations t.platforms.(!best)
-      then best := i)
+      if t.healthy.(i) then
+        match !best with
+        | Some j
+          when Platform.live_invocations t.platforms.(j)
+               <= Platform.live_invocations p ->
+          ()
+        | Some _ | None -> best := Some i)
     t.platforms;
   !best
 
 let route t ~name ~mode =
   match t.routing with
   | Round_robin ->
-    let i = t.rr_cursor in
-    t.rr_cursor <- (i + 1) mod server_count t;
-    i
+    (* first healthy server at or after the cursor; the cursor always
+       advances past the pick so a recovered server rejoins rotation *)
+    let n = server_count t in
+    let rec scan steps =
+      if steps >= n then None
+      else begin
+        let i = (t.rr_cursor + steps) mod n in
+        if t.healthy.(i) then begin
+          t.rr_cursor <- (i + 1) mod n;
+          Some i
+        end
+        else scan (steps + 1)
+      end
+    in
+    scan 0
   | Least_loaded -> least_loaded_index t
   | Warm_first -> (
     let needs_pool =
@@ -78,11 +150,12 @@ let route t ~name ~mode =
     in
     if not needs_pool then least_loaded_index t
     else begin
-      (* the least-loaded server among those holding a warm sandbox *)
+      (* the least-loaded healthy server among those holding a warm
+         sandbox for the function *)
       let best = ref None in
       Array.iteri
         (fun i p ->
-          if Platform.pool_size p ~name > 0 then
+          if t.healthy.(i) && Platform.pool_size p ~name > 0 then
             match !best with
             | Some j
               when Platform.live_invocations t.platforms.(j)
@@ -90,20 +163,63 @@ let route t ~name ~mode =
               ()
             | Some _ | None -> best := Some i)
         t.platforms;
-      match !best with Some i -> i | None -> least_loaded_index t
+      match !best with Some i -> Some i | None -> least_loaded_index t
     end)
 
+let reject t ~reason ~name =
+  let rejection =
+    { reason; function_name = name; at = Engine.now t.engine }
+  in
+  t.rejected <- rejection :: t.rejected;
+  Metrics.incr t.metrics
+    (Printf.sprintf "cluster.rejections.%s" (reject_reason_name reason));
+  Rejected rejection
+
 let trigger t ~name ~mode ?(on_complete = fun _ -> ()) () =
-  let i = route t ~name ~mode in
-  t.trigger_counts.(i) <- t.trigger_counts.(i) + 1;
-  Platform.trigger t.platforms.(i) ~name ~mode
-    ~on_complete:(fun record ->
-      t.completed <- (i, record) :: t.completed;
-      on_complete (i, record))
-    ();
-  i
+  match route t ~name ~mode with
+  | None -> reject t ~reason:All_servers_down ~name
+  | Some i -> (
+    match
+      Platform.trigger t.platforms.(i) ~name ~mode
+        ~on_complete:(fun record ->
+          t.completed <- (i, record) :: t.completed;
+          on_complete (i, record))
+        ()
+    with
+    | () ->
+      t.trigger_counts.(i) <- t.trigger_counts.(i) + 1;
+      Accepted i
+    | exception Platform.No_warm_sandbox _ ->
+      (* a typed rejection, not an exception escaping the router: the
+         chosen server's pool (and, with degradation off, the whole
+         attempt) came up dry *)
+      reject t ~reason:No_warm_capacity ~name)
+
+let schedule_faults t ~horizon =
+  let outages =
+    Fault.Plan.blackouts t.faults ~servers:(server_count t) ~horizon
+  in
+  List.iter
+    (fun (server, start, outage) ->
+      ignore
+        (Engine.schedule t.engine ~after:start (fun _ ->
+             mark_down t server;
+             let lost = Platform.blackout t.platforms.(server) in
+             Metrics.incr t.metrics "cluster.blackouts";
+             Metrics.incr t.metrics ~by:lost "cluster.blackout_lost"));
+      let back_at =
+        Time.span_ns (Time.span_to_ns start + Time.span_to_ns outage)
+      in
+      ignore
+        (Engine.schedule t.engine ~after:back_at (fun _ ->
+             mark_up t server;
+             Metrics.incr t.metrics "cluster.recoveries")))
+    outages;
+  List.length outages
 
 let records t = List.rev t.completed
+
+let rejections t = List.rev t.rejected
 
 let live_invocations t =
   Array.fold_left (fun acc p -> acc + Platform.live_invocations p) 0 t.platforms

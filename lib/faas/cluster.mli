@@ -10,11 +10,32 @@
     - [Least_loaded]: fewest live invocations first;
     - [Warm_first]: prefer a server holding a warm sandbox for the
       function (falling back to least-loaded), the policy that makes
-      fleet-wide HORSE pools effective. *)
+      fleet-wide HORSE pools effective.
+
+    The router tracks per-server health: a blacked-out server (see
+    {!schedule_faults}) receives no traffic until it recovers, and a
+    trigger that cannot be placed returns a typed {!rejection} instead
+    of letting an exception escape. *)
 
 type routing = Round_robin | Least_loaded | Warm_first
 
 val routing_name : routing -> string
+
+type reject_reason =
+  | All_servers_down  (** no healthy server to route to *)
+  | No_warm_capacity
+      (** the chosen server raised {!Platform.No_warm_sandbox} (only
+          reachable with {!Platform.Recovery.t.degrade} off) *)
+
+val reject_reason_name : reject_reason -> string
+
+type rejection = {
+  reason : reject_reason;
+  function_name : string;
+  at : Horse_sim.Time_ns.t;  (** when the router gave up *)
+}
+
+type outcome = Accepted of int  (** server index *) | Rejected of rejection
 
 type t
 
@@ -25,11 +46,18 @@ val create :
   ?cost:Horse_cpu.Cost_model.t ->
   ?keep_alive:Horse_sim.Time_ns.span ->
   ?seed:int ->
+  ?faults:Horse_fault.Fault.Plan.t ->
+  ?recovery:Platform.Recovery.t ->
   engine:Horse_sim.Engine.t ->
   unit ->
   t
 (** Defaults: 4 servers, [Warm_first] routing, each server an r650
-    with one ull_runqueue.
+    with one ull_runqueue, an inert fault plan, legacy (no-op)
+    recovery.  Each server's platform gets its own plan derived from
+    [faults] by server index, so per-server fault sequences are
+    independent of routing order; the cluster-level plan drives the
+    {!schedule_faults} blackout schedule and counts its injections in
+    {!metrics}.
     @raise Invalid_argument if [servers <= 0]. *)
 
 val server_count : t -> int
@@ -38,6 +66,23 @@ val server : t -> int -> Platform.t
 (** @raise Invalid_argument on an out-of-range index. *)
 
 val routing : t -> routing
+
+val metrics : t -> Horse_sim.Metrics.t
+(** Fleet-level counters: [cluster.rejections.<reason>],
+    [cluster.blackouts], [cluster.blackout_lost],
+    [cluster.recoveries]. *)
+
+val healthy : t -> int -> bool
+(** @raise Invalid_argument on an out-of-range index. *)
+
+val healthy_count : t -> int
+
+val mark_down : t -> int -> unit
+(** Exclude a server from routing (as a blackout does).  Exposed for
+    tests and manual drain. *)
+
+val mark_up : t -> int -> unit
+(** Re-admit a server to routing. *)
 
 val register : t -> Function_def.t -> unit
 (** Register the function on every server. *)
@@ -56,17 +101,30 @@ val trigger :
   mode:Platform.start_mode ->
   ?on_complete:(int * Platform.record -> unit) ->
   unit ->
-  int
-(** Route one invocation; returns the chosen server index.  The
-    callback receives (server index, record).
-    @raise Platform.Unknown_function, @raise Platform.No_warm_sandbox
-    (when a [Warm _] trigger finds the whole fleet dry). *)
+  outcome
+(** Route one invocation among the healthy servers.  [Accepted i] is
+    the chosen server; [Rejected _] means no healthy server existed or
+    the chosen one was dry (the rejection is recorded and counted, and
+    [on_complete] never fires).
+    @raise Platform.Unknown_function *)
+
+val schedule_faults : t -> horizon:Horse_sim.Time_ns.span -> int
+(** Schedule the cluster plan's {!Horse_fault.Fault.Plan.blackouts}
+    over the next [horizon] on the shared engine: at each outage start
+    the server is marked down and {!Platform.blackout}ed; at its end
+    the server is marked healthy again (its pools start empty — the
+    warm capacity was lost).  Returns the number of outages scheduled
+    (0 for an inert plan). *)
 
 val records : t -> (int * Platform.record) list
 (** All completed invocations fleet-wide, oldest first, tagged with
     their server. *)
 
+val rejections : t -> rejection list
+(** All rejected triggers, oldest first. *)
+
 val live_invocations : t -> int
 
 val triggers_per_server : t -> int array
-(** How many triggers each server received (routing diagnostics). *)
+(** How many triggers each server {e accepted} (routing
+    diagnostics). *)

@@ -8,6 +8,7 @@ module Scheduler = Horse_sched.Scheduler
 module Runqueue = Horse_sched.Runqueue
 module Sandbox = Horse_vmm.Sandbox
 module Vmm = Horse_vmm.Vmm
+module Fault = Horse_fault.Fault
 
 let log_src = Horse_sim.Logging.src "platform"
 
@@ -36,6 +37,51 @@ exception No_warm_sandbox of string
 
 exception Unknown_function of string
 
+module Recovery = struct
+  type t = {
+    max_attempts : int;
+    backoff : Time.span;
+    degrade : bool;
+    warm_timeout : Time.span option;
+    restore_timeout : Time.span option;
+    cold_timeout : Time.span option;
+  }
+
+  let none =
+    {
+      max_attempts = 1;
+      backoff = Time.span_zero;
+      degrade = false;
+      warm_timeout = None;
+      restore_timeout = None;
+      cold_timeout = None;
+    }
+
+  let default =
+    {
+      max_attempts = 4;
+      backoff = Time.span_ms 1.0;
+      degrade = true;
+      (* each watchdog sits well above its rung's healthy worst case
+         (vanilla warm resume ≲ 250 µs, restore ≈ 1.3 ms, boot ≈ 1.5 s)
+         but below a slowdown-stretched one, so only genuine stragglers
+         trip it *)
+      warm_timeout = Some (Time.span_ms 1.0);
+      restore_timeout = Some (Time.span_ms 5.0);
+      cold_timeout = Some (Time.span_s 10.0);
+    }
+
+  let create ?(max_attempts = default.max_attempts)
+      ?(backoff = default.backoff) ?(degrade = default.degrade)
+      ?(warm_timeout = default.warm_timeout)
+      ?(restore_timeout = default.restore_timeout)
+      ?(cold_timeout = default.cold_timeout) () =
+    if max_attempts < 1 then
+      invalid_arg "Platform.Recovery.create: max_attempts < 1";
+    { max_attempts; backoff; degrade; warm_timeout; restore_timeout;
+      cold_timeout }
+end
+
 type invocation = {
   id : int;
   fn : Function_def.t;
@@ -49,6 +95,11 @@ type invocation = {
   mutable preempt_ns : int;
   mutable finish_at : Time.t;
   mutable completion : Engine.event_handle option;
+  (* what the scheduled event does when it fires — completion for a
+     healthy invocation, the exec-crash handler for a doomed one.
+     Preemption rescheduling goes through this so a pushed-back doomed
+     invocation still crashes instead of silently completing. *)
+  mutable resolve : unit -> unit;
 }
 
 type t = {
@@ -58,6 +109,7 @@ type t = {
   metrics : Metrics.t;
   rng : Rng.t;
   keep_alive : Time.span;
+  recovery : Recovery.t;
   functions : (string, Function_def.t) Hashtbl.t;
   pools : (string, Sandbox.t list ref) Hashtbl.t;
   dvfs : Horse_cpu.Dvfs.t;
@@ -71,15 +123,19 @@ type t = {
 
 let create ?(topology = Topology.r650) ?(cost = Cost_model.firecracker)
     ?(ull_count = 1) ?(keep_alive = Time.span_s 600.0) ?(jitter = 0.02)
-    ?(seed = 42) ?(governor = Horse_cpu.Dvfs.Performance) ~engine () =
+    ?(seed = 42) ?(governor = Horse_cpu.Dvfs.Performance)
+    ?(faults = Fault.Plan.none) ?(recovery = Recovery.none) ~engine () =
   let scheduler = Scheduler.create ~ull_count ~topology () in
   let metrics = Metrics.create () in
-  let vmm = Vmm.create ~cost ~jitter ~seed:(seed + 1) ~scheduler ~metrics () in
+  let vmm =
+    Vmm.create ~cost ~jitter ~seed:(seed + 1) ~faults ~scheduler ~metrics ()
+  in
   {
     engine;
     vmm;
     scheduler;
     metrics;
+    recovery;
     dvfs = Horse_cpu.Dvfs.create ~governor ~topology ();
     energy = Horse_cpu.Energy.create ~topology ();
     rng = Rng.create ~seed;
@@ -96,6 +152,10 @@ let create ?(topology = Topology.r650) ?(cost = Cost_model.firecracker)
 let engine t = t.engine
 
 let vmm t = t.vmm
+
+let faults t = Vmm.faults t.vmm
+
+let recovery t = t.recovery
 
 let scheduler t = t.scheduler
 
@@ -138,13 +198,22 @@ let new_sandbox t fn =
 let provision t ~name ~count ~strategy =
   let fn = find_function t name in
   let p = pool t name in
+  let provisioned = ref 0 in
   for _ = 1 to count do
-    let sb = new_sandbox t fn in
-    ignore (Vmm.boot t.vmm sb);
-    ignore (Vmm.pause t.vmm ~strategy sb);
-    p := !p @ [ sb ]
+    (* a pause-time fault kills the fresh sandbox; retry the slot a
+       bounded number of times rather than looping on a hot plan *)
+    let rec attempt tries =
+      let sb = new_sandbox t fn in
+      ignore (Vmm.boot t.vmm sb);
+      match Vmm.pause t.vmm ~strategy sb with
+      | (_ : Time.span) ->
+        p := !p @ [ sb ];
+        incr provisioned
+      | exception Fault.Injected _ -> if tries < 3 then attempt (tries + 1)
+    in
+    attempt 1
   done;
-  Metrics.incr t.metrics ~by:count "platform.provisioned"
+  Metrics.incr t.metrics ~by:!provisioned "platform.provisioned"
 
 let reclaim t ~name ~count =
   if count < 0 then invalid_arg "Platform.reclaim: negative count";
@@ -160,13 +229,20 @@ let reclaim t ~name ~count =
   Metrics.incr t.metrics ~by:(List.length victims) "platform.reclaimed";
   List.length victims
 
-let pop_pool t name =
+let rec pop_pool t name =
   let p = pool t name in
   match !p with
   | [] -> raise (No_warm_sandbox name)
   | sb :: rest ->
     p := rest;
-    sb
+    (* a stale entry (expired under us) is discarded and the next one
+       tried; an empty pool after discards degrades like a dry pool *)
+    if Fault.Plan.fires (Vmm.faults t.vmm) Fault.Pool_expiry then begin
+      Vmm.stop t.vmm sb;
+      Metrics.incr t.metrics "platform.expired_pool_entries";
+      pop_pool t name
+    end
+    else sb
 
 let push_pool t name sb =
   let p = pool t name in
@@ -192,12 +268,6 @@ let preemption_penalty t ~resumed_vcpus =
           +. (float_of_int resumed_vcpus
              *. c.Cost_model.preempt_cache_refill_per_vcpu_ns))))
 
-(* Completion logic and preemption rescheduling are mutually recursive
-   (a preempted invocation's new completion event calls [complete]);
-   break the knot with a forward reference, filled in below. *)
-let completion_trampoline : (t -> invocation -> unit) ref =
-  ref (fun _ _ -> assert false)
-
 let apply_preemptions t ~resumed_vcpus cpus =
   List.iter
     (fun cpu ->
@@ -212,11 +282,10 @@ let apply_preemptions t ~resumed_vcpus cpus =
             inv.preempt_ns <- inv.preempt_ns + Time.span_to_ns penalty;
             inv.finish_at <- Time.add inv.finish_at penalty;
             Metrics.incr t.metrics "platform.preemptions";
-            let run_completion = !completion_trampoline in
             inv.completion <-
               Some
                 (Engine.schedule_at t.engine ~at:inv.finish_at (fun _ ->
-                     run_completion t inv))
+                     inv.resolve ()))
           end))
     cpus
 
@@ -256,23 +325,52 @@ let complete t inv =
     (Printf.sprintf "platform.latency.%s" (mode_name inv.inv_mode))
     (record_total record);
   (* post-execution policy: warm sandboxes go back to their pool, cold
-     ones idle under keep-alive before being reclaimed *)
+     ones idle under keep-alive before being reclaimed.  A crash during
+     the re-pause loses the sandbox (it is never pooled) but not the
+     completed invocation — the record above already stands. *)
   (match inv.inv_mode with
-  | Warm strategy ->
-    ignore (Vmm.pause t.vmm ~strategy inv.sandbox);
-    push_pool t inv.fn.Function_def.name inv.sandbox
-  | Cold | Restore ->
-    ignore (Vmm.pause t.vmm ~strategy:Sandbox.Vanilla inv.sandbox);
-    push_pool t inv.fn.Function_def.name inv.sandbox;
-    schedule_expiry t inv.fn.Function_def.name inv.sandbox);
+  | Warm strategy -> (
+    try
+      ignore (Vmm.pause t.vmm ~strategy inv.sandbox);
+      push_pool t inv.fn.Function_def.name inv.sandbox
+    with Fault.Injected _ -> Metrics.incr t.metrics "platform.pool_losses")
+  | Cold | Restore -> (
+    try
+      ignore (Vmm.pause t.vmm ~strategy:Sandbox.Vanilla inv.sandbox);
+      push_pool t inv.fn.Function_def.name inv.sandbox;
+      schedule_expiry t inv.fn.Function_def.name inv.sandbox
+    with Fault.Injected _ -> Metrics.incr t.metrics "platform.pool_losses"));
   inv.on_complete record
 
-let () = completion_trampoline := complete
+let downgrade = function
+  | Warm _ -> Some Restore
+  | Restore -> Some Cold
+  | Cold -> None
 
-let trigger t ~name ~mode ?(on_complete = fun _ -> ()) () =
-  let fn = find_function t name in
-  let now = Engine.now t.engine in
-  let sandbox, init, preempted_cpus =
+let timeout_for (recovery : Recovery.t) = function
+  | Warm _ -> recovery.Recovery.warm_timeout
+  | Restore -> recovery.Recovery.restore_timeout
+  | Cold -> recovery.Recovery.cold_timeout
+
+(* One rung of the fallback ladder: try to bring a sandbox up under
+   [mode]; on an injected fault, a dry pool or a watchdog timeout
+   (with [degrade] on) charge the burned virtual time into
+   [penalty_ns] and descend Warm → Restore → Cold.  The bottom rung
+   never descends, so the ladder always terminates.  [attempt] and
+   [orig_mode] belong to the async retry loop: an exec-time crash
+   re-enters here from the top of the ladder after a backoff. *)
+let rec start_attempt t ~fn ~name ~orig_mode ~mode ~on_complete ~attempt
+    ~triggered_at ~penalty_ns =
+  let recovery = t.recovery in
+  let descend ~to_ ~burned_ns =
+    Metrics.incr t.metrics
+      (Printf.sprintf "platform.fallbacks.%s-to-%s" (mode_name mode)
+         (mode_name to_));
+    start_attempt t ~fn ~name ~orig_mode ~mode:to_ ~on_complete ~attempt
+      ~triggered_at
+      ~penalty_ns:(penalty_ns + burned_ns)
+  in
+  match
     match mode with
     | Cold ->
       let sb = new_sandbox t fn in
@@ -300,7 +398,36 @@ let trigger t ~name ~mode ?(on_complete = fun _ -> ()) () =
         Time.add_span result.Vmm.total
           (Vmm.dispatch_overhead t.vmm ~strategy:recorded),
         result.Vmm.preempted_cpus )
-  in
+  with
+  | exception Fault.Injected { cost; _ }
+    when recovery.Recovery.degrade && downgrade mode <> None ->
+    descend
+      ~to_:(Option.get (downgrade mode))
+      ~burned_ns:(Time.span_to_ns cost)
+  | exception No_warm_sandbox _ when recovery.Recovery.degrade ->
+    descend ~to_:Restore ~burned_ns:0
+  | sandbox, init, preempted_cpus -> (
+    match timeout_for recovery mode with
+    | Some limit when Time.span_to_ns init > Time.span_to_ns limit -> (
+      Metrics.incr t.metrics
+        (Printf.sprintf "platform.timeouts.%s" (mode_name mode));
+      match downgrade mode with
+      | Some next when recovery.Recovery.degrade ->
+        (* the watchdog killed the attempt at [limit]; the slow start
+           itself is abandoned, only the watchdog window is charged *)
+        Vmm.stop t.vmm sandbox;
+        descend ~to_:next ~burned_ns:(Time.span_to_ns limit)
+      | Some _ | None ->
+        (* bottom rung (or degradation off): counted, but accepted *)
+        launch t ~fn ~name ~orig_mode ~mode ~on_complete ~attempt
+          ~triggered_at ~penalty_ns ~sandbox ~init ~preempted_cpus)
+    | Some _ | None ->
+      launch t ~fn ~name ~orig_mode ~mode ~on_complete ~attempt ~triggered_at
+        ~penalty_ns ~sandbox ~init ~preempted_cpus)
+
+and launch t ~fn ~name ~orig_mode ~mode ~on_complete ~attempt ~triggered_at
+    ~penalty_ns ~sandbox ~init ~preempted_cpus =
+  let now = Engine.now t.engine in
   apply_preemptions t ~resumed_vcpus:(Sandbox.vcpu_count sandbox)
     preempted_cpus;
   let exec = Function_def.sample_exec fn t.rng in
@@ -311,21 +438,27 @@ let trigger t ~name ~mode ?(on_complete = fun _ -> ()) () =
   in
   let id = t.next_invocation_id in
   t.next_invocation_id <- id + 1;
-  let finish_at = Time.add now (Time.add_span init exec) in
+  (* honest latency accounting: init covers everything since the
+     original trigger — async retry waits (elapsed virtual time),
+     failed-rung costs ([penalty_ns]) and the successful rung itself *)
+  let wait_ns = Time.span_to_ns (Time.diff now triggered_at) in
+  let inv_init = Time.span_ns (wait_ns + penalty_ns + Time.span_to_ns init) in
+  let finish_at = Time.add triggered_at (Time.add_span inv_init exec) in
   let inv =
     {
       id;
       fn;
       inv_mode = mode;
       sandbox;
-      started = now;
-      inv_init = init;
+      started = triggered_at;
+      inv_init;
       inv_exec = exec;
       cpus;
       on_complete;
       preempt_ns = 0;
       finish_at;
       completion = None;
+      resolve = (fun () -> ());
     }
   in
   Hashtbl.replace t.live id inv;
@@ -338,15 +471,97 @@ let trigger t ~name ~mode ?(on_complete = fun _ -> ()) () =
         (Horse_sched.Load_tracking.utilisation (Runqueue.load queue)))
     (Sandbox.placements sandbox);
   List.iter (fun cpu -> Hashtbl.replace t.occupancy cpu inv) cpus;
-  inv.completion <-
-    Some (Engine.schedule_at t.engine ~at:finish_at (fun _ -> complete t inv));
+  let faults = Vmm.faults t.vmm in
+  if Fault.Plan.fires faults Fault.Exec_crash then begin
+    (* doomed: the sandbox dies part-way through execution.  The crash
+       instant is drawn now (deterministically); the handler decides
+       between a backed-off retry and an abort when it fires. *)
+    let frac = Fault.Plan.fraction faults Fault.Exec_crash in
+    let crash_after =
+      Time.span_ns (int_of_float (frac *. float_of_int (Time.span_to_ns exec)))
+    in
+    inv.finish_at <- Time.add triggered_at (Time.add_span inv_init crash_after);
+    inv.resolve <- (fun () -> exec_crash t inv ~name ~orig_mode ~attempt);
+    inv.completion <-
+      Some
+        (Engine.schedule_at t.engine ~at:inv.finish_at (fun _ ->
+             inv.resolve ()))
+  end
+  else begin
+    inv.resolve <- (fun () -> complete t inv);
+    inv.completion <-
+      Some
+        (Engine.schedule_at t.engine ~at:finish_at (fun _ -> inv.resolve ()))
+  end;
   Log.debug (fun m ->
       m "trigger %s mode=%s init=%dns exec=%dns" name (mode_name mode)
-        (Time.span_to_ns init) (Time.span_to_ns exec));
+        (Time.span_to_ns inv_init) (Time.span_to_ns exec));
   Metrics.incr t.metrics (Printf.sprintf "platform.triggers.%s" (mode_name mode));
   Metrics.observe_span t.metrics
     (Printf.sprintf "platform.init.%s" (mode_name mode))
-    init
+    inv_init
+
+and exec_crash t inv ~name ~orig_mode ~attempt =
+  List.iter (fun cpu -> Hashtbl.remove t.occupancy cpu) inv.cpus;
+  Hashtbl.remove t.live inv.id;
+  Vmm.crash t.vmm inv.sandbox;
+  Metrics.incr t.metrics "platform.exec_crashes";
+  let recovery = t.recovery in
+  if attempt < recovery.Recovery.max_attempts then begin
+    Metrics.incr t.metrics "platform.retries";
+    let delay_ns =
+      Time.span_to_ns recovery.Recovery.backoff * (1 lsl (attempt - 1))
+    in
+    ignore
+      (Engine.schedule t.engine ~after:(Time.span_ns delay_ns) (fun _ ->
+           match
+             start_attempt t ~fn:inv.fn ~name ~orig_mode ~mode:orig_mode
+               ~on_complete:inv.on_complete ~attempt:(attempt + 1)
+               ~triggered_at:inv.started ~penalty_ns:0
+           with
+           | () -> ()
+           | exception (No_warm_sandbox _ | Fault.Injected _) ->
+             Metrics.incr t.metrics "platform.aborts"))
+  end
+  else Metrics.incr t.metrics "platform.aborts"
+
+let trigger t ~name ~mode ?(on_complete = fun _ -> ()) () =
+  let fn = find_function t name in
+  start_attempt t ~fn ~name ~orig_mode:mode ~mode ~on_complete ~attempt:1
+    ~triggered_at:(Engine.now t.engine) ~penalty_ns:0
+
+(* A whole-server outage: every in-flight invocation is lost (its
+   completion event cancelled, its sandbox crashed) and every warm
+   pool flushed.  Returns how many in-flight invocations died; pool
+   entries are counted separately in [platform.blackout_pool_losses].
+   Recovery is the cluster's business — it re-routes around the dead
+   server and marks it healthy again later. *)
+let blackout t =
+  let lost = ref 0 in
+  Hashtbl.iter
+    (fun _ inv ->
+      (match inv.completion with
+      | Some handle -> ignore (Engine.cancel t.engine handle)
+      | None -> ());
+      List.iter (fun cpu -> Hashtbl.remove t.occupancy cpu) inv.cpus;
+      Vmm.crash t.vmm inv.sandbox;
+      incr lost)
+    t.live;
+  Hashtbl.reset t.live;
+  let pooled = ref 0 in
+  Hashtbl.iter
+    (fun _ p ->
+      List.iter
+        (fun sb ->
+          Vmm.crash t.vmm sb;
+          incr pooled)
+        !p;
+      p := [])
+    t.pools;
+  Metrics.incr t.metrics "platform.blackouts";
+  Metrics.incr t.metrics ~by:!lost "platform.blackout_invocation_losses";
+  Metrics.incr t.metrics ~by:!pooled "platform.blackout_pool_losses";
+  !lost
 
 let records t = List.rev t.completed
 

@@ -41,9 +41,58 @@ val record_total : record -> Horse_sim.Time_ns.span
 (** init + exec + preemption. *)
 
 exception No_warm_sandbox of string
-(** A [Warm _] trigger found the function's pool empty. *)
+(** A [Warm _] trigger found the function's pool empty (only escapes
+    when {!Recovery.t.degrade} is off). *)
 
 exception Unknown_function of string
+
+(** How the platform reacts to injected faults — the self-healing
+    policy.  {!Recovery.none} (the default) is byte-for-byte the
+    legacy behaviour: one attempt, no watchdogs, faults and dry pools
+    escape as exceptions.  {!Recovery.default} turns on the full
+    ladder:
+
+    - {b graceful degradation}: a failed or timed-out [Warm] start
+      falls back to [Restore], a failed [Restore] to [Cold] — with
+      the virtual time burned by every failed rung charged into the
+      eventual record's [init] (no latency is hidden);
+    - {b watchdog timeouts}: a per-mode limit on the synchronous init
+      duration; a tripped watchdog stops the sandbox, charges the
+      watchdog window and descends the ladder;
+    - {b bounded retries}: an execution-time crash re-triggers the
+      original mode after [backoff * 2^(attempt-1)] until
+      [max_attempts], then aborts (no record — the invocation is
+      lost, visible in the completion ratio). *)
+module Recovery : sig
+  type t = {
+    max_attempts : int;  (** total tries per invocation, >= 1 *)
+    backoff : Horse_sim.Time_ns.span;  (** base retry delay, doubled per attempt *)
+    degrade : bool;  (** enable the Warm -> Restore -> Cold ladder *)
+    warm_timeout : Horse_sim.Time_ns.span option;
+    restore_timeout : Horse_sim.Time_ns.span option;
+    cold_timeout : Horse_sim.Time_ns.span option;
+  }
+
+  val none : t
+  (** One attempt, no degradation, no timeouts — legacy behaviour. *)
+
+  val default : t
+  (** 4 attempts, 1 ms backoff, degradation on; watchdogs at 1 ms
+      (warm), 5 ms (restore), 10 s (cold) — each above its rung's
+      healthy worst case so only genuine stragglers trip. *)
+
+  val create :
+    ?max_attempts:int ->
+    ?backoff:Horse_sim.Time_ns.span ->
+    ?degrade:bool ->
+    ?warm_timeout:Horse_sim.Time_ns.span option ->
+    ?restore_timeout:Horse_sim.Time_ns.span option ->
+    ?cold_timeout:Horse_sim.Time_ns.span option ->
+    unit ->
+    t
+  (** {!default} with overrides.
+      @raise Invalid_argument if [max_attempts < 1]. *)
+end
 
 val create :
   ?topology:Horse_cpu.Topology.t ->
@@ -53,17 +102,26 @@ val create :
   ?jitter:float ->
   ?seed:int ->
   ?governor:Horse_cpu.Dvfs.governor ->
+  ?faults:Horse_fault.Fault.Plan.t ->
+  ?recovery:Recovery.t ->
   engine:Horse_sim.Engine.t ->
   unit ->
   t
 (** Defaults: the r650 topology, the Firecracker cost profile, one
     ull_runqueue, a 10-minute keep-alive for cold sandboxes (the
     common platform default), 2 % timing jitter, the Performance
-    governor (§5.2's setting). *)
+    governor (§5.2's setting), an inert fault plan and
+    {!Recovery.none} — so by default nothing ever fails and the
+    platform behaves exactly as it always has. *)
 
 val engine : t -> Horse_sim.Engine.t
 
 val vmm : t -> Horse_vmm.Vmm.t
+
+val faults : t -> Horse_fault.Fault.Plan.t
+(** The fault plan shared with the hypervisor (inert by default). *)
+
+val recovery : t -> Recovery.t
 
 val scheduler : t -> Horse_sched.Scheduler.t
 
@@ -113,7 +171,22 @@ val trigger :
     {e paused} with (and pays that strategy's dispatch); [s] decides
     how the sandbox is re-paused after completion, so a mismatched
     pool converges to [s] after one use.
-    @raise Unknown_function, @raise No_warm_sandbox *)
+
+    Under an active fault plan the start may descend the
+    {!Recovery} fallback ladder; the record's [mode] is then the rung
+    that actually served the invocation and its [init] includes the
+    failed rungs' burned time.
+    @raise Unknown_function, @raise No_warm_sandbox (the latter only
+    with {!Recovery.t.degrade} off), @raise Horse_fault.Fault.Injected
+    (only with {!Recovery.t.degrade} off) *)
+
+val blackout : t -> int
+(** Whole-server outage: cancel every in-flight invocation (crashing
+    its sandbox) and flush every warm pool.  Returns the number of
+    in-flight invocations lost.  Bumps [platform.blackouts],
+    [platform.blackout_invocation_losses] and
+    [platform.blackout_pool_losses].  The caller (the cluster) is
+    responsible for routing around the server until it recovers. *)
 
 val records : t -> record list
 (** All completed invocations, oldest first. *)

@@ -86,6 +86,13 @@ let create arena =
 
 let arena t = t.arena
 
+let live_slots a =
+  let n = ref 0 in
+  for s = 0 to a.cap - 1 do
+    if a.owner.(s) >= 0 then incr n
+  done;
+  !n
+
 let same_arena a b = a.arena == b.arena
 
 let compare_fn t = t.arena.compare

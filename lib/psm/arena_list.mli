@@ -55,6 +55,12 @@ val create : 'a arena -> 'a t
 
 val arena : 'a t -> 'a arena
 
+val live_slots : 'a arena -> int
+(** Slots currently owned by some list of the arena.  Every alloc must
+    be balanced by a release, so after all the arena's lists empty out
+    this must read 0 — the leak detector the fault-injection tests
+    audit with. *)
+
 val same_arena : 'a t -> 'a t -> bool
 
 val compare_fn : 'a t -> 'a -> 'a -> int

@@ -118,6 +118,7 @@ module Server = struct
     | Sandbox.Running -> "Running"
     | Sandbox.Paused -> "Paused"
     | Sandbox.Stopped -> "Stopped"
+    | Sandbox.Crashed -> "Crashed"
 
   let describe sandbox =
     Json.Object

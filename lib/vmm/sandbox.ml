@@ -1,7 +1,7 @@
 module Vcpu = Horse_sched.Vcpu
 module Psm = Horse_psm.Psm
 
-type state = Created | Booting | Running | Paused | Stopped
+type state = Created | Booting | Running | Paused | Stopped | Crashed
 
 type strategy = Vanilla | Ppsm | Coal | Horse
 
@@ -113,6 +113,7 @@ let pp ppf t =
     | Running -> "running"
     | Paused -> "paused"
     | Stopped -> "stopped"
+    | Crashed -> "crashed"
   in
   Format.fprintf ppf "sandbox<%d %dvcpu %dMB%s %s>" t.id (vcpu_count t)
     t.memory_mb

@@ -5,7 +5,10 @@
     {v Created ──boot──▶ Running ◀──resume── Paused
                             └───────pause──────┘ v}
 
-    plus [Stopped] (destroyed).  While [Paused] under a HORSE-family
+    plus [Stopped] (destroyed) and [Crashed] (killed by an injected
+    fault; a crashed sandbox is never reused — the platform's
+    fallback ladder starts a fresh one).  While [Paused] under a
+    HORSE-family
     strategy it carries the precomputed fast-resume state of §4.1.3 /
     §4.2.2: the pre-sorted [merge_vcpus] list, the P²SM index + plan
     against its assigned ull_runqueue, the run-queue subscription
@@ -13,7 +16,7 @@
     That state is created by {!Vmm.pause} and consumed by
     {!Vmm.resume}; this module only stores it. *)
 
-type state = Created | Booting | Running | Paused | Stopped
+type state = Created | Booting | Running | Paused | Stopped | Crashed
 
 type strategy =
   | Vanilla  (** the unmodified resume path (§3.1) *)

@@ -1,4 +1,5 @@
 module Time = Horse_sim.Time_ns
+module Fault = Horse_fault.Fault
 
 module Memory = struct
   type t = {
@@ -89,7 +90,7 @@ type report = {
   resident_pages : int;
 }
 
-let restore ?(costs = default_costs) t ~mode =
+let restore ?(costs = default_costs) ?(faults = Fault.Plan.none) t ~mode =
   let pages = page_count t in
   let size_mb = pages * Memory.page_size_bytes / 1024 / 1024 in
   let memory = Memory.create ~size_mb:(max size_mb 1) in
@@ -109,6 +110,16 @@ let restore ?(costs = default_costs) t ~mode =
   let latency_ns =
     costs.device_state_ns +. (float_of_int prefetched *. costs.page_load_ns)
   in
+  (* corruption surfaces at the integrity check after loading: the
+     full restore latency is already burned when the fault is raised *)
+  if Fault.Plan.fires faults Fault.Restore_corruption then
+    raise
+      (Fault.Injected
+         {
+           trigger = Fault.Restore_corruption;
+           site = "snapshot.restore";
+           cost = Time.span_ns (int_of_float (Float.round latency_ns));
+         });
   {
     memory;
     restore_latency = Time.span_ns (int_of_float (Float.round latency_ns));

@@ -81,8 +81,13 @@ type report = {
   resident_pages : int;  (** pages mapped at restore time *)
 }
 
-val restore : ?costs:costs -> t -> mode:mode -> report
-(** Rebuild a sandbox's memory from the snapshot under [mode]. *)
+val restore :
+  ?costs:costs -> ?faults:Horse_fault.Fault.Plan.t -> t -> mode:mode -> report
+(** Rebuild a sandbox's memory from the snapshot under [mode].
+    If [faults] (default inert) fires {!Horse_fault.Fault.Restore_corruption},
+    raises {!Horse_fault.Fault.Injected} after the full restore
+    latency has been burned (corruption is caught by the post-load
+    integrity check). *)
 
 val fault_cost :
   ?costs:costs -> report -> first_touches:int -> Horse_sim.Time_ns.span

@@ -10,6 +10,7 @@ module Vcpu = Horse_sched.Vcpu
 module Al = Horse_psm.Arena_list
 module Psm = Horse_psm.Psm
 module Coalesce = Horse_coalesce.Coalesce
+module Fault = Horse_fault.Fault
 
 let log_src = Horse_sim.Logging.src "vmm"
 
@@ -43,15 +44,19 @@ type t = {
   rng : Rng.t;
   scheduler : Scheduler.t;
   metrics : Metrics.t;
+  faults : Fault.Plan.t;
 }
 
 let create ?(cost = Cost_model.firecracker) ?(jitter = 0.02) ?(seed = 7)
-    ~scheduler ~metrics () =
+    ?(faults = Fault.Plan.none) ~scheduler ~metrics () =
   if jitter < 0.0 || jitter > 0.5 then
     invalid_arg "Vmm.create: jitter outside [0, 0.5]";
-  { cost; jitter; rng = Rng.create ~seed; scheduler; metrics }
+  Fault.Plan.attach_metrics faults metrics;
+  { cost; jitter; rng = Rng.create ~seed; scheduler; metrics; faults }
 
 let cost t = t.cost
+
+let faults t = t.faults
 
 let scheduler t = t.scheduler
 
@@ -65,6 +70,56 @@ let jittered t ns =
 let require_state sandbox expected message =
   if not (List.mem (Sandbox.state sandbox) expected) then
     raise (Invalid_state message)
+
+(* Remove the sandbox's vCPUs from their queues; the per-queue Removed
+   notifications keep other paused sandboxes' P²SM structures fresh. *)
+let evacuate t sandbox =
+  let walked = ref 0 in
+  List.iter
+    (fun { Sandbox.node; queue; _ } ->
+      walked := !walked + Runqueue.dequeue queue node;
+      Load_tracking.on_dequeue (Runqueue.load queue))
+    (Sandbox.placements sandbox);
+  Sandbox.set_placements sandbox [];
+  ignore t;
+  !walked
+
+(* Release everything a live sandbox holds in the scheduler: queue
+   slots if Running, the P²SM pause-state if Paused.  Draining
+   [merge_vcpus] matters: its nodes live in the shared run-queue
+   arena, so dropping the list without popping would leak their slots
+   (and leave stale-but-unreclaimed generations behind). *)
+let teardown t sandbox =
+  (match Sandbox.state sandbox with
+  | Sandbox.Running -> ignore (evacuate t sandbox)
+  | Sandbox.Paused -> (
+    match Sandbox.horse_state sandbox with
+    | Some hs ->
+      Runqueue.unsubscribe hs.Sandbox.ull_queue hs.Sandbox.subscription;
+      while Al.pop_first hs.Sandbox.merge_vcpus <> None do
+        ()
+      done;
+      Scheduler.detach_paused t.scheduler hs.Sandbox.ull_queue;
+      Sandbox.set_horse_state sandbox None
+    | None -> ())
+  | Sandbox.Created | Sandbox.Booting | Sandbox.Stopped | Sandbox.Crashed ->
+    ());
+  Sandbox.set_pause_strategy sandbox None;
+  Sandbox.set_paused_values sandbox [];
+  Sandbox.set_coal_precomputed sandbox None
+
+(* An injected fault killed the sandbox: release its scheduler state
+   and mark it [Crashed] — unlike [stop], a crashed sandbox is never
+   reused, and the caller decides what latency the failed operation
+   burned. *)
+let crash t sandbox =
+  teardown t sandbox;
+  Sandbox.set_state sandbox Sandbox.Crashed;
+  Metrics.incr t.metrics "vmm.crashes"
+
+let inject t sandbox ~trigger ~site ~cost_ns =
+  crash t sandbox;
+  raise (Fault.Injected { trigger; site; cost = jittered t cost_ns })
 
 (* Place every vCPU on the least-loaded normal queue, as a fresh boot
    or a snapshot restore does. *)
@@ -94,24 +149,16 @@ let boot t sandbox =
 let restore t sandbox =
   require_state sandbox [ Sandbox.Created; Sandbox.Stopped ]
     "restore: sandbox already started";
+  (* corruption is detected by the integrity check after the snapshot
+     is loaded: the full restore latency is already burned *)
+  if Fault.Plan.fires t.faults Fault.Restore_corruption then
+    inject t sandbox ~trigger:Fault.Restore_corruption ~site:"vmm.restore"
+      ~cost_ns:t.cost.Cost_model.restore_ns;
   Sandbox.set_state sandbox Sandbox.Booting;
   place_on_normal_queues t sandbox;
   Sandbox.set_state sandbox Sandbox.Running;
   Metrics.incr t.metrics "vmm.restores";
   jittered t t.cost.Cost_model.restore_ns
-
-(* Remove the sandbox's vCPUs from their queues; the per-queue Removed
-   notifications keep other paused sandboxes' P²SM structures fresh. *)
-let evacuate t sandbox =
-  let walked = ref 0 in
-  List.iter
-    (fun { Sandbox.node; queue; _ } ->
-      walked := !walked + Runqueue.dequeue queue node;
-      Load_tracking.on_dequeue (Runqueue.load queue))
-    (Sandbox.placements sandbox);
-  Sandbox.set_placements sandbox [];
-  ignore t;
-  !walked
 
 let pelt = Coalesce.Affine.pelt
 
@@ -169,6 +216,9 @@ let build_horse_state t sandbox ~with_coalesce =
 
 let pause t ~strategy sandbox =
   require_state sandbox [ Sandbox.Running ] "pause: sandbox not running";
+  if Fault.Plan.fires t.faults Fault.Pause_crash then
+    inject t sandbox ~trigger:Fault.Pause_crash ~site:"vmm.pause"
+      ~cost_ns:t.cost.Cost_model.pause_base_ns;
   let c = t.cost in
   let n = Sandbox.vcpu_count sandbox in
   let walked = evacuate t sandbox in
@@ -249,6 +299,12 @@ let resume t sandbox =
   let parse_ns = c.Cost_model.parse_ns in
   let lock_ns = c.Cost_model.lock_acquire_ns in
   let sanity_ns = c.Cost_model.sanity_check_ns in
+  (* a crash mid-resume surfaces at the step-③ sanity check — before
+     the merge touches any queue, so teardown leaves the run queues
+     exactly as they were *)
+  if Fault.Plan.fires t.faults Fault.Resume_crash then
+    inject t sandbox ~trigger:Fault.Resume_crash ~site:"vmm.resume"
+      ~cost_ns:(parse_ns +. lock_ns +. sanity_ns);
   let finalize_ns = c.Cost_model.lock_release_ns +. c.Cost_model.state_change_ns in
   let vanilla_load_ns =
     c.Cost_model.load_first_touch_ns
@@ -338,7 +394,14 @@ let resume t sandbox =
   let breakdown =
     { parse_ns; lock_ns; sanity_ns; merge_ns; load_ns; finalize_ns }
   in
-  let total = jittered t (breakdown_total_ns breakdown) in
+  (* a straggler vCPU stretches the whole resume by the plan's factor
+     (the breakdown keeps the nominal step costs) *)
+  let total_ns =
+    if Fault.Plan.fires t.faults Fault.Vcpu_slowdown then
+      breakdown_total_ns breakdown *. Fault.Plan.slowdown t.faults
+    else breakdown_total_ns breakdown
+  in
+  let total = jittered t total_ns in
   Metrics.incr t.metrics
     (Printf.sprintf "vmm.resumes.%s" (Sandbox.strategy_name strategy));
   Metrics.observe_span t.metrics
@@ -356,19 +419,7 @@ let resume t sandbox =
   }
 
 let stop t sandbox =
-  (match Sandbox.state sandbox with
-  | Sandbox.Running -> ignore (evacuate t sandbox)
-  | Sandbox.Paused -> (
-    match Sandbox.horse_state sandbox with
-    | Some hs ->
-      Runqueue.unsubscribe hs.Sandbox.ull_queue hs.Sandbox.subscription;
-      Scheduler.detach_paused t.scheduler hs.Sandbox.ull_queue;
-      Sandbox.set_horse_state sandbox None
-    | None -> ())
-  | Sandbox.Created | Sandbox.Booting | Sandbox.Stopped -> ());
-  Sandbox.set_pause_strategy sandbox None;
-  Sandbox.set_paused_values sandbox [];
-  Sandbox.set_coal_precomputed sandbox None;
+  teardown t sandbox;
   Sandbox.set_state sandbox Sandbox.Stopped;
   Metrics.incr t.metrics "vmm.stops"
 

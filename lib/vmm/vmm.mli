@@ -50,16 +50,22 @@ val create :
   ?cost:Horse_cpu.Cost_model.t ->
   ?jitter:float ->
   ?seed:int ->
+  ?faults:Horse_fault.Fault.Plan.t ->
   scheduler:Horse_sched.Scheduler.t ->
   metrics:Horse_sim.Metrics.t ->
   unit ->
   t
 (** [cost] defaults to {!Horse_cpu.Cost_model.firecracker}; [jitter]
     (default 0.02) is the relative measurement noise applied to
-    returned durations — pass 0.0 for bit-exact tests.
+    returned durations — pass 0.0 for bit-exact tests.  [faults]
+    (default {!Horse_fault.Fault.Plan.none}) drives the crash /
+    corruption / slowdown hooks in {!pause}, {!resume} and {!restore};
+    its injected-fault counters are routed into [metrics].
     @raise Invalid_argument if [jitter] is not in [0, 0.5]. *)
 
 val cost : t -> Horse_cpu.Cost_model.t
+
+val faults : t -> Horse_fault.Fault.Plan.t
 
 val scheduler : t -> Horse_sched.Scheduler.t
 
@@ -89,6 +95,13 @@ val resume : t -> Sandbox.t -> resume_result
 val stop : t -> Sandbox.t -> unit
 (** Tear the sandbox down from any live state (releases queue slots
     and HORSE structures). *)
+
+val crash : t -> Sandbox.t -> unit
+(** Like {!stop} but leaves the sandbox [Crashed]: the fault hooks
+    call this before raising {!Horse_fault.Fault.Injected}, and the
+    platform calls it when an execution-time fault kills a running
+    sandbox.  Scheduler state is fully released — run queues look as
+    if the sandbox had been stopped cleanly. *)
 
 val dispatch_overhead : t -> strategy:Sandbox.strategy -> Horse_sim.Time_ns.span
 (** Userspace trigger-handling time outside the resume call.  The

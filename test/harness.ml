@@ -1,0 +1,140 @@
+(* Model-based testing harness shared by the test executables.
+
+   A [spec] describes how to generate one operation, how to print it,
+   and how to build a fresh system-under-test paired with its pure
+   oracle.  [check] drives seeded random operation scripts through the
+   pair; on divergence it shrinks the script to a (locally) minimal
+   failing one and fails the Alcotest case with the replay seed and
+   the shrunk script, so the failure is reproducible by pasting the
+   seed back in.
+
+   Setting HORSE_STRESS=1 multiplies both the script count and the
+   script length by 10 (see `make test-stress`); the plain `dune
+   runtest` tier stays fast. *)
+
+type 'op spec = {
+  name : string;  (** printed in failure reports *)
+  gen : Random.State.t -> 'op;  (** draw one operation *)
+  show : 'op -> string;  (** render one operation for the report *)
+  make : unit -> 'op -> string option;
+      (** build a fresh SUT + oracle; the returned closure applies one
+          operation to both and returns [Some divergence] the moment
+          they disagree *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Running and shrinking scripts                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* First divergence of [ops], as (index, description). *)
+let run spec ops =
+  let step = spec.make () in
+  let rec go i = function
+    | [] -> None
+    | op :: rest -> (
+      match step op with
+      | Some why -> Some (i, why)
+      | None -> go (i + 1) rest)
+  in
+  go 0 ops
+
+let fails spec ops = run spec ops <> None
+
+let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
+
+(* Truncate to the failing prefix, then greedily delete single
+   operations until no deletion keeps the script failing.  The result
+   is 1-minimal: every operation left is necessary. *)
+let shrink spec ops =
+  let ops =
+    match run spec ops with
+    | None -> ops
+    | Some (i, _) -> List.filteri (fun j _ -> j <= i) ops
+  in
+  let rec pass ops i shrunk_any =
+    if i >= List.length ops then (ops, shrunk_any)
+    else
+      let candidate = drop_nth ops i in
+      if fails spec candidate then pass candidate i true
+      else pass ops (i + 1) shrunk_any
+  in
+  let rec fixpoint ops =
+    let ops, shrunk_any = pass ops 0 false in
+    if shrunk_any then fixpoint ops else ops
+  in
+  fixpoint ops
+
+(* ------------------------------------------------------------------ *)
+(* Stress scaling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let stress_active () =
+  match Sys.getenv_opt "HORSE_STRESS" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let scale n = if stress_active () then 10 * n else n
+
+(* ------------------------------------------------------------------ *)
+(* The check driver                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let script_of_seed spec ~seed ~len =
+  let st = Random.State.make [| seed |] in
+  List.init len (fun _ -> spec.gen st)
+
+let check ?(seeds = [ 1; 42; 1337 ]) ?(scripts = 25) ?(len = 60) spec =
+  let scripts = scale scripts and len = scale len in
+  List.iter
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      for script_i = 1 to scripts do
+        let n = 1 + Random.State.int st len in
+        let ops = List.init n (fun _ -> spec.gen st) in
+        match run spec ops with
+        | None -> ()
+        | Some (i, why) ->
+          let small = shrink spec ops in
+          let why =
+            match run spec small with Some (_, w) -> w | None -> why
+          in
+          Alcotest.failf
+            "%s diverged: %s\n\
+             seed %d, script %d of %d, first failure at op %d of %d\n\
+             shrunk to %d op(s): [%s]\n\
+             replay with Harness.check ~seeds:[%d] ..."
+            spec.name why seed script_i scripts i n (List.length small)
+            (String.concat "; " (List.map spec.show small))
+            seed
+      done)
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* State snapshots for exception-safety audits                         *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = struct
+  type t = (string * string) list
+
+  let capture fields = fields
+
+  let diff before after =
+    let seen = Hashtbl.create 16 in
+    List.iter (fun (k, v) -> Hashtbl.replace seen k v) before;
+    let diffs = ref [] in
+    List.iter
+      (fun (k, v) ->
+        match Hashtbl.find_opt seen k with
+        | Some v0 ->
+          Hashtbl.remove seen k;
+          if v0 <> v then
+            diffs := Printf.sprintf "%s: %s -> %s" k v0 v :: !diffs
+        | None -> diffs := Printf.sprintf "%s: (absent) -> %s" k v :: !diffs)
+      after;
+    Hashtbl.iter
+      (fun k v -> diffs := Printf.sprintf "%s: %s -> (absent)" k v :: !diffs)
+      seen;
+    match List.sort compare !diffs with
+    | [] -> None
+    | ds -> Some (String.concat "; " ds)
+end

@@ -537,19 +537,30 @@ let test_cluster_provision_spreads () =
   in
   Alcotest.(check (list int)) "spread 3/2/2" [ 3; 2; 2 ] sizes
 
+let accepted = function
+  | Cluster.Accepted i -> i
+  | Cluster.Rejected r ->
+    Alcotest.failf "unexpected rejection: %s"
+      (Cluster.reject_reason_name r.Cluster.reason)
+
 let test_cluster_round_robin () =
   let _, cluster = fresh_cluster ~routing:Cluster.Round_robin () in
   let picks =
-    List.init 6 (fun _ -> Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold ())
+    List.init 6 (fun _ ->
+        accepted (Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold ()))
   in
   Alcotest.(check (list int)) "cycles" [ 0; 1; 2; 0; 1; 2 ] picks
 
 let test_cluster_least_loaded () =
   let _, cluster = fresh_cluster ~routing:Cluster.Least_loaded () in
   (* keep server 0 busy, the router must avoid it *)
-  let first = Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold () in
+  let first =
+    accepted (Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold ())
+  in
   Alcotest.(check int) "first pick" 0 first;
-  let second = Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold () in
+  let second =
+    accepted (Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold ())
+  in
   Alcotest.(check bool) "avoids busy server" true (second <> 0)
 
 let test_cluster_warm_first () =
@@ -558,17 +569,56 @@ let test_cluster_warm_first () =
   Platform.provision (Cluster.server cluster 1) ~name:"nat" ~count:1
     ~strategy:Sandbox.Horse;
   let pick =
-    Cluster.trigger cluster ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse) ()
+    accepted
+      (Cluster.trigger cluster ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse) ())
   in
   Alcotest.(check int) "routed to the warm server" 1 pick;
   Engine.run engine;
   Alcotest.(check int) "one completion" 1 (List.length (Cluster.records cluster))
 
-let test_cluster_warm_exhausted_raises () =
+let test_cluster_warm_exhausted_rejects () =
+  (* a fleet-wide dry pool is a typed rejection, not an exception
+     escaping the router *)
   let _, cluster = fresh_cluster ~routing:Cluster.Warm_first () in
-  match Cluster.trigger cluster ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse) () with
-  | _ -> Alcotest.fail "should raise fleet-wide No_warm_sandbox"
-  | exception Platform.No_warm_sandbox "nat" -> ()
+  (match
+     Cluster.trigger cluster ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse) ()
+   with
+  | Cluster.Accepted _ -> Alcotest.fail "dry fleet must reject"
+  | Cluster.Rejected r ->
+    Alcotest.(check string)
+      "reason" "no-warm-capacity"
+      (Cluster.reject_reason_name r.Cluster.reason);
+    Alcotest.(check string) "function" "nat" r.Cluster.function_name);
+  Alcotest.(check int) "recorded" 1 (List.length (Cluster.rejections cluster));
+  Alcotest.(check int) "counted" 1
+    (Horse_sim.Metrics.counter (Cluster.metrics cluster)
+       "cluster.rejections.no-warm-capacity")
+
+let test_cluster_all_down_rejects () =
+  let _, cluster = fresh_cluster ~routing:Cluster.Round_robin () in
+  for i = 0 to Cluster.server_count cluster - 1 do
+    Cluster.mark_down cluster i
+  done;
+  Alcotest.(check int) "none healthy" 0 (Cluster.healthy_count cluster);
+  (match Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold () with
+  | Cluster.Accepted _ -> Alcotest.fail "downed fleet must reject"
+  | Cluster.Rejected r ->
+    Alcotest.(check string)
+      "reason" "all-servers-down"
+      (Cluster.reject_reason_name r.Cluster.reason));
+  (* a recovered server takes traffic again *)
+  Cluster.mark_up cluster 1;
+  Alcotest.(check int) "routes to the healthy server" 1
+    (accepted (Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold ()))
+
+let test_cluster_routing_skips_unhealthy () =
+  let _, cluster = fresh_cluster ~routing:Cluster.Round_robin () in
+  Cluster.mark_down cluster 1;
+  let picks =
+    List.init 4 (fun _ ->
+        accepted (Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold ()))
+  in
+  Alcotest.(check (list int)) "skips server 1" [ 0; 2; 0; 2 ] picks
 
 let test_cluster_end_to_end () =
   (* a slow function keeps several invocations in flight at once, so
@@ -784,7 +834,11 @@ let () =
           Alcotest.test_case "least loaded" `Quick test_cluster_least_loaded;
           Alcotest.test_case "warm first" `Quick test_cluster_warm_first;
           Alcotest.test_case "warm exhausted" `Quick
-            test_cluster_warm_exhausted_raises;
+            test_cluster_warm_exhausted_rejects;
+          Alcotest.test_case "all servers down" `Quick
+            test_cluster_all_down_rejects;
+          Alcotest.test_case "routing skips unhealthy" `Quick
+            test_cluster_routing_skips_unhealthy;
           Alcotest.test_case "end to end" `Quick test_cluster_end_to_end;
         ] );
       ( "metrics",

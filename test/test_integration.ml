@@ -64,7 +64,8 @@ let test_psm_stays_fresh_under_execution_churn () =
         match Sandbox.state sb with
         | Sandbox.Paused -> ignore (Vmm.resume vmm sb)
         | Sandbox.Running -> ignore (Vmm.pause vmm ~strategy:Sandbox.Horse sb)
-        | Sandbox.Created | Sandbox.Booting | Sandbox.Stopped -> ())
+        | Sandbox.Created | Sandbox.Booting | Sandbox.Stopped
+        | Sandbox.Crashed -> ())
       sandboxes;
     if !cycle < 12 then ignore (Engine.schedule sim ~after:(Time.span_us 7.0) churn)
   in
@@ -110,8 +111,8 @@ let test_fleet_under_trace_storm () =
                Cluster.trigger cluster ~name:"fw"
                  ~mode:(Platform.Warm Sandbox.Horse) ()
              with
-             | (_ : int) -> ()
-             | exception Platform.No_warm_sandbox _ ->
+             | Cluster.Accepted _ -> ()
+             | Cluster.Rejected _ ->
                incr fallbacks;
                ignore (Cluster.trigger cluster ~name:"fw" ~mode:Platform.Cold ()))))
     arrivals;

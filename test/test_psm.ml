@@ -438,93 +438,155 @@ let test_plan_source_remove () =
 (* Trace equality: arena list vs the boxed oracle                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Fixed-seed random op scripts applied through the shared signature:
-   both implementations must produce identical traces — same walk
-   counts, same pop results, same contents after every op. *)
+(* Seeded random op scripts applied through the shared signature via
+   the model-based harness: both implementations must behave
+   identically at every step — same walk counts, same pop results,
+   same contents after every op.  On divergence the harness shrinks
+   the script and prints the replay seed. *)
 
 type script_op = Ins of int | Rem of int | Pop
 
-let gen_script st n =
-  List.init n (fun _ ->
-      match Random.State.int st 10 with
-      | 0 | 1 | 2 | 3 | 4 -> Ins (Random.State.int st 100)
-      | 5 | 6 | 7 -> Rem (Random.State.int st 1000)
-      | _ -> Pop)
+let show_script_op = function
+  | Ins v -> Printf.sprintf "Ins %d" v
+  | Rem i -> Printf.sprintf "Rem %d" i
+  | Pop -> "Pop"
 
-let run_script (module S : Si.S) ops =
-  let t = S.create ~compare:icmp () in
-  let buf = Buffer.create 4096 in
-  List.iter
-    (fun op ->
-      (match op with
-      | Ins v ->
-        let _, steps = S.insert_sorted t v in
-        Buffer.add_string buf (Printf.sprintf "i%d@%d" v steps)
-      | Rem i when S.length t > 0 ->
-        let p = i mod S.length t in
-        let steps = S.remove_node t (S.nth t p) in
-        Buffer.add_string buf (Printf.sprintf "r%d@%d" p steps)
-      | Rem _ -> Buffer.add_string buf "r-"
-      | Pop -> (
-        match S.pop_first t with
-        | Some v -> Buffer.add_string buf (Printf.sprintf "p%d" v)
-        | None -> Buffer.add_string buf "p-"));
-      Buffer.add_char buf '[';
-      List.iter
-        (fun v -> Buffer.add_string buf (string_of_int v ^ ","))
-        (S.to_list t);
-      Buffer.add_string buf "];")
-    ops;
-  Buffer.add_string buf (if S.is_sorted t then "ok" else "BROKEN");
-  Buffer.contents buf
+let trace_spec : script_op Harness.spec =
+  {
+    Harness.name = "flat arena list vs boxed oracle";
+    gen =
+      (fun st ->
+        match Random.State.int st 10 with
+        | 0 | 1 | 2 | 3 | 4 -> Ins (Random.State.int st 100)
+        | 5 | 6 | 7 -> Rem (Random.State.int st 1000)
+        | _ -> Pop);
+    show = show_script_op;
+    make =
+      (fun () ->
+        let bx = Si.Boxed.create ~compare:icmp () in
+        let fl = Si.Flat.create ~compare:icmp () in
+        let fail fmt = Printf.ksprintf Option.some fmt in
+        fun op ->
+          let step_diff =
+            match op with
+            | Ins v ->
+              let _, sb = Si.Boxed.insert_sorted bx v in
+              let _, sf = Si.Flat.insert_sorted fl v in
+              if sb <> sf then
+                fail "insert %d walked %d (boxed) vs %d (flat)" v sb sf
+              else None
+            | Rem i when Si.Boxed.length bx > 0 ->
+              let p = i mod Si.Boxed.length bx in
+              let sb = Si.Boxed.remove_node bx (Si.Boxed.nth bx p) in
+              let sf = Si.Flat.remove_node fl (Si.Flat.nth fl p) in
+              if sb <> sf then
+                fail "remove @%d walked %d (boxed) vs %d (flat)" p sb sf
+              else None
+            | Rem _ -> None
+            | Pop -> (
+              match (Si.Boxed.pop_first bx, Si.Flat.pop_first fl) with
+              | None, None -> None
+              | Some b, Some f when b = f -> None
+              | b, f ->
+                let s = function
+                  | Some v -> string_of_int v
+                  | None -> "-"
+                in
+                fail "pop %s (boxed) vs %s (flat)" (s b) (s f))
+          in
+          match step_diff with
+          | Some _ as d -> d
+          | None ->
+            if Si.Boxed.to_list bx <> Si.Flat.to_list fl then
+              fail "contents diverged after %s" (show_script_op op)
+            else if not (Si.Flat.is_sorted fl) then
+              Some "flat list invariants broken"
+            else None);
+  }
 
 let test_trace_equality seed () =
-  let ops = gen_script (Random.State.make [| seed |]) 400 in
-  Alcotest.(check string)
-    "identical traces"
-    (run_script (module Si.Boxed) ops)
-    (run_script (module Si.Flat) ops)
+  Harness.check ~seeds:[ seed ] ~scripts:4 ~len:150 trace_spec
 
 (* Same idea with P²SM merges in the script: the arena target absorbs
    random source lists through real plans while the oracle is rebuilt
    from Reference.merge_values. *)
+
+type merge_op = Mins of int | Mrem of int | Mpop | Mmerge of int list
+
+let merge_spec : merge_op Harness.spec =
+  {
+    Harness.name = "P2SM splice vs reference merge";
+    gen =
+      (fun st ->
+        match Random.State.int st 10 with
+        | 0 | 1 | 2 | 3 -> Mins (Random.State.int st 100)
+        | 4 | 5 -> Mrem (Random.State.int st 1000)
+        | 6 -> Mpop
+        | _ ->
+          let n = Random.State.int st 8 in
+          Mmerge
+            (List.sort icmp (List.init n (fun _ -> Random.State.int st 100))));
+    show =
+      (function
+      | Mins v -> Printf.sprintf "Mins %d" v
+      | Mrem i -> Printf.sprintf "Mrem %d" i
+      | Mpop -> "Mpop"
+      | Mmerge vs ->
+        Printf.sprintf "Mmerge [%s]"
+          (String.concat ";" (List.map string_of_int vs)));
+    make =
+      (fun () ->
+        let arena = Al.create_arena ~compare:icmp () in
+        let fl = Al.create arena in
+        let bx = ref (Ll.create ~compare:icmp ()) in
+        let fail fmt = Printf.ksprintf Option.some fmt in
+        fun op ->
+          let step_diff =
+            match op with
+            | Mins v ->
+              let _, s_flat = Al.insert_sorted fl v in
+              let _, s_boxed = Ll.insert_sorted !bx v in
+              if s_flat <> s_boxed then
+                fail "insert %d walked %d (boxed) vs %d (flat)" v s_boxed
+                  s_flat
+              else None
+            | Mrem i when Al.length fl > 0 ->
+              let p = i mod Al.length fl in
+              let s_flat = Al.remove_node fl (Al.nth fl p) in
+              let s_boxed = Ll.remove_node !bx (Ll.nth_node !bx p) in
+              if s_flat <> s_boxed then
+                fail "remove @%d walked %d (boxed) vs %d (flat)" p s_boxed
+                  s_flat
+              else None
+            | Mrem _ -> None
+            | Mpop ->
+              let b = Ll.pop_first !bx and f = Al.pop_first fl in
+              if b <> f then fail "pop diverged" else None
+            | Mmerge vals ->
+              let src = Al.of_sorted_list arena vals in
+              let idx = Psm.Index.build fl in
+              let plan = Psm.Plan.build ~source:src ~index:idx in
+              ignore (Psm.Plan.execute plan ~index:idx ~source:src);
+              bx :=
+                Ll.of_sorted_list ~compare:icmp
+                  (Reference.merge_values ~compare:icmp vals (Ll.to_list !bx));
+              None
+          in
+          match step_diff with
+          | Some _ as d -> d
+          | None ->
+            if Ll.length !bx <> Al.length fl then
+              fail "length %d (boxed) vs %d (flat)" (Ll.length !bx)
+                (Al.length fl)
+            else if Ll.to_list !bx <> Al.to_list fl then
+              Some "contents diverged"
+            else if not (Al.is_sorted fl) then
+              Some "arena list invariants broken"
+            else None);
+  }
+
 let test_merge_script_equality seed () =
-  let st = Random.State.make [| seed |] in
-  let arena = Al.create_arena ~compare:icmp () in
-  let fl = Al.create arena in
-  let bx = ref (Ll.create ~compare:icmp ()) in
-  for _ = 1 to 250 do
-    (match Random.State.int st 10 with
-    | 0 | 1 | 2 | 3 ->
-      let v = Random.State.int st 100 in
-      let _, s_flat = Al.insert_sorted fl v in
-      let _, s_boxed = Ll.insert_sorted !bx v in
-      Alcotest.(check int) "insert steps" s_boxed s_flat
-    | 4 | 5 ->
-      if Al.length fl > 0 then begin
-        let p = Random.State.int st (Al.length fl) in
-        let s_flat = Al.remove_node fl (Al.nth fl p) in
-        let s_boxed = Ll.remove_node !bx (Ll.nth_node !bx p) in
-        Alcotest.(check int) "remove steps" s_boxed s_flat
-      end
-    | 6 ->
-      Alcotest.(check (option int)) "pop" (Ll.pop_first !bx) (Al.pop_first fl)
-    | _ ->
-      let n = Random.State.int st 8 in
-      let vals =
-        List.sort icmp (List.init n (fun _ -> Random.State.int st 100))
-      in
-      let src = Al.of_sorted_list arena vals in
-      let idx = Psm.Index.build fl in
-      let plan = Psm.Plan.build ~source:src ~index:idx in
-      ignore (Psm.Plan.execute plan ~index:idx ~source:src);
-      bx :=
-        Ll.of_sorted_list ~compare:icmp
-          (Reference.merge_values ~compare:icmp vals (Ll.to_list !bx)));
-    Alcotest.(check int) "length agrees" (Ll.length !bx) (Al.length fl)
-  done;
-  check_list "final contents" (Ll.to_list !bx) (Al.to_list fl);
-  Alcotest.(check bool) "invariants" true (Al.is_sorted fl)
+  Harness.check ~seeds:[ seed ] ~scripts:4 ~len:100 merge_spec
 
 (* ------------------------------------------------------------------ *)
 (* Skip list (the "better queue" alternative)                          *)

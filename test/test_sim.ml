@@ -274,75 +274,102 @@ let test_eq_handle_reuse () =
 
 (* The oracle for the flat arena+ring+heap queue: drive seeded random
    op scripts (schedules across the near/far split, pops, cancels of
-   live / already-cancelled / already-popped handles) through both the
-   production queue and the boxed-cell reference, and require identical
-   observable traces: pop results, cancel verdicts, lengths and
-   next_time after every step. *)
-let prop_flat_matches_reference =
-  QCheck2.Test.make
-    ~name:"flat event queue trace == boxed reference trace (random scripts)"
-    ~count:300
-    QCheck2.Gen.(
-      list_size (1 -- 150)
-        (frequency
-           [
-             (4, map (fun d -> `Schedule d) (0 -- 10_000));
-             (2, return `Pop);
-             (2, map (fun k -> `Cancel k) (0 -- 1 lsl 20));
-           ]))
-    (fun script ->
-      let q = Eq.create () in
-      let r = Eqr.create () in
-      let handles = ref [||] in
-      let nhandles = ref 0 in
-      let remember h1 h2 =
-        if !nhandles = Array.length !handles then begin
-          let grown = Array.make (max 8 (2 * !nhandles)) (None, None) in
-          Array.blit !handles 0 grown 0 !nhandles;
-          handles := grown
-        end;
-        !handles.(!nhandles) <- (Some h1, Some h2);
-        incr nhandles
-      in
-      let now = ref 0 in
-      let tag = ref 0 in
-      let ok = ref true in
-      List.iter
-        (fun op ->
-          (match op with
-          | `Schedule d ->
-            (* relative to the last popped time, so deltas straddle
-               the queue's 4096ns near-horizon window *)
-            let at_ns = at (!now + d) in
-            incr tag;
-            remember (Eq.schedule q ~at:at_ns !tag)
-              (Eqr.schedule r ~at:at_ns !tag)
-          | `Pop -> (
-            match (Eq.pop q, Eqr.pop r) with
-            | None, None -> ()
-            | Some (t1, v1), Some (t2, v2) ->
-              if not (Time.equal t1 t2 && v1 = v2) then ok := false
-              else now := Time.to_ns t1
-            | Some _, None | None, Some _ -> ok := false)
-          | `Cancel k ->
-            if !nhandles > 0 then begin
-              match !handles.(k mod !nhandles) with
-              | Some h1, Some h2 ->
-                if Eq.cancel q h1 <> Eqr.cancel r h2 then ok := false
-              | _ -> ()
-            end);
-          if Eq.length q <> Eqr.length r then ok := false;
-          if Eq.next_time q <> Eqr.next_time r then ok := false)
-        script;
-      let rec drain () =
-        match (Eq.pop q, Eqr.pop r) with
-        | None, None -> ()
-        | Some (t1, v1), Some (t2, v2) ->
-          if not (Time.equal t1 t2 && v1 = v2) then ok := false else drain ()
-        | Some _, None | None, Some _ -> ok := false
-      in
-      drain ();
-      !ok && Eq.is_empty q && Eqr.is_empty r)
+   live / already-cancelled / already-popped handles, and a full final
+   drain) through both the production queue and the boxed-cell
+   reference via the model-based harness, requiring identical
+   observable behaviour: pop results, cancel verdicts, lengths and
+   next_time after every step.  On divergence the harness shrinks the
+   script to a minimal one and prints the replay seed. *)
+
+type eq_op = Schedule of int | Qpop | Cancel of int | Drain
+
+let eq_spec : eq_op Harness.spec =
+  {
+    Harness.name = "flat event queue vs boxed reference";
+    gen =
+      (fun st ->
+        match Random.State.int st 9 with
+        | 0 | 1 | 2 | 3 -> Schedule (Random.State.int st 10_000)
+        | 4 | 5 -> Qpop
+        | 6 | 7 -> Cancel (Random.State.int st (1 lsl 20))
+        | _ -> Drain);
+    show =
+      (function
+      | Schedule d -> Printf.sprintf "Schedule %d" d
+      | Qpop -> "Qpop"
+      | Cancel k -> Printf.sprintf "Cancel %d" k
+      | Drain -> "Drain");
+    make =
+      (fun () ->
+        let q = Eq.create () in
+        let r = Eqr.create () in
+        let handles = ref [||] in
+        let nhandles = ref 0 in
+        let remember h1 h2 =
+          if !nhandles = Array.length !handles then begin
+            let grown = Array.make (max 8 (2 * !nhandles)) (None, None) in
+            Array.blit !handles 0 grown 0 !nhandles;
+            handles := grown
+          end;
+          !handles.(!nhandles) <- (Some h1, Some h2);
+          incr nhandles
+        in
+        let now = ref 0 in
+        let tag = ref 0 in
+        let pop_once () =
+          match (Eq.pop q, Eqr.pop r) with
+          | None, None -> Ok false
+          | Some (t1, v1), Some (t2, v2) when Time.equal t1 t2 && v1 = v2 ->
+            now := Time.to_ns t1;
+            Ok true
+          | _ -> Error "pop diverged"
+        in
+        fun op ->
+          let step_diff =
+            match op with
+            | Schedule d ->
+              (* relative to the last popped time, so deltas straddle
+                 the queue's 4096ns near-horizon window *)
+              let at_ns = at (!now + d) in
+              incr tag;
+              remember (Eq.schedule q ~at:at_ns !tag)
+                (Eqr.schedule r ~at:at_ns !tag);
+              None
+            | Qpop -> (
+              match pop_once () with Ok _ -> None | Error e -> Some e)
+            | Cancel k ->
+              if !nhandles = 0 then None
+              else (
+                match !handles.(k mod !nhandles) with
+                | Some h1, Some h2 ->
+                  if Eq.cancel q h1 <> Eqr.cancel r h2 then
+                    Some "cancel verdict diverged"
+                  else None
+                | _ -> None)
+            | Drain ->
+              let rec go () =
+                match pop_once () with
+                | Ok true -> go ()
+                | Ok false ->
+                  if Eq.is_empty q && Eqr.is_empty r then None
+                  else Some "drain left residue"
+                | Error e -> Some e
+              in
+              go ()
+          in
+          match step_diff with
+          | Some _ as d -> d
+          | None ->
+            if Eq.length q <> Eqr.length r then
+              Some
+                (Printf.sprintf "length %d (flat) vs %d (reference)"
+                   (Eq.length q) (Eqr.length r))
+            else if Eq.next_time q <> Eqr.next_time r then
+              Some "next_time diverged"
+            else None);
+  }
+
+let test_eq_matches_reference () = Harness.check ~scripts:12 ~len:150 eq_spec
 
 (* ------------------------------------------------------------------ *)
 (* Timer wheel                                                         *)
@@ -672,7 +699,6 @@ let props =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_heap_sorts;
-      prop_flat_matches_reference;
       prop_percentile_matches_sorted;
       prop_wheel_matches_event_queue;
       prop_engine_fires_in_order;
@@ -715,6 +741,8 @@ let () =
           Alcotest.test_case "ring/heap FIFO boundary" `Quick
             test_eq_ring_heap_fifo_boundary;
           Alcotest.test_case "handle reuse" `Quick test_eq_handle_reuse;
+          Alcotest.test_case "matches boxed reference (harness scripts)"
+            `Quick test_eq_matches_reference;
         ] );
       ( "timer_wheel",
         [

@@ -509,7 +509,8 @@ let prop_random_lifecycles =
           match Sandbox.state sb with
           | Sandbox.Running -> ignore (Vmm.pause vmm ~strategy sb)
           | Sandbox.Paused -> ignore (Vmm.resume vmm sb)
-          | Sandbox.Created | Sandbox.Booting | Sandbox.Stopped -> ())
+          | Sandbox.Created | Sandbox.Booting | Sandbox.Stopped
+          | Sandbox.Crashed -> ())
         strategies;
       Array.for_all
         (fun q -> Al.is_sorted (Runqueue.queue q))
