@@ -1,6 +1,6 @@
 # Convenience targets for the HORSE reproduction.
 
-.PHONY: all build test test-stress verify bench bench-json bench-micro bench-check bench-storm perf examples clean doc
+.PHONY: all build test test-stress verify bench bench-json bench-micro bench-scale bench-check bench-storm perf examples clean doc
 
 all: verify
 
@@ -19,9 +19,10 @@ test-stress:
 	HORSE_STRESS=1 dune exec test/test_fault.exe
 
 # the default flow: build, tests (incl. stressed model-based suites),
-# regenerate both bench records, gate on them (sweeps must not
-# regress; alloc:* and flat:* must hold 2x)
-verify: build test test-stress bench-json bench-micro bench-check
+# regenerate all three bench records, gate on them (sweeps must not
+# regress; alloc:* and flat:* must hold 2x; scale:* must hold 1.5x on
+# multi-core hosts)
+verify: build test test-stress bench-json bench-micro bench-scale bench-check
 
 bench:
 	dune exec bench/main.exe
@@ -35,12 +36,13 @@ BENCH_RUNPARAM ?= s=8M
 
 # machine-readable wall-clock record (sequential vs parallel per
 # experiment, min-of-N interleaved): every timed sweep, recorded into
-# BENCH_summary.json; override parallelism with JOBS=n, task
-# granularity with CHUNK=n
+# BENCH_summary.json; override parallelism with JOBS=n and task
+# granularity with CHUNK=n (default: auto — the pool times the first
+# thunk and targets ~50us per dispatched task)
 JOBS ?= 4
-CHUNK ?= 4
+CHUNK ?=
 bench-json:
-	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/main.exe -- sweeps --jobs $(JOBS) --chunk $(CHUNK) --json BENCH_summary.json
+	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/main.exe -- sweeps --jobs $(JOBS) $(if $(CHUNK),--chunk $(CHUNK)) --json BENCH_summary.json
 
 # quick microbenchmark record: event-queue + run-queue ns/op, words/op
 # and the dequeue flatness sweep, in release mode (quick trials are
@@ -48,14 +50,23 @@ bench-json:
 bench-micro:
 	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/micro.exe -- --quick --json BENCH_micro.json
 
+# the sharded-engine scale benchmark: big cluster runs (up to 256k
+# parked sandboxes / 32k triggers) executed once sequentially and once
+# over SHARDS execution tasks, verified bit-identical, wall-clock of
+# the run phase recorded into BENCH_scale.json
+SHARDS ?= 4
+bench-scale:
+	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/main.exe -- scale --shards $(SHARDS) --json BENCH_scale.json
+
 # gate on the recorded artifacts: sweeps at jobs >= 4 must not regress
 # (speedup >= 1.0 on multi-core hosts; >= 0.75 overhead floor on a
 # single-core host, where >1x is physically impossible); alloc:*
 # entries must show >= 2x fewer words than the boxed baselines; flat:*
 # entries must show the arena hot path scaling >= 2x flatter than the
-# walking baseline
+# walking baseline; scale:* entries must show the sharded engine >=
+# 1.5x over sequential (>= 0.5 overhead floor on single-core hosts)
 bench-check:
-	dune exec bench/bench_check.exe -- BENCH_summary.json $(wildcard BENCH_micro.json)
+	dune exec bench/bench_check.exe -- BENCH_summary.json $(wildcard BENCH_micro.json) $(wildcard BENCH_scale.json)
 
 # the resume-storm macro-benchmark: 1000 paused uLL sandboxes on one
 # ull_runqueue, churn at 0/100/1000 subscribers, then resume them all

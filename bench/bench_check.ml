@@ -2,16 +2,27 @@
 
    Usage:  bench_check.exe [FILE ...]   (default: BENCH_summary.json)
 
+   Floors are chosen against the cores of the machine that *produced*
+   the artifact: horse-bench/1 records it as a top-level "host_cores"
+   field (older artifacts without one are judged against the checking
+   host).  On a single-core producer a genuine >1x parallel speedup is
+   physically impossible — the domains timeshare one core and only add
+   context-switch and stop-the-world cost — so those floors drop to an
+   overhead bound instead.
+
    Rules:
    - every experiment entry recorded at jobs >= 4 must show
      speedup >= 1.0 — parallel sweeps must win, never regress (the
      seed artifact recorded 0.48x; this check keeps that from coming
-     back).  On a single-core host a genuine >1x is physically
-     impossible (the domains timeshare one core and only add
-     context-switch and stop-the-world cost), so the bound there is
-     the overhead floor 0.75: dispatch plus multi-domain GC
+     back).  Single-core floor: 0.75 — dispatch plus multi-domain GC
      coordination may cost at most 25%, which still catches any
      per-task-dispatch collapse.
+   - every [scale:*] entry (sharded cluster runs from `main.exe
+     scale`) recorded at shards >= 4 must show speedup >= 1.5 — the
+     sharded engine must beat the sequential engine by half again on
+     real cores, or the epoch synchronisation is eating the
+     parallelism.  Single-core floor: 0.5 — epochs plus cross-shard
+     mailboxes may cost at most 2x when there is nothing to win.
    - every [alloc:*] entry (words-per-operation pairs from micro.exe)
      must show >= 2.0 — the flat structures must allocate at most
      half the words per operation of their boxed baselines.
@@ -27,9 +38,7 @@
 
 module Json = Horse_vmm.Json
 
-let host_cores = Domain.recommended_domain_count ()
-
-let sweep_floor = if host_cores >= 2 then 1.0 else 0.75
+let checker_cores = Domain.recommended_domain_count ()
 
 let alloc_floor = 2.0
 
@@ -46,7 +55,10 @@ let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
 
-let check_entry ~file entry =
+let check_entry ~file ~producer_cores entry =
+  let multi_core = producer_cores >= 2 in
+  let sweep_floor = if multi_core then 1.0 else 0.75 in
+  let scale_floor = if multi_core then 1.5 else 0.5 in
   let name =
     match Option.bind (Json.member "name" entry) Json.to_str with
     | Some n -> n
@@ -69,13 +81,18 @@ let check_entry ~file entry =
     | Some s ->
       Printf.printf "ok   %s: %s speedup %.3f >= %.2f\n" file name s required
   in
-  if starts_with ~prefix:"alloc:" name then verdict alloc_floor
-  else if starts_with ~prefix:"flat:" name then verdict flat_floor
-  else if jobs >= 4 then verdict sweep_floor
-  else
+  let not_gated () =
     Printf.printf "info %s: %s speedup %s (jobs %d, not gated)\n" file name
       (match speedup with Some s -> Printf.sprintf "%.3f" s | None -> "n/a")
       jobs
+  in
+  if starts_with ~prefix:"alloc:" name then verdict alloc_floor
+  else if starts_with ~prefix:"flat:" name then verdict flat_floor
+  else if starts_with ~prefix:"scale:" name then
+    (* the "jobs" of a scale entry records the --shards it ran at *)
+    if jobs >= 4 then verdict scale_floor else not_gated ()
+  else if jobs >= 4 then verdict sweep_floor
+  else not_gated ()
 
 let check_file file =
   if not (Sys.file_exists file) then begin
@@ -95,8 +112,21 @@ let check_file file =
       Printf.printf "FAIL %s: JSON parse error at byte %d: %s\n" file position
         message
     | json -> (
+      let producer_cores =
+        match Option.bind (Json.member "host_cores" json) Json.to_int with
+        | Some n -> n
+        | None -> checker_cores
+      in
+      if producer_cores < 2 then
+        Printf.printf
+          "note: %s was produced on a single-core host (host_cores = %d); \
+           parallel speedup > 1.0 was not physically reachable there, gating \
+           sweeps at >= 0.75 and scale at >= 0.50 (>= 1.00 / >= 1.50 are \
+           enforced for multi-core artifacts)\n"
+          file producer_cores;
       match Json.member "experiments" json with
-      | Some (Json.List entries) -> List.iter (check_entry ~file) entries
+      | Some (Json.List entries) ->
+        List.iter (check_entry ~file ~producer_cores) entries
       | Some _ | None ->
         incr failures;
         Printf.printf "FAIL %s: no \"experiments\" array\n" file)
@@ -108,12 +138,6 @@ let () =
     | [] -> [ "BENCH_summary.json" ]
     | files -> files
   in
-  if host_cores < 2 then
-    Printf.printf
-      "note: single-core host (recommended_domain_count = %d); parallel \
-       speedup > 1.0 is not physically reachable here, gating sweeps at \
-       >= %.2f instead (>= 1.00 is enforced on multi-core hosts)\n"
-      host_cores sweep_floor;
   List.iter check_file files;
   if !failures > 0 then begin
     Printf.printf "bench-check: %d failure(s)\n" !failures;

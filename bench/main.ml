@@ -3,18 +3,26 @@
    micro-benchmarks (Bechamel) of the real algorithm implementations.
 
    Usage:  main.exe [table1|fig1|fig2|fig3|fig4|overhead|colocation|
-                     summary|xen|faults|sweeps|micro|all]  (default: all)
+                     summary|xen|faults|scale|sweeps|micro|all]
+                                 (default: all)
                     [--jobs N]   fan experiment tasks over N strands
                                  (default: recommended_domain_count - 1;
                                  results are bit-identical for any N)
                     [--chunk C]  group C consecutive tasks per dispatch
-                                 (default 1; results are bit-identical
-                                 for any C)
+                                 (default: auto — thunk 0 is timed and
+                                 the chunk targets ~50us per task;
+                                 results are bit-identical for any C)
+                    [--shards S] execution tasks for the sharded
+                                 cluster runs of [scale] (default
+                                 max(4, recommended_domain_count - 1);
+                                 rows are bit-identical for any S)
                     [--json F]   record per-experiment wall-clock
                                  (sequential vs parallel) into F
 
    [sweeps] runs every timed experiment sweep back to back — the
-   input `make bench-json` feeds to BENCH_summary.json. *)
+   input `make bench-json` feeds to BENCH_summary.json.  [scale] is
+   the sharded-engine benchmark `make bench-scale` feeds to
+   BENCH_scale.json. *)
 
 module E = Horse.Experiments
 module Report = Horse.Report
@@ -30,6 +38,8 @@ let section title =
 let jobs = ref (Horse_parallel.Pool.default_jobs ())
 
 let chunk : int option ref = ref None
+
+let shards = ref (max 4 (Horse_parallel.Pool.default_jobs ()))
 
 let json_path : string option ref = ref None
 
@@ -514,6 +524,90 @@ let faults () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Scale: one sharded cluster run across domains                       *)
+(* ------------------------------------------------------------------ *)
+
+(* (servers, parked sandboxes, triggers): the big points are the ones
+   the sharded engine exists for — up to ~1M parked sandboxes and
+   100k triggers in a single simulated second *)
+let scale_points = [ (16, 64_000, 8_000); (32, 256_000, 32_000) ]
+
+let scale () =
+  section
+    (Printf.sprintf "Scale - sharded cluster runs (--shards %d)" !shards);
+  let rounds = 3 in
+  let rows =
+    List.map
+      (fun (servers, sandboxes, triggers) ->
+        (* [on_run] times only the event-processing phase: sequential
+           provisioning is identical on both sides and not what the
+           shard engine parallelises *)
+        let wall = ref 0.0 in
+        let timing run =
+          Gc.full_major ();
+          let t0 = now_s () in
+          run ();
+          wall := now_s () -. t0
+        in
+        let run shards =
+          E.scale_run ~shards ~servers ~sandboxes ~triggers ~on_run:timing ()
+        in
+        (* warm-up + the bit-identity gate: the sharded row must equal
+           the sequential row, or the timing is comparing different
+           work *)
+        let reference = run 1 in
+        let sharded = run !shards in
+        if { sharded with E.sc_shards = reference.E.sc_shards } <> reference
+        then begin
+          Printf.eprintf
+            "scale: shards=%d diverged from shards=1 at %d servers\n" !shards
+            servers;
+          exit 1
+        end;
+        let wall_seq = ref infinity and wall_par = ref infinity in
+        for _ = 1 to rounds do
+          ignore (run 1);
+          if !wall < !wall_seq then wall_seq := !wall;
+          ignore (run !shards);
+          if !wall < !wall_par then wall_par := !wall
+        done;
+        timings :=
+          {
+            Report.t_name =
+              Printf.sprintf "scale:%dsrv/%dk-sb/%dk-trig" servers
+                (sandboxes / 1000) (triggers / 1000);
+            t_jobs = !shards;
+            t_wall_seq_s = !wall_seq;
+            t_wall_par_s = !wall_par;
+          }
+          :: !timings;
+        [
+          string_of_int servers;
+          string_of_int sandboxes;
+          string_of_int triggers;
+          string_of_int reference.E.sc_completed;
+          string_of_int reference.E.sc_rejected;
+          Report.ns (reference.E.sc_p99_us *. 1e3);
+          string_of_int reference.E.sc_epochs;
+          string_of_int reference.E.sc_messages;
+          Printf.sprintf "%.3fs" !wall_seq;
+          Printf.sprintf "%.3fs" !wall_par;
+          Report.ratio (!wall_seq /. !wall_par);
+        ])
+      scale_points
+  in
+  Report.print
+    ~caption:
+      (Printf.sprintf
+         "One cluster run over %d domains, bit-identical to sequential \
+          (checked every point); wall is the run phase, min of %d rounds"
+         !shards rounds)
+    ~header:
+      [ "servers"; "sandboxes"; "triggers"; "completed"; "rejected"; "p99";
+        "epochs"; "messages"; "seq wall"; "par wall"; "speedup" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Headline summary                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -885,7 +979,8 @@ let sweeps () =
   overhead ();
   colocation ();
   summary ();
-  xen ()
+  xen ();
+  faults ()
 
 let all () =
   table1 ();
@@ -898,6 +993,7 @@ let all () =
   summary ();
   xen ();
   faults ();
+  scale ();
   ablations ();
   micro ()
 
@@ -907,12 +1003,13 @@ let () =
       ("table1", table1); ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
       ("fig4", fig4); ("overhead", overhead); ("colocation", colocation);
       ("summary", summary); ("xen", xen); ("faults", faults);
-      ("sweeps", sweeps); ("ablations", ablations); ("micro", micro);
-      ("csv", csv); ("all", all);
+      ("scale", scale); ("sweeps", sweeps); ("ablations", ablations);
+      ("micro", micro); ("csv", csv); ("all", all);
     ]
   in
   let usage () =
-    Printf.eprintf "usage: %s [experiment] [--jobs N] [--chunk C] [--json FILE]\n"
+    Printf.eprintf
+      "usage: %s [experiment] [--jobs N] [--chunk C] [--shards S] [--json FILE]\n"
       Sys.argv.(0);
     Printf.eprintf "experiments: %s\n" (String.concat ", " (List.map fst experiments));
     exit 1
@@ -935,10 +1032,18 @@ let () =
       | Some _ | None ->
         Printf.eprintf "--chunk: expected a positive integer, got %S\n" c;
         exit 1)
+    | "--shards" :: s :: rest -> (
+      match int_of_string_opt s with
+      | Some s when s >= 1 ->
+        shards := s;
+        parse positional rest
+      | Some _ | None ->
+        Printf.eprintf "--shards: expected a positive integer, got %S\n" s;
+        exit 1)
     | "--json" :: path :: rest ->
       json_path := Some path;
       parse positional rest
-    | [ (("--jobs" | "--chunk" | "--json") as flag) ] ->
+    | [ (("--jobs" | "--chunk" | "--shards" | "--json") as flag) ] ->
       Printf.eprintf "missing value after %s\n" flag;
       usage ()
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->

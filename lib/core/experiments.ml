@@ -392,48 +392,17 @@ let thumbnail_arrivals ~seed ~duration =
   in
   Horse_trace.Arrivals.chunk ~rng row ~start_minute:720 ~duration
 
-let colocation_run ~profile ~seed ~duration ~ull_vcpus ~strategy ~arrivals =
-  let engine = Engine.create ~seed () in
-  let platform =
-    Platform.create ~topology:Topology.r650_smt
-      ~cost:(cost_of_profile profile) ~seed ~engine ()
-  in
-  Platform.register platform
-    (Function_def.create ~name:"thumbnail" ~vcpus:2 ~memory_mb:1024
-       ~exec:
-         (Function_def.Sampled
-            (fun rng ->
-              (* §5.4 thumbnails the same S3 image on every trigger:
-                 a tight service-time distribution *)
-              Horse_workload.Thumbnail.latency_model ~variability:0.01 rng
-                ~image_bytes:Horse_workload.Thumbnail.default_image_bytes))
-       ());
-  Platform.register platform
-    (Function_def.create ~name:"ull" ~vcpus:ull_vcpus ~memory_mb:512
-       ~exec:(Function_def.Ull Category.Cat2) ());
-  Platform.provision platform ~name:"thumbnail" ~count:64
-    ~strategy:Sandbox.Vanilla;
-  Platform.provision platform ~name:"ull" ~count:2 ~strategy;
-  List.iter
-    (fun offset ->
-      ignore
-        (Engine.schedule engine ~after:offset (fun _ ->
-             Platform.trigger platform ~name:"thumbnail"
-               ~mode:(Platform.Warm Sandbox.Vanilla) ())))
-    arrivals;
-  (* 10 uLL triggers per second for the whole window *)
-  List.iter
-    (fun offset ->
-      ignore
-        (Engine.schedule engine ~after:offset (fun _ ->
-             match
-               Platform.trigger platform ~name:"ull"
-                 ~mode:(Platform.Warm strategy) ()
-             with
-             | () -> ()
-             | exception Platform.No_warm_sandbox _ -> ())))
-    (Horse_trace.Arrivals.periodic ~every:(Time.span_ms 100.0) ~duration);
-  Engine.run engine;
+let thumbnail_def =
+  Function_def.create ~name:"thumbnail" ~vcpus:2 ~memory_mb:1024
+    ~exec:
+      (Function_def.Sampled
+         (fun rng ->
+           (* §5.4 thumbnails the same S3 image on every trigger:
+              a tight service-time distribution *)
+           Horse_workload.Thumbnail.latency_model ~variability:0.01 rng
+             ~image_bytes:Horse_workload.Thumbnail.default_image_bytes))
+
+let colocation_summarise records =
   let latencies = Stats.Sample.create () in
   let affected = ref 0 and max_delay_ns = ref 0.0 in
   List.iter
@@ -447,11 +416,88 @@ let colocation_run ~profile ~seed ~duration ~ull_vcpus ~strategy ~arrivals =
           if d > !max_delay_ns then max_delay_ns := d
         end
       end)
-    (Platform.records platform);
+    records;
   (latencies, !affected, !max_delay_ns)
 
+let colocation_run ?shards ~profile ~seed ~duration ~ull_vcpus ~strategy
+    ~arrivals () =
+  let ull_def =
+    Function_def.create ~name:"ull" ~vcpus:ull_vcpus ~memory_mb:512
+      ~exec:(Function_def.Ull Category.Cat2) ()
+  in
+  let ull_arrivals =
+    (* 10 uLL triggers per second for the whole window *)
+    Horse_trace.Arrivals.periodic ~every:(Time.span_ms 100.0) ~duration
+  in
+  match shards with
+  | Some shards ->
+    (* the sharded variant: the same colocated workload on a 1-server
+       sharded cluster — every trigger crosses the router's placement
+       delay, so rows differ from the direct variant but are
+       bit-identical for every shard count *)
+    let cluster =
+      Cluster.create_sharded ~servers:1 ~topology:Topology.r650_smt
+        ~cost:(cost_of_profile profile) ~seed ~shards ()
+    in
+    let engine = Cluster.engine cluster in
+    Cluster.register cluster (thumbnail_def ());
+    Cluster.register cluster ull_def;
+    Cluster.provision cluster ~name:"thumbnail" ~total:64
+      ~strategy:Sandbox.Vanilla;
+    Cluster.provision cluster ~name:"ull" ~total:2 ~strategy;
+    List.iter
+      (fun offset ->
+        ignore
+          (Engine.schedule engine ~after:offset (fun _ ->
+               ignore
+                 (Cluster.trigger cluster ~name:"thumbnail"
+                    ~mode:(Platform.Warm Sandbox.Vanilla) ()))))
+      arrivals;
+    List.iter
+      (fun offset ->
+        ignore
+          (Engine.schedule engine ~after:offset (fun _ ->
+               ignore
+                 (Cluster.trigger cluster ~name:"ull"
+                    ~mode:(Platform.Warm strategy) ()))))
+      ull_arrivals;
+    Cluster.run cluster;
+    colocation_summarise (List.map snd (Cluster.records cluster))
+  | None ->
+    let engine = Engine.create ~seed () in
+    let platform =
+      Platform.create ~topology:Topology.r650_smt
+        ~cost:(cost_of_profile profile) ~seed ~engine ()
+    in
+    Platform.register platform (thumbnail_def ());
+    Platform.register platform ull_def;
+    Platform.provision platform ~name:"thumbnail" ~count:64
+      ~strategy:Sandbox.Vanilla;
+    Platform.provision platform ~name:"ull" ~count:2 ~strategy;
+    List.iter
+      (fun offset ->
+        ignore
+          (Engine.schedule engine ~after:offset (fun _ ->
+               Platform.trigger platform ~name:"thumbnail"
+                 ~mode:(Platform.Warm Sandbox.Vanilla) ())))
+      arrivals;
+    List.iter
+      (fun offset ->
+        ignore
+          (Engine.schedule engine ~after:offset (fun _ ->
+               match
+                 Platform.trigger platform ~name:"ull"
+                   ~mode:(Platform.Warm strategy) ()
+               with
+               | () -> ()
+               | exception Platform.No_warm_sandbox _ -> ())))
+      ull_arrivals;
+    Engine.run engine;
+    colocation_summarise (Platform.records platform)
+
 let colocation ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 30.0)
-    ?(repeats = 10) ?(vcpus = [ 1; 8; 16; 24; 36 ]) ?(jobs = 1) ?chunk () =
+    ?(repeats = 10) ?(vcpus = [ 1; 8; 16; 24; 36 ]) ?(jobs = 1) ?chunk ?shards
+    () =
   let duration = Time.span_s duration_s in
   (* The paper reports the worst penalty over its 10 runs ("up to");
      we do the same: per repeat, a paired vanilla/HORSE run on
@@ -461,12 +507,12 @@ let colocation ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 30.0)
     let seed = seed + (1000 * r) in
     let arrivals = thumbnail_arrivals ~seed ~duration in
     let vanilla, _, _ =
-      colocation_run ~profile ~seed ~duration ~ull_vcpus:n
-        ~strategy:Sandbox.Vanilla ~arrivals
+      colocation_run ?shards ~profile ~seed ~duration ~ull_vcpus:n
+        ~strategy:Sandbox.Vanilla ~arrivals ()
     in
     let horse, affected, max_delay_ns =
-      colocation_run ~profile ~seed ~duration ~ull_vcpus:n
-        ~strategy:Sandbox.Horse ~arrivals
+      colocation_run ?shards ~profile ~seed ~duration ~ull_vcpus:n
+        ~strategy:Sandbox.Horse ~arrivals ()
     in
     (vanilla, horse, affected, max_delay_ns)
   in
@@ -792,18 +838,26 @@ let sum_counters metrics ~prefix =
     0
     (Metrics.counters metrics)
 
-let fault_run ~profile ~seed ~duration ~rate ~strategy =
-  let engine = Engine.create ~seed () in
+let fault_run ?shards ~profile ~seed ~duration ~rate ~strategy () =
   let faults =
     (* the plan seed is offset from the platform seeds so fault streams
        never correlate with jitter or service-time draws *)
     Fault.Plan.uniform ~seed:(seed + 31337) ~rate ()
   in
   let cluster =
-    Cluster.create ~servers:4 ~topology:Topology.r650_smt
-      ~cost:(cost_of_profile profile) ~seed ~faults
-      ~recovery:Platform.Recovery.default ~engine ()
+    match shards with
+    | None ->
+      Cluster.create ~servers:4 ~topology:Topology.r650_smt
+        ~cost:(cost_of_profile profile) ~seed ~faults
+        ~recovery:Platform.Recovery.default
+        ~engine:(Engine.create ~seed ())
+        ()
+    | Some shards ->
+      Cluster.create_sharded ~servers:4 ~topology:Topology.r650_smt
+        ~cost:(cost_of_profile profile) ~seed ~faults
+        ~recovery:Platform.Recovery.default ~shards ()
   in
+  let engine = Cluster.engine cluster in
   Cluster.register cluster
     (Function_def.create ~name:"ull" ~vcpus:2 ~memory_mb:512
        ~exec:(Function_def.Ull Category.Cat2) ());
@@ -826,7 +880,7 @@ let fault_run ~profile ~seed ~duration ~rate ~strategy =
                   ()))))
     arrivals;
   ignore (Cluster.schedule_faults cluster ~horizon:duration);
-  Engine.run engine;
+  Cluster.run cluster;
   let latencies = Stats.Sample.create () in
   List.iter
     (fun (_, r) ->
@@ -864,7 +918,7 @@ let fault_run ~profile ~seed ~duration ~rate ~strategy =
   }
 
 let faults ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 5.0)
-    ?(rates = [ 0.0; 0.001; 0.01; 0.1 ]) ?(jobs = 1) ?chunk () =
+    ?(rates = [ 0.0; 0.001; 0.01; 0.1 ]) ?(jobs = 1) ?chunk ?shards () =
   let duration = Time.span_s duration_s in
   let tasks =
     List.concat_map
@@ -873,8 +927,99 @@ let faults ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 5.0)
       rates
   in
   fan ?chunk ~jobs
-    (fun (rate, strategy) -> fault_run ~profile ~seed ~duration ~rate ~strategy)
+    (fun (rate, strategy) ->
+      fault_run ?shards ~profile ~seed ~duration ~rate ~strategy ())
     tasks
+
+(* ------------------------------------------------------------------ *)
+(* Scale sweep: one big cluster run on the sharded engine              *)
+(* ------------------------------------------------------------------ *)
+
+type scale_row = {
+  sc_servers : int;
+  sc_sandboxes : int;
+  sc_triggers : int;
+  sc_shards : int;
+  sc_completed : int;
+  sc_rejected : int;
+  sc_p50_us : float;
+  sc_p99_us : float;
+  sc_epochs : int;
+  sc_messages : int;
+}
+
+let scale_run ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
+    ?(duration_s = 1.0) ?ull_count ?(on_run = fun run -> run ()) ~servers
+    ~sandboxes ~triggers () =
+  let duration = Time.span_s duration_s in
+  let ull_count =
+    (* a paused sandbox's P²SM maintenance fires on every mutation of
+       the ull queue it is attached to, so per-trigger cost scales
+       with parked-per-queue: reserve enough ull queues to keep that
+       ratio near 256, within the r650_smt's 144 logical CPUs *)
+    match ull_count with
+    | Some n -> n
+    | None -> max 1 (min 32 (sandboxes / servers / 256))
+  in
+  let cluster =
+    Cluster.create_sharded ~servers ~topology:Topology.r650_smt
+      ~cost:(cost_of_profile profile) ~seed ~ull_count ~shards ()
+  in
+  let engine = Cluster.engine cluster in
+  Cluster.register cluster
+    (Function_def.create ~name:"ull" ~vcpus:2 ~memory_mb:512
+       ~exec:(Function_def.Ull Category.Cat2) ());
+  Cluster.provision cluster ~name:"ull" ~total:sandboxes
+    ~strategy:Sandbox.Horse;
+  (* [triggers] arrivals at sorted uniform offsets in [0, duration) —
+     independent of the cluster's RNGs, same offset rule as the other
+     trace-driven experiments *)
+  let rng = Rng.create ~seed:(seed + 514229) in
+  let dur_ns = Time.span_to_ns duration in
+  let offsets =
+    List.sort compare (List.init triggers (fun _ -> Rng.int rng dur_ns))
+  in
+  List.iter
+    (fun ns ->
+      ignore
+        (Engine.schedule engine ~after:(Time.span_ns ns) (fun _ ->
+             ignore
+               (Cluster.trigger cluster ~name:"ull"
+                  ~mode:(Platform.Warm Sandbox.Horse) ()))))
+    offsets;
+  on_run (fun () -> Cluster.run cluster);
+  let latencies = Stats.Sample.create () in
+  List.iter
+    (fun (_, r) ->
+      Stats.Sample.add latencies (ns_of (Platform.record_total r) /. 1e3))
+    (Cluster.records cluster);
+  let p q = Stats.Sample.percentile latencies q in
+  let se = Option.get (Cluster.shard_engine cluster) in
+  {
+    sc_servers = servers;
+    sc_sandboxes = sandboxes;
+    sc_triggers = triggers;
+    sc_shards = shards;
+    sc_completed = List.length (Cluster.records cluster);
+    sc_rejected = List.length (Cluster.rejections cluster);
+    sc_p50_us = p 50.0;
+    sc_p99_us = p 99.0;
+    sc_epochs = Horse_sim.Shard_engine.epochs se;
+    sc_messages = Horse_sim.Shard_engine.messages_delivered se;
+  }
+
+let default_scale_points =
+  [ (4, 8_000, 2_000); (8, 32_000, 8_000); (16, 96_000, 16_000) ]
+
+let scale ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
+    ?(duration_s = 1.0) ?(points = default_scale_points) () =
+  (* no [fan] here on purpose: within one run the parallelism comes
+     from the sharded engine itself — that is the thing under test *)
+  List.map
+    (fun (servers, sandboxes, triggers) ->
+      scale_run ~profile ~seed ~shards ~duration_s ~servers ~sandboxes
+        ~triggers ())
+    points
 
 (* ------------------------------------------------------------------ *)
 (* Headline summary                                                    *)

@@ -160,11 +160,15 @@ type colocation_row = {
 
 val colocation :
   ?profile:profile -> ?seed:int -> ?duration_s:float -> ?repeats:int ->
-  ?vcpus:int list -> ?jobs:int -> ?chunk:int -> unit -> colocation_row list
+  ?vcpus:int list -> ?jobs:int -> ?chunk:int -> ?shards:int -> unit ->
+  colocation_row list
 (** Thumbnail invocations driven by an Azure-shaped 30 s arrival
     chunk, colocated with 10 uLL resumes per second, vanilla vs
     HORSE; paired runs, [repeats] (default 10) times per point, worst
-    p99 delta reported (the paper's "up to"). *)
+    p99 delta reported (the paper's "up to").  [shards] switches each
+    run onto a 1-server sharded cluster ({!Horse_faas.Cluster.create_sharded})
+    with that many execution tasks: rows then include the router's
+    placement delay, and are bit-identical for every [shards] value. *)
 
 (** {1 Ablations & extensions (beyond the paper's figures)} *)
 
@@ -266,14 +270,57 @@ type fault_row = {
 
 val faults :
   ?profile:profile -> ?seed:int -> ?duration_s:float -> ?rates:float list ->
-  ?jobs:int -> ?chunk:int -> unit -> fault_row list
+  ?jobs:int -> ?chunk:int -> ?shards:int -> unit -> fault_row list
 (** Sweep per-trigger fault rates (default 0 %, 0.1 %, 1 %, 10 %) over
     an Azure-shaped uLL storm on a 4-server cluster running
     {!Horse_faas.Platform.Recovery.default}, for Vanilla vs HORSE warm
     pools.  Latency percentiles are honest: every failed rung, retry
     wait and slowdown is inside the records.  The 0 % row is
     bit-identical to a run with no fault plan at all, and rows are
-    bit-identical for every [jobs]/[chunk]. *)
+    bit-identical for every [jobs]/[chunk].  [shards] switches each
+    cell onto a sharded cluster (rows then include the placement
+    delay, and are bit-identical for every [shards] value). *)
+
+(** {1 Scale — one big cluster run on the sharded engine} *)
+
+type scale_row = {
+  sc_servers : int;
+  sc_sandboxes : int;  (** warm sandboxes parked fleet-wide *)
+  sc_triggers : int;  (** arrivals fired at the router *)
+  sc_shards : int;  (** execution tasks the run used *)
+  sc_completed : int;
+  sc_rejected : int;
+  sc_p50_us : float;
+  sc_p99_us : float;
+  sc_epochs : int;  (** epoch windows the shard engine executed *)
+  sc_messages : int;  (** cross-shard messages delivered *)
+}
+
+val scale_run :
+  ?profile:profile -> ?seed:int -> ?shards:int -> ?duration_s:float ->
+  ?ull_count:int ->
+  ?on_run:((unit -> unit) -> unit) ->
+  servers:int -> sandboxes:int -> triggers:int -> unit -> scale_row
+(** One sharded-cluster run: [sandboxes] HORSE sandboxes parked over
+    [servers] servers, then [triggers] warm triggers at sorted uniform
+    offsets within [duration_s].  The row is bit-identical for every
+    [shards]; only the wall-clock changes — this single run is what
+    the scale benchmark times.  [ull_count] (default: enough reserved
+    ull queues to keep parked-per-queue near 256, capped at 32) bounds
+    the per-trigger P²SM maintenance fan-out over parked sandboxes.
+    [on_run] receives the closure that drives the simulation and must
+    call it exactly once; the benchmark uses it to time the
+    (parallelizable) run phase without the (sequential) provisioning
+    phase. *)
+
+val scale :
+  ?profile:profile -> ?seed:int -> ?shards:int -> ?duration_s:float ->
+  ?points:(int * int * int) list -> unit -> scale_row list
+(** {!scale_run} over a [(servers, sandboxes, triggers)] sweep
+    (default up to 16 servers / 96k parked sandboxes / 16k triggers;
+    the benchmark drives larger points).  Deliberately not fanned over
+    a task pool: the parallelism under test is the sharded engine
+    inside each run. *)
 
 (** {1 Headline summary} *)
 

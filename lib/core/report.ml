@@ -88,6 +88,9 @@ let to_json ~jobs timings =
        [
          ("schema", Json.String "horse-bench/1");
          ("jobs", Json.Int jobs);
+         (* cores of the machine that produced the artifact: the gate
+            (bench_check) holds single-core hosts to a lower floor *)
+         ("host_cores", Json.Int (Domain.recommended_domain_count ()));
          ("experiments", Json.List (List.map timing_to_json timings));
        ])
 

@@ -1,9 +1,11 @@
 module Engine = Horse_sim.Engine
+module Shard_engine = Horse_sim.Shard_engine
 module Time = Horse_sim.Time_ns
 module Metrics = Horse_sim.Metrics
 module Topology = Horse_cpu.Topology
 module Cost_model = Horse_cpu.Cost_model
 module Fault = Horse_fault.Fault
+module Pool = Horse_parallel.Pool
 
 type routing = Round_robin | Least_loaded | Warm_first
 
@@ -26,8 +28,29 @@ type rejection = {
 
 type outcome = Accepted of int | Rejected of rejection
 
+(* How the cluster executes.  [Direct] is the legacy single-engine
+   mode: every server shares the caller's engine and the router reads
+   live server state synchronously.  [Sharded] partitions the run over
+   a {!Shard_engine}: the router is logical shard 0, server [i] is
+   shard [i + 1], every router<->server interaction crosses a
+   [placement] delay through the shard engine's deterministic
+   mailboxes, and the router routes from its own mirrors of server
+   state (updated only by those messages, so routing decisions are
+   partition-independent). *)
+type sharded = {
+  se : Shard_engine.t;
+  placement : Time.span;
+  exec_shards : int;  (* execution tasks for [run] *)
+  live_view : int array;  (* router's believed live count per server *)
+  pool_view : (string, int array) Hashtbl.t;
+      (* router's believed warm-pool size per function per server *)
+}
+
+type backend = Direct | Sharded of sharded
+
 type t = {
-  engine : Engine.t;
+  engine : Engine.t;  (* the router's engine (the only engine in Direct) *)
+  backend : backend;
   platforms : Platform.t array;
   routing : routing;
   metrics : Metrics.t;  (* fleet-level counters (rejections, blackouts) *)
@@ -39,23 +62,24 @@ type t = {
   mutable rejected : rejection list;  (* newest first *)
 }
 
-let create ?(servers = 4) ?(routing = Warm_first) ?(topology = Topology.r650)
-    ?(cost = Cost_model.firecracker) ?keep_alive ?(seed = 42)
-    ?(faults = Fault.Plan.none) ?recovery ~engine () =
+let make ~servers ~routing ~topology ~cost ~keep_alive ~seed ~faults ~recovery
+    ~ull_count ~engine ~backend ~platform_engine =
   if servers <= 0 then invalid_arg "Cluster.create: servers <= 0";
   let platforms =
     (* each server gets its own derived plan: per-server fault
        sequences depend only on (cluster seed, server index), never on
        how triggers happened to be routed *)
     Array.init servers (fun i ->
-        Platform.create ~topology ~cost ?keep_alive ~seed:(seed + (97 * i))
+        Platform.create ~topology ~cost ?keep_alive ?ull_count
+          ~seed:(seed + (97 * i))
           ~faults:(Fault.Plan.derive faults ~index:i)
-          ?recovery ~engine ())
+          ?recovery ~engine:(platform_engine i) ())
   in
   let metrics = Metrics.create () in
   Fault.Plan.attach_metrics faults metrics;
   {
     engine;
+    backend;
     platforms;
     routing;
     metrics;
@@ -67,6 +91,40 @@ let create ?(servers = 4) ?(routing = Warm_first) ?(topology = Topology.r650)
     rejected = [];
   }
 
+let create ?(servers = 4) ?(routing = Warm_first) ?(topology = Topology.r650)
+    ?(cost = Cost_model.firecracker) ?keep_alive ?(seed = 42)
+    ?(faults = Fault.Plan.none) ?recovery ?ull_count ~engine () =
+  make ~servers ~routing ~topology ~cost ~keep_alive ~seed ~faults ~recovery
+    ~ull_count ~engine ~backend:Direct
+    ~platform_engine:(fun _ -> engine)
+
+let default_placement = Time.span_us 50.0
+
+let create_sharded ?(servers = 4) ?(routing = Warm_first)
+    ?(topology = Topology.r650) ?(cost = Cost_model.firecracker) ?keep_alive
+    ?(seed = 42) ?(faults = Fault.Plan.none) ?recovery ?ull_count
+    ?(placement = default_placement) ?(shards = 1) () =
+  if servers <= 0 then invalid_arg "Cluster.create_sharded: servers <= 0";
+  if shards < 1 then invalid_arg "Cluster.create_sharded: shards < 1";
+  let se =
+    Shard_engine.create ~seed ~sources:(servers + 1) ~lookahead:placement ()
+  in
+  let backend =
+    Sharded
+      {
+        se;
+        placement;
+        exec_shards = shards;
+        live_view = Array.make servers 0;
+        pool_view = Hashtbl.create 16;
+      }
+  in
+  make ~servers ~routing ~topology ~cost ~keep_alive ~seed ~faults ~recovery
+    ~ull_count
+    ~engine:(Shard_engine.engine se 0)
+    ~backend
+    ~platform_engine:(fun i -> Shard_engine.engine se (i + 1))
+
 let server_count t = Array.length t.platforms
 
 let server t i =
@@ -75,6 +133,13 @@ let server t i =
   t.platforms.(i)
 
 let routing t = t.routing
+
+let engine t = t.engine
+
+let shard_engine t =
+  match t.backend with Direct -> None | Sharded s -> Some s.se
+
+let shards t = match t.backend with Direct -> 1 | Sharded s -> s.exec_shards
 
 let metrics t = t.metrics
 
@@ -86,39 +151,88 @@ let healthy t i =
 let healthy_count t =
   Array.fold_left (fun acc up -> if up then acc + 1 else acc) 0 t.healthy
 
+(* The pool-size mirror for [name]; rows exist from [register] on, so
+   creation never reads live server state mid-run. *)
+let pool_view_entry s ~servers name =
+  match Hashtbl.find_opt s name with
+  | Some row -> row
+  | None ->
+    let row = Array.make servers 0 in
+    Hashtbl.replace s name row;
+    row
+
 let mark_down t i =
   if i < 0 || i >= server_count t then
     invalid_arg "Cluster.mark_down: index out of range";
-  t.healthy.(i) <- false
+  t.healthy.(i) <- false;
+  match t.backend with
+  | Direct -> ()
+  | Sharded s ->
+    (* the router knows the blackout wipes the server: reset its
+       mirrors so routing stops preferring the dead pools the moment
+       the server is marked down *)
+    s.live_view.(i) <- 0;
+    Hashtbl.iter (fun _ row -> row.(i) <- 0) s.pool_view
 
 let mark_up t i =
   if i < 0 || i >= server_count t then
     invalid_arg "Cluster.mark_up: index out of range";
   t.healthy.(i) <- true
 
-let register t fn = Array.iter (fun p -> Platform.register p fn) t.platforms
+let register t fn =
+  Array.iter (fun p -> Platform.register p fn) t.platforms;
+  match t.backend with
+  | Direct -> ()
+  | Sharded s ->
+    ignore
+      (pool_view_entry s.pool_view ~servers:(server_count t)
+         fn.Function_def.name)
+
+let sync_pool_view t ~name =
+  match t.backend with
+  | Direct -> ()
+  | Sharded s ->
+    let row = pool_view_entry s.pool_view ~servers:(server_count t) name in
+    Array.iteri
+      (fun i p -> row.(i) <- Platform.pool_size p ~name)
+      t.platforms
 
 let provision t ~name ~total ~strategy =
   for i = 0 to total - 1 do
     Platform.provision
       t.platforms.(i mod server_count t)
       ~name ~count:1 ~strategy
-  done
+  done;
+  (* pre-run setup on the coordinating domain: refresh the router's
+     mirror from the actual pools before any window runs *)
+  sync_pool_view t ~name
 
 let pool_size t ~name =
   Array.fold_left (fun acc p -> acc + Platform.pool_size p ~name) 0 t.platforms
+
+(* Routing inputs.  Direct mode reads the live server state (the
+   legacy synchronous router); sharded mode reads the router's
+   mirrors, which change only through the deterministic message
+   protocol. *)
+let live_of t i =
+  match t.backend with
+  | Direct -> Platform.live_invocations t.platforms.(i)
+  | Sharded s -> s.live_view.(i)
+
+let warm_of t ~name i =
+  match t.backend with
+  | Direct -> Platform.pool_size t.platforms.(i) ~name
+  | Sharded s ->
+    (pool_view_entry s.pool_view ~servers:(server_count t) name).(i)
 
 (* Least-loaded among healthy servers; [None] when the fleet is down. *)
 let least_loaded_index t =
   let best = ref None in
   Array.iteri
-    (fun i p ->
+    (fun i _ ->
       if t.healthy.(i) then
         match !best with
-        | Some j
-          when Platform.live_invocations t.platforms.(j)
-               <= Platform.live_invocations p ->
-          ()
+        | Some j when live_of t j <= live_of t i -> ()
         | Some _ | None -> best := Some i)
     t.platforms;
   !best
@@ -154,13 +268,10 @@ let route t ~name ~mode =
          sandbox for the function *)
       let best = ref None in
       Array.iteri
-        (fun i p ->
-          if t.healthy.(i) && Platform.pool_size p ~name > 0 then
+        (fun i _ ->
+          if t.healthy.(i) && warm_of t ~name i > 0 then
             match !best with
-            | Some j
-              when Platform.live_invocations t.platforms.(j)
-                   <= Platform.live_invocations p ->
-              ()
+            | Some j when live_of t j <= live_of t i -> ()
             | Some _ | None -> best := Some i)
         t.platforms;
       match !best with Some i -> Some i | None -> least_loaded_index t
@@ -175,47 +286,133 @@ let reject t ~reason ~name =
     (Printf.sprintf "cluster.rejections.%s" (reject_reason_name reason));
   Rejected rejection
 
+(* Sharded placement: the router commits to server [i] and the trigger
+   crosses the placement delay as a message; the server's outcome
+   (completion record or a dry pool) crosses back the same way.  All
+   router-side state — records, mirrors, rejection log — mutates only
+   on shard 0, in deterministic message-delivery order. *)
+let trigger_sharded t s ~name ~mode ~on_complete i =
+  t.trigger_counts.(i) <- t.trigger_counts.(i) + 1;
+  s.live_view.(i) <- s.live_view.(i) + 1;
+  (match mode with
+  | Platform.Warm _ ->
+    let row = pool_view_entry s.pool_view ~servers:(server_count t) name in
+    if row.(i) > 0 then row.(i) <- row.(i) - 1
+  | Platform.Cold | Platform.Restore -> ());
+  let platform = t.platforms.(i) in
+  let arrive = Time.add (Engine.now t.engine) s.placement in
+  Shard_engine.post s.se ~src:0 ~dst:(i + 1) ~at:arrive (fun server_engine ->
+      match
+        Platform.trigger platform ~name ~mode
+          ~on_complete:(fun record ->
+            (* server side, completion time: capture the pool size the
+               sandbox just returned to, then notify the router *)
+            let pool_now = Platform.pool_size platform ~name in
+            let done_at = Time.add (Engine.now server_engine) s.placement in
+            Shard_engine.post s.se ~src:(i + 1) ~dst:0 ~at:done_at (fun _ ->
+                t.completed <- (i, record) :: t.completed;
+                s.live_view.(i) <- max 0 (s.live_view.(i) - 1);
+                (pool_view_entry s.pool_view ~servers:(server_count t) name).(i)
+                <- pool_now;
+                on_complete (i, record)))
+          ()
+      with
+      | () -> ()
+      | exception Platform.No_warm_sandbox _ ->
+        (* dry on arrival: the router learns one placement delay
+           later and records the typed rejection then *)
+        let back_at = Time.add (Engine.now server_engine) s.placement in
+        Shard_engine.post s.se ~src:(i + 1) ~dst:0 ~at:back_at (fun _ ->
+            s.live_view.(i) <- max 0 (s.live_view.(i) - 1);
+            ignore (reject t ~reason:No_warm_capacity ~name)));
+  Accepted i
+
 let trigger t ~name ~mode ?(on_complete = fun _ -> ()) () =
   match route t ~name ~mode with
   | None -> reject t ~reason:All_servers_down ~name
   | Some i -> (
-    match
-      Platform.trigger t.platforms.(i) ~name ~mode
-        ~on_complete:(fun record ->
-          t.completed <- (i, record) :: t.completed;
-          on_complete (i, record))
-        ()
-    with
-    | () ->
-      t.trigger_counts.(i) <- t.trigger_counts.(i) + 1;
-      Accepted i
-    | exception Platform.No_warm_sandbox _ ->
-      (* a typed rejection, not an exception escaping the router: the
-         chosen server's pool (and, with degradation off, the whole
-         attempt) came up dry *)
-      reject t ~reason:No_warm_capacity ~name)
+    match t.backend with
+    | Sharded s -> trigger_sharded t s ~name ~mode ~on_complete i
+    | Direct -> (
+      match
+        Platform.trigger t.platforms.(i) ~name ~mode
+          ~on_complete:(fun record ->
+            t.completed <- (i, record) :: t.completed;
+            on_complete (i, record))
+          ()
+      with
+      | () ->
+        t.trigger_counts.(i) <- t.trigger_counts.(i) + 1;
+        Accepted i
+      | exception Platform.No_warm_sandbox _ ->
+        (* a typed rejection, not an exception escaping the router: the
+           chosen server's pool (and, with degradation off, the whole
+           attempt) came up dry *)
+        reject t ~reason:No_warm_capacity ~name))
 
 let schedule_faults t ~horizon =
   let outages =
     Fault.Plan.blackouts t.faults ~servers:(server_count t) ~horizon
   in
-  List.iter
-    (fun (server, start, outage) ->
-      ignore
-        (Engine.schedule t.engine ~after:start (fun _ ->
-             mark_down t server;
-             let lost = Platform.blackout t.platforms.(server) in
-             Metrics.incr t.metrics "cluster.blackouts";
-             Metrics.incr t.metrics ~by:lost "cluster.blackout_lost"));
-      let back_at =
-        Time.span_ns (Time.span_to_ns start + Time.span_to_ns outage)
-      in
-      ignore
-        (Engine.schedule t.engine ~after:back_at (fun _ ->
-             mark_up t server;
-             Metrics.incr t.metrics "cluster.recoveries")))
-    outages;
+  (match t.backend with
+  | Direct ->
+    List.iter
+      (fun (server, start, outage) ->
+        ignore
+          (Engine.schedule t.engine ~after:start (fun _ ->
+               mark_down t server;
+               let lost = Platform.blackout t.platforms.(server) in
+               Metrics.incr t.metrics "cluster.blackouts";
+               Metrics.incr t.metrics ~by:lost "cluster.blackout_lost"));
+        let back_at =
+          Time.span_ns (Time.span_to_ns start + Time.span_to_ns outage)
+        in
+        ignore
+          (Engine.schedule t.engine ~after:back_at (fun _ ->
+               mark_up t server;
+               Metrics.incr t.metrics "cluster.recoveries")))
+      outages
+  | Sharded s ->
+    (* the whole outage schedule is known up front (blackout schedule
+       lead time), so the server-side blackout command is posted
+       directly at the outage instant — no lookahead slack needed
+       beyond the pre-run horizon — while the router flips health on
+       its own timeline at the same instants *)
+    List.iter
+      (fun (server, start, outage) ->
+        let down_at = Time.add (Engine.now t.engine) start in
+        ignore
+          (Engine.schedule_at t.engine ~at:down_at (fun _ ->
+               mark_down t server;
+               Metrics.incr t.metrics "cluster.blackouts"));
+        Shard_engine.post s.se ~src:0 ~dst:(server + 1) ~at:down_at
+          (fun server_engine ->
+            let lost = Platform.blackout t.platforms.(server) in
+            let note_at = Time.add (Engine.now server_engine) s.placement in
+            Shard_engine.post s.se ~src:(server + 1) ~dst:0 ~at:note_at
+              (fun _ -> Metrics.incr t.metrics ~by:lost "cluster.blackout_lost"));
+        let up_at = Time.add down_at outage in
+        ignore
+          (Engine.schedule_at t.engine ~at:up_at (fun _ ->
+               mark_up t server;
+               Metrics.incr t.metrics "cluster.recoveries")))
+      outages);
   List.length outages
+
+let run ?until t =
+  match t.backend with
+  | Direct -> Engine.run ?until t.engine
+  | Sharded s ->
+    let executor =
+      if s.exec_shards <= 1 then None
+      else
+        (* [shards] execution strands: the pool's barrier is the epoch
+           barrier, and its happens-before is what publishes each
+           window's shard writes back to the coordinator *)
+        let pool = Pool.shared ~jobs:s.exec_shards () in
+        Some (fun tasks -> ignore (Pool.run_list ~chunk:1 pool tasks))
+    in
+    Shard_engine.run ?until ~shards:s.exec_shards ?executor s.se
 
 let records t = List.rev t.completed
 

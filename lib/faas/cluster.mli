@@ -2,9 +2,15 @@
     hypervisor each) behind a front-end router.
 
     The paper evaluates a single server; real provisioned concurrency
-    spreads the warm pool across a fleet.  The cluster shares one
-    simulation engine, so cross-server timelines stay coherent, and
-    routes each trigger by a pluggable policy:
+    spreads the warm pool across a fleet.  A cluster built with
+    {!create} shares one simulation engine, so cross-server timelines
+    stay coherent; one built with {!create_sharded} partitions the run
+    over a {!Horse_sim.Shard_engine} — the router is logical shard 0,
+    server [i] is shard [i + 1], and every router<->server interaction
+    crosses a placement delay as a deterministic cross-shard message,
+    which lets {!run} drain the servers on multiple domains while
+    staying bit-identical to the sequential run.  Either way each
+    trigger is routed by a pluggable policy:
 
     - [Round_robin]: the classic baseline;
     - [Least_loaded]: fewest live invocations first;
@@ -48,6 +54,7 @@ val create :
   ?seed:int ->
   ?faults:Horse_fault.Fault.Plan.t ->
   ?recovery:Platform.Recovery.t ->
+  ?ull_count:int ->
   engine:Horse_sim.Engine.t ->
   unit ->
   t
@@ -57,8 +64,38 @@ val create :
     [faults] by server index, so per-server fault sequences are
     independent of routing order; the cluster-level plan drives the
     {!schedule_faults} blackout schedule and counts its injections in
-    {!metrics}.
+    {!metrics}.  [ull_count] sets the reserved ull runqueues per
+    server: parked HORSE sandboxes spread across them, and because a
+    paused sandbox's P²SM maintenance fires on every mutation of the
+    queue it is attached to, per-trigger maintenance cost scales with
+    [parked / ull_count] — raise it for large warm pools.
     @raise Invalid_argument if [servers <= 0]. *)
+
+val create_sharded :
+  ?servers:int ->
+  ?routing:routing ->
+  ?topology:Horse_cpu.Topology.t ->
+  ?cost:Horse_cpu.Cost_model.t ->
+  ?keep_alive:Horse_sim.Time_ns.span ->
+  ?seed:int ->
+  ?faults:Horse_fault.Fault.Plan.t ->
+  ?recovery:Platform.Recovery.t ->
+  ?ull_count:int ->
+  ?placement:Horse_sim.Time_ns.span ->
+  ?shards:int ->
+  unit ->
+  t
+(** Like {!create}, but the cluster owns a {!Horse_sim.Shard_engine}
+    with [servers + 1] logical shards and [lookahead = placement] (the
+    router->server placement latency, default 50us; it bounds the
+    epoch window).  [shards] (default 1) is the number of execution
+    tasks {!run} uses — purely an execution-placement choice, results
+    are bit-identical for every value.  The router routes from its own
+    mirrors of per-server live-load and pool sizes, updated only by
+    the cross-shard message protocol: a trigger optimistically debits
+    the mirrors, the server's completion (or dry-pool rejection)
+    notification reconciles them one placement delay later.
+    @raise Invalid_argument if [servers <= 0] or [shards < 1]. *)
 
 val server_count : t -> int
 
@@ -66,6 +103,18 @@ val server : t -> int -> Platform.t
 (** @raise Invalid_argument on an out-of-range index. *)
 
 val routing : t -> routing
+
+val engine : t -> Horse_sim.Engine.t
+(** The router's engine: the engine passed to {!create}, or logical
+    shard 0 of a sharded cluster.  Schedule workload arrivals here. *)
+
+val shard_engine : t -> Horse_sim.Shard_engine.t option
+(** The shard engine of a {!create_sharded} cluster ([None] for
+    {!create}).  Exposes {!Horse_sim.Shard_engine.epochs} and
+    {!Horse_sim.Shard_engine.messages_delivered} diagnostics. *)
+
+val shards : t -> int
+(** Execution tasks {!run} will use (1 for a {!create} cluster). *)
 
 val metrics : t -> Horse_sim.Metrics.t
 (** Fleet-level counters: [cluster.rejections.<reason>],
@@ -105,8 +154,18 @@ val trigger :
 (** Route one invocation among the healthy servers.  [Accepted i] is
     the chosen server; [Rejected _] means no healthy server existed or
     the chosen one was dry (the rejection is recorded and counted, and
-    [on_complete] never fires).
+    [on_complete] never fires).  On a sharded cluster the dry-pool
+    case surfaces one placement delay later as a recorded
+    [No_warm_capacity] rejection instead — the router has already
+    committed [Accepted i] by the time the server reports back.
     @raise Platform.Unknown_function *)
+
+val run : ?until:Horse_sim.Time_ns.t -> t -> unit
+(** Drive the simulation to completion (or to [until], inclusive).
+    For a {!create} cluster this is [Engine.run] on the shared engine;
+    for a {!create_sharded} cluster it drives the shard engine's epoch
+    loop, spreading the per-window server work over [shards] domains
+    via [Horse_parallel.Pool] when [shards > 1]. *)
 
 val schedule_faults : t -> horizon:Horse_sim.Time_ns.span -> int
 (** Schedule the cluster plan's {!Horse_fault.Fault.Plan.blackouts}

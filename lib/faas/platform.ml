@@ -111,7 +111,9 @@ type t = {
   keep_alive : Time.span;
   recovery : Recovery.t;
   functions : (string, Function_def.t) Hashtbl.t;
-  pools : (string, Sandbox.t list ref) Hashtbl.t;
+  pools : (string, Sandbox.t Queue.t) Hashtbl.t;
+      (* FIFO warm pools: push-back on park, pop-front on trigger, O(1)
+         either way so million-sandbox pools stay cheap *)
   dvfs : Horse_cpu.Dvfs.t;
   energy : Horse_cpu.Energy.t;
   occupancy : (int, invocation) Hashtbl.t;  (* cpu -> invocation *)
@@ -171,7 +173,7 @@ let register t fn =
       (Printf.sprintf "Platform.register: %s already registered"
          fn.Function_def.name);
   Hashtbl.replace t.functions fn.Function_def.name fn;
-  Hashtbl.replace t.pools fn.Function_def.name (ref [])
+  Hashtbl.replace t.pools fn.Function_def.name (Queue.create ())
 
 let find_function t name =
   match Hashtbl.find_opt t.functions name with
@@ -183,11 +185,11 @@ let pool t name =
   match Hashtbl.find_opt t.pools name with
   | Some p -> p
   | None ->
-    let p = ref [] in
+    let p = Queue.create () in
     Hashtbl.replace t.pools name p;
     p
 
-let pool_size t ~name = List.length !(pool t name)
+let pool_size t ~name = Queue.length (pool t name)
 
 let new_sandbox t fn =
   let id = t.next_sandbox_id in
@@ -207,7 +209,7 @@ let provision t ~name ~count ~strategy =
       ignore (Vmm.boot t.vmm sb);
       match Vmm.pause t.vmm ~strategy sb with
       | (_ : Time.span) ->
-        p := !p @ [ sb ];
+        Queue.push sb p;
         incr provisioned
       | exception Fault.Injected _ -> if tries < 3 then attempt (tries + 1)
     in
@@ -218,23 +220,19 @@ let provision t ~name ~count ~strategy =
 let reclaim t ~name ~count =
   if count < 0 then invalid_arg "Platform.reclaim: negative count";
   let p = pool t name in
-  let rec take n acc rest =
-    match rest with
-    | sb :: rest when n > 0 -> take (n - 1) (sb :: acc) rest
-    | _ -> (acc, rest)
-  in
-  let victims, keep = take count [] !p in
-  p := keep;
-  List.iter (fun sb -> Vmm.stop t.vmm sb) victims;
-  Metrics.incr t.metrics ~by:(List.length victims) "platform.reclaimed";
-  List.length victims
+  let victims = ref 0 in
+  while !victims < count && not (Queue.is_empty p) do
+    Vmm.stop t.vmm (Queue.pop p);
+    incr victims
+  done;
+  Metrics.incr t.metrics ~by:!victims "platform.reclaimed";
+  !victims
 
 let rec pop_pool t name =
   let p = pool t name in
-  match !p with
-  | [] -> raise (No_warm_sandbox name)
-  | sb :: rest ->
-    p := rest;
+  match Queue.take_opt p with
+  | None -> raise (No_warm_sandbox name)
+  | Some sb ->
     (* a stale entry (expired under us) is discarded and the next one
        tried; an empty pool after discards degrades like a dry pool *)
     if Fault.Plan.fires (Vmm.faults t.vmm) Fault.Pool_expiry then begin
@@ -244,15 +242,16 @@ let rec pop_pool t name =
     end
     else sb
 
-let push_pool t name sb =
-  let p = pool t name in
-  p := !p @ [ sb ]
+let push_pool t name sb = Queue.push sb (pool t name)
 
 let remove_from_pool t name sb =
   let p = pool t name in
-  let before = List.length !p in
-  p := List.filter (fun other -> not (other == sb)) !p;
-  List.length !p < before
+  let before = Queue.length p in
+  let keep = Queue.create () in
+  Queue.iter (fun other -> if not (other == sb) then Queue.push other keep) p;
+  Queue.clear p;
+  Queue.transfer keep p;
+  Queue.length p < before
 
 (* A P²SM merge thread landed on [cpu]: whatever runs there loses a
    context-switch round-trip, the thread's splice, and the cache/TLB
@@ -551,12 +550,12 @@ let blackout t =
   let pooled = ref 0 in
   Hashtbl.iter
     (fun _ p ->
-      List.iter
+      Queue.iter
         (fun sb ->
           Vmm.crash t.vmm sb;
           incr pooled)
-        !p;
-      p := [])
+        p;
+      Queue.clear p)
     t.pools;
   Metrics.incr t.metrics "platform.blackouts";
   Metrics.incr t.metrics ~by:!lost "platform.blackout_invocation_losses";

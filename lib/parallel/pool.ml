@@ -106,9 +106,17 @@ let with_pool ?jobs f =
   let t = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let run_list ?(chunk = 1) t thunks =
+(* The auto-chunk dispatch target: enough work per scheduled task
+   that deal/steal/wake overhead (~1 µs a task) stays in the noise,
+   small enough that a burst of cheap tasks still spreads over every
+   strand within a few hundred µs. *)
+let auto_chunk_target_s = 50e-6
+
+let run_list ?chunk t thunks =
   if Atomic.get t.closed then invalid_arg "Pool.run_list: pool is shut down";
-  if chunk < 1 then invalid_arg "Pool.run_list: chunk < 1";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Pool.run_list: chunk < 1"
+  | Some _ | None -> ());
   let thunks = Array.of_list thunks in
   let n = Array.length thunks in
   if n = 0 then []
@@ -126,7 +134,30 @@ let run_list ?(chunk = 1) t thunks =
         let bt = Printexc.get_raw_backtrace () in
         results.(i) <- Some (Error (e, bt))
     in
-    let ntasks = (n + chunk - 1) / chunk in
+    (* [start] is the first index dealt to the pool; auto-chunking runs
+       thunk 0 inline on the submitter to measure per-task cost, which
+       is fine because the submitter is one of the pool's strands and
+       slot 0 is filled either way *)
+    let start, chunk =
+      match chunk with
+      | Some c -> (0, c)
+      | None ->
+        (* keep at least ~4 tasks per strand so stealing can still
+           balance an uneven batch; under that there is nothing to
+           coarsen *)
+        let cap = n / (4 * t.pool_jobs) in
+        if cap <= 1 then (0, 1)
+        else begin
+          let t0 = Unix.gettimeofday () in
+          run_one 0;
+          let cost = Unix.gettimeofday () -. t0 in
+          if cost <= 0.0 then (1, cap)
+          else
+            let ideal = int_of_float (auto_chunk_target_s /. cost) in
+            (1, max 1 (min cap ideal))
+        end
+    in
+    let ntasks = (n - start + chunk - 1) / chunk in
     let batch =
       {
         remaining = Atomic.make ntasks;
@@ -135,7 +166,7 @@ let run_list ?(chunk = 1) t thunks =
       }
     in
     let task c () =
-      let lo = c * chunk in
+      let lo = start + (c * chunk) in
       let hi = min (lo + chunk) n - 1 in
       for i = lo to hi do
         run_one i

@@ -65,13 +65,19 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 
 val run_list : ?chunk:int -> t -> (unit -> 'a) list -> 'a list
 (** Run every thunk (possibly in parallel) and return the results in
-    list order.  [chunk] (default 1) groups that many consecutive
-    thunks into one scheduled task, run in ascending index order —
-    coarser dispatch for cheap thunks, identical results.  If any
-    thunk raises, the exception of the lowest-indexed failing thunk
-    is re-raised after the whole batch has settled (no task is left
-    running).  Re-entrant: a task may itself submit a batch, to this
-    or another pool.
+    list order.  [chunk] groups that many consecutive thunks into one
+    scheduled task, run in ascending index order — coarser dispatch
+    for cheap thunks, identical results.  When [chunk] is omitted it
+    is chosen automatically: the submitter times thunk 0 inline and
+    picks the chunk that puts ~50 µs of work in each scheduled task,
+    capped so every strand still gets at least ~4 tasks to steal from
+    (batches too small to coarsen fall back to [chunk = 1]).  The
+    measurement only affects scheduling granularity — results remain
+    slot-for-slot the sequential map for any chunk, chosen or given.
+    If any thunk raises, the exception of the lowest-indexed failing
+    thunk is re-raised after the whole batch has settled (no task is
+    left running).  Re-entrant: a task may itself submit a batch, to
+    this or another pool.
     @raise Invalid_argument if [chunk < 1]. *)
 
 val map : ?chunk:int -> t -> f:(int -> 'a -> 'b) -> 'a list -> 'b list

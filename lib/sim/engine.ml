@@ -32,6 +32,8 @@ let cancel t handle = Event_queue.cancel t.queue handle
 
 let pending t = Event_queue.length t.queue
 
+let next_time t = Event_queue.next_time t.queue
+
 let step t =
   match Event_queue.pop t.queue with
   | None -> false

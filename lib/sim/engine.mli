@@ -34,6 +34,10 @@ val cancel : t -> event_handle -> bool
 val pending : t -> int
 (** The number of callbacks still scheduled. *)
 
+val next_time : t -> Time_ns.t option
+(** The timestamp of the earliest pending callback, if any.  Used by
+    {!Shard_engine} to compute the global next epoch window. *)
+
 val run : ?until:Time_ns.t -> t -> unit
 (** Drive the loop until the queue drains, or until the first event
     strictly after [until] (which remains queued; the clock is left at

@@ -1,0 +1,230 @@
+(* Conservative epoch-synchronized execution over per-shard engines.
+
+   Determinism argument, in full, because everything rests on it:
+
+   - Window boundaries are global: the next window starts at the
+     minimum over all shards' next event times and all undelivered
+     message times, and ends [lookahead] later.  Neither quantity
+     depends on how shards are grouped onto tasks.
+   - Message delivery happens only at window tops, in [(at, src,
+     seq)] order — [seq] is per logical source, so the order is a
+     property of the workload, not of the schedule.  Delivery is a
+     plain [Engine.schedule_at] onto the destination queue, and the
+     event queue breaks timestamp ties FIFO by schedule order, so
+     same-instant messages also fire in that deterministic order.
+   - Within a window a shard drains only its own queue; the lookahead
+     contract ([post] refuses delivery times inside the current
+     window) guarantees no in-window cross-shard effect exists, so
+     per-shard streams are independent of concurrency.
+   - Outboxes and sequence counters are per source, and a source's
+     callbacks all run on the single task owning it in that window, so
+     no location is written by two domains; the executor's barrier
+     publishes all writes before the coordinator merges outboxes.
+
+   Hence every [Event_queue.schedule] call on every shard happens in
+   the same order with the same arguments for any shard count — runs
+   are bit-identical by construction. *)
+
+type message = {
+  at : Time_ns.t;
+  src : int;
+  seq : int;
+  dst : int;
+  fire : Engine.t -> unit;
+}
+
+(* The total delivery order: time, then source, then per-source seq. *)
+let compare_message a b =
+  let c = Time_ns.compare a.at b.at in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.src b.src in
+    if c <> 0 then c else Int.compare a.seq b.seq
+
+type t = {
+  engines : Engine.t array;
+  lookahead : Time_ns.span;
+  outboxes : message list ref array;  (* per source, newest first *)
+  seqs : int array;  (* per-source message counters *)
+  mutable pending : message list;  (* merged, sorted by compare_message *)
+  mutable horizon : Time_ns.t;  (* exclusive end of the current window *)
+  mutable epochs : int;
+  mutable delivered : int;
+  mutable running : bool;
+}
+
+let create ?(seed = 42) ~sources ~lookahead () =
+  if sources < 1 then invalid_arg "Shard_engine.create: sources < 1";
+  if Time_ns.span_to_ns lookahead <= 0 then
+    invalid_arg "Shard_engine.create: lookahead must be positive";
+  let root = Rng.create ~seed in
+  let engine_seed i =
+    (* an independent derived stream per shard, keyed by (seed, i):
+       the same rule the parallel sweep runner uses, so shard streams
+       never depend on each other or on the shard count *)
+    Int64.to_int (Rng.bits64 (Rng.derive root ~index:i)) land max_int
+  in
+  {
+    engines = Array.init sources (fun i -> Engine.create ~seed:(engine_seed i) ());
+    lookahead;
+    outboxes = Array.init sources (fun _ -> ref []);
+    seqs = Array.make sources 0;
+    pending = [];
+    horizon = Time_ns.zero;
+    epochs = 0;
+    delivered = 0;
+    running = false;
+  }
+
+let sources t = Array.length t.engines
+
+let lookahead t = t.lookahead
+
+let engine t i =
+  if i < 0 || i >= sources t then
+    invalid_arg "Shard_engine.engine: index out of range";
+  t.engines.(i)
+
+let epochs t = t.epochs
+
+let messages_delivered t = t.delivered
+
+let post t ~src ~dst ~at fire =
+  let n = sources t in
+  if src < 0 || src >= n then invalid_arg "Shard_engine.post: src out of range";
+  if dst < 0 || dst >= n then invalid_arg "Shard_engine.post: dst out of range";
+  if Time_ns.(at < t.horizon) then
+    invalid_arg
+      (Printf.sprintf
+         "Shard_engine.post: delivery at %dns is inside the current window \
+          (ends %dns); cross-shard sends need >= lookahead of slack"
+         (Time_ns.to_ns at) (Time_ns.to_ns t.horizon));
+  let seq = t.seqs.(src) in
+  t.seqs.(src) <- seq + 1;
+  let box = t.outboxes.(src) in
+  box := { at; src; seq; dst; fire } :: !box
+
+(* Merge every outbox into the sorted pending set.  Runs on the
+   coordinating domain, strictly after the executor's barrier. *)
+let collect_outboxes t =
+  let fresh = ref [] in
+  Array.iter
+    (fun box ->
+      (match !box with
+      | [] -> ()
+      | msgs -> fresh := List.rev_append msgs !fresh);
+      box := [])
+    t.outboxes;
+  match !fresh with
+  | [] -> ()
+  | msgs -> t.pending <- List.merge compare_message t.pending (List.sort compare_message msgs)
+
+(* Earliest next activity across all shards and pending messages. *)
+let next_activity t =
+  let best = ref (match t.pending with [] -> None | m :: _ -> Some m.at) in
+  Array.iter
+    (fun e ->
+      match Engine.next_time e with
+      | None -> ()
+      | Some at -> (
+        match !best with
+        | Some b when Time_ns.(b <= at) -> ()
+        | Some _ | None -> best := Some at))
+    t.engines;
+  !best
+
+(* Which execution task owns logical shard [i] when grouped into
+   [shards] tasks: shard 0 (the router, in cluster runs) keeps task 0
+   to itself, the rest deal round-robin over the remaining tasks.
+   Purely an execution-placement choice — results never depend on
+   it. *)
+let task_of_source ~shards ~sources i =
+  if shards >= sources then i
+  else if shards = 1 then 0
+  else if i = 0 then 0
+  else 1 + ((i - 1) mod (shards - 1))
+
+let run ?until ?(shards = 1) ?executor t =
+  if shards < 1 then invalid_arg "Shard_engine.run: shards < 1";
+  if t.running then invalid_arg "Shard_engine.run: re-entrant call";
+  t.running <- true;
+  Fun.protect ~finally:(fun () -> t.running <- false) @@ fun () ->
+  let run_tasks =
+    match executor with
+    | Some exec -> exec
+    | None -> List.iter (fun task -> task ())
+  in
+  let n = sources t in
+  let finish_at limit =
+    (* no activity at or before [limit]: advance every clock to it,
+       exactly as Engine.run does for a drained queue *)
+    Array.iter (fun e -> Engine.run ~until:limit e) t.engines
+  in
+  let rec loop () =
+    collect_outboxes t;
+    match next_activity t with
+    | None -> ( match until with Some l -> finish_at l | None -> ())
+    | Some start -> (
+      match until with
+      | Some l when Time_ns.(l < start) -> finish_at l
+      | _ ->
+        let wend =
+          let open_end = Time_ns.add start t.lookahead in
+          match until with
+          | Some l ->
+            (* events at exactly [l] must still fire: the window's
+               exclusive end may reach l + 1ns but no further *)
+            let closed = Time_ns.of_ns (Time_ns.to_ns l + 1) in
+            if Time_ns.(closed < open_end) then closed else open_end
+          | None -> open_end
+        in
+        t.horizon <- wend;
+        (* deliver every message due inside [start, wend), in (at,
+           src, seq) order; ties inside a destination queue then fire
+           FIFO in this same order *)
+        let rec deliver = function
+          | m :: rest when Time_ns.(m.at < wend) ->
+            ignore
+              (Engine.schedule_at t.engines.(m.dst) ~at:m.at (fun e -> m.fire e));
+            t.delivered <- t.delivered + 1;
+            deliver rest
+          | rest -> t.pending <- rest
+        in
+        deliver t.pending;
+        (* window body: each task drains its shards' queues up to the
+           window end (Engine.run ~until is inclusive, so stop 1ns
+           short of the exclusive bound) *)
+        let inclusive_end = Time_ns.of_ns (Time_ns.to_ns wend - 1) in
+        let groups = Array.make (min shards n) [] in
+        for i = n - 1 downto 0 do
+          let active =
+            match Engine.next_time t.engines.(i) with
+            | Some at -> Time_ns.(at < wend)
+            | None -> false
+          in
+          if active then begin
+            let g = task_of_source ~shards ~sources:n i in
+            groups.(g) <- i :: groups.(g)
+          end
+        done;
+        let tasks =
+          Array.fold_right
+            (fun group acc ->
+              match group with
+              | [] -> acc
+              | shard_ids ->
+                (fun () ->
+                  List.iter
+                    (fun i -> Engine.run ~until:inclusive_end t.engines.(i))
+                    shard_ids)
+                :: acc)
+            groups []
+        in
+        (match tasks with
+        | [] -> ()
+        | [ task ] -> task ()  (* no barrier needed for a lone task *)
+        | tasks -> run_tasks tasks);
+        t.epochs <- t.epochs + 1;
+        loop ())
+  in
+  loop ()

@@ -1,0 +1,88 @@
+(** A conservative, epoch-synchronized parallel discrete-event layer.
+
+    One simulation run is partitioned into [sources] logical shards —
+    each with its own {!Engine} (private event queue, clock and
+    derived RNG).  The shards advance in lock-step {e epoch windows}:
+    every window spans [\[t, t + lookahead)] where [t] is the global
+    minimum next event or message time, and within a window every
+    shard drains its own queue independently (possibly on its own
+    domain).  The conservative lookahead bound makes that safe: any
+    cross-shard interaction must be {!post}ed with a delivery time at
+    least [lookahead] in the future, so nothing created during a
+    window can land inside it.
+
+    Cross-shard messages are buffered into per-source outboxes during
+    the window and merged at the barrier into one pending set ordered
+    by [(time, source, sequence)]; at the top of each window every
+    message due inside it is delivered (scheduled onto its destination
+    engine) in exactly that order.  Because the window boundaries, the
+    delivery order, and every per-shard event stream depend only on
+    the simulated workload — never on how the shards are grouped onto
+    execution tasks or domains — a run is {e bit-identical for every
+    shard count}, including fully sequential execution.
+
+    The executor hook keeps this library free of any dependency on the
+    domain pool: callers (see [Horse_faas.Cluster.run]) pass a
+    parallel executor built on [Horse_parallel.Pool]; the default runs
+    every task inline on the calling domain.
+
+    Threading contract: during [run], shard [i]'s callbacks execute on
+    whichever task owns shard [i] for that window — all mutable state
+    reachable from a shard's callbacks must be private to that shard,
+    and the only cross-shard channel is {!post}.  A callback running
+    on shard [i] must pass [~src:i]. *)
+
+type t
+
+val create : ?seed:int -> sources:int -> lookahead:Time_ns.span -> unit -> t
+(** [sources] logical shards, each owning an {!Engine} seeded from an
+    independent stream derived from [(seed, shard index)] ([seed]
+    defaults to 42).  [lookahead] is the minimum cross-shard latency:
+    every {!post} must target a time at least one full window ahead.
+    @raise Invalid_argument if [sources < 1] or [lookahead] is zero. *)
+
+val sources : t -> int
+
+val lookahead : t -> Time_ns.span
+
+val engine : t -> int -> Engine.t
+(** The engine of one logical shard.
+    @raise Invalid_argument on an out-of-range index. *)
+
+val post :
+  t -> src:int -> dst:int -> at:Time_ns.t -> (Engine.t -> unit) -> unit
+(** Send a cross-shard message: [fire] runs on shard [dst]'s engine at
+    time [at], receiving that engine.  Messages are delivered in
+    [(at, src, seq)] order, where [seq] is a per-source counter — a
+    total order independent of shard grouping.  Must be called either
+    before {!run} (pre-run setup: provisioning, fault schedules) or
+    from a callback executing on shard [src] during a window; in the
+    latter case [at] must be at or past the end of the current window
+    (guaranteed when [at >= now + lookahead]).
+    @raise Invalid_argument on an out-of-range shard index or a
+    delivery time inside the current window. *)
+
+val run :
+  ?until:Time_ns.t ->
+  ?shards:int ->
+  ?executor:((unit -> unit) list -> unit) ->
+  t ->
+  unit
+(** Drive all shards to completion (or to [until], inclusive, exactly
+    like {!Engine.run}).  Per epoch window the due messages are
+    delivered in [(at, src, seq)] order, then the logical shards —
+    grouped into at most [shards] tasks (default 1): shard 0 alone in
+    task 0, the rest round-robin — are drained up to the window end by
+    [executor] (default: run every task inline, in task order).  The
+    executor must run every task to completion before returning and
+    must establish the usual happens-before between the tasks' writes
+    and its return ([Horse_parallel.Pool.run_list] does); it is called
+    once per window, so its dispatch cost bounds the epoch overhead.
+    Results are bit-identical for every [shards]/[executor].
+    @raise Invalid_argument if [shards < 1]. *)
+
+val epochs : t -> int
+(** Windows executed so far (cost-model diagnostics). *)
+
+val messages_delivered : t -> int
+(** Cross-shard messages delivered so far. *)

@@ -1,0 +1,304 @@
+(* Determinism tests for the sharded parallel engine: a cluster run
+   must be bit-identical — records, rejections, every counter — for
+   shards 1/2/4, across seeds, with faults off and with a non-inert
+   blackout plan, both in one shot and when driven op-by-op through
+   the model-based harness with the sequential run as the oracle.
+   The experiment layer's sharded entry points get the same check. *)
+
+module Engine = Horse_sim.Engine
+module Shard_engine = Horse_sim.Shard_engine
+module Time = Horse_sim.Time_ns
+module Metrics = Horse_sim.Metrics
+module Rng = Horse_sim.Rng
+module Topology = Horse_cpu.Topology
+module Sandbox = Horse_vmm.Sandbox
+module Platform = Horse_faas.Platform
+module Function_def = Horse_faas.Function_def
+module Cluster = Horse_faas.Cluster
+module Fault = Horse_fault.Fault
+module Category = Horse_workload.Category
+module E = Horse.Experiments
+
+let small_topology = Topology.create ~sockets:1 ~cores_per_socket:8 ()
+
+let ull_def =
+  Function_def.create ~name:"ull" ~vcpus:2 ~memory_mb:512
+    ~exec:(Function_def.Ull Category.Cat2) ()
+
+(* ------------------------------------------------------------------ *)
+(* Byte-level state dumps                                              *)
+(* ------------------------------------------------------------------ *)
+
+let dump_counters buf metrics =
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s=%d;" k v))
+    (Metrics.counters metrics)
+
+let dump_record buf (server, (r : Platform.record)) =
+  Buffer.add_string buf
+    (Printf.sprintf "%d|%s|%s|%d|%d|%d|%d|%d\n" server r.Platform.function_name
+       (Platform.mode_name r.Platform.mode)
+       (Time.to_ns r.Platform.triggered_at)
+       (Time.span_to_ns r.Platform.init)
+       (Time.span_to_ns r.Platform.exec)
+       (Time.span_to_ns r.Platform.preemption)
+       (Time.to_ns r.Platform.completed_at))
+
+let dump_cluster cluster =
+  let buf = Buffer.create 4096 in
+  List.iter (dump_record buf) (Cluster.records cluster);
+  List.iter
+    (fun (rj : Cluster.rejection) ->
+      Buffer.add_string buf
+        (Printf.sprintf "reject %s %s @%d\n"
+           (Cluster.reject_reason_name rj.Cluster.reason)
+           rj.Cluster.function_name
+           (Time.to_ns rj.Cluster.at)))
+    (Cluster.rejections cluster);
+  dump_counters buf (Cluster.metrics cluster);
+  for i = 0 to Cluster.server_count cluster - 1 do
+    dump_counters buf (Platform.metrics (Cluster.server cluster i))
+  done;
+  (match Cluster.shard_engine cluster with
+  | None -> ()
+  | Some se ->
+    (* the message count is part of the contract too: not just the
+       same outcome, the same protocol traffic *)
+    Buffer.add_string buf
+      (Printf.sprintf "messages=%d\n" (Shard_engine.messages_delivered se)));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* A sharded storm: triggers + optional blackouts on 4 servers        *)
+(* ------------------------------------------------------------------ *)
+
+let blackout_plan seed =
+  (* a 50 ms horizon gives each server a single blackout roll, so the
+     rate must be near-certain for the schedule to be non-inert on
+     every seed; the other triggers keep a modest rate to exercise
+     the recovery ladder under sharding too *)
+  Fault.Plan.create ~seed
+    ~rates:
+      (List.map
+         (fun trigger ->
+           (trigger, if trigger = Fault.Server_blackout then 0.95 else 0.02))
+         Fault.all_triggers)
+    ()
+
+let sharded_storm ~seed ~shards ~faulty () =
+  let faults = if faulty then blackout_plan (seed + 1) else Fault.Plan.none in
+  let cluster =
+    Cluster.create_sharded ~servers:4 ~topology:small_topology ~seed ~faults
+      ~recovery:Platform.Recovery.default ~shards ()
+  in
+  Cluster.register cluster ull_def;
+  Cluster.provision cluster ~name:"ull" ~total:12 ~strategy:Sandbox.Horse;
+  let horizon = Time.span_ms 50.0 in
+  if faulty then begin
+    let outages = Cluster.schedule_faults cluster ~horizon in
+    Alcotest.(check bool) "plan is non-inert" true (outages > 0)
+  end;
+  let rng = Rng.create ~seed:(seed + 2) in
+  let engine = Cluster.engine cluster in
+  for _ = 1 to 200 do
+    let after = Time.span_ns (Rng.int rng (Time.span_to_ns horizon)) in
+    ignore
+      (Engine.schedule engine ~after (fun _ ->
+           ignore
+             (Cluster.trigger cluster ~name:"ull"
+                ~mode:(Platform.Warm Sandbox.Horse) ())))
+  done;
+  Cluster.run cluster;
+  cluster
+
+let check_shard_invariance ~faulty seed =
+  let dump shards = dump_cluster (sharded_storm ~seed ~shards ~faulty ()) in
+  let reference = dump 1 in
+  Alcotest.(check bool)
+    "storm produced records" true
+    (String.length reference > 100);
+  List.iter
+    (fun shards ->
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: shards=%d == shards=1" seed shards)
+        reference (dump shards))
+    [ 2; 4 ]
+
+let test_storm_invariance () =
+  List.iter (check_shard_invariance ~faulty:false) [ 1; 42; 1337 ]
+
+let test_storm_invariance_faulty () =
+  List.iter (check_shard_invariance ~faulty:true) [ 1; 42; 1337 ]
+
+(* ------------------------------------------------------------------ *)
+(* Model-based: op-by-op against the sequential oracle                 *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Trigger of int  (** schedule a warm trigger [ns] after now *)
+  | Run of int  (** advance both clusters [ns] past the later now *)
+
+let shard_spec =
+  let gen rand =
+    match Random.State.int rand 3 with
+    | 0 | 1 -> Trigger (Random.State.int rand 3_000_000)
+    | _ -> Run (Random.State.int rand 5_000_000)
+  in
+  let show = function
+    | Trigger ns -> Printf.sprintf "Trigger +%dns" ns
+    | Run ns -> Printf.sprintf "Run +%dns" ns
+  in
+  let make () =
+    let fresh shards =
+      let cluster =
+        Cluster.create_sharded ~servers:3 ~topology:small_topology ~seed:11
+          ~shards ()
+      in
+      Cluster.register cluster ull_def;
+      Cluster.provision cluster ~name:"ull" ~total:9 ~strategy:Sandbox.Horse;
+      cluster
+    in
+    let sut = fresh 4 and oracle = fresh 1 in
+    let schedule cluster ns =
+      let engine = Cluster.engine cluster in
+      ignore
+        (Engine.schedule engine ~after:(Time.span_ns ns) (fun _ ->
+             ignore
+               (Cluster.trigger cluster ~name:"ull"
+                  ~mode:(Platform.Warm Sandbox.Horse) ())))
+    in
+    fun op ->
+      (match op with
+      | Trigger ns ->
+        schedule sut ns;
+        schedule oracle ns
+      | Run ns ->
+        (* both clocks sit at window boundaries that may differ until
+           drained; run to the same absolute horizon *)
+        let now c = Time.to_ns (Engine.now (Cluster.engine c)) in
+        let until = Time.of_ns (max (now sut) (now oracle) + ns) in
+        Cluster.run ~until sut;
+        Cluster.run ~until oracle);
+      let a = dump_cluster sut and b = dump_cluster oracle in
+      if String.equal a b then None
+      else Some (Printf.sprintf "shards=4 diverged from shards=1:\n%s\n--\n%s" a b)
+  in
+  Harness.{ name = "sharded cluster vs sequential"; gen; show; make }
+
+let test_model_based () = Harness.check shard_spec
+
+(* ------------------------------------------------------------------ *)
+(* Experiment layer: sharded entry points are shards-invariant        *)
+(* ------------------------------------------------------------------ *)
+
+let test_scale_invariant () =
+  let row shards =
+    E.scale_run ~seed:7 ~shards ~duration_s:0.05 ~servers:4 ~sandboxes:64
+      ~triggers:200 ()
+  in
+  let reference = row 1 in
+  Alcotest.(check bool)
+    "scale run completed work" true
+    (reference.E.sc_completed > 0);
+  List.iter
+    (fun shards ->
+      let r = row shards in
+      Alcotest.(check bool)
+        (Printf.sprintf "scale shards=%d == shards=1" shards)
+        true
+        ({ r with E.sc_shards = reference.E.sc_shards } = reference))
+    [ 2; 4 ]
+
+let test_faults_invariant () =
+  let rows shards =
+    E.faults ~seed:7 ~duration_s:0.3 ~rates:[ 0.0; 0.05 ] ~shards ()
+  in
+  let reference = rows 1 in
+  List.iter
+    (fun shards ->
+      Alcotest.(check bool)
+        (Printf.sprintf "faults shards=%d == shards=1" shards)
+        true
+        (rows shards = reference))
+    [ 2; 4 ]
+
+let test_colocation_invariant () =
+  let rows shards =
+    E.colocation ~seed:7 ~duration_s:0.5 ~repeats:2 ~vcpus:[ 8 ] ~shards ()
+  in
+  let reference = rows 1 in
+  List.iter
+    (fun shards ->
+      Alcotest.(check bool)
+        (Printf.sprintf "colocation shards=%d == shards=1" shards)
+        true
+        (rows shards = reference))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Shard engine basics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_post_ordering () =
+  (* same-instant messages from different sources fire in source
+     order, not post order *)
+  let se =
+    Shard_engine.create ~sources:3 ~lookahead:(Time.span_us 10.0) ()
+  in
+  let fired = ref [] in
+  let at = Time.of_ns 5_000 in
+  Shard_engine.post se ~src:2 ~dst:0 ~at (fun _ -> fired := 2 :: !fired);
+  Shard_engine.post se ~src:1 ~dst:0 ~at (fun _ -> fired := 1 :: !fired);
+  Shard_engine.post se ~src:0 ~dst:0 ~at (fun _ -> fired := 0 :: !fired);
+  Shard_engine.run se;
+  Alcotest.(check (list int)) "delivery in (at, src, seq) order" [ 0; 1; 2 ]
+    (List.rev !fired);
+  Alcotest.(check int) "all delivered" 3 (Shard_engine.messages_delivered se)
+
+let test_post_inside_window_rejected () =
+  let se =
+    Shard_engine.create ~sources:2 ~lookahead:(Time.span_us 10.0) ()
+  in
+  let engine = Shard_engine.engine se 0 in
+  let raised = ref false in
+  ignore
+    (Engine.schedule_at engine ~at:(Time.of_ns 100) (fun _ ->
+         (* now = 100ns, window is [100ns, 10100ns): a post due inside
+            it must be refused *)
+         match
+           Shard_engine.post se ~src:0 ~dst:1 ~at:(Time.of_ns 5_000)
+             (fun _ -> ())
+         with
+         | () -> ()
+         | exception Invalid_argument _ -> raised := true));
+  Shard_engine.run se;
+  Alcotest.(check bool) "in-window post rejected" true !raised
+
+let () =
+  Alcotest.run "horse_shard"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "storm: shards 1/2/4 bit-identical" `Quick
+            test_storm_invariance;
+          Alcotest.test_case "storm with blackouts: bit-identical" `Quick
+            test_storm_invariance_faulty;
+          Alcotest.test_case "model-based vs sequential oracle" `Slow
+            test_model_based;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "scale row shards-invariant" `Quick
+            test_scale_invariant;
+          Alcotest.test_case "faults rows shards-invariant" `Slow
+            test_faults_invariant;
+          Alcotest.test_case "colocation rows shards-invariant" `Slow
+            test_colocation_invariant;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "message delivery order" `Quick test_post_ordering;
+          Alcotest.test_case "in-window post rejected" `Quick
+            test_post_inside_window_rejected;
+        ] );
+    ]
