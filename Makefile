@@ -19,10 +19,10 @@ test-stress:
 	HORSE_STRESS=1 dune exec test/test_fault.exe
 
 # the default flow: build, tests (incl. stressed model-based suites),
-# regenerate all three bench records, gate on them (sweeps must not
-# regress; alloc:* and flat:* must hold 2x; scale:* must hold 1.5x on
-# multi-core hosts)
-verify: build test test-stress bench-json bench-micro bench-scale bench-check
+# regenerate all four bench records, gate on them (sweeps must not
+# regress; alloc:*, flat:* and storm:path:* must hold 2x; scale:*
+# must hold 1.5x on multi-core hosts; storm pipeline must not regress)
+verify: build test test-stress bench-json bench-micro bench-scale bench-storm bench-check
 
 bench:
 	dune exec bench/main.exe
@@ -66,13 +66,15 @@ bench-scale:
 # walking baseline; scale:* entries must show the sharded engine >=
 # 1.5x over sequential (>= 0.5 overhead floor on single-core hosts)
 bench-check:
-	dune exec bench/bench_check.exe -- BENCH_summary.json $(wildcard BENCH_micro.json) $(wildcard BENCH_scale.json)
+	dune exec bench/bench_check.exe -- BENCH_summary.json $(wildcard BENCH_micro.json) $(wildcard BENCH_scale.json) $(wildcard BENCH_storm.json)
 
 # the resume-storm macro-benchmark: 1000 paused uLL sandboxes on one
 # ull_runqueue, churn at 0/100/1000 subscribers, then resume them all
-# back-to-back (wall-clock; QUICK=1 for a 200-sandbox smoke run)
+# back-to-back (wall-clock; QUICK=1 for a smoke run), plus the
+# boxed-vs-flat trigger-path pipeline pairs recorded to
+# BENCH_storm.json for bench-check
 bench-storm:
-	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/storm.exe -- $(if $(QUICK),--quick)
+	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/storm.exe -- $(if $(QUICK),--quick) --json BENCH_storm.json
 
 # full-length hot-path microbenchmarks (event queue, pool dispatch,
 # run queue) in release mode; also records BENCH_micro.json so

@@ -32,6 +32,15 @@
      reads as "the baseline's latency grows this many times faster
      than the arena's" — the arena hot path must stay at least twice
      as flat as the walking baseline.
+   - [storm:*] pairs (storm.exe, boxed trigger path over flat trigger
+     path) split three ways: [storm:path:*] words entries must show
+     >= 2.0 — the isolated trigger-path machinery must allocate at
+     most half the words of the boxed idiom; [storm:pipeline:*] words
+     entries must show >= 1.0 — end-to-end allocation is diluted by
+     the shared simulation but must never regress; remaining storm
+     entries (pipeline ns) must show >= 1.0 on a multi-core producer
+     (0.75 single-core floor) — allocation-free bookkeeping must not
+     cost wall-clock.
    - [micro:*] timing entries are informational.
 
    Exits non-zero listing every violated entry. *)
@@ -86,8 +95,18 @@ let check_entry ~file ~producer_cores entry =
       (match speedup with Some s -> Printf.sprintf "%.3f" s | None -> "n/a")
       jobs
   in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+    at 0
+  in
   if starts_with ~prefix:"alloc:" name then verdict alloc_floor
   else if starts_with ~prefix:"flat:" name then verdict flat_floor
+  else if starts_with ~prefix:"storm:" name then
+    if starts_with ~prefix:"storm:path:" name && contains ~sub:"words" name
+    then verdict alloc_floor
+    else if contains ~sub:"words" name then verdict 1.0
+    else verdict (if multi_core then 1.0 else 0.75)
   else if starts_with ~prefix:"scale:" name then
     (* the "jobs" of a scale entry records the --shards it ran at *)
     if jobs >= 4 then verdict scale_floor else not_gated ()

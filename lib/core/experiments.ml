@@ -12,6 +12,8 @@ module Category = Horse_workload.Category
 module Platform = Horse_faas.Platform
 module Cluster = Horse_faas.Cluster
 module Function_def = Horse_faas.Function_def
+module Trigger_records = Horse_faas.Trigger_records
+module Batch = Horse_trace.Batch
 module Fault = Horse_fault.Fault
 
 module Pool = Horse_parallel.Pool
@@ -50,6 +52,41 @@ let fan ?chunk ~jobs f items =
   else Pool.map ?chunk (Pool.shared ~jobs ()) ~f:(fun _ x -> f x) items
 
 let ns_of span = float_of_int (Time.span_to_ns span)
+
+(* ------------------------------------------------------------------ *)
+(* Shared latency collection                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Every trace-driven experiment (colocation, faults, scale, storm)
+   aggregates the same per-completion quantity — end-to-end latency,
+   init + exec + preemption — out of a completion source; the
+   collection loop used to be copy-pasted per experiment over boxed
+   record lists.  This is the one shared pass, and it walks the
+   trigger-record arenas directly: no record materialization, no list,
+   O(1) memory beyond the aggregator. *)
+
+type completions = Of_platform of Platform.t | Of_cluster of Cluster.t
+
+let iter_completions source f =
+  match source with
+  | Of_platform p -> Platform.iter_records p (fun slot -> f p slot)
+  | Of_cluster c ->
+    Cluster.iter_records c (fun server slot -> f (Cluster.server c server) slot)
+
+(* Feed each completion's total latency, in ns scaled down by
+   [unit_ns], into [add] (a [Stats.Sample.add] or [Stats.Quantile.add]
+   partial application).  [fn_id] filters to one function; [on_slot]
+   lets a caller read extra columns of the rows that passed. *)
+let collect_latencies ?fn_id ?on_slot ~unit_ns ~add source =
+  iter_completions source (fun platform slot ->
+      let a = Platform.trigger_records platform in
+      let keep =
+        match fn_id with None -> true | Some id -> Trigger_records.fn_id a slot = id
+      in
+      if keep then begin
+        add (float_of_int (Trigger_records.total_ns a slot) /. unit_ns);
+        match on_slot with None -> () | Some f -> f a slot
+      end)
 
 (* A fresh single-server hypervisor for direct Vmm experiments.  The
    paper's Section 5 testbed runs with hyperthreading enabled (144
@@ -402,21 +439,26 @@ let thumbnail_def =
            Horse_workload.Thumbnail.latency_model ~variability:0.01 rng
              ~image_bytes:Horse_workload.Thumbnail.default_image_bytes))
 
-let colocation_summarise records =
+let colocation_summarise source =
+  (* paper-figure experiment: keep the exact [Sample] aggregator (the
+     streaming [Quantile] is for unbounded sweeps — see EXPERIMENTS.md
+     on the policy) *)
   let latencies = Stats.Sample.create () in
   let affected = ref 0 and max_delay_ns = ref 0.0 in
-  List.iter
-    (fun r ->
-      if r.Platform.function_name = "thumbnail" then begin
-        Stats.Sample.add latencies
-          (ns_of (Platform.record_total r) /. 1e6 (* ms *));
-        let d = ns_of r.Platform.preemption in
-        if d > 0.0 then begin
-          incr affected;
-          if d > !max_delay_ns then max_delay_ns := d
-        end
+  let thumbnail_id =
+    match source with
+    | Of_platform p -> Platform.fn_id p ~name:"thumbnail"
+    | Of_cluster c -> Cluster.fn_id c ~name:"thumbnail"
+  in
+  collect_latencies ~fn_id:thumbnail_id ~unit_ns:1e6 (* ms *)
+    ~add:(Stats.Sample.add latencies)
+    ~on_slot:(fun a slot ->
+      let d = ns_of (Trigger_records.preemption a slot) in
+      if d > 0.0 then begin
+        incr affected;
+        if d > !max_delay_ns then max_delay_ns := d
       end)
-    records;
+    source;
   (latencies, !affected, !max_delay_ns)
 
 let colocation_run ?shards ~profile ~seed ~duration ~ull_vcpus ~strategy
@@ -462,7 +504,7 @@ let colocation_run ?shards ~profile ~seed ~duration ~ull_vcpus ~strategy
                     ~mode:(Platform.Warm strategy) ()))))
       ull_arrivals;
     Cluster.run cluster;
-    colocation_summarise (List.map snd (Cluster.records cluster))
+    colocation_summarise (Of_cluster cluster)
   | None ->
     let engine = Engine.create ~seed () in
     let platform =
@@ -493,7 +535,7 @@ let colocation_run ?shards ~profile ~seed ~duration ~ull_vcpus ~strategy
                | exception Platform.No_warm_sandbox _ -> ())))
       ull_arrivals;
     Engine.run engine;
-    colocation_summarise (Platform.records platform)
+    colocation_summarise (Of_platform platform)
 
 let colocation ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 30.0)
     ?(repeats = 10) ?(vcpus = [ 1; 8; 16; 24; 36 ]) ?(jobs = 1) ?chunk ?shards
@@ -881,11 +923,13 @@ let fault_run ?shards ~profile ~seed ~duration ~rate ~strategy () =
     arrivals;
   ignore (Cluster.schedule_faults cluster ~horizon:duration);
   Cluster.run cluster;
-  let latencies = Stats.Sample.create () in
-  List.iter
-    (fun (_, r) ->
-      Stats.Sample.add latencies (ns_of (Platform.record_total r) /. 1e3))
-    (Cluster.records cluster);
+  (* unbounded fault sweep: stream through the fixed-memory estimator
+     rather than retaining every latency *)
+  let latencies =
+    Stats.Quantile.create ~quantiles:[| 0.5; 0.99; 0.999 |] ()
+  in
+  collect_latencies ~unit_ns:1e3 ~add:(Stats.Quantile.add latencies)
+    (Of_cluster cluster);
   let sum_servers ~prefix =
     let acc = ref 0 in
     for i = 0 to Cluster.server_count cluster - 1 do
@@ -896,8 +940,8 @@ let fault_run ?shards ~profile ~seed ~duration ~rate ~strategy () =
     !acc
   in
   let attempted = List.length arrivals in
-  let completed = List.length (Cluster.records cluster) in
-  let p q = Stats.Sample.percentile latencies q in
+  let completed = Cluster.record_count cluster in
+  let p q = Stats.Quantile.percentile latencies q in
   {
     fr_rate_pct = rate *. 100.0;
     fr_strategy = Sandbox.strategy_name strategy;
@@ -965,7 +1009,6 @@ let scale_run ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
     Cluster.create_sharded ~servers ~topology:Topology.r650_smt
       ~cost:(cost_of_profile profile) ~seed ~ull_count ~shards ()
   in
-  let engine = Cluster.engine cluster in
   Cluster.register cluster
     (Function_def.create ~name:"ull" ~vcpus:2 ~memory_mb:512
        ~exec:(Function_def.Ull Category.Cat2) ());
@@ -973,34 +1016,33 @@ let scale_run ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
     ~strategy:Sandbox.Horse;
   (* [triggers] arrivals at sorted uniform offsets in [0, duration) —
      independent of the cluster's RNGs, same offset rule as the other
-     trace-driven experiments *)
+     trace-driven experiments — handed to the router as one flat
+     batch: the event queue holds one ingestion window at a time, so
+     trigger-path memory stays bounded however long the trace is *)
   let rng = Rng.create ~seed:(seed + 514229) in
-  let dur_ns = Time.span_to_ns duration in
-  let offsets =
-    List.sort compare (List.init triggers (fun _ -> Rng.int rng dur_ns))
+  let batch =
+    Batch.uniform ~rng ~n:triggers ~duration
+      ~fn_id:(Cluster.fn_id cluster ~name:"ull")
+      ~payload:(Platform.mode_code (Platform.Warm Sandbox.Horse))
+      ()
   in
-  List.iter
-    (fun ns ->
-      ignore
-        (Engine.schedule engine ~after:(Time.span_ns ns) (fun _ ->
-             ignore
-               (Cluster.trigger cluster ~name:"ull"
-                  ~mode:(Platform.Warm Sandbox.Horse) ()))))
-    offsets;
+  Cluster.schedule_batch cluster batch;
   on_run (fun () -> Cluster.run cluster);
-  let latencies = Stats.Sample.create () in
-  List.iter
-    (fun (_, r) ->
-      Stats.Sample.add latencies (ns_of (Platform.record_total r) /. 1e3))
-    (Cluster.records cluster);
-  let p q = Stats.Sample.percentile latencies q in
+  (* streaming aggregation: this sweep is the one that grows to 100M
+     triggers, so percentile memory must not scale with the run *)
+  let latencies =
+    Stats.Quantile.create ~quantiles:[| 0.5; 0.99 |] ()
+  in
+  collect_latencies ~unit_ns:1e3 ~add:(Stats.Quantile.add latencies)
+    (Of_cluster cluster);
+  let p q = Stats.Quantile.percentile latencies q in
   let se = Option.get (Cluster.shard_engine cluster) in
   {
     sc_servers = servers;
     sc_sandboxes = sandboxes;
     sc_triggers = triggers;
     sc_shards = shards;
-    sc_completed = List.length (Cluster.records cluster);
+    sc_completed = Cluster.record_count cluster;
     sc_rejected = List.length (Cluster.rejections cluster);
     sc_p50_us = p 50.0;
     sc_p99_us = p 99.0;
@@ -1020,6 +1062,123 @@ let scale ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
       scale_run ~profile ~seed ~shards ~duration_s ~servers ~sandboxes
         ~triggers ())
     points
+
+(* ------------------------------------------------------------------ *)
+(* Storm pipeline: the trigger-path measurement pair                   *)
+(* ------------------------------------------------------------------ *)
+
+type storm_row = {
+  st_triggers : int;
+  st_completed : int;
+  st_rejected : int;
+  st_p50_us : float;
+  st_p99_us : float;
+  st_p999_us : float;
+}
+
+(* One server, one hot function, a storm of warm triggers: the whole
+   trigger path end to end (trace generation -> ingestion -> routing
+   -> resume -> completion -> aggregation) with nothing else in the
+   frame.  Two implementations of the same pipeline make the storm
+   bench's measurement pair:
+
+   - [storm_run_boxed] carries per-trigger boxed state the way the
+     pre-arena code did: a closure per scheduled arrival, a
+     materialized record plus [(server, record)] tuple per completion,
+     a list cons per record, and exact [Sample] aggregation over the
+     retained list;
+   - [storm_run_flat] is the zero-allocation path: flat batch
+     ingestion through the windowed cursor, arena append per
+     completion, and a streaming [Quantile] fed straight from the
+     arena columns.
+
+   Both drive bit-identical simulations — same RNG draws, same arrival
+   order, same completions — so completed counts must match exactly
+   and percentiles agree up to the estimator's tolerance. *)
+
+let storm_cluster ~profile ~seed ~sandboxes =
+  let cluster =
+    Cluster.create ~servers:1 ~topology:Topology.r650_smt
+      ~cost:(cost_of_profile profile) ~seed
+      ~ull_count:(max 1 (min 32 (sandboxes / 16)))
+      ~engine:(Engine.create ~seed ())
+      ()
+  in
+  Cluster.register cluster
+    (Function_def.create ~name:"ull" ~vcpus:2 ~memory_mb:512
+       ~exec:(Function_def.Ull Category.Cat2) ());
+  Cluster.provision cluster ~name:"ull" ~total:sandboxes
+    ~strategy:Sandbox.Horse;
+  cluster
+
+let storm_batch ~seed ~triggers ~duration cluster =
+  let rng = Rng.create ~seed:(seed + 514229) in
+  Batch.uniform ~rng ~n:triggers ~duration
+    ~fn_id:(Cluster.fn_id cluster ~name:"ull")
+    ~payload:(Platform.mode_code (Platform.Warm Sandbox.Horse))
+    ()
+
+let storm_row ~triggers ~completed ~rejected ~p =
+  {
+    st_triggers = triggers;
+    st_completed = completed;
+    st_rejected = rejected;
+    st_p50_us = p 50.0;
+    st_p99_us = p 99.0;
+    st_p999_us = p 99.9;
+  }
+
+let storm_run_boxed ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 1.0)
+    ?(sandboxes = 512) ~triggers () =
+  let duration = Time.span_s duration_s in
+  let cluster = storm_cluster ~profile ~seed ~sandboxes in
+  let batch = storm_batch ~seed ~triggers ~duration cluster in
+  let engine = Cluster.engine cluster in
+  let acc = ref [] and count = ref 0 in
+  for k = 0 to Batch.length batch - 1 do
+    ignore
+      (Engine.schedule engine ~after:(Batch.time batch k) (fun _ ->
+           ignore
+             (Cluster.trigger cluster ~name:"ull"
+                ~mode:(Platform.Warm Sandbox.Horse)
+                ~on_complete:(fun (_, r) ->
+                  incr count;
+                  acc := r :: !acc)
+                ())))
+  done;
+  Cluster.run cluster;
+  let latencies = Stats.Sample.create () in
+  List.iter
+    (fun r ->
+      Stats.Sample.add latencies (ns_of (Platform.record_total r) /. 1e3))
+    (List.rev !acc);
+  let p q =
+    if Stats.Sample.count latencies = 0 then 0.0
+    else Stats.Sample.percentile latencies q
+  in
+  storm_row ~triggers ~completed:!count
+    ~rejected:(List.length (Cluster.rejections cluster))
+    ~p
+
+let storm_run_flat ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 1.0)
+    ?(sandboxes = 512) ?window ~triggers () =
+  let duration = Time.span_s duration_s in
+  let cluster = storm_cluster ~profile ~seed ~sandboxes in
+  let batch = storm_batch ~seed ~triggers ~duration cluster in
+  Cluster.schedule_batch ?window cluster batch;
+  Cluster.run cluster;
+  let latencies =
+    Stats.Quantile.create ~quantiles:[| 0.5; 0.99; 0.999 |] ()
+  in
+  collect_latencies ~unit_ns:1e3 ~add:(Stats.Quantile.add latencies)
+    (Of_cluster cluster);
+  let p q =
+    if Stats.Quantile.count latencies = 0 then 0.0
+    else Stats.Quantile.percentile latencies q
+  in
+  storm_row ~triggers ~completed:(Cluster.record_count cluster)
+    ~rejected:(List.length (Cluster.rejections cluster))
+    ~p
 
 (* ------------------------------------------------------------------ *)
 (* Headline summary                                                    *)

@@ -322,6 +322,39 @@ val scale :
     a task pool: the parallelism under test is the sharded engine
     inside each run. *)
 
+(** {1 Storm pipeline — the trigger-path measurement pair} *)
+
+type storm_row = {
+  st_triggers : int;
+  st_completed : int;
+  st_rejected : int;
+  st_p50_us : float;
+  st_p99_us : float;
+  st_p999_us : float;
+}
+
+val storm_run_boxed :
+  ?profile:profile -> ?seed:int -> ?duration_s:float -> ?sandboxes:int ->
+  triggers:int -> unit -> storm_row
+(** The whole trigger path — trace generation, ingestion, routing,
+    resume, completion, aggregation — on one server with one hot
+    function, implemented the pre-arena way: a closure per scheduled
+    arrival, a boxed record (plus tuple and list cons) per completion,
+    and exact {!Horse_sim.Stats.Sample} percentiles over the retained
+    list.  The baseline half of the storm benchmark's ns/trigger and
+    words/trigger pair. *)
+
+val storm_run_flat :
+  ?profile:profile -> ?seed:int -> ?duration_s:float -> ?sandboxes:int ->
+  ?window:int -> triggers:int -> unit -> storm_row
+(** The same pipeline on the zero-allocation path: flat batch
+    ingestion through {!Horse_faas.Cluster.schedule_batch} (windowed
+    cursor, [window] default 4096), struct-of-arrays record appends,
+    and a streaming {!Horse_sim.Stats.Quantile} fed from the arena
+    columns.  Simulates the {e same} run as {!storm_run_boxed} — same
+    RNG draws, same arrival order — so [st_completed] matches exactly
+    and percentiles agree up to the estimator tolerance. *)
+
 (** {1 Headline summary} *)
 
 type summary = {

@@ -6,6 +6,7 @@ module Topology = Horse_cpu.Topology
 module Cost_model = Horse_cpu.Cost_model
 module Fault = Horse_fault.Fault
 module Pool = Horse_parallel.Pool
+module Batch = Horse_trace.Batch
 
 type routing = Round_robin | Least_loaded | Warm_first
 
@@ -58,7 +59,17 @@ type t = {
   healthy : bool array;
   mutable rr_cursor : int;
   trigger_counts : int array;
-  mutable completed : (int * Platform.record) list;  (* newest first *)
+  (* Fleet-wide completion log: one packed (slot, server) int per
+     completion, in router-observed order.  The slot indexes the
+     server platform's trigger-record arena, so the log itself costs
+     one word per trigger; the boxed [(server, record)] list the old
+     code consed per completion is now materialized on demand (and
+     memoized) by [records]. *)
+  srv_bits : int;
+  mutable log : int array;
+  mutable log_len : int;
+  mutable records_cache : (int * Platform.record) list;
+  mutable records_cache_len : int;
   mutable rejected : rejection list;  (* newest first *)
 }
 
@@ -77,6 +88,13 @@ let make ~servers ~routing ~topology ~cost ~keep_alive ~seed ~faults ~recovery
   in
   let metrics = Metrics.create () in
   Fault.Plan.attach_metrics faults metrics;
+  let srv_bits =
+    let b = ref 0 in
+    while 1 lsl !b < servers do
+      incr b
+    done;
+    !b
+  in
   {
     engine;
     backend;
@@ -87,7 +105,11 @@ let make ~servers ~routing ~topology ~cost ~keep_alive ~seed ~faults ~recovery
     healthy = Array.make servers true;
     rr_cursor = 0;
     trigger_counts = Array.make servers 0;
-    completed = [];
+    srv_bits;
+    log = Array.make 64 0;
+    log_len = 0;
+    records_cache = [];
+    records_cache_len = 0;
     rejected = [];
   }
 
@@ -150,6 +172,22 @@ let healthy t i =
 
 let healthy_count t =
   Array.fold_left (fun acc up -> if up then acc + 1 else acc) 0 t.healthy
+
+let log_push t ~server ~slot =
+  if t.log_len = Array.length t.log then begin
+    let w = Array.make (2 * t.log_len) 0 in
+    Array.blit t.log 0 w 0 t.log_len;
+    t.log <- w
+  end;
+  t.log.(t.log_len) <- (slot lsl t.srv_bits) lor server;
+  t.log_len <- t.log_len + 1
+
+(* All server registries intern the same functions in the same order
+   ([register] fans out to every server), so any server's ids stand
+   for the fleet; server 0 is the canonical lookup. *)
+let fn_id t ~name = Platform.fn_id t.platforms.(0) ~name
+
+let function_name t ~fn_id = Platform.function_name t.platforms.(0) ~fn_id
 
 (* The pool-size mirror for [name]; rows exist from [register] on, so
    creation never reads live server state mid-run. *)
@@ -288,10 +326,13 @@ let reject t ~reason ~name =
 
 (* Sharded placement: the router commits to server [i] and the trigger
    crosses the placement delay as a message; the server's outcome
-   (completion record or a dry pool) crosses back the same way.  All
-   router-side state — records, mirrors, rejection log — mutates only
-   on shard 0, in deterministic message-delivery order. *)
-let trigger_sharded t s ~name ~mode ~on_complete i =
+   (completion notification or a dry pool) crosses back the same way.
+   All router-side state — the completion log, mirrors, rejection log
+   — mutates only on shard 0, in deterministic message-delivery order.
+   The completion carries the arena slot, not a boxed record: the
+   router logs one packed int and materializes a record only for an
+   explicit [on_complete] subscriber. *)
+let trigger_sharded t s ~name ~fn_id ~mode ~on_complete i =
   t.trigger_counts.(i) <- t.trigger_counts.(i) + 1;
   s.live_view.(i) <- s.live_view.(i) + 1;
   (match mode with
@@ -303,18 +344,20 @@ let trigger_sharded t s ~name ~mode ~on_complete i =
   let arrive = Time.add (Engine.now t.engine) s.placement in
   Shard_engine.post s.se ~src:0 ~dst:(i + 1) ~at:arrive (fun server_engine ->
       match
-        Platform.trigger platform ~name ~mode
-          ~on_complete:(fun record ->
+        Platform.trigger_id platform ~fn_id ~mode
+          ~on_complete_slot:(fun slot ->
             (* server side, completion time: capture the pool size the
                sandbox just returned to, then notify the router *)
             let pool_now = Platform.pool_size platform ~name in
             let done_at = Time.add (Engine.now server_engine) s.placement in
             Shard_engine.post s.se ~src:(i + 1) ~dst:0 ~at:done_at (fun _ ->
-                t.completed <- (i, record) :: t.completed;
+                log_push t ~server:i ~slot;
                 s.live_view.(i) <- max 0 (s.live_view.(i) - 1);
                 (pool_view_entry s.pool_view ~servers:(server_count t) name).(i)
                 <- pool_now;
-                on_complete (i, record)))
+                match on_complete with
+                | None -> ()
+                | Some f -> f (i, Platform.record_of_slot platform slot)))
           ()
       with
       | () -> ()
@@ -327,18 +370,21 @@ let trigger_sharded t s ~name ~mode ~on_complete i =
             ignore (reject t ~reason:No_warm_capacity ~name)));
   Accepted i
 
-let trigger t ~name ~mode ?(on_complete = fun _ -> ()) () =
+let trigger_resolved t ~name ~fn_id ~mode ~on_complete =
   match route t ~name ~mode with
   | None -> reject t ~reason:All_servers_down ~name
   | Some i -> (
     match t.backend with
-    | Sharded s -> trigger_sharded t s ~name ~mode ~on_complete i
+    | Sharded s -> trigger_sharded t s ~name ~fn_id ~mode ~on_complete i
     | Direct -> (
+      let platform = t.platforms.(i) in
       match
-        Platform.trigger t.platforms.(i) ~name ~mode
-          ~on_complete:(fun record ->
-            t.completed <- (i, record) :: t.completed;
-            on_complete (i, record))
+        Platform.trigger_id platform ~fn_id ~mode
+          ~on_complete_slot:(fun slot ->
+            log_push t ~server:i ~slot;
+            match on_complete with
+            | None -> ()
+            | Some f -> f (i, Platform.record_of_slot platform slot))
           ()
       with
       | () ->
@@ -349,6 +395,58 @@ let trigger t ~name ~mode ?(on_complete = fun _ -> ()) () =
            chosen server's pool (and, with degradation off, the whole
            attempt) came up dry *)
         reject t ~reason:No_warm_capacity ~name))
+
+let trigger t ~name ~mode ?on_complete () =
+  (* resolve the id up front so an unknown function raises before any
+     routing side effects, exactly as the per-name path always did *)
+  let fn_id = fn_id t ~name in
+  trigger_resolved t ~name ~fn_id ~mode ~on_complete
+
+let trigger_id t ~fn_id ~mode ?on_complete () =
+  let name = function_name t ~fn_id in
+  trigger_resolved t ~name ~fn_id ~mode ~on_complete
+
+(* Batched ingestion: walk the (sorted) batch through a windowed
+   cursor.  Each refill pre-schedules the next [window] arrivals on
+   the router engine in batch order — the refill event for the
+   window's boundary instant is scheduled {e before} the boundary
+   trigger itself, so under the engine's FIFO tie-break the next
+   window is enqueued before the boundary trigger fires and arrivals
+   always fire in batch order.  The event queue therefore holds at
+   most [window] pending arrivals instead of the whole trace. *)
+let schedule_batch ?(window = 4096) ?on_complete t batch =
+  if window < 1 then invalid_arg "Cluster.schedule_batch: window < 1";
+  if not (Batch.sorted batch) then
+    invalid_arg "Cluster.schedule_batch: batch not sorted";
+  let n = Batch.length batch in
+  let base = Engine.now t.engine in
+  let fire k =
+    let fn_id = Batch.fn_id batch k in
+    let mode = Platform.mode_of_code (Batch.payload batch k) in
+    ignore
+      (trigger_resolved t
+         ~name:(function_name t ~fn_id)
+         ~fn_id ~mode ~on_complete)
+  in
+  let rec refill start =
+    if start < n then begin
+      let stop = min n (start + window) in
+      (* next refill first: it shares the boundary trigger's instant
+         and must win the FIFO tie *)
+      if stop < n then
+        ignore
+          (Engine.schedule_at t.engine
+             ~at:(Time.add base (Time.span_ns (Batch.time_ns batch (stop - 1))))
+             (fun _ -> refill stop));
+      for k = start to stop - 1 do
+        ignore
+          (Engine.schedule_at t.engine
+             ~at:(Time.add base (Time.span_ns (Batch.time_ns batch k)))
+             (fun _ -> fire k))
+      done
+    end
+  in
+  refill 0
 
 let schedule_faults t ~horizon =
   let outages =
@@ -414,7 +512,39 @@ let run ?until t =
     in
     Shard_engine.run ?until ~shards:s.exec_shards ?executor s.se
 
-let records t = List.rev t.completed
+let record_count t = t.log_len
+
+let iter_records t f =
+  let mask = (1 lsl t.srv_bits) - 1 in
+  for k = 0 to t.log_len - 1 do
+    let packed = t.log.(k) in
+    f (packed land mask) (packed lsr t.srv_bits)
+  done
+
+let fold_records t ~init ~f =
+  let mask = (1 lsl t.srv_bits) - 1 in
+  let acc = ref init in
+  for k = 0 to t.log_len - 1 do
+    let packed = t.log.(k) in
+    acc := f !acc (packed land mask) (packed lsr t.srv_bits)
+  done;
+  !acc
+
+(* Compatibility shim over the packed log, memoized on log length
+   (the log is append-only), like [Platform.records]. *)
+let records t =
+  if t.log_len <> t.records_cache_len then begin
+    let mask = (1 lsl t.srv_bits) - 1 in
+    let l = ref [] in
+    for k = t.log_len - 1 downto 0 do
+      let packed = t.log.(k) in
+      let server = packed land mask and slot = packed lsr t.srv_bits in
+      l := (server, Platform.record_of_slot t.platforms.(server) slot) :: !l
+    done;
+    t.records_cache <- !l;
+    t.records_cache_len <- t.log_len
+  end;
+  t.records_cache
 
 let rejections t = List.rev t.rejected
 

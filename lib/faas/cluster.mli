@@ -136,6 +136,15 @@ val mark_up : t -> int -> unit
 val register : t -> Function_def.t -> unit
 (** Register the function on every server. *)
 
+val fn_id : t -> name:string -> int
+(** The fleet-wide dense id for a registered function.  Every server
+    interns the same functions in the same order, so one id stands for
+    all servers — resolve once, then use {!trigger_id} on hot paths.
+    @raise Platform.Unknown_function *)
+
+val function_name : t -> fn_id:int -> string
+(** @raise Invalid_argument on an unknown id. *)
+
 val provision :
   t -> name:string -> total:int -> strategy:Horse_vmm.Sandbox.strategy -> unit
 (** Park [total] warm sandboxes for [name], spread round-robin across
@@ -158,7 +167,40 @@ val trigger :
     case surfaces one placement delay later as a recorded
     [No_warm_capacity] rejection instead — the router has already
     committed [Accepted i] by the time the server reports back.
+    When [on_complete] is omitted the completion is only logged (one
+    packed int), never materialized as a boxed record.
     @raise Platform.Unknown_function *)
+
+val trigger_id :
+  t ->
+  fn_id:int ->
+  mode:Platform.start_mode ->
+  ?on_complete:(int * Platform.record -> unit) ->
+  unit ->
+  outcome
+(** {!trigger} by pre-resolved dense id — no per-trigger string
+    lookup.  @raise Invalid_argument on an unknown id. *)
+
+val schedule_batch :
+  ?window:int ->
+  ?on_complete:(int * Platform.record -> unit) ->
+  t ->
+  Horse_trace.Batch.t ->
+  unit
+(** Ingest a whole (sorted) trigger batch, offsets relative to the
+    router engine's current time, each trigger routed exactly as
+    {!trigger_id} would at its arrival instant ([payload] column =
+    {!Platform.mode_code}).  Arrivals are pre-scheduled through a
+    windowed cursor ([window] at a time, default 4096) so the event
+    queue holds one window rather than the whole trace; within the
+    batch, arrivals fire in batch order.  With [window >= length]
+    the schedule is event-for-event identical to calling
+    {!trigger_id} in a loop of [Engine.schedule_at]; with smaller
+    windows, later-window arrivals are enqueued mid-run, so an
+    unrelated simulation event at {e exactly} a window-boundary
+    timestamp may interleave differently — each ingestion style is
+    individually deterministic and shard-count-invariant.
+    @raise Invalid_argument if [window < 1] or the batch is unsorted. *)
 
 val run : ?until:Horse_sim.Time_ns.t -> t -> unit
 (** Drive the simulation to completion (or to [until], inclusive).
@@ -175,9 +217,22 @@ val schedule_faults : t -> horizon:Horse_sim.Time_ns.span -> int
     warm capacity was lost).  Returns the number of outages scheduled
     (0 for an inert plan). *)
 
+val record_count : t -> int
+(** Completions logged fleet-wide so far. *)
+
+val iter_records : t -> (int -> int -> unit) -> unit
+(** [iter_records t f] applies [f server slot] to every completion in
+    router-observed order, allocating nothing; [slot] indexes
+    [Platform.trigger_records (server t server)]. *)
+
+val fold_records : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+(** Like {!iter_records}: [f acc server slot]. *)
+
 val records : t -> (int * Platform.record) list
 (** All completed invocations fleet-wide, oldest first, tagged with
-    their server. *)
+    their server — the boxed compatibility view, memoized like
+    {!Platform.records}.  Prefer {!iter_records}/{!fold_records} on
+    large runs. *)
 
 val rejections : t -> rejection list
 (** All rejected triggers, oldest first. *)

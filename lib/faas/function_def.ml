@@ -27,3 +27,47 @@ let sample_exec t rng =
   | Fixed span -> span
   | Ull category -> Horse_workload.Category.sample_service_time category rng
   | Sampled f -> f rng
+
+module Registry = struct
+  (* Dense interning of function names, one registry per platform (no
+     process-global state, so parallel experiment fans never share a
+     table).  Ids are assigned in registration order: a cluster that
+     registers the same functions on every server in the same order
+     gets identical ids fleet-wide, which is what lets a trigger batch
+     carry one fn-id column for any server. *)
+  type reg = {
+    ids : (string, int) Hashtbl.t;
+    mutable defs : t array;  (* id -> definition; index < used *)
+    mutable used : int;
+  }
+
+  type nonrec t = reg
+
+  let create () = { ids = Hashtbl.create 16; defs = [||]; used = 0 }
+
+  let count r = r.used
+
+  let find r name = Hashtbl.find_opt r.ids name
+
+  let intern r fn =
+    match Hashtbl.find_opt r.ids fn.name with
+    | Some id -> id
+    | None ->
+      let id = r.used in
+      if id = Array.length r.defs then begin
+        let defs = Array.make (max 8 (2 * id)) fn in
+        Array.blit r.defs 0 defs 0 id;
+        r.defs <- defs
+      end;
+      r.defs.(id) <- fn;
+      r.used <- id + 1;
+      Hashtbl.replace r.ids fn.name id;
+      id
+
+  let def r id =
+    if id < 0 || id >= r.used then
+      invalid_arg "Function_def.Registry.def: unknown id";
+    r.defs.(id)
+
+  let name r id = (def r id).name
+end

@@ -26,3 +26,32 @@ val create :
 
 val sample_exec : t -> Horse_sim.Rng.t -> Horse_sim.Time_ns.span
 (** Draw one service time. *)
+
+(** Dense interning of function names to small ids.  Each platform
+    owns one registry (no global state); ids are assigned in
+    registration order, so a cluster registering the same functions on
+    every server in the same order gets identical ids fleet-wide.  The
+    ids index the trigger-record arena's fn-id column and the warm-pool
+    array, keeping the per-trigger hot path free of string hashing. *)
+module Registry : sig
+  type def := t
+
+  type t
+
+  val create : unit -> t
+
+  val intern : t -> def -> int
+  (** The id for this definition's name, assigning the next dense id
+      on first sight. *)
+
+  val find : t -> string -> int option
+
+  val count : t -> int
+  (** Ids are [0 .. count - 1]. *)
+
+  val def : t -> int -> def
+  (** @raise Invalid_argument on an unknown id. *)
+
+  val name : t -> int -> string
+  (** @raise Invalid_argument on an unknown id. *)
+end

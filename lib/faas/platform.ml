@@ -21,6 +21,34 @@ let mode_name = function
   | Restore -> "restore"
   | Warm strategy -> "warm-" ^ Sandbox.strategy_name strategy
 
+(* Dense start-mode codes for the trigger-record arena's mode column
+   and the per-mode metric-handle arrays. *)
+let mode_count = 6
+
+let mode_code = function
+  | Cold -> 0
+  | Restore -> 1
+  | Warm Sandbox.Vanilla -> 2
+  | Warm Sandbox.Ppsm -> 3
+  | Warm Sandbox.Coal -> 4
+  | Warm Sandbox.Horse -> 5
+
+(* decode through a preallocated table so iterating the arena never
+   allocates a [Warm _] block *)
+let mode_table =
+  [|
+    Cold;
+    Restore;
+    Warm Sandbox.Vanilla;
+    Warm Sandbox.Ppsm;
+    Warm Sandbox.Coal;
+    Warm Sandbox.Horse;
+  |]
+
+let mode_of_code i =
+  if i < 0 || i >= mode_count then invalid_arg "Platform.mode_of_code";
+  mode_table.(i)
+
 type record = {
   function_name : string;
   mode : start_mode;
@@ -82,16 +110,26 @@ module Recovery = struct
       cold_timeout }
 end
 
+(* What a completion notifies.  [Sink_slot] hands over the arena slot
+   of the just-appended record — the zero-allocation path the cluster
+   rides; [Sink_record] materializes the boxed record only because a
+   caller asked for one. *)
+type sink =
+  | Sink_none
+  | Sink_record of (record -> unit)
+  | Sink_slot of (int -> unit)
+
 type invocation = {
   id : int;
   fn : Function_def.t;
+  fn_id : int;
   inv_mode : start_mode;
   sandbox : Sandbox.t;
   started : Time.t;
   inv_init : Time.span;
   inv_exec : Time.span;
   cpus : int list;
-  on_complete : record -> unit;
+  sink : sink;
   mutable preempt_ns : int;
   mutable finish_at : Time.t;
   mutable completion : Engine.event_handle option;
@@ -110,15 +148,26 @@ type t = {
   rng : Rng.t;
   keep_alive : Time.span;
   recovery : Recovery.t;
-  functions : (string, Function_def.t) Hashtbl.t;
+  registry : Function_def.Registry.t;  (* name <-> dense fn-id *)
   pools : (string, Sandbox.t Queue.t) Hashtbl.t;
       (* FIFO warm pools: push-back on park, pop-front on trigger, O(1)
          either way so million-sandbox pools stay cheap *)
+  mutable pools_by_id : Sandbox.t Queue.t array;
+      (* fn-id -> the same queues as [pools]: the per-trigger path
+         indexes an array instead of hashing the function name *)
   dvfs : Horse_cpu.Dvfs.t;
   energy : Horse_cpu.Energy.t;
   occupancy : (int, invocation) Hashtbl.t;  (* cpu -> invocation *)
   live : (int, invocation) Hashtbl.t;
-  mutable completed : record list;  (* newest first *)
+  arena : Trigger_records.t;  (* completed invocations, append order *)
+  mutable records_cache : record list;  (* memoized [records] shim *)
+  mutable records_cache_len : int;  (* arena length the cache reflects *)
+  (* per-mode interned metric handles: the trigger and completion
+     paths must neither sprintf a series name nor re-hash it *)
+  latency_d : Metrics.dist array;
+  init_d : Metrics.dist array;
+  triggers_c : int ref array;
+  completions_c : int ref;
   mutable next_sandbox_id : int;
   mutable next_invocation_id : int;
 }
@@ -138,15 +187,31 @@ let create ?(topology = Topology.r650) ?(cost = Cost_model.firecracker)
     scheduler;
     metrics;
     recovery;
+    registry = Function_def.Registry.create ();
     dvfs = Horse_cpu.Dvfs.create ~governor ~topology ();
     energy = Horse_cpu.Energy.create ~topology ();
     rng = Rng.create ~seed;
     keep_alive;
-    functions = Hashtbl.create 16;
     pools = Hashtbl.create 16;
+    pools_by_id = [||];
     occupancy = Hashtbl.create 64;
     live = Hashtbl.create 64;
-    completed = [];
+    arena = Trigger_records.create ();
+    records_cache = [];
+    records_cache_len = 0;
+    latency_d =
+      Array.init mode_count (fun i ->
+          Metrics.dist_handle metrics
+            ("platform.latency." ^ mode_name (mode_of_code i)));
+    init_d =
+      Array.init mode_count (fun i ->
+          Metrics.dist_handle metrics
+            ("platform.init." ^ mode_name (mode_of_code i)));
+    triggers_c =
+      Array.init mode_count (fun i ->
+          Metrics.counter_ref metrics
+            ("platform.triggers." ^ mode_name (mode_of_code i)));
+    completions_c = Metrics.counter_ref metrics "platform.completions";
     next_sandbox_id = 0;
     next_invocation_id = 0;
   }
@@ -168,17 +233,35 @@ let dvfs t = t.dvfs
 let energy t = t.energy
 
 let register t fn =
-  if Hashtbl.mem t.functions fn.Function_def.name then
+  if Function_def.Registry.find t.registry fn.Function_def.name <> None then
     invalid_arg
       (Printf.sprintf "Platform.register: %s already registered"
          fn.Function_def.name);
-  Hashtbl.replace t.functions fn.Function_def.name fn;
-  Hashtbl.replace t.pools fn.Function_def.name (Queue.create ())
+  let id = Function_def.Registry.intern t.registry fn in
+  let q = Queue.create () in
+  Hashtbl.replace t.pools fn.Function_def.name q;
+  if id >= Array.length t.pools_by_id then begin
+    let grown =
+      Array.init
+        (max 8 (2 * (id + 1)))
+        (fun i ->
+          if i < Array.length t.pools_by_id then t.pools_by_id.(i)
+          else Queue.create ())
+    in
+    t.pools_by_id <- grown
+  end;
+  t.pools_by_id.(id) <- q
 
 let find_function t name =
-  match Hashtbl.find_opt t.functions name with
-  | Some fn -> fn
+  match Function_def.Registry.find t.registry name with
+  | Some id -> (Function_def.Registry.def t.registry id, id)
   | None -> raise (Unknown_function name)
+
+let registry t = t.registry
+
+let fn_id t ~name = snd (find_function t name)
+
+let function_name t ~fn_id = Function_def.Registry.name t.registry fn_id
 
 let pool t name =
   ignore (find_function t name);
@@ -198,7 +281,7 @@ let new_sandbox t fn =
     ~memory_mb:fn.Function_def.memory_mb ~ull:fn.Function_def.ull ()
 
 let provision t ~name ~count ~strategy =
-  let fn = find_function t name in
+  let fn, _ = find_function t name in
   let p = pool t name in
   let provisioned = ref 0 in
   for _ = 1 to count do
@@ -228,24 +311,24 @@ let reclaim t ~name ~count =
   Metrics.incr t.metrics ~by:!victims "platform.reclaimed";
   !victims
 
-let rec pop_pool t name =
-  let p = pool t name in
+let rec pop_pool t fn_id =
+  let p = t.pools_by_id.(fn_id) in
   match Queue.take_opt p with
-  | None -> raise (No_warm_sandbox name)
+  | None -> raise (No_warm_sandbox (Function_def.Registry.name t.registry fn_id))
   | Some sb ->
     (* a stale entry (expired under us) is discarded and the next one
        tried; an empty pool after discards degrades like a dry pool *)
     if Fault.Plan.fires (Vmm.faults t.vmm) Fault.Pool_expiry then begin
       Vmm.stop t.vmm sb;
       Metrics.incr t.metrics "platform.expired_pool_entries";
-      pop_pool t name
+      pop_pool t fn_id
     end
     else sb
 
-let push_pool t name sb = Queue.push sb (pool t name)
+let push_pool t fn_id sb = Queue.push sb t.pools_by_id.(fn_id)
 
-let remove_from_pool t name sb =
-  let p = pool t name in
+let remove_from_pool t fn_id sb =
+  let p = t.pools_by_id.(fn_id) in
   let before = Queue.length p in
   let keep = Queue.create () in
   Queue.iter (fun other -> if not (other == sb) then Queue.push other keep) p;
@@ -288,14 +371,29 @@ let apply_preemptions t ~resumed_vcpus cpus =
           end))
     cpus
 
-let schedule_expiry t name sb =
+let schedule_expiry t fn_id sb =
   ignore
     (Engine.schedule t.engine ~after:t.keep_alive (fun _ ->
-         if Sandbox.state sb = Sandbox.Paused && remove_from_pool t name sb
+         if Sandbox.state sb = Sandbox.Paused && remove_from_pool t fn_id sb
          then begin
            Vmm.stop t.vmm sb;
            Metrics.incr t.metrics "platform.keepalive_expiries"
          end))
+
+(* Materialize the boxed compatibility record for one arena slot —
+   only the [records] shim and [Sink_record] callers pay for this. *)
+let record_of_slot t i =
+  let a = t.arena in
+  {
+    function_name =
+      Function_def.Registry.name t.registry (Trigger_records.fn_id a i);
+    mode = mode_of_code (Trigger_records.mode_code a i);
+    triggered_at = Trigger_records.triggered_at a i;
+    init = Trigger_records.init a i;
+    exec = Trigger_records.exec a i;
+    preemption = Trigger_records.preemption a i;
+    completed_at = Trigger_records.completed_at a i;
+  }
 
 let complete t inv =
   (* account the execution's energy at each CPU's current frequency *)
@@ -307,39 +405,38 @@ let complete t inv =
     inv.cpus;
   List.iter (fun cpu -> Hashtbl.remove t.occupancy cpu) inv.cpus;
   Hashtbl.remove t.live inv.id;
-  let record =
-    {
-      function_name = inv.fn.Function_def.name;
-      mode = inv.inv_mode;
-      triggered_at = inv.started;
-      init = inv.inv_init;
-      exec = inv.inv_exec;
-      preemption = Time.span_ns inv.preempt_ns;
-      completed_at = Engine.now t.engine;
-    }
+  let code = mode_code inv.inv_mode in
+  let handle =
+    Trigger_records.append t.arena ~fn_id:inv.fn_id ~mode:code
+      ~triggered_at:inv.started ~init:inv.inv_init ~exec:inv.inv_exec
+      ~preemption:(Time.span_ns inv.preempt_ns)
+      ~completed_at:(Engine.now t.engine)
   in
-  t.completed <- record :: t.completed;
-  Metrics.incr t.metrics "platform.completions";
-  Metrics.observe_span t.metrics
-    (Printf.sprintf "platform.latency.%s" (mode_name inv.inv_mode))
-    (record_total record);
+  t.completions_c := !(t.completions_c) + 1;
+  Metrics.observe_dist t.latency_d.(code)
+    (float_of_int
+       (Time.span_to_ns inv.inv_init + Time.span_to_ns inv.inv_exec
+      + inv.preempt_ns));
   (* post-execution policy: warm sandboxes go back to their pool, cold
      ones idle under keep-alive before being reclaimed.  A crash during
      the re-pause loses the sandbox (it is never pooled) but not the
-     completed invocation — the record above already stands. *)
+     completed invocation — the arena row above already stands. *)
   (match inv.inv_mode with
   | Warm strategy -> (
     try
       ignore (Vmm.pause t.vmm ~strategy inv.sandbox);
-      push_pool t inv.fn.Function_def.name inv.sandbox
+      push_pool t inv.fn_id inv.sandbox
     with Fault.Injected _ -> Metrics.incr t.metrics "platform.pool_losses")
   | Cold | Restore -> (
     try
       ignore (Vmm.pause t.vmm ~strategy:Sandbox.Vanilla inv.sandbox);
-      push_pool t inv.fn.Function_def.name inv.sandbox;
-      schedule_expiry t inv.fn.Function_def.name inv.sandbox
+      push_pool t inv.fn_id inv.sandbox;
+      schedule_expiry t inv.fn_id inv.sandbox
     with Fault.Injected _ -> Metrics.incr t.metrics "platform.pool_losses"));
-  inv.on_complete record
+  match inv.sink with
+  | Sink_none -> ()
+  | Sink_slot f -> f (Trigger_records.slot t.arena handle)
+  | Sink_record f -> f (record_of_slot t (Trigger_records.slot t.arena handle))
 
 let downgrade = function
   | Warm _ -> Some Restore
@@ -358,14 +455,14 @@ let timeout_for (recovery : Recovery.t) = function
    never descends, so the ladder always terminates.  [attempt] and
    [orig_mode] belong to the async retry loop: an exec-time crash
    re-enters here from the top of the ladder after a backoff. *)
-let rec start_attempt t ~fn ~name ~orig_mode ~mode ~on_complete ~attempt
+let rec start_attempt t ~fn ~fn_id ~orig_mode ~mode ~sink ~attempt
     ~triggered_at ~penalty_ns =
   let recovery = t.recovery in
   let descend ~to_ ~burned_ns =
     Metrics.incr t.metrics
       (Printf.sprintf "platform.fallbacks.%s-to-%s" (mode_name mode)
          (mode_name to_));
-    start_attempt t ~fn ~name ~orig_mode ~mode:to_ ~on_complete ~attempt
+    start_attempt t ~fn ~fn_id ~orig_mode ~mode:to_ ~sink ~attempt
       ~triggered_at
       ~penalty_ns:(penalty_ns + burned_ns)
   in
@@ -385,7 +482,7 @@ let rec start_attempt t ~fn ~name ~orig_mode ~mode ~on_complete ~attempt
           (Vmm.dispatch_overhead t.vmm ~strategy:Sandbox.Vanilla),
         [] )
     | Warm strategy ->
-      let sb = pop_pool t name in
+      let sb = pop_pool t fn_id in
       (* the resume runs under the strategy recorded at pause time;
          dispatch must match it (a vanilla-paused sandbox cannot take
          the HORSE fast path even if the trigger asked for it) *)
@@ -418,13 +515,13 @@ let rec start_attempt t ~fn ~name ~orig_mode ~mode ~on_complete ~attempt
         descend ~to_:next ~burned_ns:(Time.span_to_ns limit)
       | Some _ | None ->
         (* bottom rung (or degradation off): counted, but accepted *)
-        launch t ~fn ~name ~orig_mode ~mode ~on_complete ~attempt
+        launch t ~fn ~fn_id ~orig_mode ~mode ~sink ~attempt
           ~triggered_at ~penalty_ns ~sandbox ~init ~preempted_cpus)
     | Some _ | None ->
-      launch t ~fn ~name ~orig_mode ~mode ~on_complete ~attempt ~triggered_at
+      launch t ~fn ~fn_id ~orig_mode ~mode ~sink ~attempt ~triggered_at
         ~penalty_ns ~sandbox ~init ~preempted_cpus)
 
-and launch t ~fn ~name ~orig_mode ~mode ~on_complete ~attempt ~triggered_at
+and launch t ~fn ~fn_id ~orig_mode ~mode ~sink ~attempt ~triggered_at
     ~penalty_ns ~sandbox ~init ~preempted_cpus =
   let now = Engine.now t.engine in
   apply_preemptions t ~resumed_vcpus:(Sandbox.vcpu_count sandbox)
@@ -447,13 +544,14 @@ and launch t ~fn ~name ~orig_mode ~mode ~on_complete ~attempt ~triggered_at
     {
       id;
       fn;
+      fn_id;
       inv_mode = mode;
       sandbox;
       started = triggered_at;
       inv_init;
       inv_exec = exec;
       cpus;
-      on_complete;
+      sink;
       preempt_ns = 0;
       finish_at;
       completion = None;
@@ -480,7 +578,7 @@ and launch t ~fn ~name ~orig_mode ~mode ~on_complete ~attempt ~triggered_at
       Time.span_ns (int_of_float (frac *. float_of_int (Time.span_to_ns exec)))
     in
     inv.finish_at <- Time.add triggered_at (Time.add_span inv_init crash_after);
-    inv.resolve <- (fun () -> exec_crash t inv ~name ~orig_mode ~attempt);
+    inv.resolve <- (fun () -> exec_crash t inv ~orig_mode ~attempt);
     inv.completion <-
       Some
         (Engine.schedule_at t.engine ~at:inv.finish_at (fun _ ->
@@ -493,14 +591,17 @@ and launch t ~fn ~name ~orig_mode ~mode ~on_complete ~attempt ~triggered_at
         (Engine.schedule_at t.engine ~at:finish_at (fun _ -> inv.resolve ()))
   end;
   Log.debug (fun m ->
-      m "trigger %s mode=%s init=%dns exec=%dns" name (mode_name mode)
+      m "trigger %s mode=%s init=%dns exec=%dns" fn.Function_def.name
+        (mode_name mode)
         (Time.span_to_ns inv_init) (Time.span_to_ns exec));
-  Metrics.incr t.metrics (Printf.sprintf "platform.triggers.%s" (mode_name mode));
-  Metrics.observe_span t.metrics
-    (Printf.sprintf "platform.init.%s" (mode_name mode))
-    inv_init
+  (* hoisted per-mode handles: no sprintf, no series-name hashing on
+     the per-trigger path *)
+  let code = mode_code mode in
+  let c = t.triggers_c.(code) in
+  c := !c + 1;
+  Metrics.observe_dist t.init_d.(code) (float_of_int (Time.span_to_ns inv_init))
 
-and exec_crash t inv ~name ~orig_mode ~attempt =
+and exec_crash t inv ~orig_mode ~attempt =
   List.iter (fun cpu -> Hashtbl.remove t.occupancy cpu) inv.cpus;
   Hashtbl.remove t.live inv.id;
   Vmm.crash t.vmm inv.sandbox;
@@ -514,8 +615,8 @@ and exec_crash t inv ~name ~orig_mode ~attempt =
     ignore
       (Engine.schedule t.engine ~after:(Time.span_ns delay_ns) (fun _ ->
            match
-             start_attempt t ~fn:inv.fn ~name ~orig_mode ~mode:orig_mode
-               ~on_complete:inv.on_complete ~attempt:(attempt + 1)
+             start_attempt t ~fn:inv.fn ~fn_id:inv.fn_id ~orig_mode
+               ~mode:orig_mode ~sink:inv.sink ~attempt:(attempt + 1)
                ~triggered_at:inv.started ~penalty_ns:0
            with
            | () -> ()
@@ -524,10 +625,27 @@ and exec_crash t inv ~name ~orig_mode ~attempt =
   end
   else Metrics.incr t.metrics "platform.aborts"
 
-let trigger t ~name ~mode ?(on_complete = fun _ -> ()) () =
-  let fn = find_function t name in
-  start_attempt t ~fn ~name ~orig_mode:mode ~mode ~on_complete ~attempt:1
+let trigger_sink t ~fn ~fn_id ~mode ~sink =
+  start_attempt t ~fn ~fn_id ~orig_mode:mode ~mode ~sink ~attempt:1
     ~triggered_at:(Engine.now t.engine) ~penalty_ns:0
+
+let trigger t ~name ~mode ?on_complete () =
+  let fn, fn_id = find_function t name in
+  let sink =
+    match on_complete with None -> Sink_none | Some f -> Sink_record f
+  in
+  trigger_sink t ~fn ~fn_id ~mode ~sink
+
+(* The allocation-free entry point: function pre-resolved to its dense
+   id, completion notified (if at all) by arena slot rather than a
+   boxed record.  The cluster's batch path and the storm bench ride
+   this. *)
+let trigger_id t ~fn_id ~mode ?on_complete_slot () =
+  let fn = Function_def.Registry.def t.registry fn_id in
+  let sink =
+    match on_complete_slot with None -> Sink_none | Some f -> Sink_slot f
+  in
+  trigger_sink t ~fn ~fn_id ~mode ~sink
 
 (* A whole-server outage: every in-flight invocation is lost (its
    completion event cancelled, its sandbox crashed) and every warm
@@ -562,6 +680,30 @@ let blackout t =
   Metrics.incr t.metrics ~by:!pooled "platform.blackout_pool_losses";
   !lost
 
-let records t = List.rev t.completed
+let trigger_records t = t.arena
+
+let record_count t = Trigger_records.length t.arena
+
+let iter_records t f = Trigger_records.iter t.arena f
+
+let fold_records t ~init ~f = Trigger_records.fold t.arena ~init ~f
+
+(* Compatibility shim: materialize the boxed-record list from the
+   arena.  Memoized on arena length — the arena is append-only between
+   [clear_records] calls, so a cache built at length N stays valid
+   until length changes; repeated calls (the old API was O(n) per
+   call, rebuilding a reversed list every time) now rebuild only when
+   new completions landed. *)
+let records t =
+  let len = Trigger_records.length t.arena in
+  if len <> t.records_cache_len then begin
+    let l = ref [] in
+    for i = len - 1 downto 0 do
+      l := record_of_slot t i :: !l
+    done;
+    t.records_cache <- !l;
+    t.records_cache_len <- len
+  end;
+  t.records_cache
 
 let live_invocations t = Hashtbl.length t.live

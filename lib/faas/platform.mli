@@ -26,6 +26,18 @@ type start_mode = Cold | Restore | Warm of Horse_vmm.Sandbox.strategy
 
 val mode_name : start_mode -> string
 
+val mode_count : int
+(** Number of dense start-mode codes (= 6: cold, restore, four warm
+    strategies). *)
+
+val mode_code : start_mode -> int
+(** The dense code in [0 .. mode_count - 1] stored in the
+    trigger-record arena's mode column. *)
+
+val mode_of_code : int -> start_mode
+(** Decode via a preallocated table — allocation-free.
+    @raise Invalid_argument outside [0 .. mode_count - 1]. *)
+
 type record = {
   function_name : string;
   mode : start_mode;
@@ -138,6 +150,18 @@ val energy : t -> Horse_cpu.Energy.t
 val register : t -> Function_def.t -> unit
 (** @raise Invalid_argument if the name is already taken. *)
 
+val registry : t -> Function_def.Registry.t
+(** The platform's name-interning registry: dense fn-ids in
+    registration order. *)
+
+val fn_id : t -> name:string -> int
+(** The dense id for a registered function — resolve once, then
+    trigger by id on hot paths.
+    @raise Unknown_function *)
+
+val function_name : t -> fn_id:int -> string
+(** @raise Invalid_argument on an unknown id. *)
+
 val provision :
   t -> name:string -> count:int -> strategy:Horse_vmm.Sandbox.strategy -> unit
 (** Boot [count] sandboxes for [name] and park them paused in its
@@ -180,6 +204,22 @@ val trigger :
     with {!Recovery.t.degrade} off), @raise Horse_fault.Fault.Injected
     (only with {!Recovery.t.degrade} off) *)
 
+val trigger_id :
+  t ->
+  fn_id:int ->
+  mode:start_mode ->
+  ?on_complete_slot:(int -> unit) ->
+  unit ->
+  unit
+(** {!trigger} by pre-resolved dense id — the allocation-free entry
+    point.  No string lookup; completion (if observed at all) is
+    notified with the arena {e slot index} of the appended row rather
+    than a boxed {!record}, so callers that only aggregate (the
+    cluster, the storm bench) read columns in place via
+    {!trigger_records}.  Semantics are otherwise identical to
+    {!trigger}, fault ladder included.
+    @raise Invalid_argument on an unknown id. *)
+
 val blackout : t -> int
 (** Whole-server outage: cancel every in-flight invocation (crashing
     its sandbox) and flush every warm pool.  Returns the number of
@@ -188,7 +228,29 @@ val blackout : t -> int
     [platform.blackout_pool_losses].  The caller (the cluster) is
     responsible for routing around the server until it recovers. *)
 
+val trigger_records : t -> Trigger_records.t
+(** The struct-of-arrays store of completed invocations, in completion
+    order.  Read columns by slot index — the allocation-free way to
+    consume results. *)
+
+val record_count : t -> int
+
+val record_of_slot : t -> int -> record
+(** Materialize the boxed {!record} for one arena slot (what
+    {!records} does for every slot).
+    @raise Invalid_argument on an out-of-range slot. *)
+
+val iter_records : t -> (int -> unit) -> unit
+(** Apply to every completed invocation's arena slot, completion
+    order, allocating nothing. *)
+
+val fold_records : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
 val records : t -> record list
-(** All completed invocations, oldest first. *)
+(** All completed invocations, oldest first — the boxed compatibility
+    view, materialized from the arena.  Memoized: rebuilt only when
+    new completions have landed since the last call (the pre-arena
+    implementation rebuilt a reversed list on {e every} call).  Prefer
+    {!iter_records}/{!fold_records} on large runs. *)
 
 val live_invocations : t -> int

@@ -1,39 +1,39 @@
 module Online = struct
-  type t = {
-    mutable count : int;
-    mutable mean : float;
-    mutable m2 : float;
-    mutable min_v : float;
-    mutable max_v : float;
-  }
+  (* The float state lives in one flat float array: a float stored
+     into a mutable field of a mixed int/float record is boxed on
+     every write, and [add] sits on per-trigger paths where that boxing
+     would dominate the allocation budget.  Float-array writes are
+     unboxed. *)
+  type t = { mutable count : int; s : float array }
+  (* s = [| mean; m2; min; max |] *)
 
-  let create () =
-    { count = 0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity }
+  let create () = { count = 0; s = [| 0.0; 0.0; infinity; neg_infinity |] }
 
   let add t x =
     t.count <- t.count + 1;
-    let delta = x -. t.mean in
-    t.mean <- t.mean +. (delta /. float_of_int t.count);
-    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
-    if x < t.min_v then t.min_v <- x;
-    if x > t.max_v then t.max_v <- x
+    let s = t.s in
+    let delta = x -. s.(0) in
+    s.(0) <- s.(0) +. (delta /. float_of_int t.count);
+    s.(1) <- s.(1) +. (delta *. (x -. s.(0)));
+    if x < s.(2) then s.(2) <- x;
+    if x > s.(3) then s.(3) <- x
 
   let count t = t.count
 
-  let mean t = if t.count = 0 then 0.0 else t.mean
+  let mean t = if t.count = 0 then 0.0 else t.s.(0)
 
   let variance t =
-    if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+    if t.count < 2 then 0.0 else t.s.(1) /. float_of_int (t.count - 1)
 
   let stddev t = sqrt (variance t)
 
   let min t =
     if t.count = 0 then invalid_arg "Stats.Online.min: empty";
-    t.min_v
+    t.s.(2)
 
   let max t =
     if t.count = 0 then invalid_arg "Stats.Online.max: empty";
-    t.max_v
+    t.s.(3)
 
   let ci95_half_width t =
     if t.count < 2 then 0.0
@@ -96,6 +96,171 @@ module Sample = struct
   let values t =
     ensure_sorted t;
     Array.sub t.data 0 t.size
+end
+
+module Quantile = struct
+  (* P² (Jain & Chlamtac 1985): one five-marker estimator per target
+     quantile, updated in O(1) per observation — fixed memory no
+     matter how long the stream runs, unlike [Sample] which retains
+     every observation.  The first five observations are kept exactly
+     (they seed the markers), so short streams report exact
+     percentiles and only long ones are estimates.  Purely
+     deterministic: the estimate depends only on the observation
+     sequence, never on timing or memory layout. *)
+
+  type t = {
+    targets : float array;  (* quantile fractions, as given *)
+    q : float array array;  (* marker heights, 5 per target *)
+    n : float array array;  (* marker positions, 1-based *)
+    np : float array array;  (* desired marker positions *)
+    dn : float array array;  (* desired-position increments *)
+    seed_buf : float array;  (* the first five observations *)
+    sum : float array;  (* single cell, kept unboxed (see Online) *)
+    mutable count : int;
+  }
+
+  let default_targets = [| 0.5; 0.9; 0.99; 0.999 |]
+
+  let create ?(quantiles = default_targets) () =
+    if Array.length quantiles = 0 then
+      invalid_arg "Stats.Quantile.create: no target quantiles";
+    Array.iter
+      (fun p ->
+        if p <= 0.0 || p >= 1.0 then
+          invalid_arg "Stats.Quantile.create: target outside (0,1)")
+      quantiles;
+    let k = Array.length quantiles in
+    {
+      targets = Array.copy quantiles;
+      q = Array.init k (fun _ -> Array.make 5 0.0);
+      n = Array.init k (fun _ -> Array.make 5 0.0);
+      np = Array.init k (fun _ -> Array.make 5 0.0);
+      dn =
+        Array.init k (fun i ->
+            let p = quantiles.(i) in
+            [| 0.0; p /. 2.0; p; (1.0 +. p) /. 2.0; 1.0 |]);
+      seed_buf = Array.make 5 0.0;
+      sum = [| 0.0 |];
+      count = 0;
+    }
+
+  let count t = t.count
+
+  let mean t = if t.count = 0 then 0.0 else t.sum.(0) /. float_of_int t.count
+
+  let init_markers t =
+    let sorted = Array.copy t.seed_buf in
+    Array.sort Float.compare sorted;
+    Array.iteri
+      (fun j p ->
+        Array.blit sorted 0 t.q.(j) 0 5;
+        for i = 0 to 4 do
+          t.n.(j).(i) <- float_of_int (i + 1)
+        done;
+        t.np.(j).(0) <- 1.0;
+        t.np.(j).(1) <- 1.0 +. (2.0 *. p);
+        t.np.(j).(2) <- 1.0 +. (4.0 *. p);
+        t.np.(j).(3) <- 3.0 +. (2.0 *. p);
+        t.np.(j).(4) <- 5.0)
+      t.targets
+
+  (* One marker adjustment: parabolic (PP) when the interpolated
+     height stays between its neighbours, linear otherwise. *)
+  let adjust q n i s =
+    let qi = q.(i) and ni = n.(i) in
+    let parabolic =
+      qi
+      +. s
+         /. (n.(i + 1) -. n.(i - 1))
+         *. (((ni -. n.(i - 1) +. s) *. (q.(i + 1) -. qi) /. (n.(i + 1) -. ni))
+            +. ((n.(i + 1) -. ni -. s) *. (qi -. q.(i - 1)) /. (ni -. n.(i - 1))))
+    in
+    (if q.(i - 1) < parabolic && parabolic < q.(i + 1) then q.(i) <- parabolic
+     else begin
+       let j = if s > 0.0 then i + 1 else i - 1 in
+       q.(i) <- qi +. (s *. (q.(j) -. qi) /. (n.(j) -. ni))
+     end);
+    n.(i) <- ni +. s
+
+  let add_to_target t j x =
+    let q = t.q.(j) and n = t.n.(j) and np = t.np.(j) and dn = t.dn.(j) in
+    let k =
+      if x < q.(0) then begin
+        q.(0) <- x;
+        0
+      end
+      else if x >= q.(4) then begin
+        q.(4) <- x;
+        3
+      end
+      else begin
+        let k = ref 0 in
+        while x >= q.(!k + 1) do
+          incr k
+        done;
+        !k
+      end
+    in
+    for i = k + 1 to 4 do
+      n.(i) <- n.(i) +. 1.0
+    done;
+    for i = 0 to 4 do
+      np.(i) <- np.(i) +. dn.(i)
+    done;
+    for i = 1 to 3 do
+      let d = np.(i) -. n.(i) in
+      if
+        (d >= 1.0 && n.(i + 1) -. n.(i) > 1.0)
+        || (d <= -1.0 && n.(i - 1) -. n.(i) < -1.0)
+      then adjust q n i (if d >= 0.0 then 1.0 else -1.0)
+    done
+
+  let add t x =
+    t.sum.(0) <- t.sum.(0) +. x;
+    if t.count < 5 then begin
+      t.seed_buf.(t.count) <- x;
+      t.count <- t.count + 1;
+      if t.count = 5 then init_markers t
+    end
+    else begin
+      t.count <- t.count + 1;
+      for j = 0 to Array.length t.targets - 1 do
+        add_to_target t j x
+      done
+    end
+
+  (* Exact closest-ranks interpolation over the seed buffer — the same
+     rule [Sample.percentile] uses — so streams of up to five
+     observations are exact. *)
+  let exact_small t p =
+    let sorted = Array.sub t.seed_buf 0 t.count in
+    Array.sort Float.compare sorted;
+    let rank = p /. 100.0 *. float_of_int (t.count - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then sorted.(lo)
+    else begin
+      let w = rank -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. w)) +. (sorted.(hi) *. w)
+    end
+
+  let percentile t p =
+    if t.count = 0 then invalid_arg "Stats.Quantile.percentile: empty";
+    if p < 0.0 || p > 100.0 then
+      invalid_arg "Stats.Quantile.percentile: p out of [0,100]";
+    if t.count <= 5 then exact_small t p
+    else begin
+      let target = p /. 100.0 in
+      let j = ref (-1) in
+      Array.iteri
+        (fun i q -> if Float.abs (q -. target) < 1e-9 then j := i)
+        t.targets;
+      if !j < 0 then
+        invalid_arg "Stats.Quantile.percentile: not a configured target";
+      t.q.(!j).(2)
+    end
+
+  let targets t = Array.copy t.targets
 end
 
 module Histogram = struct

@@ -3,7 +3,15 @@
     {!Online} accumulates mean/variance in one pass (Welford), good
     for unbounded streams; {!Sample} keeps every observation, giving
     exact percentiles for the latency distributions the paper reports
-    (mean, p95, p99); {!Histogram} buckets values for breakdowns. *)
+    (mean, p95, p99); {!Quantile} estimates a fixed set of percentiles
+    in O(1) memory per observation, for runs too long to retain;
+    {!Histogram} buckets values for breakdowns.
+
+    Policy: paper-figure experiments keep the exact {!Sample} (their
+    tables quote exact percentiles); unbounded-scale paths (the scale
+    sweep, the storm pipeline, the fault matrix) use {!Quantile}, with
+    {!Sample} retained in tests as the oracle the estimator is checked
+    against. *)
 
 module Online : sig
   type t
@@ -55,6 +63,38 @@ module Sample : sig
 
   val values : t -> float array
   (** A sorted copy of the observations. *)
+end
+
+module Quantile : sig
+  type t
+  (** P² streaming estimator (Jain & Chlamtac): five markers per
+      target quantile, O(1) update, fixed memory regardless of stream
+      length.  Deterministic — the estimate is a pure function of the
+      observation sequence. *)
+
+  val create : ?quantiles:float array -> unit -> t
+  (** [quantiles] are the target fractions, each in (0,1); default
+      [[|0.5; 0.9; 0.99; 0.999|]].
+      @raise Invalid_argument on an empty array or a target outside
+      (0,1). *)
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val mean : t -> float
+  (** Exact running mean; 0.0 when empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [0,100].  With five or fewer
+      observations the result is exact (same closest-ranks rule as
+      {!Sample.percentile}, any [p]); beyond that [p/100] must be one
+      of the configured targets.
+      @raise Invalid_argument when empty, [p] out of range, or [p/100]
+      not a configured target on a long stream. *)
+
+  val targets : t -> float array
+  (** A copy of the configured target fractions. *)
 end
 
 module Histogram : sig

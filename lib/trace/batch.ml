@@ -1,0 +1,106 @@
+module Time = Horse_sim.Time_ns
+module Rng = Horse_sim.Rng
+
+(* A flat trigger batch: three parallel int columns (arrival offset in
+   integer nanoseconds, interned function id, opaque payload — the
+   FaaS layer stores its dense start-mode code there).  The trace
+   layer hands the router one of these instead of one closure per
+   trigger, so ingesting a million arrivals costs three int-array
+   writes each and the event queue never holds the whole trace at
+   once (the consumer walks a windowed cursor). *)
+
+type t = {
+  mutable times : int array;  (* offsets, non-decreasing after [sort] *)
+  mutable fn_ids : int array;
+  mutable payloads : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max 1 capacity in
+  {
+    times = Array.make capacity 0;
+    fn_ids = Array.make capacity 0;
+    payloads = Array.make capacity 0;
+    len = 0;
+  }
+
+let length t = t.len
+
+let grow t =
+  let cap = 2 * Array.length t.times in
+  let wider col =
+    let w = Array.make cap 0 in
+    Array.blit col 0 w 0 t.len;
+    w
+  in
+  t.times <- wider t.times;
+  t.fn_ids <- wider t.fn_ids;
+  t.payloads <- wider t.payloads
+
+let add t ~at ~fn_id ~payload =
+  if t.len = Array.length t.times then grow t;
+  let i = t.len in
+  t.times.(i) <- Time.span_to_ns at;
+  t.fn_ids.(i) <- fn_id;
+  t.payloads.(i) <- payload;
+  t.len <- i + 1
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Batch: index out of range"
+
+let time t i =
+  check t i;
+  Time.span_ns t.times.(i)
+
+let time_ns t i =
+  check t i;
+  t.times.(i)
+
+let fn_id t i =
+  check t i;
+  t.fn_ids.(i)
+
+let payload t i =
+  check t i;
+  t.payloads.(i)
+
+(* Stable sort by arrival time: equal-time triggers keep insertion
+   order, matching what scheduling them one by one on the engine's
+   FIFO tie-break would produce. *)
+let sort t =
+  let idx = Array.init t.len (fun i -> i) in
+  Array.stable_sort (fun a b -> compare t.times.(a) t.times.(b)) idx;
+  let permute col =
+    let w = Array.make (Array.length col) 0 in
+    for i = 0 to t.len - 1 do
+      w.(i) <- col.(idx.(i))
+    done;
+    Array.blit w 0 col 0 t.len
+  in
+  permute t.times;
+  permute t.fn_ids;
+  permute t.payloads
+
+let sorted t =
+  let rec go i = i >= t.len || (t.times.(i - 1) <= t.times.(i) && go (i + 1)) in
+  t.len <= 1 || go 1
+
+let of_spans ?(payload = 0) ~fn_id spans =
+  let t = create ~capacity:(max 1 (List.length spans)) () in
+  List.iter (fun at -> add t ~at ~fn_id ~payload) spans;
+  t
+
+(* [n] arrivals uniform over [0, duration), sorted in place — the
+   flat-array equivalent of drawing offsets one by one and
+   [List.sort]ing them: same draws, same multiset, same order. *)
+let uniform ~rng ~n ~duration ?(fn_id = 0) ?(payload = 0) () =
+  if n < 0 then invalid_arg "Batch.uniform: n < 0";
+  let dur_ns = Time.span_to_ns duration in
+  if dur_ns <= 0 then invalid_arg "Batch.uniform: empty duration";
+  let t = create ~capacity:(max 1 n) () in
+  for _ = 1 to n do
+    add t ~at:(Time.span_ns (Rng.int rng dur_ns)) ~fn_id ~payload
+  done;
+  sort t;
+  t

@@ -1,0 +1,59 @@
+(** Flat trigger batches: the allocation-light hand-off between the
+    trace layer and the FaaS router.
+
+    A batch is three parallel int columns — arrival offset (integer
+    nanoseconds), interned function id, and an opaque int payload the
+    consumer defines (the FaaS layer stores its dense start-mode code
+    there).  Producing a million-trigger trace costs three int-array
+    writes per arrival instead of a closure plus list cons each, and
+    the consumer ingests it through a windowed cursor so the event
+    queue holds one window, not the whole trace. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty batch ([capacity] rows pre-sized, default 64). *)
+
+val length : t -> int
+
+val add :
+  t -> at:Horse_sim.Time_ns.span -> fn_id:int -> payload:int -> unit
+(** Append one trigger; allocation-free except on capacity doubling. *)
+
+(** {2 Column reads} — O(1), by index in [0 .. length - 1].
+    @raise Invalid_argument out of range. *)
+
+val time : t -> int -> Horse_sim.Time_ns.span
+
+val time_ns : t -> int -> int
+
+val fn_id : t -> int -> int
+
+val payload : t -> int -> int
+
+val sort : t -> unit
+(** Stable in-place sort by arrival time: equal-time triggers keep
+    insertion order, matching the engine's FIFO tie-break for
+    one-by-one scheduling. *)
+
+val sorted : t -> bool
+(** Whether arrival times are non-decreasing (consumers require it). *)
+
+val of_spans :
+  ?payload:int -> fn_id:int -> Horse_sim.Time_ns.span list -> t
+(** Adapt a classic sorted offset list (see {!Arrivals}) — every
+    trigger gets the same function and payload. *)
+
+val uniform :
+  rng:Horse_sim.Rng.t ->
+  n:int ->
+  duration:Horse_sim.Time_ns.span ->
+  ?fn_id:int ->
+  ?payload:int ->
+  unit ->
+  t
+(** [n] arrivals uniform over [0, duration), sorted.  Draw-for-draw
+    identical to sampling [n] offsets with the same {!Horse_sim.Rng}
+    and sorting the list — the flat replacement for the scale
+    experiment's arrival generation.
+    @raise Invalid_argument if [n < 0] or [duration] is empty. *)

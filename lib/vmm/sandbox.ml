@@ -11,6 +11,12 @@ let strategy_name = function
   | Coal -> "coal"
   | Horse -> "horse"
 
+let strategy_count = 4
+
+let strategy_code = function Vanilla -> 0 | Ppsm -> 1 | Coal -> 2 | Horse -> 3
+
+let strategies = [| Vanilla; Ppsm; Coal; Horse |]
+
 type placement = {
   vcpu : Vcpu.t;
   node : Horse_psm.Arena_list.handle;

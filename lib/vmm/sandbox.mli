@@ -26,6 +26,15 @@ type strategy =
 
 val strategy_name : strategy -> string
 
+val strategy_count : int
+
+val strategy_code : strategy -> int
+(** Dense code in \[0, {!strategy_count}): index per-strategy state
+    (metric handles, tables) without hashing the name. *)
+
+val strategies : strategy array
+(** All strategies, indexed by {!strategy_code}.  Do not mutate. *)
+
 type placement = {
   vcpu : Horse_sched.Vcpu.t;
   node : Horse_psm.Arena_list.handle;

@@ -45,6 +45,12 @@ type t = {
   scheduler : Scheduler.t;
   metrics : Metrics.t;
   faults : Fault.Plan.t;
+  (* per-strategy handles, indexed by Sandbox.strategy_code: pause and
+     resume sit on the warm trigger path, so no per-call sprintf or
+     string hashing *)
+  pauses_c : int ref array;
+  resumes_c : int ref array;
+  resume_ns_s : Metrics.series array;
 }
 
 let create ?(cost = Cost_model.firecracker) ?(jitter = 0.02) ?(seed = 7)
@@ -52,7 +58,22 @@ let create ?(cost = Cost_model.firecracker) ?(jitter = 0.02) ?(seed = 7)
   if jitter < 0.0 || jitter > 0.5 then
     invalid_arg "Vmm.create: jitter outside [0, 0.5]";
   Fault.Plan.attach_metrics faults metrics;
-  { cost; jitter; rng = Rng.create ~seed; scheduler; metrics; faults }
+  let by_strategy fmt f =
+    Array.map
+      (fun s -> f metrics (Printf.sprintf fmt (Sandbox.strategy_name s)))
+      Sandbox.strategies
+  in
+  {
+    cost;
+    jitter;
+    rng = Rng.create ~seed;
+    scheduler;
+    metrics;
+    faults;
+    pauses_c = by_strategy "vmm.pauses.%s" Metrics.counter_ref;
+    resumes_c = by_strategy "vmm.resumes.%s" Metrics.counter_ref;
+    resume_ns_s = by_strategy "vmm.resume_ns.%s" Metrics.series_handle;
+  }
 
 let cost t = t.cost
 
@@ -250,8 +271,8 @@ let pause t ~strategy sandbox =
   in
   Sandbox.set_pause_strategy sandbox (Some strategy);
   Sandbox.set_state sandbox Sandbox.Paused;
-  Metrics.incr t.metrics
-    (Printf.sprintf "vmm.pauses.%s" (Sandbox.strategy_name strategy));
+  let cnt = t.pauses_c.(Sandbox.strategy_code strategy) in
+  cnt := !cnt + 1;
   Log.debug (fun m ->
       m "pause %a strategy=%s" Sandbox.pp sandbox
         (Sandbox.strategy_name strategy));
@@ -402,11 +423,11 @@ let resume t sandbox =
     else breakdown_total_ns breakdown
   in
   let total = jittered t total_ns in
-  Metrics.incr t.metrics
-    (Printf.sprintf "vmm.resumes.%s" (Sandbox.strategy_name strategy));
-  Metrics.observe_span t.metrics
-    (Printf.sprintf "vmm.resume_ns.%s" (Sandbox.strategy_name strategy))
-    total;
+  let code = Sandbox.strategy_code strategy in
+  let cnt = t.resumes_c.(code) in
+  cnt := !cnt + 1;
+  Metrics.observe_h t.resume_ns_s.(code)
+    (float_of_int (Time.span_to_ns total));
   Log.debug (fun m ->
       m "resume %a strategy=%s total=%dns threads=%d" Sandbox.pp sandbox
         (Sandbox.strategy_name strategy)

@@ -646,6 +646,147 @@ let test_cluster_end_to_end () =
     (Array.for_all (fun c -> c > 0) counts)
 
 (* ------------------------------------------------------------------ *)
+(* Arena vs boxed records: model-based oracle                          *)
+(* ------------------------------------------------------------------ *)
+
+module Trigger_records = Horse_faas.Trigger_records
+module Batch = Horse_trace.Batch
+
+(* Every completion is observed twice — through the boxed on_complete
+   sink (the oracle list) and through the struct-of-arrays arena.
+   After every op the arena views (the memoized [records] shim,
+   [fold_records] + [record_of_slot], and the int columns) must agree
+   with the oracle exactly. *)
+type arena_op = Provision of int | Trigger | Advance of int (* us *)
+
+let arena_spec =
+  {
+    Harness.name = "platform arena vs boxed completion oracle";
+    gen =
+      (fun st ->
+        match Random.State.int st 4 with
+        | 0 -> Provision (1 + Random.State.int st 3)
+        | 1 | 2 -> Trigger
+        | _ -> Advance (1 + Random.State.int st 2000));
+    show =
+      (function
+      | Provision n -> Printf.sprintf "Provision %d" n
+      | Trigger -> "Trigger"
+      | Advance us -> Printf.sprintf "Advance %dus" us);
+    make =
+      (fun () ->
+        let engine, platform = fresh ~seed:23 () in
+        register_nat platform;
+        let oracle = ref [] in
+        fun op ->
+          (match op with
+          | Provision n ->
+            Platform.provision platform ~name:"nat" ~count:n
+              ~strategy:Sandbox.Horse
+          | Trigger -> (
+            try
+              Platform.trigger platform ~name:"nat"
+                ~mode:(Platform.Warm Sandbox.Horse)
+                ~on_complete:(fun r -> oracle := r :: !oracle)
+                ()
+            with Platform.No_warm_sandbox _ -> ())
+          | Advance us ->
+            Engine.run engine
+              ~until:
+                (Time.add (Engine.now engine)
+                   (Time.span_us (float_of_int us))));
+          let expected = List.rev !oracle in
+          let n = List.length expected in
+          if Platform.record_count platform <> n then
+            Some
+              (Printf.sprintf "record_count %d, oracle saw %d"
+                 (Platform.record_count platform) n)
+          else if Platform.records platform <> expected then
+            Some "memoized records shim disagrees with the oracle"
+          else
+            let rebuilt =
+              Platform.fold_records platform ~init:[] ~f:(fun acc slot ->
+                  Platform.record_of_slot platform slot :: acc)
+            in
+            if List.rev rebuilt <> expected then
+              Some "fold_records + record_of_slot disagrees"
+            else
+              let arena = Platform.trigger_records platform in
+              let bad = ref None in
+              List.iteri
+                (fun slot r ->
+                  if
+                    !bad = None
+                    && Trigger_records.total_ns arena slot
+                       <> ns_of (Platform.record_total r)
+                  then
+                    bad :=
+                      Some
+                        (Printf.sprintf
+                           "total_ns column diverges at slot %d" slot))
+                expected;
+              !bad);
+  }
+
+let test_arena_oracle () = Harness.check arena_spec
+
+(* ------------------------------------------------------------------ *)
+(* Batched vs closure-per-trigger ingestion                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_batch_matches_closure_ingestion () =
+  let mk () =
+    let engine = Engine.create ~seed:5 () in
+    let cluster =
+      Cluster.create ~servers:2 ~topology:small_topology ~seed:5 ~engine ()
+    in
+    Cluster.register cluster
+      (Function_def.create ~name:"nat" ~vcpus:1 ~memory_mb:512
+         ~exec:(Function_def.Ull Category.Cat2) ());
+    Cluster.provision cluster ~name:"nat" ~total:40
+      ~strategy:Sandbox.Horse;
+    (engine, cluster)
+  in
+  let engine_a, cluster_a = mk () in
+  let fn_id = Cluster.fn_id cluster_a ~name:"nat" in
+  let rng = Horse_sim.Rng.create ~seed:7 in
+  let batch =
+    Batch.uniform ~rng ~n:200 ~duration:(Time.span_ms 50.0) ~fn_id
+      ~payload:(Platform.mode_code (Platform.Warm Sandbox.Horse))
+      ()
+  in
+  (* the pre-batch idiom: one scheduled closure per trigger *)
+  for k = 0 to Batch.length batch - 1 do
+    ignore
+      (Engine.schedule engine_a ~after:(Batch.time batch k) (fun _ ->
+           ignore
+             (Cluster.trigger_id cluster_a ~fn_id
+                ~mode:(Platform.Warm Sandbox.Horse)
+                ())))
+  done;
+  Cluster.run cluster_a;
+  (* window >= n: event-for-event identical schedule *)
+  let _, cluster_b = mk () in
+  Cluster.schedule_batch ~window:1024 cluster_b batch;
+  Cluster.run cluster_b;
+  Alcotest.(check bool) "window >= n bit-identical to closures" true
+    (Cluster.records cluster_a = Cluster.records cluster_b);
+  Alcotest.(check bool) "rejections also identical" true
+    (Cluster.rejections cluster_a = Cluster.rejections cluster_b);
+  (* a small window re-runs deterministically and loses nothing *)
+  let _, cluster_c = mk () in
+  Cluster.schedule_batch ~window:7 cluster_c batch;
+  Cluster.run cluster_c;
+  let _, cluster_d = mk () in
+  Cluster.schedule_batch ~window:7 cluster_d batch;
+  Cluster.run cluster_d;
+  Alcotest.(check bool) "windowed ingestion deterministic" true
+    (Cluster.records cluster_c = Cluster.records cluster_d);
+  Alcotest.(check int) "windowed ingestion completes the same count"
+    (List.length (Cluster.records cluster_a))
+    (List.length (Cluster.records cluster_c))
+
+(* ------------------------------------------------------------------ *)
 (* Metrics surface                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -659,8 +800,10 @@ let test_metrics_recorded () =
     (Metrics.counter m "platform.triggers.warm-horse");
   Alcotest.(check int) "completion counter" 1
     (Metrics.counter m "platform.completions");
-  Alcotest.(check bool) "init sample exists" true
-    (Metrics.sample m "platform.init.warm-horse" <> None)
+  Alcotest.(check bool) "init dist exists" true
+    (match Metrics.dist m "platform.init.warm-horse" with
+    | Some d -> Metrics.dist_count d = 1
+    | None -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
@@ -840,6 +983,10 @@ let () =
           Alcotest.test_case "routing skips unhealthy" `Quick
             test_cluster_routing_skips_unhealthy;
           Alcotest.test_case "end to end" `Quick test_cluster_end_to_end;
+          Alcotest.test_case "arena vs boxed oracle (harness)" `Quick
+            test_arena_oracle;
+          Alcotest.test_case "batch vs closure ingestion" `Quick
+            test_batch_matches_closure_ingestion;
         ] );
       ( "metrics",
         [ Alcotest.test_case "recorded" `Quick test_metrics_recorded ] );

@@ -619,6 +619,114 @@ let prop_percentile_matches_sorted =
       Stats.Sample.percentile s 100.0 = last
       && Stats.Sample.percentile s 0.0 = List.hd sorted)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming quantiles vs the exact sample oracle                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_quantile_small_exact () =
+  (* five or fewer observations answer exactly, any percentile, with
+     Sample's closest-ranks rule *)
+  let q = Stats.Quantile.create () in
+  let s = Stats.Sample.create () in
+  List.iter
+    (fun v ->
+      Stats.Quantile.add q v;
+      Stats.Sample.add s v)
+    [ 9.0; 1.0; 5.0; 2.0 ];
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%g" p)
+        (Stats.Sample.percentile s p)
+        (Stats.Quantile.percentile q p))
+    [ 0.0; 25.0; 50.0; 90.0; 99.0; 100.0 ]
+
+let test_quantile_rejects () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.Quantile.percentile: empty") (fun () ->
+      ignore (Stats.Quantile.percentile (Stats.Quantile.create ()) 50.0));
+  Alcotest.check_raises "bad target"
+    (Invalid_argument "Stats.Quantile.create: target outside (0,1)")
+    (fun () -> ignore (Stats.Quantile.create ~quantiles:[| 1.5 |] ()));
+  let q = Stats.Quantile.create ~quantiles:[| 0.5 |] () in
+  for i = 1 to 100 do
+    Stats.Quantile.add q (float_of_int i)
+  done;
+  Alcotest.check_raises "untracked percentile on a long stream"
+    (Invalid_argument "Stats.Quantile.percentile: not a configured target")
+    (fun () -> ignore (Stats.Quantile.percentile q 75.0))
+
+(* Model-based: every op appends one draw to both the P² estimator and
+   the exact Sample oracle; at periodic checkpoints the streaming
+   estimate must stay inside the distribution's tolerance band.  One
+   spec per draw shape — P² is tight on smooth unimodal data, the
+   median of well-separated bimodal data is its known weak spot, so
+   that check only pins the estimate inside the support. *)
+let quantile_spec ~name ~draw ~checks =
+  {
+    Harness.name;
+    gen = draw;
+    show = (fun v -> Printf.sprintf "%.3f" v);
+    make =
+      (fun () ->
+        let sample = Stats.Sample.create () in
+        let q =
+          Stats.Quantile.create ~quantiles:[| 0.5; 0.99; 0.999 |] ()
+        in
+        fun v ->
+          Stats.Sample.add sample v;
+          Stats.Quantile.add q v;
+          let n = Stats.Sample.count sample in
+          if n < 500 || n mod 500 <> 0 then None
+          else
+            List.fold_left
+              (fun acc (p, ok) ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                  let exact = Stats.Sample.percentile sample p in
+                  let est = Stats.Quantile.percentile q p in
+                  if ok ~exact ~est then None
+                  else
+                    Some
+                      (Printf.sprintf
+                         "p%g at n=%d: exact %.3f, streaming %.3f" p n
+                         exact est))
+              None checks);
+  }
+
+let rel tol ~exact ~est =
+  Float.abs (est -. exact) <= tol *. Float.max 1.0 (Float.abs exact)
+
+let within lo hi ~exact:_ ~est = est >= lo && est <= hi
+
+let test_quantile_uniform () =
+  Harness.check ~scripts:6 ~len:2500
+    (quantile_spec ~name:"quantile/uniform"
+       ~draw:(fun st -> Random.State.float st 1000.0)
+       ~checks:[ (50.0, rel 0.10); (99.0, rel 0.10); (99.9, rel 0.15) ])
+
+let test_quantile_exponential () =
+  Harness.check ~scripts:6 ~len:2500
+    (quantile_spec ~name:"quantile/exponential"
+       ~draw:(fun st -> -200.0 *. log (1.0 -. Random.State.float st 1.0))
+       ~checks:[ (50.0, rel 0.10); (99.0, rel 0.25); (99.9, rel 0.40) ])
+
+let test_quantile_bimodal () =
+  Harness.check ~scripts:6 ~len:2500
+    (quantile_spec ~name:"quantile/bimodal"
+       ~draw:(fun st ->
+         (if Random.State.bool st then 100.0 else 900.0)
+         +. Random.State.float st 10.0)
+       ~checks:
+         [
+           (* the median sits in the gap between the modes: P² may
+              interpolate anywhere inside the support *)
+           (50.0, within 100.0 910.0);
+           (99.0, rel 0.15);
+           (99.9, rel 0.15);
+         ])
+
 let test_histogram () =
   let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
   List.iter (Stats.Histogram.add h) [ -1.0; 0.5; 3.0; 9.9; 15.0 ];
@@ -774,6 +882,15 @@ let () =
           Alcotest.test_case "percentiles" `Quick test_sample_percentiles;
           Alcotest.test_case "interleaved reads" `Quick
             test_sample_interleaved_reads;
+          Alcotest.test_case "quantile small exact" `Quick
+            test_quantile_small_exact;
+          Alcotest.test_case "quantile rejects" `Quick test_quantile_rejects;
+          Alcotest.test_case "quantile vs sample: uniform (harness)" `Quick
+            test_quantile_uniform;
+          Alcotest.test_case "quantile vs sample: exponential (harness)"
+            `Quick test_quantile_exponential;
+          Alcotest.test_case "quantile vs sample: bimodal (harness)" `Quick
+            test_quantile_bimodal;
           Alcotest.test_case "histogram" `Quick test_histogram;
         ] );
       ( "metrics",
