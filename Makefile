@@ -1,6 +1,6 @@
 # Convenience targets for the HORSE reproduction.
 
-.PHONY: all build test test-stress verify bench bench-json bench-micro bench-scale bench-check bench-storm perf examples clean doc
+.PHONY: all build test test-stress verify bench bench-json bench-micro bench-scale bench-check bench-storm bench-policy perf examples clean doc
 
 all: verify
 
@@ -19,10 +19,11 @@ test-stress:
 	HORSE_STRESS=1 dune exec test/test_fault.exe
 
 # the default flow: build, tests (incl. stressed model-based suites),
-# regenerate all four bench records, gate on them (sweeps must not
+# regenerate all five bench records, gate on them (sweeps must not
 # regress; alloc:*, flat:* and storm:path:* must hold 2x; scale:*
-# must hold 1.5x on multi-core hosts; storm pipeline must not regress)
-verify: build test test-stress bench-json bench-micro bench-scale bench-storm bench-check
+# must hold 1.5x on multi-core hosts; storm pipeline must not regress;
+# policy:* pull tails must not lose to push under blackouts)
+verify: build test test-stress bench-json bench-micro bench-scale bench-storm bench-policy bench-check
 
 bench:
 	dune exec bench/main.exe
@@ -58,6 +59,13 @@ SHARDS ?= 4
 bench-scale:
 	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/main.exe -- scale --shards $(SHARDS) --json BENCH_scale.json
 
+# the scheduling-policy shoot-out: push / pull / core-granular over a
+# blackout-rate sweep at 10k and 100k triggers with bursty arrivals,
+# bit-identity gates across shards and seeds, push-over-pull tail
+# ratios at the highest blackout rate recorded into BENCH_policy.json
+bench-policy:
+	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/main.exe -- policy --shards $(SHARDS) --json BENCH_policy.json
+
 # gate on the recorded artifacts: sweeps at jobs >= 4 must not regress
 # (speedup >= 1.0 on multi-core hosts; >= 0.75 overhead floor on a
 # single-core host, where >1x is physically impossible); alloc:*
@@ -66,7 +74,7 @@ bench-scale:
 # walking baseline; scale:* entries must show the sharded engine >=
 # 1.5x over sequential (>= 0.5 overhead floor on single-core hosts)
 bench-check:
-	dune exec bench/bench_check.exe -- BENCH_summary.json $(wildcard BENCH_micro.json) $(wildcard BENCH_scale.json) $(wildcard BENCH_storm.json)
+	dune exec bench/bench_check.exe -- BENCH_summary.json $(wildcard BENCH_micro.json) $(wildcard BENCH_scale.json) $(wildcard BENCH_storm.json) $(wildcard BENCH_policy.json)
 
 # the resume-storm macro-benchmark: 1000 paused uLL sandboxes on one
 # ull_runqueue, churn at 0/100/1000 subscribers, then resume them all

@@ -41,6 +41,13 @@
      entries (pipeline ns) must show >= 1.0 on a multi-core producer
      (0.75 single-core floor) — allocation-free bookkeeping must not
      cost wall-clock.
+   - every [policy:*] entry (policy shoot-out from `main.exe policy`,
+     recorded as push tail latency over pull tail latency at the
+     highest blackout rate) must show >= 1.0 on a multi-core
+     producer — late binding must never lose the tail to optimistic
+     push when servers are black-holing triggers.  Single-core floor:
+     0.75 — with the whole cluster timesharing one core the recovery
+     ladder's wall-clock dominates and the ordering is noise-bound.
    - [micro:*] timing entries are informational.
 
    Exits non-zero listing every violated entry. *)
@@ -110,6 +117,10 @@ let check_entry ~file ~producer_cores entry =
   else if starts_with ~prefix:"scale:" name then
     (* the "jobs" of a scale entry records the --shards it ran at *)
     if jobs >= 4 then verdict scale_floor else not_gated ()
+  else if starts_with ~prefix:"policy:" name then
+    (* push tail over pull tail under blackouts: pull must not lose *)
+    verdict (if multi_core then 1.0 else 0.75)
+  else if starts_with ~prefix:"micro:" name then not_gated ()
   else if jobs >= 4 then verdict sweep_floor
   else not_gated ()
 

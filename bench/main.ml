@@ -3,7 +3,7 @@
    micro-benchmarks (Bechamel) of the real algorithm implementations.
 
    Usage:  main.exe [table1|fig1|fig2|fig3|fig4|overhead|colocation|
-                     summary|xen|faults|scale|sweeps|micro|all]
+                     summary|xen|faults|scale|policy|sweeps|micro|all]
                                  (default: all)
                     [--jobs N]   fan experiment tasks over N strands
                                  (default: recommended_domain_count - 1;
@@ -608,6 +608,121 @@ let scale () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Policy shoot-out: push vs pull vs core-granular under blackouts     *)
+(* ------------------------------------------------------------------ *)
+
+let policy_triggers = [ 10_000; 100_000 ]
+
+let policy_rates = [ 0.0; 0.5; 0.9 ]
+
+let policy () =
+  let module Cluster = Horse_faas.Cluster in
+  section
+    (Printf.sprintf "Policy shoot-out - scheduling policies under blackouts \
+                     (--shards %d)"
+       !shards);
+  let builtins = Cluster.Policy.builtins () in
+  let highest_rate = List.fold_left Float.max 0.0 policy_rates in
+  let identity_triggers = 100_000 in
+  (* the bit-identity gate: every policy must produce the same row at
+     any shard count, for several seeds, at 100k-trigger scale — or
+     the shoot-out below compares different work *)
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun seed ->
+          let run shards =
+            E.policy_run ~seed ~shards ~triggers:identity_triggers
+              ~blackout_rate:highest_rate ~policy ()
+          in
+          let reference = run 1 in
+          List.iter
+            (fun s ->
+              let sharded = run s in
+              if
+                { sharded with E.pl_shards = reference.E.pl_shards }
+                <> reference
+              then begin
+                Printf.eprintf
+                  "policy: %s diverged from shards=1 at shards=%d seed=%d\n"
+                  (Cluster.Policy.name policy) s seed;
+                exit 1
+              end)
+            [ 2; 4 ])
+        [ 1; 42; 1337 ])
+    builtins;
+  Printf.printf
+    "identity: %d policies x seeds {1,42,1337} x shards {1,2,4} \
+     bit-identical at %dk triggers\n%!"
+    (List.length builtins) (identity_triggers / 1000);
+  let rows =
+    E.policy_sweep ~shards:!shards ~triggers:policy_triggers
+      ~rates:policy_rates ()
+  in
+  Report.print
+    ~caption:
+      "uLL storm on a 4-server sharded cluster with self-healing \
+       recovery: push pays the recovery ladder when it routes onto a \
+       freshly wiped server, pull re-earns trust one completion at a \
+       time, core binds to free vCPUs"
+    ~header:
+      [ "policy"; "blackout/s"; "triggers"; "completed"; "rejected";
+        "pending"; "p50"; "p99"; "p999"; "outages"; "messages" ]
+    (List.map
+       (fun (r : E.policy_row) ->
+         [
+           r.E.pl_policy;
+           Printf.sprintf "%.2f" r.E.pl_blackout_rate;
+           string_of_int r.E.pl_triggers;
+           string_of_int r.E.pl_completed;
+           string_of_int r.E.pl_rejected;
+           string_of_int r.E.pl_pending;
+           Report.ns (r.E.pl_p50_us *. 1e3);
+           Report.ns (r.E.pl_p99_us *. 1e3);
+           Report.ns (r.E.pl_p999_us *. 1e3);
+           string_of_int r.E.pl_blackouts;
+           string_of_int r.E.pl_messages;
+         ])
+       rows);
+  (* gated entries: at the highest blackout rate, pull's tail must not
+     be worse than push's.  The timing record is reused as a latency
+     ratio — seq = push, par = pull, so "speedup" = push tail / pull
+     tail and the bench_check >= 1.0 gate reads "pull wins". *)
+  let find label n rate =
+    List.find
+      (fun (r : E.policy_row) ->
+        r.E.pl_policy = label && r.E.pl_triggers = n
+        && r.E.pl_blackout_rate = rate)
+      rows
+  in
+  let record name seq_us par_us =
+    timings :=
+      {
+        Report.t_name = name;
+        t_jobs = !shards;
+        t_wall_seq_s = seq_us /. 1e6;
+        t_wall_par_s = par_us /. 1e6;
+      }
+      :: !timings
+  in
+  List.iter
+    (fun n ->
+      let push = find "push-warm-first" n highest_rate in
+      let pull = find "pull" n highest_rate in
+      let core = find "core" n highest_rate in
+      record
+        (Printf.sprintf "policy:pull-vs-push:p99:%dk" (n / 1000))
+        push.E.pl_p99_us pull.E.pl_p99_us;
+      record
+        (Printf.sprintf "policy:pull-vs-push:p999:%dk" (n / 1000))
+        push.E.pl_p999_us pull.E.pl_p999_us;
+      (* informational, ungated: core-granular vs push on the same axis *)
+      record
+        (Printf.sprintf "micro:policy:core-vs-push:p99:%dk" (n / 1000))
+        push.E.pl_p99_us core.E.pl_p99_us)
+    policy_triggers
+
+(* ------------------------------------------------------------------ *)
 (* Headline summary                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -994,6 +1109,7 @@ let all () =
   xen ();
   faults ();
   scale ();
+  policy ();
   ablations ();
   micro ()
 
@@ -1003,7 +1119,8 @@ let () =
       ("table1", table1); ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
       ("fig4", fig4); ("overhead", overhead); ("colocation", colocation);
       ("summary", summary); ("xen", xen); ("faults", faults);
-      ("scale", scale); ("sweeps", sweeps); ("ablations", ablations);
+      ("scale", scale); ("policy", policy); ("sweeps", sweeps);
+      ("ablations", ablations);
       ("micro", micro); ("csv", csv); ("all", all);
     ]
   in

@@ -880,7 +880,7 @@ let sum_counters metrics ~prefix =
     0
     (Metrics.counters metrics)
 
-let fault_run ?shards ~profile ~seed ~duration ~rate ~strategy () =
+let fault_run ?shards ?policy ~profile ~seed ~duration ~rate ~strategy () =
   let faults =
     (* the plan seed is offset from the platform seeds so fault streams
        never correlate with jitter or service-time draws *)
@@ -890,13 +890,13 @@ let fault_run ?shards ~profile ~seed ~duration ~rate ~strategy () =
     match shards with
     | None ->
       Cluster.create ~servers:4 ~topology:Topology.r650_smt
-        ~cost:(cost_of_profile profile) ~seed ~faults
+        ~cost:(cost_of_profile profile) ~seed ~faults ?policy
         ~recovery:Platform.Recovery.default
         ~engine:(Engine.create ~seed ())
         ()
     | Some shards ->
       Cluster.create_sharded ~servers:4 ~topology:Topology.r650_smt
-        ~cost:(cost_of_profile profile) ~seed ~faults
+        ~cost:(cost_of_profile profile) ~seed ~faults ?policy
         ~recovery:Platform.Recovery.default ~shards ()
   in
   let engine = Cluster.engine cluster in
@@ -962,7 +962,8 @@ let fault_run ?shards ~profile ~seed ~duration ~rate ~strategy () =
   }
 
 let faults ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 5.0)
-    ?(rates = [ 0.0; 0.001; 0.01; 0.1 ]) ?(jobs = 1) ?chunk ?shards () =
+    ?(rates = [ 0.0; 0.001; 0.01; 0.1 ]) ?(jobs = 1) ?chunk ?shards ?policy ()
+    =
   let duration = Time.span_s duration_s in
   let tasks =
     List.concat_map
@@ -972,7 +973,7 @@ let faults ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 5.0)
   in
   fan ?chunk ~jobs
     (fun (rate, strategy) ->
-      fault_run ?shards ~profile ~seed ~duration ~rate ~strategy ())
+      fault_run ?shards ?policy ~profile ~seed ~duration ~rate ~strategy ())
     tasks
 
 (* ------------------------------------------------------------------ *)
@@ -993,8 +994,8 @@ type scale_row = {
 }
 
 let scale_run ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
-    ?(duration_s = 1.0) ?ull_count ?(on_run = fun run -> run ()) ~servers
-    ~sandboxes ~triggers () =
+    ?(duration_s = 1.0) ?ull_count ?policy ?(on_run = fun run -> run ())
+    ~servers ~sandboxes ~triggers () =
   let duration = Time.span_s duration_s in
   let ull_count =
     (* a paused sandbox's P²SM maintenance fires on every mutation of
@@ -1007,7 +1008,7 @@ let scale_run ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
   in
   let cluster =
     Cluster.create_sharded ~servers ~topology:Topology.r650_smt
-      ~cost:(cost_of_profile profile) ~seed ~ull_count ~shards ()
+      ~cost:(cost_of_profile profile) ~seed ~ull_count ?policy ~shards ()
   in
   Cluster.register cluster
     (Function_def.create ~name:"ull" ~vcpus:2 ~memory_mb:512
@@ -1054,12 +1055,12 @@ let default_scale_points =
   [ (4, 8_000, 2_000); (8, 32_000, 8_000); (16, 96_000, 16_000) ]
 
 let scale ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
-    ?(duration_s = 1.0) ?(points = default_scale_points) () =
+    ?(duration_s = 1.0) ?(points = default_scale_points) ?policy () =
   (* no [fan] here on purpose: within one run the parallelism comes
      from the sharded engine itself — that is the thing under test *)
   List.map
     (fun (servers, sandboxes, triggers) ->
-      scale_run ~profile ~seed ~shards ~duration_s ~servers ~sandboxes
+      scale_run ~profile ~seed ~shards ~duration_s ?policy ~servers ~sandboxes
         ~triggers ())
     points
 
@@ -1096,10 +1097,10 @@ type storm_row = {
    order, same completions — so completed counts must match exactly
    and percentiles agree up to the estimator's tolerance. *)
 
-let storm_cluster ~profile ~seed ~sandboxes =
+let storm_cluster ?policy ~profile ~seed ~sandboxes () =
   let cluster =
     Cluster.create ~servers:1 ~topology:Topology.r650_smt
-      ~cost:(cost_of_profile profile) ~seed
+      ~cost:(cost_of_profile profile) ~seed ?policy
       ~ull_count:(max 1 (min 32 (sandboxes / 16)))
       ~engine:(Engine.create ~seed ())
       ()
@@ -1129,9 +1130,9 @@ let storm_row ~triggers ~completed ~rejected ~p =
   }
 
 let storm_run_boxed ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 1.0)
-    ?(sandboxes = 512) ~triggers () =
+    ?(sandboxes = 512) ?policy ~triggers () =
   let duration = Time.span_s duration_s in
-  let cluster = storm_cluster ~profile ~seed ~sandboxes in
+  let cluster = storm_cluster ?policy ~profile ~seed ~sandboxes () in
   let batch = storm_batch ~seed ~triggers ~duration cluster in
   let engine = Cluster.engine cluster in
   let acc = ref [] and count = ref 0 in
@@ -1161,9 +1162,9 @@ let storm_run_boxed ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 1.0)
     ~p
 
 let storm_run_flat ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 1.0)
-    ?(sandboxes = 512) ?window ~triggers () =
+    ?(sandboxes = 512) ?window ?policy ~triggers () =
   let duration = Time.span_s duration_s in
-  let cluster = storm_cluster ~profile ~seed ~sandboxes in
+  let cluster = storm_cluster ?policy ~profile ~seed ~sandboxes () in
   let batch = storm_batch ~seed ~triggers ~duration cluster in
   Cluster.schedule_batch ?window cluster batch;
   Cluster.run cluster;
@@ -1179,6 +1180,119 @@ let storm_run_flat ?(profile = Firecracker) ?(seed = 42) ?(duration_s = 1.0)
   storm_row ~triggers ~completed:(Cluster.record_count cluster)
     ~rejected:(List.length (Cluster.rejections cluster))
     ~p
+
+(* ------------------------------------------------------------------ *)
+(* Policy shoot-out: push vs pull vs core-granular under blackouts     *)
+(* ------------------------------------------------------------------ *)
+
+type policy_row = {
+  pl_policy : string;
+  pl_triggers : int;
+  pl_blackout_rate : float;
+  pl_shards : int;
+  pl_attempted : int;
+  pl_completed : int;
+  pl_rejected : int;
+  pl_pending : int;
+  pl_p50_us : float;
+  pl_p99_us : float;
+  pl_p999_us : float;
+  pl_blackouts : int;
+  pl_messages : int;
+}
+
+let policy_run ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
+    ?(duration_s = 1.0) ?(servers = 4) ?(sandboxes = 64) ?ull_count
+    ?(on_run = fun run -> run ()) ~triggers ~blackout_rate ~policy () =
+  let duration = Time.span_s duration_s in
+  let faults =
+    (* whole-server outages plus correlated snapshot corruption: a
+       blacked-out server loses its local snapshot cache too, so a
+       fraction of the restores attempted while the fleet heals fall
+       through to a full cold boot.  That is the regime the policies
+       trade off: blind re-placement onto believed-free servers pays
+       the bottom of the recovery ladder, late binding waits for
+       proven capacity instead *)
+    if blackout_rate <= 0.0 then Fault.Plan.none
+    else
+      Fault.Plan.create ~seed:(seed + 8191)
+        ~rates:
+          [
+            (Fault.Server_blackout, blackout_rate);
+            (Fault.Restore_corruption, 0.5 *. blackout_rate);
+          ]
+        ()
+  in
+  let cluster =
+    Cluster.create_sharded ~servers ~topology:Topology.r650_smt
+      ~cost:(cost_of_profile profile) ~seed ~faults ~policy ~e2e:true
+      ~recovery:Platform.Recovery.default ?ull_count ~shards ()
+  in
+  Cluster.register cluster
+    (* a ~300us service time makes warm capacity an actual constraint
+       at 100k triggers/s (~30 in flight): the axis that separates the
+       policies is what happens when optimistic mirrors meet a fleet
+       whose real free capacity matters *)
+    (Function_def.create ~name:"ull" ~vcpus:2 ~memory_mb:512
+       ~exec:(Function_def.Fixed (Time.span_us 300.0)) ~ull:true ());
+  Cluster.provision cluster ~name:"ull" ~total:sandboxes
+    ~strategy:Sandbox.Horse;
+  let rng = Rng.create ~seed:(seed + 514229) in
+  let batch =
+    (* clumped arrivals, not uniform: a burst wider than the
+       believed-free pool inside one placement round-trip is exactly
+       the moment the policies diverge — push guesses, pull queues *)
+    Batch.bursty ~rng ~n:triggers ~duration ~burst:48
+      ~fn_id:(Cluster.fn_id cluster ~name:"ull")
+      ~payload:(Platform.mode_code (Platform.Warm Sandbox.Horse))
+      ()
+  in
+  Cluster.schedule_batch cluster batch;
+  ignore (Cluster.schedule_faults cluster ~horizon:duration);
+  on_run (fun () -> Cluster.run cluster);
+  (* the router-side end-to-end estimator, not per-record service
+     time: queueing delay (pull) and placement hops are part of what
+     the policies trade off, so they must be inside the percentile *)
+  let latencies = Option.get (Cluster.e2e_latencies cluster) in
+  let p q =
+    if Stats.Quantile.count latencies = 0 then 0.0
+    else Stats.Quantile.percentile latencies q
+  in
+  let se = Option.get (Cluster.shard_engine cluster) in
+  {
+    pl_policy = Cluster.policy_name cluster;
+    pl_triggers = triggers;
+    pl_blackout_rate = blackout_rate;
+    pl_shards = shards;
+    pl_attempted = triggers;
+    pl_completed = Cluster.record_count cluster;
+    pl_rejected = List.length (Cluster.rejections cluster);
+    pl_pending = Cluster.pending_count cluster;
+    pl_p50_us = p 50.0;
+    pl_p99_us = p 99.0;
+    pl_p999_us = p 99.9;
+    pl_blackouts = Metrics.counter (Cluster.metrics cluster) "cluster.blackouts";
+    pl_messages = Horse_sim.Shard_engine.messages_delivered se;
+  }
+
+let default_policy_rates = [ 0.0; 0.5; 0.9 ]
+
+let policy_sweep ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
+    ?(duration_s = 1.0) ?(servers = 4) ?(sandboxes = 64)
+    ?(triggers = [ 10_000; 100_000 ]) ?(rates = default_policy_rates) () =
+  (* not fanned over a task pool: like the scale sweep, each run's
+     parallelism is the sharded engine itself *)
+  List.concat_map
+    (fun policy ->
+      List.concat_map
+        (fun n ->
+          List.map
+            (fun rate ->
+              policy_run ~profile ~seed ~shards ~duration_s ~servers
+                ~sandboxes ~triggers:n ~blackout_rate:rate ~policy ())
+            rates)
+        triggers)
+    (Cluster.Policy.builtins ())
 
 (* ------------------------------------------------------------------ *)
 (* Headline summary                                                    *)

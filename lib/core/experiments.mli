@@ -270,7 +270,8 @@ type fault_row = {
 
 val faults :
   ?profile:profile -> ?seed:int -> ?duration_s:float -> ?rates:float list ->
-  ?jobs:int -> ?chunk:int -> ?shards:int -> unit -> fault_row list
+  ?jobs:int -> ?chunk:int -> ?shards:int ->
+  ?policy:Horse_faas.Cluster.Policy.t -> unit -> fault_row list
 (** Sweep per-trigger fault rates (default 0 %, 0.1 %, 1 %, 10 %) over
     an Azure-shaped uLL storm on a 4-server cluster running
     {!Horse_faas.Platform.Recovery.default}, for Vanilla vs HORSE warm
@@ -299,6 +300,7 @@ type scale_row = {
 val scale_run :
   ?profile:profile -> ?seed:int -> ?shards:int -> ?duration_s:float ->
   ?ull_count:int ->
+  ?policy:Horse_faas.Cluster.Policy.t ->
   ?on_run:((unit -> unit) -> unit) ->
   servers:int -> sandboxes:int -> triggers:int -> unit -> scale_row
 (** One sharded-cluster run: [sandboxes] HORSE sandboxes parked over
@@ -315,7 +317,8 @@ val scale_run :
 
 val scale :
   ?profile:profile -> ?seed:int -> ?shards:int -> ?duration_s:float ->
-  ?points:(int * int * int) list -> unit -> scale_row list
+  ?points:(int * int * int) list ->
+  ?policy:Horse_faas.Cluster.Policy.t -> unit -> scale_row list
 (** {!scale_run} over a [(servers, sandboxes, triggers)] sweep
     (default up to 16 servers / 96k parked sandboxes / 16k triggers;
     the benchmark drives larger points).  Deliberately not fanned over
@@ -335,7 +338,7 @@ type storm_row = {
 
 val storm_run_boxed :
   ?profile:profile -> ?seed:int -> ?duration_s:float -> ?sandboxes:int ->
-  triggers:int -> unit -> storm_row
+  ?policy:Horse_faas.Cluster.Policy.t -> triggers:int -> unit -> storm_row
 (** The whole trigger path — trace generation, ingestion, routing,
     resume, completion, aggregation — on one server with one hot
     function, implemented the pre-arena way: a closure per scheduled
@@ -346,7 +349,8 @@ val storm_run_boxed :
 
 val storm_run_flat :
   ?profile:profile -> ?seed:int -> ?duration_s:float -> ?sandboxes:int ->
-  ?window:int -> triggers:int -> unit -> storm_row
+  ?window:int -> ?policy:Horse_faas.Cluster.Policy.t -> triggers:int ->
+  unit -> storm_row
 (** The same pipeline on the zero-allocation path: flat batch
     ingestion through {!Horse_faas.Cluster.schedule_batch} (windowed
     cursor, [window] default 4096), struct-of-arrays record appends,
@@ -354,6 +358,51 @@ val storm_run_flat :
     columns.  Simulates the {e same} run as {!storm_run_boxed} — same
     RNG draws, same arrival order — so [st_completed] matches exactly
     and percentiles agree up to the estimator tolerance. *)
+
+(** {1 Policy shoot-out — push vs pull vs core-granular under blackouts} *)
+
+type policy_row = {
+  pl_policy : string;  (** {!Horse_faas.Cluster.policy_name} *)
+  pl_triggers : int;
+  pl_blackout_rate : float;  (** per-server-second blackout probability *)
+  pl_shards : int;
+  pl_attempted : int;
+  pl_completed : int;
+  pl_rejected : int;
+  pl_pending : int;  (** triggers still queued when the run drained *)
+  pl_p50_us : float;  (** router-observed end-to-end latency percentiles *)
+  pl_p99_us : float;
+  pl_p999_us : float;
+  pl_blackouts : int;  (** outages the schedule actually fired *)
+  pl_messages : int;  (** cross-shard messages delivered *)
+}
+
+val policy_run :
+  ?profile:profile -> ?seed:int -> ?shards:int -> ?duration_s:float ->
+  ?servers:int -> ?sandboxes:int -> ?ull_count:int ->
+  ?on_run:((unit -> unit) -> unit) ->
+  triggers:int -> blackout_rate:float ->
+  policy:Horse_faas.Cluster.Policy.t -> unit -> policy_row
+(** One sharded-cluster run under [policy]: [sandboxes] HORSE
+    sandboxes (default 64 — tight against the ~30 in flight at 100k
+    triggers/s so warm capacity is a real constraint) over [servers]
+    servers, [triggers] warm triggers in bursty clumps
+    ({!Horse_trace.Batch.bursty}) within [duration_s], whole-server
+    blackouts at [blackout_rate] per simulated second with correlated
+    snapshot corruption at half that rate (self-healing recovery on —
+    a restore on a healing server may fall through to a cold boot).
+    Latencies are the router's end-to-end estimator — arrival to
+    completion notification, queueing and placement delays included —
+    which is the quantity the policies actually trade off.  The row is
+    bit-identical for every [shards] value. *)
+
+val policy_sweep :
+  ?profile:profile -> ?seed:int -> ?shards:int -> ?duration_s:float ->
+  ?servers:int -> ?sandboxes:int -> ?triggers:int list ->
+  ?rates:float list -> unit -> policy_row list
+(** {!policy_run} over {!Horse_faas.Cluster.Policy.builtins} ×
+    [triggers] (default 10k, 100k) × blackout [rates] (default 0,
+    0.5, 0.9) — the shoot-out table behind [BENCH_policy.json]. *)
 
 (** {1 Headline summary} *)
 

@@ -83,18 +83,32 @@ let timing_to_json t =
     ]
 
 let to_json ~jobs timings =
+  let host_cores = Domain.recommended_domain_count () in
   Json.to_string
     (Json.Object
-       [
-         ("schema", Json.String "horse-bench/1");
-         ("jobs", Json.Int jobs);
-         (* cores of the machine that produced the artifact: the gate
-            (bench_check) holds single-core hosts to a lower floor *)
-         ("host_cores", Json.Int (Domain.recommended_domain_count ()));
-         ("experiments", Json.List (List.map timing_to_json timings));
-       ])
+       ([
+          ("schema", Json.String "horse-bench/1");
+          ("jobs", Json.Int jobs);
+          (* cores of the machine that produced the artifact: the gate
+             (bench_check) holds single-core hosts to a lower floor *)
+          ("host_cores", Json.Int host_cores);
+        ]
+       @ (if host_cores <= 1 then
+            (* stamp the artifact itself so a reader (or a gate on a
+               different machine) never mistakes a timeshared run for
+               a parallel one *)
+            [ ("degraded_host", Json.Bool true) ]
+          else [])
+       @ [ ("experiments", Json.List (List.map timing_to_json timings)) ]))
 
 let write_json ~path ~jobs timings =
+  let host_cores = Domain.recommended_domain_count () in
+  if host_cores <= 1 then
+    Printf.printf
+      "warning: producing bench artifact on a single-core host \
+       (host_cores = %d) — parallel speedups are not physically \
+       reachable here; the record is stamped \"degraded_host\"\n%!"
+      host_cores;
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)

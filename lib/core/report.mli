@@ -44,8 +44,13 @@ val speedup : timing -> float
 
 val to_json : jobs:int -> timing list -> string
 (** The whole run as one JSON document: schema tag, requested [jobs],
-    and one object per experiment with both wall-clocks and the
-    sequential/parallel speedup. *)
+    the producing host's core count, and one object per experiment
+    with both wall-clocks and the sequential/parallel speedup.  On a
+    single-core producer the document additionally carries
+    ["degraded_host": true] — parallel speedups are physically
+    unreachable there, and downstream gates judge the artifact
+    against relaxed floors. *)
 
 val write_json : path:string -> jobs:int -> timing list -> unit
-(** [to_json] to a file, with a one-line confirmation on stdout. *)
+(** [to_json] to a file, with a one-line confirmation on stdout (and
+    a visible warning first when the host is single-core). *)

@@ -1,0 +1,152 @@
+(* Bucketed argmin: one bitset of members per load value, plus a
+   floor pointer kept at or below the smallest non-empty bucket.  An
+   update moves one bit between two buckets; the floor only ever
+   advances inside [argmin] (lazily, past buckets emptied since the
+   last query), so each position is crossed once per time the minimum
+   rises — O(1) amortized against the updates that raised it. *)
+
+(* 62 usable bits per bucket word: every mask stays a positive
+   [int], and [lsr]/[land] never meet the sign bit. *)
+let word_bits = 62
+
+type t = {
+  n : int;
+  words : int;  (* bitset words per bucket *)
+  loads : int array;
+  present : bool array;
+  mutable buckets : int array array;  (* load value -> member bitset *)
+  mutable counts : int array;  (* load value -> members in bucket *)
+  mutable floor : int;  (* <= smallest non-empty load *)
+  mutable members : int;  (* present members *)
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Load_index.create: n <= 0";
+  let words = ((n - 1) / word_bits) + 1 in
+  let zero = Array.make words 0 in
+  (* every member starts present at load 0: bucket 0 holds them all *)
+  for i = 0 to n - 1 do
+    zero.(i / word_bits) <- zero.(i / word_bits) lor (1 lsl (i mod word_bits))
+  done;
+  {
+    n;
+    words;
+    loads = Array.make n 0;
+    present = Array.make n true;
+    buckets = [| zero |];
+    counts = [| n |];
+    floor = 0;
+    members = n;
+  }
+
+let length t = t.n
+
+let check_index t i name =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Load_index.%s: index out of range" name)
+
+let load t i =
+  check_index t i "load";
+  t.loads.(i)
+
+let present t i =
+  check_index t i "present";
+  t.present.(i)
+
+let ensure_bucket t l =
+  if l >= Array.length t.buckets then begin
+    let cap = max (l + 1) (2 * Array.length t.buckets) in
+    let buckets =
+      Array.init cap (fun k ->
+          if k < Array.length t.buckets then t.buckets.(k)
+          else Array.make t.words 0)
+    in
+    let counts =
+      Array.init cap (fun k ->
+          if k < Array.length t.counts then t.counts.(k) else 0)
+    in
+    t.buckets <- buckets;
+    t.counts <- counts
+  end
+
+let clear_bit t l i =
+  let w = i / word_bits and b = i mod word_bits in
+  t.buckets.(l).(w) <- t.buckets.(l).(w) land lnot (1 lsl b);
+  t.counts.(l) <- t.counts.(l) - 1
+
+let set_bit t l i =
+  ensure_bucket t l;
+  let w = i / word_bits and b = i mod word_bits in
+  t.buckets.(l).(w) <- t.buckets.(l).(w) lor (1 lsl b);
+  t.counts.(l) <- t.counts.(l) + 1;
+  if l < t.floor then t.floor <- l
+
+let set t i l =
+  check_index t i "set";
+  if l < 0 then invalid_arg "Load_index.set: negative load";
+  if l <> t.loads.(i) then begin
+    if t.present.(i) then begin
+      clear_bit t t.loads.(i) i;
+      set_bit t l i
+    end;
+    t.loads.(i) <- l
+  end
+
+let remove t i =
+  check_index t i "remove";
+  if t.present.(i) then begin
+    clear_bit t t.loads.(i) i;
+    t.present.(i) <- false;
+    t.members <- t.members - 1
+  end
+
+let add t i =
+  check_index t i "add";
+  if not t.present.(i) then begin
+    set_bit t t.loads.(i) i;
+    t.present.(i) <- true;
+    t.members <- t.members + 1
+  end
+
+let trailing_zeros x =
+  (* x <> 0; isolate the lowest set bit and locate it *)
+  let x = x land -x in
+  let p = ref 0 and x = ref x in
+  if !x land 0x7FFFFFFF = 0 then begin
+    p := !p + 31;
+    x := !x lsr 31
+  end;
+  if !x land 0xFFFF = 0 then begin
+    p := !p + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    p := !p + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    p := !p + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    p := !p + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then p := !p + 1;
+  !p
+
+let argmin t =
+  if t.members = 0 then None
+  else begin
+    (* the floor never sits above a non-empty bucket, so this loop
+       only crosses buckets emptied since the last query *)
+    while t.counts.(t.floor) = 0 do
+      t.floor <- t.floor + 1
+    done;
+    let bits = t.buckets.(t.floor) in
+    let w = ref 0 in
+    while bits.(!w) = 0 do
+      incr w
+    done;
+    Some ((!w * word_bits) + trailing_zeros bits.(!w))
+  end

@@ -1,0 +1,48 @@
+(** An incrementally-maintained argmin over per-server integer loads.
+
+    The router's least-loaded pick used to rescan every server on
+    every trigger; this index keeps the same answer — the {e
+    lowest-indexed} member with the minimal load — in O(1) amortized
+    per update.  Loads are bucketed by value (one bitset of members
+    per load level, plus a floor pointer at the smallest non-empty
+    bucket), so [set] moves one bit between buckets and [argmin]
+    scans one bitset word group for its lowest set bit.
+
+    Members can be excluded (an unhealthy server leaves the argmin
+    without forgetting its load) and re-admitted at their current
+    load.  Semantics are exactly those of the scan it replaces:
+
+    {[ argmin t = lowest i with present i && load i minimal ]}
+
+    and the trace-equality suite in [test_faas] replays random
+    update scripts against that scan. *)
+
+type t
+
+val create : n:int -> t
+(** [n] members, all present, all at load 0.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val length : t -> int
+(** The member count [n]. *)
+
+val load : t -> int -> int
+(** Current load of member [i] (tracked even while excluded).
+    @raise Invalid_argument on an out-of-range index. *)
+
+val present : t -> int -> bool
+
+val set : t -> int -> int -> unit
+(** [set t i l] records member [i]'s load as [l] (moving it between
+    buckets when present).
+    @raise Invalid_argument on an out-of-range index or [l < 0]. *)
+
+val remove : t -> int -> unit
+(** Exclude member [i] from {!argmin} (idempotent). *)
+
+val add : t -> int -> unit
+(** Re-admit member [i] at its tracked load (idempotent). *)
+
+val argmin : t -> int option
+(** The lowest-indexed present member with the minimal load; [None]
+    when every member is excluded. *)

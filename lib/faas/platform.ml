@@ -159,6 +159,7 @@ type t = {
   energy : Horse_cpu.Energy.t;
   occupancy : (int, invocation) Hashtbl.t;  (* cpu -> invocation *)
   live : (int, invocation) Hashtbl.t;
+  mutable busy_vcpus : int;  (* vCPUs held by live invocations *)
   arena : Trigger_records.t;  (* completed invocations, append order *)
   mutable records_cache : record list;  (* memoized [records] shim *)
   mutable records_cache_len : int;  (* arena length the cache reflects *)
@@ -196,6 +197,7 @@ let create ?(topology = Topology.r650) ?(cost = Cost_model.firecracker)
     pools_by_id = [||];
     occupancy = Hashtbl.create 64;
     live = Hashtbl.create 64;
+    busy_vcpus = 0;
     arena = Trigger_records.create ();
     records_cache = [];
     records_cache_len = 0;
@@ -405,6 +407,7 @@ let complete t inv =
     inv.cpus;
   List.iter (fun cpu -> Hashtbl.remove t.occupancy cpu) inv.cpus;
   Hashtbl.remove t.live inv.id;
+  t.busy_vcpus <- t.busy_vcpus - List.length inv.cpus;
   let code = mode_code inv.inv_mode in
   let handle =
     Trigger_records.append t.arena ~fn_id:inv.fn_id ~mode:code
@@ -559,6 +562,7 @@ and launch t ~fn ~fn_id ~orig_mode ~mode ~sink ~attempt ~triggered_at
     }
   in
   Hashtbl.replace t.live id inv;
+  t.busy_vcpus <- t.busy_vcpus + List.length cpus;
   (* the step-5 load variable drives frequency scaling: refresh the
      governor of each CPU this invocation occupies from its run
      queue's tracked load *)
@@ -604,6 +608,7 @@ and launch t ~fn ~fn_id ~orig_mode ~mode ~sink ~attempt ~triggered_at
 and exec_crash t inv ~orig_mode ~attempt =
   List.iter (fun cpu -> Hashtbl.remove t.occupancy cpu) inv.cpus;
   Hashtbl.remove t.live inv.id;
+  t.busy_vcpus <- t.busy_vcpus - List.length inv.cpus;
   Vmm.crash t.vmm inv.sandbox;
   Metrics.incr t.metrics "platform.exec_crashes";
   let recovery = t.recovery in
@@ -665,6 +670,7 @@ let blackout t =
       incr lost)
     t.live;
   Hashtbl.reset t.live;
+  t.busy_vcpus <- 0;
   let pooled = ref 0 in
   Hashtbl.iter
     (fun _ p ->
@@ -707,3 +713,5 @@ let records t =
   t.records_cache
 
 let live_invocations t = Hashtbl.length t.live
+
+let busy_vcpus t = t.busy_vcpus

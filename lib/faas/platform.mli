@@ -254,3 +254,8 @@ val records : t -> record list
     {!iter_records}/{!fold_records} on large runs. *)
 
 val live_invocations : t -> int
+
+val busy_vcpus : t -> int
+(** vCPUs currently held by live invocations — the server-local,
+    core-granular occupancy signal ([0 .. cpu_count]).  Tracked
+    incrementally (launch/complete/crash/blackout), never scanned. *)

@@ -119,3 +119,10 @@ let global_load t = t.global_load
 
 let total_queued t =
   Array.fold_left (fun acc q -> acc + Runqueue.length q) 0 t.queues
+
+let queue_depth t ~cpu =
+  if cpu < 0 || cpu >= Array.length t.queues then
+    invalid_arg "Scheduler.queue_depth: cpu out of range";
+  Runqueue.length t.queues.(cpu)
+
+let queue_depths t = Array.map Runqueue.length t.queues

@@ -58,6 +58,14 @@ val attached_paused : t -> Runqueue.t -> int
 val total_queued : t -> int
 (** vCPUs sitting on all queues together. *)
 
+val queue_depth : t -> cpu:Horse_cpu.Topology.cpu_id -> int
+(** vCPUs sitting on one CPU's run queue — the per-vCPU occupancy
+    signal a core-granular router reads (credit2 run-queue depth).
+    @raise Invalid_argument on an out-of-range CPU. *)
+
+val queue_depths : t -> int array
+(** {!queue_depth} for every CPU at once, indexed by CPU. *)
+
 val global_load : t -> Load_tracking.t
 (** The single lock-protected load variable of the paper's step ⑤:
     "a lock-protected variable, which represents the vCPUs' load on

@@ -104,3 +104,47 @@ let uniform ~rng ~n ~duration ?(fn_id = 0) ?(payload = 0) () =
   done;
   sort t;
   t
+
+(* [n] arrivals in bursts: burst epochs land uniformly over the
+   duration, each carries a geometric-ish clump (mean [burst]) spaced
+   exponentially (mean [spacing]) so a whole clump fits inside one
+   placement round-trip.  The aggregate rate matches [uniform] with
+   the same [n]; only the clustering differs — this is the arrival
+   process that separates optimistic push from demand-driven pull,
+   because a clump wider than the believed-free pool forces the
+   router to either guess (push) or queue (pull). *)
+let bursty ~rng ~n ~duration ?(burst = 48) ?(spacing = Time.span_us 1.0)
+    ?(fn_id = 0) ?(payload = 0) () =
+  if n < 0 then invalid_arg "Batch.bursty: n < 0";
+  if burst < 1 then invalid_arg "Batch.bursty: burst < 1";
+  let dur_ns = Time.span_to_ns duration in
+  if dur_ns <= 0 then invalid_arg "Batch.bursty: empty duration";
+  let spacing_ns = float_of_int (Time.span_to_ns spacing) in
+  if spacing_ns <= 0.0 then invalid_arg "Batch.bursty: empty spacing";
+  let t = create ~capacity:(max 1 n) () in
+  let remaining = ref n in
+  while !remaining > 0 do
+    let epoch = Rng.int rng dur_ns in
+    (* 1 + Exp(mean burst-1) truncated to int: geometric-shaped clump
+       sizes with mean [burst], never empty. *)
+    let size =
+      if burst = 1 then 1
+      else
+        1
+        + int_of_float
+            (Rng.exponential rng ~mean:(float_of_int (burst - 1)))
+    in
+    let size = min size !remaining in
+    let at = ref (float_of_int epoch) in
+    for _ = 1 to size do
+      (* clip to the horizon rather than wrapping: a clump near the
+         end just crowds the last instants, like a real traffic spike
+         cut off by the observation window *)
+      let ns = min (dur_ns - 1) (int_of_float !at) in
+      add t ~at:(Time.span_ns ns) ~fn_id ~payload;
+      at := !at +. Rng.exponential rng ~mean:spacing_ns
+    done;
+    remaining := !remaining - size
+  done;
+  sort t;
+  t

@@ -57,3 +57,22 @@ val uniform :
     and sorting the list — the flat replacement for the scale
     experiment's arrival generation.
     @raise Invalid_argument if [n < 0] or [duration] is empty. *)
+
+val bursty :
+  rng:Horse_sim.Rng.t ->
+  n:int ->
+  duration:Horse_sim.Time_ns.span ->
+  ?burst:int ->
+  ?spacing:Horse_sim.Time_ns.span ->
+  ?fn_id:int ->
+  ?payload:int ->
+  unit ->
+  t
+(** [n] arrivals clumped into bursts, sorted.  Burst epochs are
+    uniform over [0, duration); each clump has a geometric-shaped
+    size (mean [burst], default 48) and exponential intra-clump
+    spacing (mean [spacing], default 1µs), so a whole clump lands
+    inside one placement round-trip.  Same aggregate rate as
+    {!uniform} with the same [n]; only the clustering differs.
+    @raise Invalid_argument if [n < 0], [burst < 1], or a span is
+    empty. *)

@@ -505,10 +505,12 @@ let test_reclaim () =
 
 module Cluster = Horse_faas.Cluster
 
-let fresh_cluster ?(servers = 3) ?(routing = Cluster.Warm_first) () =
+let fresh_cluster ?(servers = 3) ?(routing = Cluster.Warm_first) ?policy ?e2e
+    () =
   let engine = Engine.create ~seed:21 () in
   let cluster =
-    Cluster.create ~servers ~routing ~topology:small_topology ~seed:21 ~engine ()
+    Cluster.create ~servers ~routing ?policy ?e2e ~topology:small_topology
+      ~seed:21 ~engine ()
   in
   Cluster.register cluster
     (Function_def.create ~name:"nat" ~vcpus:1 ~memory_mb:512
@@ -542,6 +544,7 @@ let accepted = function
   | Cluster.Rejected r ->
     Alcotest.failf "unexpected rejection: %s"
       (Cluster.reject_reason_name r.Cluster.reason)
+  | Cluster.Queued -> Alcotest.fail "unexpected queueing"
 
 let test_cluster_round_robin () =
   let _, cluster = fresh_cluster ~routing:Cluster.Round_robin () in
@@ -583,7 +586,8 @@ let test_cluster_warm_exhausted_rejects () =
   (match
      Cluster.trigger cluster ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse) ()
    with
-  | Cluster.Accepted _ -> Alcotest.fail "dry fleet must reject"
+  | Cluster.Accepted _ | Cluster.Queued ->
+    Alcotest.fail "dry fleet must reject"
   | Cluster.Rejected r ->
     Alcotest.(check string)
       "reason" "no-warm-capacity"
@@ -601,7 +605,8 @@ let test_cluster_all_down_rejects () =
   done;
   Alcotest.(check int) "none healthy" 0 (Cluster.healthy_count cluster);
   (match Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold () with
-  | Cluster.Accepted _ -> Alcotest.fail "downed fleet must reject"
+  | Cluster.Accepted _ | Cluster.Queued ->
+    Alcotest.fail "downed fleet must reject"
   | Cluster.Rejected r ->
     Alcotest.(check string)
       "reason" "all-servers-down"
@@ -644,6 +649,244 @@ let test_cluster_end_to_end () =
   let counts = Cluster.triggers_per_server cluster in
   Alcotest.(check bool) "every server participated" true
     (Array.for_all (fun c -> c > 0) counts)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling policies: rejection paths, queueing, recovery            *)
+(* ------------------------------------------------------------------ *)
+
+let each_policy f =
+  List.iter
+    (fun policy -> f ~pname:(Cluster.Policy.name policy) ~policy)
+    (Cluster.Policy.builtins ())
+
+let test_policy_no_warm_rejects () =
+  (* a fleet-wide dry pool is the same typed rejection under every
+     policy — pull spends a seeded token and learns from the server,
+     push and core fall through their warm-first preference *)
+  each_policy (fun ~pname ~policy ->
+      let _, cluster = fresh_cluster ~policy () in
+      (match
+         Cluster.trigger cluster ~name:"nat"
+           ~mode:(Platform.Warm Sandbox.Horse) ()
+       with
+      | Cluster.Accepted _ | Cluster.Queued ->
+        Alcotest.failf "%s: dry fleet must reject" pname
+      | Cluster.Rejected r ->
+        Alcotest.(check string)
+          (pname ^ ": reason")
+          "no-warm-capacity"
+          (Cluster.reject_reason_name r.Cluster.reason));
+      Alcotest.(check int)
+        (pname ^ ": counted")
+        1
+        (Horse_sim.Metrics.counter (Cluster.metrics cluster)
+           "cluster.rejections.no-warm-capacity"))
+
+let test_policy_all_down_rejects () =
+  (* [All_servers_down] is rejected before any policy runs, and a
+     recovered server takes traffic again under every policy (pull
+     restarts it with a probe window) *)
+  each_policy (fun ~pname ~policy ->
+      let _, cluster = fresh_cluster ~policy () in
+      for i = 0 to Cluster.server_count cluster - 1 do
+        Cluster.mark_down cluster i
+      done;
+      (match Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold () with
+      | Cluster.Accepted _ | Cluster.Queued ->
+        Alcotest.failf "%s: downed fleet must reject" pname
+      | Cluster.Rejected r ->
+        Alcotest.(check string)
+          (pname ^ ": reason")
+          "all-servers-down"
+          (Cluster.reject_reason_name r.Cluster.reason));
+      Cluster.mark_up cluster 1;
+      match Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold () with
+      | Cluster.Accepted i ->
+        Alcotest.(check int) (pname ^ ": routed to the survivor") 1 i
+      | Cluster.Queued -> Alcotest.failf "%s: survivor must take traffic" pname
+      | Cluster.Rejected _ ->
+        Alcotest.failf "%s: recovered fleet must accept" pname)
+
+let test_policy_blackout_midstorm_recovers () =
+  (* a full-fleet blackout in the middle of a steady trigger storm:
+     every in-outage trigger is a typed rejection, and the moment the
+     fleet heals the storm completes normally — under every policy *)
+  each_policy (fun ~pname ~policy ->
+      let engine, cluster = fresh_cluster ~policy () in
+      Cluster.provision cluster ~name:"nat" ~total:6 ~strategy:Sandbox.Horse;
+      for i = 0 to 299 do
+        ignore
+          (Engine.schedule engine
+             ~after:(Time.span_us (float_of_int i *. 100.0))
+             (fun _ ->
+               ignore
+                 (Cluster.trigger cluster ~name:"nat"
+                    ~mode:(Platform.Warm Sandbox.Horse) ())))
+      done;
+      (* outage window [10.05ms, 20.05ms): triggers 101..200 land in
+         it; the off-grid boundaries keep same-instant ordering out of
+         the picture *)
+      ignore
+        (Engine.schedule engine ~after:(Time.span_us 10_050.0) (fun _ ->
+             for i = 0 to Cluster.server_count cluster - 1 do
+               Cluster.mark_down cluster i
+             done));
+      ignore
+        (Engine.schedule engine ~after:(Time.span_us 20_050.0) (fun _ ->
+             for i = 0 to Cluster.server_count cluster - 1 do
+               Cluster.mark_up cluster i
+             done));
+      Engine.run engine;
+      let rejections = Cluster.rejections cluster in
+      Alcotest.(check int) (pname ^ ": outage rejections") 100
+        (List.length rejections);
+      List.iter
+        (fun (r : Cluster.rejection) ->
+          Alcotest.(check string)
+            (pname ^ ": outage reason")
+            "all-servers-down"
+            (Cluster.reject_reason_name r.Cluster.reason))
+        rejections;
+      Alcotest.(check int)
+        (pname ^ ": storm completed around the outage")
+        200 (Cluster.record_count cluster);
+      Alcotest.(check int) (pname ^ ": queue drained") 0
+        (Cluster.pending_count cluster))
+
+let test_pull_queues_and_claims () =
+  (* with no provisioned pools each server holds exactly its seeded
+     token: the third concurrent trigger must park in the router
+     queue, and the first completion's claim must drain it *)
+  let engine, cluster =
+    fresh_cluster ~servers:2 ~policy:(Cluster.Policy.pull ()) ()
+  in
+  let outcome () = Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold () in
+  (match (outcome (), outcome (), outcome ()) with
+  | Cluster.Accepted 0, Cluster.Accepted 1, Cluster.Queued -> ()
+  | _ -> Alcotest.fail "expected tokens to route 0, 1 then queue");
+  Alcotest.(check int) "one pending" 1 (Cluster.pending_count cluster);
+  Engine.run engine;
+  Alcotest.(check int) "queue drained" 0 (Cluster.pending_count cluster);
+  Alcotest.(check int) "all three completed" 3 (Cluster.record_count cluster)
+
+let test_cluster_e2e_estimator () =
+  (* the opt-in router-side estimator sees one observation per
+     completion, including queued (pull) triggers; clusters without
+     [~e2e] carry none *)
+  let engine, cluster = fresh_cluster ~e2e:true () in
+  (* one parked sandbox per concurrent trigger: the five fire at the
+     same instant, before any completion can re-park *)
+  Cluster.provision cluster ~name:"nat" ~total:5 ~strategy:Sandbox.Horse;
+  for _ = 1 to 5 do
+    ignore
+      (Cluster.trigger cluster ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse)
+         ())
+  done;
+  Engine.run engine;
+  (match Cluster.e2e_latencies cluster with
+  | None -> Alcotest.fail "estimator requested but absent"
+  | Some q ->
+    Alcotest.(check int) "one observation per completion" 5
+      (Horse_sim.Stats.Quantile.count q);
+    Alcotest.(check bool)
+      "p99.9 positive" true
+      (Horse_sim.Stats.Quantile.percentile q 99.9 > 0.0));
+  let _, plain = fresh_cluster () in
+  Alcotest.(check bool)
+    "absent unless requested" true
+    (Option.is_none (Cluster.e2e_latencies plain))
+
+(* ------------------------------------------------------------------ *)
+(* Load index vs naive scan: trace equality                            *)
+(* ------------------------------------------------------------------ *)
+
+module Load_index = Horse_faas.Load_index
+
+type li_op = Li_set of int * int | Li_remove of int | Li_add of int
+
+let li_n = 6
+
+(* The bucketed index must agree with the scan it replaced — lowest
+   present index with the minimal load — after every operation of a
+   random script, including loads well past the initial bucket range
+   and argmin over an emptied membership. *)
+let li_spec =
+  let gen rand =
+    let i = Random.State.int rand li_n in
+    match Random.State.int rand 4 with
+    | 0 | 1 -> Li_set (i, Random.State.int rand 40)
+    | 2 -> Li_remove i
+    | _ -> Li_add i
+  in
+  let show = function
+    | Li_set (i, l) -> Printf.sprintf "Set (%d, %d)" i l
+    | Li_remove i -> Printf.sprintf "Remove %d" i
+    | Li_add i -> Printf.sprintf "Add %d" i
+  in
+  let make () =
+    let sut = Load_index.create ~n:li_n in
+    let loads = Array.make li_n 0 and present = Array.make li_n true in
+    fun op ->
+      (match op with
+      | Li_set (i, l) ->
+        Load_index.set sut i l;
+        loads.(i) <- l
+      | Li_remove i ->
+        Load_index.remove sut i;
+        present.(i) <- false
+      | Li_add i ->
+        Load_index.add sut i;
+        present.(i) <- true);
+      let scan = ref None in
+      for i = 0 to li_n - 1 do
+        if present.(i) then
+          match !scan with
+          | None -> scan := Some i
+          | Some j -> if loads.(i) < loads.(j) then scan := Some i
+      done;
+      let show_opt = function
+        | None -> "none"
+        | Some i -> string_of_int i
+      in
+      if Load_index.argmin sut <> !scan then
+        Some
+          (Printf.sprintf "argmin %s, scan %s"
+             (show_opt (Load_index.argmin sut))
+             (show_opt !scan))
+      else
+        let diverged = ref None in
+        for i = 0 to li_n - 1 do
+          if !diverged = None && Load_index.load sut i <> loads.(i) then
+            diverged :=
+              Some
+                (Printf.sprintf "load %d: index %d, oracle %d" i
+                   (Load_index.load sut i) loads.(i))
+        done;
+        !diverged
+  in
+  Harness.{ name = "load index vs naive scan"; gen; show; make }
+
+let test_load_index_oracle () = Harness.check li_spec
+
+let test_load_index_edges () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Load_index.create: n <= 0")
+    (fun () -> ignore (Load_index.create ~n:0));
+  let li = Load_index.create ~n:3 in
+  Load_index.set li 0 2;
+  Load_index.set li 1 1;
+  Load_index.set li 2 1;
+  Alcotest.(check (option int)) "lowest of the minimal" (Some 1)
+    (Load_index.argmin li);
+  Load_index.remove li 1;
+  Alcotest.(check (option int)) "exclusion" (Some 2) (Load_index.argmin li);
+  Load_index.remove li 2;
+  Load_index.remove li 0;
+  Alcotest.(check (option int)) "all excluded" None (Load_index.argmin li);
+  (* re-admission returns at the tracked load, not at zero *)
+  Load_index.add li 0;
+  Load_index.add li 1;
+  Alcotest.(check (option int)) "re-admitted at tracked loads" (Some 1)
+    (Load_index.argmin li)
 
 (* ------------------------------------------------------------------ *)
 (* Arena vs boxed records: model-based oracle                          *)
@@ -983,6 +1226,18 @@ let () =
           Alcotest.test_case "routing skips unhealthy" `Quick
             test_cluster_routing_skips_unhealthy;
           Alcotest.test_case "end to end" `Quick test_cluster_end_to_end;
+          Alcotest.test_case "policies: no warm capacity" `Quick
+            test_policy_no_warm_rejects;
+          Alcotest.test_case "policies: all servers down" `Quick
+            test_policy_all_down_rejects;
+          Alcotest.test_case "policies: blackout mid-storm recovers" `Quick
+            test_policy_blackout_midstorm_recovers;
+          Alcotest.test_case "pull queues and claims" `Quick
+            test_pull_queues_and_claims;
+          Alcotest.test_case "e2e estimator" `Quick test_cluster_e2e_estimator;
+          Alcotest.test_case "load index vs scan (harness)" `Quick
+            test_load_index_oracle;
+          Alcotest.test_case "load index edges" `Quick test_load_index_edges;
           Alcotest.test_case "arena vs boxed oracle (harness)" `Quick
             test_arena_oracle;
           Alcotest.test_case "batch vs closure ingestion" `Quick

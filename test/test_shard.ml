@@ -46,6 +46,9 @@ let dump_record buf (server, (r : Platform.record)) =
 
 let dump_cluster cluster =
   let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "policy=%s pending=%d\n" (Cluster.policy_name cluster)
+       (Cluster.pending_count cluster));
   List.iter (dump_record buf) (Cluster.records cluster);
   List.iter
     (fun (rj : Cluster.rejection) ->
@@ -85,11 +88,11 @@ let blackout_plan seed =
          Fault.all_triggers)
     ()
 
-let sharded_storm ~seed ~shards ~faulty () =
+let sharded_storm ?policy ~seed ~shards ~faulty () =
   let faults = if faulty then blackout_plan (seed + 1) else Fault.Plan.none in
   let cluster =
     Cluster.create_sharded ~servers:4 ~topology:small_topology ~seed ~faults
-      ~recovery:Platform.Recovery.default ~shards ()
+      ~recovery:Platform.Recovery.default ?policy ~shards ()
   in
   Cluster.register cluster ull_def;
   Cluster.provision cluster ~name:"ull" ~total:12 ~strategy:Sandbox.Horse;
@@ -111,8 +114,10 @@ let sharded_storm ~seed ~shards ~faulty () =
   Cluster.run cluster;
   cluster
 
-let check_shard_invariance ~faulty seed =
-  let dump shards = dump_cluster (sharded_storm ~seed ~shards ~faulty ()) in
+let check_shard_invariance ?policy ~faulty seed =
+  let dump shards =
+    dump_cluster (sharded_storm ?policy ~seed ~shards ~faulty ())
+  in
   let reference = dump 1 in
   Alcotest.(check bool)
     "storm produced records" true
@@ -130,6 +135,20 @@ let test_storm_invariance () =
 let test_storm_invariance_faulty () =
   List.iter (check_shard_invariance ~faulty:true) [ 1; 42; 1337 ]
 
+let test_storm_invariance_policies () =
+  (* every built-in policy — including pull, whose claims are extra
+     protocol traffic — must stay bit-identical across shard counts,
+     with blackouts wiping and recovering servers mid-storm *)
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun faulty ->
+          List.iter
+            (check_shard_invariance ~policy ~faulty)
+            [ 1; 42; 1337 ])
+        [ false; true ])
+    (Cluster.Policy.builtins ())
+
 (* ------------------------------------------------------------------ *)
 (* Model-based: op-by-op against the sequential oracle                 *)
 (* ------------------------------------------------------------------ *)
@@ -138,7 +157,7 @@ type op =
   | Trigger of int  (** schedule a warm trigger [ns] after now *)
   | Run of int  (** advance both clusters [ns] past the later now *)
 
-let shard_spec =
+let shard_spec ?policy ~name () =
   let gen rand =
     match Random.State.int rand 3 with
     | 0 | 1 -> Trigger (Random.State.int rand 3_000_000)
@@ -152,7 +171,7 @@ let shard_spec =
     let fresh shards =
       let cluster =
         Cluster.create_sharded ~servers:3 ~topology:small_topology ~seed:11
-          ~shards ()
+          ?policy ~shards ()
       in
       Cluster.register cluster ull_def;
       Cluster.provision cluster ~name:"ull" ~total:9 ~strategy:Sandbox.Horse;
@@ -183,9 +202,24 @@ let shard_spec =
       if String.equal a b then None
       else Some (Printf.sprintf "shards=4 diverged from shards=1:\n%s\n--\n%s" a b)
   in
-  Harness.{ name = "sharded cluster vs sequential"; gen; show; make }
+  Harness.{ name; gen; show; make }
 
-let test_model_based () = Harness.check shard_spec
+let test_model_based () =
+  Harness.check (shard_spec ~name:"sharded cluster vs sequential" ())
+
+let test_model_based_policies () =
+  (* the same op-by-op oracle, once per built-in policy: pull's
+     router-side queue and claim messages must commute with execution
+     placement exactly like push's optimistic placements do *)
+  List.iter
+    (fun policy ->
+      Harness.check
+        (shard_spec ~policy
+           ~name:
+             (Printf.sprintf "sharded %s vs sequential"
+                (Cluster.Policy.name policy))
+           ()))
+    (Cluster.Policy.builtins ())
 
 (* ------------------------------------------------------------------ *)
 (* Experiment layer: sharded entry points are shards-invariant        *)
@@ -283,8 +317,12 @@ let () =
             test_storm_invariance;
           Alcotest.test_case "storm with blackouts: bit-identical" `Quick
             test_storm_invariance_faulty;
+          Alcotest.test_case "storms under every policy: bit-identical" `Quick
+            test_storm_invariance_policies;
           Alcotest.test_case "model-based vs sequential oracle" `Slow
             test_model_based;
+          Alcotest.test_case "model-based oracle per policy" `Slow
+            test_model_based_policies;
         ] );
       ( "experiments",
         [

@@ -727,6 +727,72 @@ let test_quantile_bimodal () =
            (99.9, rel 0.15);
          ])
 
+(* Adversarial streams: shapes a randomized draw never produces.
+   P²'s markers must survive degenerate and fully-sorted input — the
+   parabolic update divides by marker gaps that these streams drive
+   toward zero. *)
+let test_quantile_adversarial () =
+  let targets = [| 0.5; 0.99; 0.999 |] in
+  let ps = [ 50.0; 99.0; 99.9 ] in
+  (* all-equal: every marker collapses onto the one observed value *)
+  let q = Stats.Quantile.create ~quantiles:targets () in
+  for _ = 1 to 10_000 do
+    Stats.Quantile.add q 42.0
+  done;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "all-equal p%g" p)
+        42.0
+        (Stats.Quantile.percentile q p))
+    ps;
+  (* monotone ramps, both directions: the sorted stream keeps every
+     new observation on the same side of the markers; the estimate
+     must still land near the exact rank *)
+  let ramp name values =
+    let q = Stats.Quantile.create ~quantiles:targets () in
+    let s = Stats.Sample.create () in
+    List.iter
+      (fun v ->
+        Stats.Quantile.add q v;
+        Stats.Sample.add s v)
+      values;
+    List.iter
+      (fun p ->
+        let exact = Stats.Sample.percentile s p in
+        let est = Stats.Quantile.percentile q p in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s p%g: %.1f vs exact %.1f" name p est exact)
+          true
+          (Float.abs (est -. exact) <= 0.05 *. Float.abs exact))
+      ps
+  in
+  let n = 10_000 in
+  ramp "ascending ramp" (List.init n (fun i -> float_of_int (i + 1)));
+  ramp "descending ramp" (List.init n (fun i -> float_of_int (n - i)))
+
+let test_quantile_queries_pure () =
+  (* percentile reads after observation start are pure: a stream
+     interrogated at every checkpoint ends with bit-identical
+     estimates to an uninterrupted one *)
+  let targets = [| 0.5; 0.99; 0.999 |] in
+  let queried = Stats.Quantile.create ~quantiles:targets () in
+  let silent = Stats.Quantile.create ~quantiles:targets () in
+  let rng = Rng.create ~seed:7 in
+  for i = 1 to 5_000 do
+    let v = Rng.float rng 1000.0 in
+    Stats.Quantile.add queried v;
+    Stats.Quantile.add silent v;
+    if i mod 10 = 0 then ignore (Stats.Quantile.percentile queried 99.0)
+  done;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "p%g unperturbed" p)
+        (Stats.Quantile.percentile silent p)
+        (Stats.Quantile.percentile queried p))
+    [ 50.0; 99.0; 99.9 ]
+
 let test_histogram () =
   let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
   List.iter (Stats.Histogram.add h) [ -1.0; 0.5; 3.0; 9.9; 15.0 ];
@@ -891,6 +957,10 @@ let () =
             `Quick test_quantile_exponential;
           Alcotest.test_case "quantile vs sample: bimodal (harness)" `Quick
             test_quantile_bimodal;
+          Alcotest.test_case "quantile adversarial streams" `Quick
+            test_quantile_adversarial;
+          Alcotest.test_case "quantile queries are pure" `Quick
+            test_quantile_queries_pure;
           Alcotest.test_case "histogram" `Quick test_histogram;
         ] );
       ( "metrics",
