@@ -1,6 +1,6 @@
 # Convenience targets for the HORSE reproduction.
 
-.PHONY: all build test test-stress verify bench bench-json bench-micro bench-scale bench-check bench-storm bench-policy perf examples clean doc
+.PHONY: all build test test-stress verify bench bench-json bench-micro bench-scale bench-shard bench-check bench-storm bench-policy perf examples clean doc
 
 all: verify
 
@@ -23,7 +23,7 @@ test-stress:
 # regress; alloc:*, flat:* and storm:path:* must hold 2x; scale:*
 # must hold 1.5x on multi-core hosts; storm pipeline must not regress;
 # policy:* pull tails must not lose to push under blackouts)
-verify: build test test-stress bench-json bench-micro bench-scale bench-storm bench-policy bench-check
+verify: build test test-stress bench-json bench-micro bench-scale bench-shard bench-storm bench-policy bench-check
 
 bench:
 	dune exec bench/main.exe
@@ -59,6 +59,14 @@ SHARDS ?= 4
 bench-scale:
 	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/main.exe -- scale --shards $(SHARDS) --json BENCH_scale.json
 
+# the adaptive-scheduler quick gate: bit-identity of the adaptive
+# scheduler across seeds and shard counts at 20k bursty triggers,
+# plus the lock-step-vs-adaptive epoch-reduction point (>= 5x,
+# checked by bench-check on shard:epochs:*), recorded into
+# BENCH_shard.json — small enough to sit inside `make verify`
+bench-shard:
+	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/main.exe -- shard --shards $(SHARDS) --json BENCH_shard.json
+
 # the scheduling-policy shoot-out: push / pull / core-granular over a
 # blackout-rate sweep at 10k and 100k triggers with bursty arrivals,
 # bit-identity gates across shards and seeds, push-over-pull tail
@@ -74,7 +82,7 @@ bench-policy:
 # walking baseline; scale:* entries must show the sharded engine >=
 # 1.5x over sequential (>= 0.5 overhead floor on single-core hosts)
 bench-check:
-	dune exec bench/bench_check.exe -- BENCH_summary.json $(wildcard BENCH_micro.json) $(wildcard BENCH_scale.json) $(wildcard BENCH_storm.json) $(wildcard BENCH_policy.json)
+	dune exec bench/bench_check.exe -- BENCH_summary.json $(wildcard BENCH_micro.json) $(wildcard BENCH_scale.json) $(wildcard BENCH_shard.json) $(wildcard BENCH_storm.json) $(wildcard BENCH_policy.json)
 
 # the resume-storm macro-benchmark: 1000 paused uLL sandboxes on one
 # ull_runqueue, churn at 0/100/1000 subscribers, then resume them all

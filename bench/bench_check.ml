@@ -1,4 +1,6 @@
-(* Gate on the recorded bench artifacts (horse-bench/1 JSON).
+(* Gate on the recorded bench artifacts (horse-bench/1 or /2 JSON —
+   /2 adds per-entry metadata such as epoch counts; all /1 fields are
+   unchanged, so both parse identically here).
 
    Usage:  bench_check.exe [FILE ...]   (default: BENCH_summary.json)
 
@@ -48,6 +50,13 @@
      push when servers are black-holing triggers.  Single-core floor:
      0.75 — with the whole cluster timesharing one core the recovery
      ladder's wall-clock dominates and the ordering is noise-bound.
+   - every [shard:epochs:*] entry (lock-step vs adaptive scheduler
+     runs from `main.exe shard` / `main.exe scale`) must show
+     epochs_lockstep / epochs_adaptive >= 5.0 — the adaptive
+     per-channel windows must cut outer synchronisation windows at
+     least five-fold on the bursty storm.  Epoch counts are scheduler
+     structure, deterministic and core-count independent, so this
+     floor does NOT relax on a single-core producer.
    - [micro:*] timing entries are informational.
 
    Exits non-zero listing every violated entry. *)
@@ -97,10 +106,40 @@ let check_entry ~file ~producer_cores entry =
     | Some s ->
       Printf.printf "ok   %s: %s speedup %.3f >= %.2f\n" file name s required
   in
-  let not_gated () =
-    Printf.printf "info %s: %s speedup %s (jobs %d, not gated)\n" file name
+  let not_gated ?floor () =
+    Printf.printf "info %s: %s speedup %s (jobs %d, not gated%s)\n" file name
       (match speedup with Some s -> Printf.sprintf "%.3f" s | None -> "n/a")
       jobs
+      (match floor with
+      | Some (f, why) -> Printf.sprintf "; would need >= %.2f %s" f why
+      | None -> "")
+  in
+  (* the epoch-reduction gate reads the /2 metadata, not the speedup
+     field: lock-step windows over adaptive windows on the same
+     workload, a deterministic count with no core-count dependence *)
+  let epoch_verdict required =
+    let lockstep = number (Json.member "epochs_lockstep" entry) in
+    let adaptive = number (Json.member "epochs_adaptive" entry) in
+    match (lockstep, adaptive) with
+    | Some l, Some a when a > 0.0 ->
+      let ratio = l /. a in
+      if ratio < required then begin
+        incr failures;
+        Printf.printf
+          "FAIL %s: %s epoch reduction %.2fx < %.2fx (lock-step %.0f -> \
+           adaptive %.0f)\n"
+          file name ratio required l a
+      end
+      else
+        Printf.printf
+          "ok   %s: %s epoch reduction %.2fx >= %.2fx (lock-step %.0f -> \
+           adaptive %.0f)\n"
+          file name ratio required l a
+    | _ ->
+      incr failures;
+      Printf.printf
+        "FAIL %s: %s lacks epochs_lockstep/epochs_adaptive metadata\n" file
+        name
   in
   let contains ~sub s =
     let n = String.length sub and m = String.length s in
@@ -114,9 +153,11 @@ let check_entry ~file ~producer_cores entry =
     then verdict alloc_floor
     else if contains ~sub:"words" name then verdict 1.0
     else verdict (if multi_core then 1.0 else 0.75)
+  else if starts_with ~prefix:"shard:epochs:" name then epoch_verdict 5.0
   else if starts_with ~prefix:"scale:" name then
     (* the "jobs" of a scale entry records the --shards it ran at *)
-    if jobs >= 4 then verdict scale_floor else not_gated ()
+    if jobs >= 4 then verdict scale_floor
+    else not_gated ~floor:(scale_floor, "at shards >= 4") ()
   else if starts_with ~prefix:"policy:" name then
     (* push tail over pull tail under blackouts: pull must not lose *)
     verdict (if multi_core then 1.0 else 0.75)

@@ -27,6 +27,8 @@
 module E = Horse.Experiments
 module Report = Horse.Report
 module Category = Horse_workload.Category
+module Json = Horse_vmm.Json
+module Shard_engine = Horse_sim.Shard_engine
 
 let section title =
   Printf.printf "\n==== %s ====\n\n%!" title
@@ -98,6 +100,7 @@ let timed name f =
         t_jobs = !jobs;
         t_wall_seq_s = per_iter !wall_seq;
         t_wall_par_s = per_iter !wall_par;
+        t_meta = [];
       }
       :: !timings;
     result
@@ -109,6 +112,7 @@ let timed name f =
         t_jobs = !jobs;
         t_wall_seq_s = wall;
         t_wall_par_s = wall;
+        t_meta = [];
       }
       :: !timings;
     result
@@ -532,6 +536,80 @@ let faults () =
    100k triggers in a single simulated second *)
 let scale_points = [ (16, 64_000, 8_000); (32, 256_000, 32_000) ]
 
+(* The adaptive-lookahead gate: the same bursty policy storm under the
+   lock-step oracle and the adaptive scheduler.  Rows must agree on
+   everything but the synchronization counters (epochs / rounds /
+   fast-forwards are scheduler structure, not workload results), and
+   the adaptive side must cut outer windows >= 5x — that is the whole
+   point of per-channel clocks + idle fast-forward on clumped
+   arrivals.  Recorded as [shard:epochs:storm<N>k]; bench_check gates
+   the epoch ratio, which is core-count independent. *)
+let epoch_storm ~shards:nshards ~triggers =
+  let module Cluster = Horse_faas.Cluster in
+  let policy = List.hd (Cluster.Policy.builtins ()) in
+  let wall = ref 0.0 in
+  let timing run =
+    Gc.full_major ();
+    let t0 = now_s () in
+    run ();
+    wall := now_s () -. t0
+  in
+  let run scheduler =
+    let row =
+      E.policy_run ~shards:nshards ~triggers ~blackout_rate:0.0 ~policy
+        ~scheduler ~on_run:timing ()
+    in
+    (row, !wall)
+  in
+  let lockstep, wall_lock = run Shard_engine.Lockstep in
+  let team = Horse_parallel.Team.shared ~width:nshards in
+  let wait0 = Horse_parallel.Team.barrier_wait_ns team in
+  let adaptive, wall_adapt = run Shard_engine.Adaptive in
+  let barrier_wait_ns = Horse_parallel.Team.barrier_wait_ns team - wait0 in
+  (* mask only the scheduler-structure counters; completions,
+     percentiles and message counts must be byte-identical *)
+  let masked =
+    {
+      adaptive with
+      E.pl_epochs = lockstep.E.pl_epochs;
+      pl_rounds = lockstep.E.pl_rounds;
+      pl_fast_forwards = lockstep.E.pl_fast_forwards;
+    }
+  in
+  if masked <> lockstep then begin
+    Printf.eprintf
+      "shard: adaptive diverged from lock-step at %d triggers\n" triggers;
+    exit 1
+  end;
+  let ratio =
+    float_of_int lockstep.E.pl_epochs
+    /. float_of_int (max 1 adaptive.E.pl_epochs)
+  in
+  Printf.printf
+    "epoch storm %dk: lock-step %d epochs -> adaptive %d epochs (%s, \
+     %d rounds, %d fast-forwards), traces identical\n%!"
+    (triggers / 1000) lockstep.E.pl_epochs adaptive.E.pl_epochs
+    (Report.ratio ratio) adaptive.E.pl_rounds adaptive.E.pl_fast_forwards;
+  timings :=
+    {
+      Report.t_name = Printf.sprintf "shard:epochs:storm%dk" (triggers / 1000);
+      t_jobs = nshards;
+      (* wall clocks carry the honest lock-step-vs-adaptive cost; the
+         gated quantity is the epoch ratio in the metadata *)
+      t_wall_seq_s = wall_lock;
+      t_wall_par_s = wall_adapt;
+      t_meta =
+        [
+          ("epochs_lockstep", Json.Int lockstep.E.pl_epochs);
+          ("epochs_adaptive", Json.Int adaptive.E.pl_epochs);
+          ("rounds_lockstep", Json.Int lockstep.E.pl_rounds);
+          ("rounds_adaptive", Json.Int adaptive.E.pl_rounds);
+          ("fast_forwards", Json.Int adaptive.E.pl_fast_forwards);
+          ("barrier_wait_ns", Json.Int barrier_wait_ns);
+        ];
+    }
+    :: !timings
+
 let scale () =
   section
     (Printf.sprintf "Scale - sharded cluster runs (--shards %d)" !shards);
@@ -579,6 +657,15 @@ let scale () =
             t_jobs = !shards;
             t_wall_seq_s = !wall_seq;
             t_wall_par_s = !wall_par;
+            (* synchronization structure of the run — identical on the
+               sequential and sharded sides (the identity gate above
+               compares these fields too) *)
+            t_meta =
+              [
+                ("epochs", Json.Int reference.E.sc_epochs);
+                ("rounds", Json.Int reference.E.sc_rounds);
+                ("fast_forwards", Json.Int reference.E.sc_fast_forwards);
+              ];
           }
           :: !timings;
         [
@@ -605,7 +692,49 @@ let scale () =
     ~header:
       [ "servers"; "sandboxes"; "triggers"; "completed"; "rejected"; "p99";
         "epochs"; "messages"; "seq wall"; "par wall"; "speedup" ]
-    rows
+    rows;
+  (* the acceptance point: 100k bursty triggers, lock-step vs adaptive *)
+  epoch_storm ~shards:!shards ~triggers:100_000
+
+(* ------------------------------------------------------------------ *)
+(* Shard: quick adaptive-scheduler gate (make bench-shard)             *)
+(* ------------------------------------------------------------------ *)
+
+let shard () =
+  let module Cluster = Horse_faas.Cluster in
+  section "Shard - adaptive-lookahead scheduler quick gate";
+  (* bit-identity across shard counts under the adaptive scheduler:
+     every scheduling quantity (channel clocks, window starts,
+     fast-forward targets) is computed from global workload state, so
+     any shard count must reproduce the shards=1 rows exactly *)
+  let policy = List.hd (Cluster.Policy.builtins ()) in
+  let triggers = 20_000 in
+  List.iter
+    (fun seed ->
+      let run shards =
+        E.policy_run ~seed ~shards ~triggers ~blackout_rate:0.9 ~policy
+          ~scheduler:Shard_engine.Adaptive ()
+      in
+      let reference = run 1 in
+      List.iter
+        (fun s ->
+          let sharded = run s in
+          if { sharded with E.pl_shards = reference.E.pl_shards } <> reference
+          then begin
+            Printf.eprintf
+              "shard: adaptive diverged from shards=1 at shards=%d seed=%d\n"
+              s seed;
+            exit 1
+          end)
+        [ 2; 4 ])
+    [ 1; 42; 1337 ];
+  Printf.printf
+    "identity: adaptive scheduler bit-identical for seeds {1,42,1337} x \
+     shards {1,2,4} at %dk triggers\n%!"
+    (triggers / 1000);
+  (* the quick epoch gate: same shape as the scale section's 100k
+     acceptance point, at a point small enough for make verify *)
+  epoch_storm ~shards:!shards ~triggers
 
 (* ------------------------------------------------------------------ *)
 (* Policy shoot-out: push vs pull vs core-granular under blackouts     *)
@@ -702,6 +831,7 @@ let policy () =
         t_jobs = !shards;
         t_wall_seq_s = seq_us /. 1e6;
         t_wall_par_s = par_us /. 1e6;
+        t_meta = [];
       }
       :: !timings
   in
@@ -1119,7 +1249,8 @@ let () =
       ("table1", table1); ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
       ("fig4", fig4); ("overhead", overhead); ("colocation", colocation);
       ("summary", summary); ("xen", xen); ("faults", faults);
-      ("scale", scale); ("policy", policy); ("sweeps", sweeps);
+      ("scale", scale); ("shard", shard); ("policy", policy);
+      ("sweeps", sweeps);
       ("ablations", ablations);
       ("micro", micro); ("csv", csv); ("all", all);
     ]

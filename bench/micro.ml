@@ -342,6 +342,7 @@ let () =
       t_jobs = 1;
       t_wall_seq_s = baseline;
       t_wall_par_s = flat;
+      t_meta = [];
     }
   in
   let eq name horizon =

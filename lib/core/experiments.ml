@@ -990,12 +990,14 @@ type scale_row = {
   sc_p50_us : float;
   sc_p99_us : float;
   sc_epochs : int;
+  sc_rounds : int;
+  sc_fast_forwards : int;
   sc_messages : int;
 }
 
 let scale_run ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
-    ?(duration_s = 1.0) ?ull_count ?policy ?(on_run = fun run -> run ())
-    ~servers ~sandboxes ~triggers () =
+    ?(duration_s = 1.0) ?ull_count ?policy ?scheduler
+    ?(on_run = fun run -> run ()) ~servers ~sandboxes ~triggers () =
   let duration = Time.span_s duration_s in
   let ull_count =
     (* a paused sandbox's P²SM maintenance fires on every mutation of
@@ -1008,7 +1010,8 @@ let scale_run ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
   in
   let cluster =
     Cluster.create_sharded ~servers ~topology:Topology.r650_smt
-      ~cost:(cost_of_profile profile) ~seed ~ull_count ?policy ~shards ()
+      ~cost:(cost_of_profile profile) ~seed ~ull_count ?policy ?scheduler
+      ~shards ()
   in
   Cluster.register cluster
     (Function_def.create ~name:"ull" ~vcpus:2 ~memory_mb:512
@@ -1048,6 +1051,8 @@ let scale_run ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
     sc_p50_us = p 50.0;
     sc_p99_us = p 99.0;
     sc_epochs = Horse_sim.Shard_engine.epochs se;
+    sc_rounds = Horse_sim.Shard_engine.rounds se;
+    sc_fast_forwards = Horse_sim.Shard_engine.fast_forwards se;
     sc_messages = Horse_sim.Shard_engine.messages_delivered se;
   }
 
@@ -1198,11 +1203,14 @@ type policy_row = {
   pl_p99_us : float;
   pl_p999_us : float;
   pl_blackouts : int;
+  pl_epochs : int;
+  pl_rounds : int;
+  pl_fast_forwards : int;
   pl_messages : int;
 }
 
 let policy_run ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
-    ?(duration_s = 1.0) ?(servers = 4) ?(sandboxes = 64) ?ull_count
+    ?(duration_s = 1.0) ?(servers = 4) ?(sandboxes = 64) ?ull_count ?scheduler
     ?(on_run = fun run -> run ()) ~triggers ~blackout_rate ~policy () =
   let duration = Time.span_s duration_s in
   let faults =
@@ -1226,7 +1234,7 @@ let policy_run ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
   let cluster =
     Cluster.create_sharded ~servers ~topology:Topology.r650_smt
       ~cost:(cost_of_profile profile) ~seed ~faults ~policy ~e2e:true
-      ~recovery:Platform.Recovery.default ?ull_count ~shards ()
+      ~recovery:Platform.Recovery.default ?ull_count ?scheduler ~shards ()
   in
   Cluster.register cluster
     (* a ~300us service time makes warm capacity an actual constraint
@@ -1272,6 +1280,9 @@ let policy_run ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
     pl_p99_us = p 99.0;
     pl_p999_us = p 99.9;
     pl_blackouts = Metrics.counter (Cluster.metrics cluster) "cluster.blackouts";
+    pl_epochs = Horse_sim.Shard_engine.epochs se;
+    pl_rounds = Horse_sim.Shard_engine.rounds se;
+    pl_fast_forwards = Horse_sim.Shard_engine.fast_forwards se;
     pl_messages = Horse_sim.Shard_engine.messages_delivered se;
   }
 

@@ -293,7 +293,9 @@ type scale_row = {
   sc_rejected : int;
   sc_p50_us : float;
   sc_p99_us : float;
-  sc_epochs : int;  (** epoch windows the shard engine executed *)
+  sc_epochs : int;  (** outer windows the shard engine executed *)
+  sc_rounds : int;  (** synchronization rounds (barrier fan-outs) *)
+  sc_fast_forwards : int;  (** windows that jumped idle virtual time *)
   sc_messages : int;  (** cross-shard messages delivered *)
 }
 
@@ -301,6 +303,7 @@ val scale_run :
   ?profile:profile -> ?seed:int -> ?shards:int -> ?duration_s:float ->
   ?ull_count:int ->
   ?policy:Horse_faas.Cluster.Policy.t ->
+  ?scheduler:Horse_sim.Shard_engine.scheduler ->
   ?on_run:((unit -> unit) -> unit) ->
   servers:int -> sandboxes:int -> triggers:int -> unit -> scale_row
 (** One sharded-cluster run: [sandboxes] HORSE sandboxes parked over
@@ -374,12 +377,16 @@ type policy_row = {
   pl_p99_us : float;
   pl_p999_us : float;
   pl_blackouts : int;  (** outages the schedule actually fired *)
+  pl_epochs : int;  (** outer windows the shard engine executed *)
+  pl_rounds : int;  (** synchronization rounds (barrier fan-outs) *)
+  pl_fast_forwards : int;  (** windows that jumped idle virtual time *)
   pl_messages : int;  (** cross-shard messages delivered *)
 }
 
 val policy_run :
   ?profile:profile -> ?seed:int -> ?shards:int -> ?duration_s:float ->
   ?servers:int -> ?sandboxes:int -> ?ull_count:int ->
+  ?scheduler:Horse_sim.Shard_engine.scheduler ->
   ?on_run:((unit -> unit) -> unit) ->
   triggers:int -> blackout_rate:float ->
   policy:Horse_faas.Cluster.Policy.t -> unit -> policy_row

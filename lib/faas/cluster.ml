@@ -7,7 +7,7 @@ module Topology = Horse_cpu.Topology
 module Cost_model = Horse_cpu.Cost_model
 module Scheduler = Horse_sched.Scheduler
 module Fault = Horse_fault.Fault
-module Pool = Horse_parallel.Pool
+module Team = Horse_parallel.Team
 module Batch = Horse_trace.Batch
 
 type routing = Round_robin | Least_loaded | Warm_first
@@ -524,11 +524,22 @@ let default_placement = Time.span_us 50.0
 let create_sharded ?(servers = 4) ?(routing = Warm_first) ?policy
     ?(e2e = false) ?(topology = Topology.r650) ?(cost = Cost_model.firecracker)
     ?keep_alive ?(seed = 42) ?(faults = Fault.Plan.none) ?recovery ?ull_count
-    ?(placement = default_placement) ?(shards = 1) () =
+    ?(placement = default_placement) ?(shards = 1) ?scheduler ?window () =
   if servers <= 0 then invalid_arg "Cluster.create_sharded: servers <= 0";
   if shards < 1 then invalid_arg "Cluster.create_sharded: shards < 1";
+  (* The channel matrix mirrors the topology: every message crosses a
+     router<->server link carrying the placement latency, and servers
+     never talk to each other directly — leaving those pairs
+     unbounded is what lets the adaptive scheduler run each server to
+     its own horizon instead of the global minimum. *)
+  let channels =
+    List.concat
+      (List.init servers (fun i ->
+           [ (0, i + 1, placement); (i + 1, 0, placement) ]))
+  in
   let se =
-    Shard_engine.create ~seed ~sources:(servers + 1) ~lookahead:placement ()
+    Shard_engine.create ~seed ?scheduler ?window ~channels
+      ~sources:(servers + 1) ~lookahead:placement ()
   in
   let backend =
     Sharded
@@ -943,11 +954,13 @@ let run ?until t =
     let executor =
       if s.exec_shards <= 1 then None
       else
-        (* [shards] execution strands: the pool's barrier is the epoch
-           barrier, and its happens-before is what publishes each
-           window's shard writes back to the coordinator *)
-        let pool = Pool.shared ~jobs:s.exec_shards () in
-        Some (fun tasks -> ignore (Pool.run_list ~chunk:1 pool tasks))
+        (* [shards] persistent strands: the team's round barrier is
+           the synchronization barrier, and its happens-before is what
+           publishes each round's shard writes back to the
+           coordinator.  Strand->domain pinning is stable for the
+           life of the team, so per-shard working sets stay warm. *)
+        let team = Team.shared ~width:s.exec_shards in
+        Some (fun job -> Team.run team job)
     in
     Shard_engine.run ?until ~shards:s.exec_shards ?executor s.se
 

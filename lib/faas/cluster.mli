@@ -201,14 +201,22 @@ val create_sharded :
   ?ull_count:int ->
   ?placement:Horse_sim.Time_ns.span ->
   ?shards:int ->
+  ?scheduler:Horse_sim.Shard_engine.scheduler ->
+  ?window:Horse_sim.Time_ns.span ->
   unit ->
   t
 (** Like {!create}, but the cluster owns a {!Horse_sim.Shard_engine}
-    with [servers + 1] logical shards and [lookahead = placement] (the
-    router->server placement latency, default 50us; it bounds the
-    epoch window).  [shards] (default 1) is the number of execution
-    tasks {!run} uses — purely an execution-placement choice, results
-    are bit-identical for every value.  The router routes from its own
+    with [servers + 1] logical shards whose channel matrix mirrors the
+    topology: one channel per router<->server direction carrying
+    [placement] (the placement latency, default 50us), and no
+    server<->server channels, so the adaptive scheduler bounds each
+    shard by its tightest relevant inbound link.  [scheduler]
+    (default [Adaptive]) and [window] pass through to
+    {!Horse_sim.Shard_engine.create} — [Lockstep] reproduces the PR-5
+    epoch scheme and is kept as the epoch-semantics oracle.  [shards]
+    (default 1) is the number of execution strands {!run} uses —
+    purely an execution-placement choice, results are bit-identical
+    for every value and every scheduler.  The router routes from its own
     mirrors of per-server live-load, busy-vCPU and pool sizes, updated
     only by the cross-shard message protocol: a trigger optimistically
     debits the mirrors, the server's completion (or dry-pool

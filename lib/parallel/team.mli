@@ -1,0 +1,75 @@
+(** A persistent domain team with a reusable round barrier.
+
+    Where {!Pool} schedules irregular task batches through
+    work-stealing deques, a team runs one strand-indexed job across a
+    fixed set of domains, round after round: [run t f] executes [f w]
+    for every strand [w] in [0 .. width - 1] (strand 0 on the calling
+    domain, the rest each pinned to its own persistent domain) and
+    returns only when every strand has finished.  Releasing a round is
+    a single atomic increment of the round counter — a sense-reversing
+    barrier with the round number as the sense — so a round allocates
+    nothing and costs no semaphore traffic, which is what makes the
+    thousands of short synchronization rounds of
+    [Horse_sim.Shard_engine] affordable.
+
+    Strand [w] always executes on the same domain for the life of the
+    team, so per-strand working sets stay cache-warm across rounds.
+    [run] establishes the usual happens-before: writes by the
+    coordinator before [run] are visible to every strand, and writes
+    by the strands inside [f] are visible to the coordinator after
+    [run] returns.  Idle strands spin a short budget, then park on a
+    condition variable, so an over-subscribed host blocks instead of
+    busy-waiting.
+
+    Spawned workers are capped at the cores actually available
+    ([Domain.recommended_domain_count () - 1]); strands beyond the cap
+    run on the calling domain, after strand 0, in ascending order.  In
+    particular a single-core host spawns no workers at all and [run]
+    executes every strand inline — forcing parked domains through a
+    barrier on a timeshared core pays a context switch per worker per
+    round and can never overlap any work.  The job contract is indexed
+    by strand, never by domain, so results are identical for any
+    split.
+
+    If strands raise, the exception of the lowest-numbered strand is
+    re-raised after the barrier — independent of scheduling, like
+    [Pool.run_list]. *)
+
+type t
+
+val create : width:int -> unit -> t
+(** A team of [width] strands backed by
+    [min (width - 1) (recommended_domain_count () - 1)] spawned
+    domains (none for [width = 1], where {!run} degenerates to [f 0]
+    inline).
+    @raise Invalid_argument if [width < 1]. *)
+
+val width : t -> int
+
+val domains : t -> int
+(** Worker domains actually spawned ([0] on a single-core host). *)
+
+val run : t -> (int -> unit) -> unit
+(** One barrier-delimited round: run [f w] on every strand and wait
+    for all of them.  Must only be called from one coordinating domain
+    at a time, and never from inside a running round.
+    @raise Invalid_argument if the team is shut down. *)
+
+val rounds : t -> int
+(** Rounds released so far (lifetime of the team). *)
+
+val barrier_wait_ns : t -> int
+(** Wall-clock nanoseconds the coordinator has spent waiting at the
+    join barrier, accumulated over all rounds — the direct price of
+    synchronization, as opposed to the work inside the rounds. *)
+
+val shutdown : t -> unit
+(** Join and release the worker domains.  Idempotent. *)
+
+val with_team : width:int -> (t -> 'a) -> 'a
+(** [create], run [f], [shutdown] — exception-safe. *)
+
+val shared : width:int -> t
+(** The process-wide cached team for [width], spawned on first use —
+    the analogue of [Pool.shared].  Never shut one of these down while
+    another user might hold it. *)

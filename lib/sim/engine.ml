@@ -3,6 +3,7 @@ type t = {
   queue : callback Event_queue.t;
   root_rng : Rng.t;
   mutable running : bool;
+  mutable fired : int;
 }
 
 and callback = t -> unit
@@ -15,6 +16,7 @@ let create ?(seed = 42) () =
     queue = Event_queue.create ();
     root_rng = Rng.create ~seed;
     running = false;
+    fired = 0;
   }
 
 let now t = t.clock
@@ -34,11 +36,14 @@ let pending t = Event_queue.length t.queue
 
 let next_time t = Event_queue.next_time t.queue
 
+let events_fired t = t.fired
+
 let step t =
   match Event_queue.pop t.queue with
   | None -> false
   | Some (at, f) ->
     t.clock <- at;
+    t.fired <- t.fired + 1;
     f t;
     true
 
@@ -56,6 +61,7 @@ let run ?until t =
     | None -> ()
     | Some (at, f) ->
       t.clock <- at;
+      t.fired <- t.fired + 1;
       f t;
       drain ()
   in

@@ -38,6 +38,10 @@ val next_time : t -> Time_ns.t option
 (** The timestamp of the earliest pending callback, if any.  Used by
     {!Shard_engine} to compute the global next epoch window. *)
 
+val events_fired : t -> int
+(** Callbacks fired so far over the life of the engine — the drained
+    event count {!Shard_engine} reports per shard. *)
+
 val run : ?until:Time_ns.t -> t -> unit
 (** Drive the loop until the queue drains, or until the first event
     strictly after [until] (which remains queued; the clock is left at

@@ -1,0 +1,34 @@
+# gnuplot script for the sharded-engine perf trajectory: wall-clock
+# speedup of every scale:*/shard:* entry, and the lock-step-vs-
+# adaptive epoch reduction, read straight out of the bench artifacts.
+#   make bench-scale bench-shard && gnuplot scripts/plot_scale.gp
+# (no intermediate CSV: the artifacts are flat one-line JSON, so a
+#  grep/paste pipeline inside the plot command extracts the pairs)
+set terminal pngcairo size 900,720 enhanced
+set output "results/scale.png"
+
+speedups(f) = sprintf("< grep -o '\"name\":\"[^\"]*\"\\|\"speedup\":[0-9.eE+-]*' %s | paste - - | sed -e 's/\"name\":\"//' -e 's/\"//g' -e 's/,speedup:/\\t/'", f)
+epochs(f)   = sprintf("< grep -o '\"epochs_lockstep\":[0-9]*\\|\"epochs_adaptive\":[0-9]*' %s | paste - - | sed -e 's/\"epochs_lockstep\"://' -e 's/,\"epochs_adaptive\":/\\t/'", f)
+
+set multiplot layout 2,1
+
+set title "Sharded engine: run-phase speedup vs sequential (BENCH_scale.json)"
+set datafile separator "\t"
+set style data histograms
+set style fill solid 0.8 border -1
+set boxwidth 0.7
+set ylabel "speedup (x)"
+set yrange [0:*]
+set xtics rotate by -20
+plot speedups("BENCH_scale.json") using 2:xtic(1) title "seq wall / par wall", \
+     1.5 with lines lt 2 dashtype 2 title "multi-core gate (1.5x)", \
+     1.0 with lines lt 3 dashtype 3 title "break-even"
+
+set title "Synchronization windows: lock-step vs adaptive (BENCH_shard.json)"
+set ylabel "outer windows (epochs)"
+set logscale y
+set xtics norotate
+plot epochs("BENCH_shard.json") using 1:xtic("bursty storm") title "lock-step", \
+     "" using 2 title "adaptive (>= 5x fewer gated)"
+
+unset multiplot

@@ -275,6 +275,82 @@ let test_overhead_colocation_jobs_invariant () =
 (* P²SM's parallel merge on the shared pool                            *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Team: persistent barrier rounds                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Team = Horse_parallel.Team
+
+let test_team_runs_every_strand () =
+  Team.with_team ~width:4 (fun team ->
+      let hits = Array.make 4 0 in
+      let rounds = 100 in
+      for _ = 1 to rounds do
+        (* each strand writes only its own slot; the barrier's
+           happens-before makes the writes visible here *)
+        Team.run team (fun w -> hits.(w) <- hits.(w) + 1)
+      done;
+      Alcotest.(check (list int))
+        "every strand ran every round"
+        [ rounds; rounds; rounds; rounds ]
+        (Array.to_list hits);
+      Alcotest.(check int) "rounds counted" rounds (Team.rounds team))
+
+let test_team_width1_inline () =
+  Team.with_team ~width:1 (fun team ->
+      Alcotest.(check int) "no domains" 0 (Team.domains team);
+      let ran = ref false in
+      Team.run team (fun w ->
+          Alcotest.(check int) "strand 0" 0 w;
+          ran := true);
+      Alcotest.(check bool) "ran inline" true !ran)
+
+let test_team_worker_cap () =
+  (* never more workers than strands-1 or cores-1: on this host that
+     bound is what keeps barrier rounds off the context-switch path *)
+  Team.with_team ~width:8 (fun team ->
+      let cap = min 7 (max 0 (Domain.recommended_domain_count () - 1)) in
+      Alcotest.(check int) "workers capped" cap (Team.domains team))
+
+let test_team_exception_lowest_strand () =
+  Team.with_team ~width:4 (fun team ->
+      let survivors = Array.make 4 false in
+      let raised =
+        try
+          Team.run team (fun w ->
+              survivors.(w) <- true;
+              if w = 1 || w = 3 then failwith (Printf.sprintf "strand %d" w));
+          "none"
+        with Failure m -> m
+      in
+      Alcotest.(check string) "lowest strand wins" "strand 1" raised;
+      (* a failing strand must not stop the others from running *)
+      Alcotest.(check (list bool))
+        "all strands still ran"
+        [ true; true; true; true ]
+        (Array.to_list survivors);
+      (* the team survives a failed round *)
+      let ok = ref 0 in
+      Team.run team (fun _ -> incr ok);
+      Alcotest.(check int) "team reusable after failure" 4 !ok)
+
+let test_team_shutdown_rejects_run () =
+  let team = Team.create ~width:2 () in
+  Team.run team ignore;
+  Team.shutdown team;
+  Team.shutdown team;
+  (* idempotent *)
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Team.run: team is shut down") (fun () ->
+      Team.run team ignore)
+
+let test_team_shared_cached () =
+  let a = Team.shared ~width:3 and b = Team.shared ~width:3 in
+  Alcotest.(check bool) "same team per width" true (a == b);
+  Alcotest.(check bool)
+    "distinct widths distinct teams" false
+    (Team.shared ~width:2 == a)
+
 let test_psm_merge_on_pool () =
   let module Al = Horse_psm.Arena_list in
   let module Psm = Horse_psm.Psm in
@@ -351,6 +427,17 @@ let () =
           Alcotest.test_case "fig2+fig3" `Slow test_fig2_fig3_jobs_invariant;
           Alcotest.test_case "overhead+colocation" `Slow
             test_overhead_colocation_jobs_invariant;
+        ] );
+      ( "team",
+        [
+          Alcotest.test_case "every strand every round" `Quick
+            test_team_runs_every_strand;
+          Alcotest.test_case "width=1 inline" `Quick test_team_width1_inline;
+          Alcotest.test_case "worker cap" `Quick test_team_worker_cap;
+          Alcotest.test_case "exception lowest strand" `Quick
+            test_team_exception_lowest_strand;
+          Alcotest.test_case "shutdown" `Quick test_team_shutdown_rejects_run;
+          Alcotest.test_case "shared cache" `Quick test_team_shared_cached;
         ] );
       ( "psm",
         [ Alcotest.test_case "merge on pool" `Quick test_psm_merge_on_pool ] );

@@ -88,11 +88,11 @@ let blackout_plan seed =
          Fault.all_triggers)
     ()
 
-let sharded_storm ?policy ~seed ~shards ~faulty () =
+let sharded_storm ?policy ?scheduler ~seed ~shards ~faulty () =
   let faults = if faulty then blackout_plan (seed + 1) else Fault.Plan.none in
   let cluster =
     Cluster.create_sharded ~servers:4 ~topology:small_topology ~seed ~faults
-      ~recovery:Platform.Recovery.default ?policy ~shards ()
+      ~recovery:Platform.Recovery.default ?policy ?scheduler ~shards ()
   in
   Cluster.register cluster ull_def;
   Cluster.provision cluster ~name:"ull" ~total:12 ~strategy:Sandbox.Horse;
@@ -134,6 +134,105 @@ let test_storm_invariance () =
 
 let test_storm_invariance_faulty () =
   List.iter (check_shard_invariance ~faulty:true) [ 1; 42; 1337 ]
+
+let test_scheduler_equivalence () =
+  (* the lock-step scheduler is the epoch-semantics oracle retained
+     from the fixed-quantum engine: the adaptive scheduler must
+     produce byte-identical traces, with and without blackouts, at
+     every shard count *)
+  List.iter
+    (fun faulty ->
+      List.iter
+        (fun seed ->
+          let dump scheduler shards =
+            dump_cluster (sharded_storm ~scheduler ~seed ~shards ~faulty ())
+          in
+          let reference = dump Shard_engine.Lockstep 1 in
+          List.iter
+            (fun shards ->
+              Alcotest.(check string)
+                (Printf.sprintf "seed %d faulty %b: lockstep shards=%d" seed
+                   faulty shards)
+                reference
+                (dump Shard_engine.Lockstep shards);
+              Alcotest.(check string)
+                (Printf.sprintf "seed %d faulty %b: adaptive shards=%d" seed
+                   faulty shards)
+                reference
+                (dump Shard_engine.Adaptive shards))
+            [ 1; 4 ])
+        [ 1; 42; 1337 ])
+    [ false; true ]
+
+(* ------------------------------------------------------------------ *)
+(* Idle fast-forward: dense clumps separated by huge gaps              *)
+(* ------------------------------------------------------------------ *)
+
+let gap_clump_storm ?scheduler ~seed ~shards () =
+  (* arrivals the adaptive scheduler exists for: millisecond-scale
+     dead air between microsecond-dense clumps.  The lock-step
+     scheduler walks the gaps window by window; the adaptive one must
+     fast-forward across them — and still produce the same trace *)
+  let cluster =
+    Cluster.create_sharded ~servers:4 ~topology:small_topology ~seed
+      ?scheduler ~shards ()
+  in
+  Cluster.register cluster ull_def;
+  Cluster.provision cluster ~name:"ull" ~total:12 ~strategy:Sandbox.Horse;
+  let engine = Cluster.engine cluster in
+  let rng = Rng.create ~seed:(seed + 3) in
+  for clump = 0 to 7 do
+    let base = 1_000_000 + (clump * 8_000_000) in
+    for _ = 1 to 25 do
+      let at = Time.of_ns (base + Rng.int rng 100_000) in
+      ignore
+        (Engine.schedule_at engine ~at (fun _ ->
+             ignore
+               (Cluster.trigger cluster ~name:"ull"
+                  ~mode:(Platform.Warm Sandbox.Horse) ())))
+    done
+  done;
+  Cluster.run cluster;
+  cluster
+
+let test_fast_forward_equivalence () =
+  List.iter
+    (fun seed ->
+      let reference =
+        dump_cluster
+          (gap_clump_storm ~scheduler:Shard_engine.Lockstep ~seed ~shards:1 ())
+      in
+      Alcotest.(check bool)
+        "gap-clump storm produced records" true
+        (String.length reference > 100);
+      List.iter
+        (fun shards ->
+          let adaptive =
+            gap_clump_storm ~scheduler:Shard_engine.Adaptive ~seed ~shards ()
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d: adaptive shards=%d == lock-step" seed
+               shards)
+            reference (dump_cluster adaptive);
+          let se = Option.get (Cluster.shard_engine adaptive) in
+          (* 8ms of dead air between clumps, an 800us default window:
+             the gaps must be jumped, not walked *)
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: shards=%d fast-forwarded" seed shards)
+            true
+            (Shard_engine.fast_forwards se > 0);
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: shards=%d fewer epochs than lock-step"
+               seed shards)
+            true
+            (Shard_engine.epochs se
+            < Shard_engine.epochs
+                (Option.get
+                   (Cluster.shard_engine
+                      (gap_clump_storm ~scheduler:Shard_engine.Lockstep ~seed
+                         ~shards ())))))
+        [ 1; 4 ])
+    [ 1; 42 ]
 
 let test_storm_invariance_policies () =
   (* every built-in policy — including pull, whose claims are extra
@@ -206,6 +305,69 @@ let shard_spec ?policy ~name () =
 
 let test_model_based () =
   Harness.check (shard_spec ~name:"sharded cluster vs sequential" ())
+
+let gap_clump_spec () =
+  (* the same op-by-op oracle with the adaptive scheduler's worst
+     enemy as the generator: microsecond-dense trigger clumps
+     interleaved with Run ops that open tens of milliseconds of dead
+     air.  The adaptive sharded cluster must match both the
+     sequential run and the lock-step oracle after every op *)
+  let gen rand =
+    match Random.State.int rand 4 with
+    | 0 | 1 -> Trigger (Random.State.int rand 100_000)
+    | 2 -> Run (Random.State.int rand 2_000_000)
+    | _ -> Run (20_000_000 + Random.State.int rand 40_000_000)
+  in
+  let show = function
+    | Trigger ns -> Printf.sprintf "Trigger +%dns" ns
+    | Run ns -> Printf.sprintf "Run +%dns" ns
+  in
+  let make () =
+    let fresh ~scheduler shards =
+      let cluster =
+        Cluster.create_sharded ~servers:3 ~topology:small_topology ~seed:13
+          ~scheduler ~shards ()
+      in
+      Cluster.register cluster ull_def;
+      Cluster.provision cluster ~name:"ull" ~total:9 ~strategy:Sandbox.Horse;
+      cluster
+    in
+    let sut = fresh ~scheduler:Shard_engine.Adaptive 4 in
+    let lockstep = fresh ~scheduler:Shard_engine.Lockstep 4 in
+    let oracle = fresh ~scheduler:Shard_engine.Adaptive 1 in
+    let all = [ sut; lockstep; oracle ] in
+    let schedule cluster ns =
+      let engine = Cluster.engine cluster in
+      ignore
+        (Engine.schedule engine ~after:(Time.span_ns ns) (fun _ ->
+             ignore
+               (Cluster.trigger cluster ~name:"ull"
+                  ~mode:(Platform.Warm Sandbox.Horse) ())))
+    in
+    fun op ->
+      (match op with
+      | Trigger ns -> List.iter (fun c -> schedule c ns) all
+      | Run ns ->
+        let now c = Time.to_ns (Engine.now (Cluster.engine c)) in
+        let until =
+          Time.of_ns (List.fold_left (fun acc c -> max acc (now c)) 0 all + ns)
+        in
+        List.iter (fun c -> Cluster.run ~until c) all);
+      let a = dump_cluster sut
+      and b = dump_cluster oracle
+      and c = dump_cluster lockstep in
+      if not (String.equal a b) then
+        Some
+          (Printf.sprintf "adaptive shards=4 diverged from shards=1:\n%s\n--\n%s"
+             a b)
+      else if not (String.equal a c) then
+        Some
+          (Printf.sprintf "adaptive diverged from lock-step:\n%s\n--\n%s" a c)
+      else None
+  in
+  Harness.{ name = "gap/clump adaptive vs oracles"; gen; show; make }
+
+let test_model_based_gap_clump () = Harness.check (gap_clump_spec ())
 
 let test_model_based_policies () =
   (* the same op-by-op oracle, once per built-in policy: pull's
@@ -289,6 +451,69 @@ let test_post_ordering () =
     (List.rev !fired);
   Alcotest.(check int) "all delivered" 3 (Shard_engine.messages_delivered se)
 
+let test_channel_bound_property () =
+  (* property: with a heterogeneous channel matrix, a message posted
+     at exactly [now + declared delay] — the tightest send the channel
+     contract allows — is never refused (i.e. never lands inside the
+     destination's open window), and the delivered trace is identical
+     across schedulers and shard counts.  Four nodes on a ring with
+     5/20/7/50us links, two concurrent ping-pong chains hopping to
+     rng-chosen neighbours at the contract bound. *)
+  let us = Time.span_us in
+  let links =
+    [ (0, 1, us 5.0); (1, 0, us 5.0); (1, 2, us 20.0); (2, 1, us 20.0);
+      (2, 3, us 7.0); (3, 2, us 7.0); (3, 0, us 50.0); (0, 3, us 50.0) ]
+  in
+  let neighbours = [| [| 1; 3 |]; [| 0; 2 |]; [| 1; 3 |]; [| 2; 0 |] |] in
+  let delay src dst =
+    let _, _, d = List.find (fun (s, d, _) -> s = src && d = dst) links in
+    d
+  in
+  let run ~scheduler ~shards =
+    let se =
+      Shard_engine.create ~scheduler ~channels:links ~sources:4
+        ~lookahead:(us 5.0) ()
+    in
+    (* per-node state only: with shards > 1 the callbacks of different
+       nodes run on different strands *)
+    let traces = Array.init 4 (fun _ -> Buffer.create 512) in
+    let rngs = Array.init 4 (fun i -> Rng.create ~seed:(100 + i)) in
+    let rec send ~src ~ttl =
+      if ttl > 0 then begin
+        let engine = Shard_engine.engine se src in
+        let dst =
+          neighbours.(src).(Rng.int rngs.(src) (Array.length neighbours.(src)))
+        in
+        let at = Time.add (Engine.now engine) (delay src dst) in
+        Shard_engine.post se ~src ~dst ~at (fun e ->
+            Buffer.add_string traces.(dst)
+              (Printf.sprintf "%d<-%d@%d\n" dst src (Time.to_ns (Engine.now e)));
+            send ~src:dst ~ttl:(ttl - 1))
+      end
+    in
+    ignore
+      (Engine.schedule_at (Shard_engine.engine se 0) ~at:(Time.of_ns 1_000)
+         (fun _ -> send ~src:0 ~ttl:200));
+    ignore
+      (Engine.schedule_at (Shard_engine.engine se 2) ~at:(Time.of_ns 1_500)
+         (fun _ -> send ~src:2 ~ttl:200));
+    Shard_engine.run ~shards se;
+    Alcotest.(check int) "all hops delivered" 400
+      (Shard_engine.messages_delivered se);
+    String.concat "--" (Array.to_list (Array.map Buffer.contents traces))
+  in
+  let reference = run ~scheduler:Shard_engine.Lockstep ~shards:1 in
+  List.iter
+    (fun (scheduler, name) ->
+      List.iter
+        (fun shards ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s shards=%d == lockstep shards=1" name shards)
+            reference
+            (run ~scheduler ~shards))
+        [ 1; 2; 4 ])
+    [ (Shard_engine.Lockstep, "lockstep"); (Shard_engine.Adaptive, "adaptive") ]
+
 let test_post_inside_window_rejected () =
   let se =
     Shard_engine.create ~sources:2 ~lookahead:(Time.span_us 10.0) ()
@@ -319,8 +544,14 @@ let () =
             test_storm_invariance_faulty;
           Alcotest.test_case "storms under every policy: bit-identical" `Quick
             test_storm_invariance_policies;
+          Alcotest.test_case "adaptive == lock-step on storms" `Quick
+            test_scheduler_equivalence;
+          Alcotest.test_case "gap/clump: fast-forward, identical traces"
+            `Quick test_fast_forward_equivalence;
           Alcotest.test_case "model-based vs sequential oracle" `Slow
             test_model_based;
+          Alcotest.test_case "model-based gap/clump vs both oracles" `Slow
+            test_model_based_gap_clump;
           Alcotest.test_case "model-based oracle per policy" `Slow
             test_model_based_policies;
         ] );
@@ -336,6 +567,8 @@ let () =
       ( "engine",
         [
           Alcotest.test_case "message delivery order" `Quick test_post_ordering;
+          Alcotest.test_case "channel-bound posts never land in-window" `Quick
+            test_channel_bound_property;
           Alcotest.test_case "in-window post rejected" `Quick
             test_post_inside_window_rejected;
         ] );
