@@ -1,6 +1,6 @@
 # Convenience targets for the HORSE reproduction.
 
-.PHONY: all build test test-stress verify bench bench-json bench-micro bench-scale bench-shard bench-check bench-storm bench-policy perf examples clean doc
+.PHONY: all build test test-stress verify bench bench-json bench-micro bench-scale bench-shard bench-check bench-storm bench-policy bench-chain perf examples clean doc
 
 all: verify
 
@@ -17,13 +17,15 @@ test-stress:
 	HORSE_STRESS=1 dune exec test/test_sim.exe
 	HORSE_STRESS=1 dune exec test/test_psm.exe
 	HORSE_STRESS=1 dune exec test/test_fault.exe
+	HORSE_STRESS=1 dune exec test/test_workflow.exe
 
 # the default flow: build, tests (incl. stressed model-based suites),
-# regenerate all five bench records, gate on them (sweeps must not
+# regenerate all bench records, gate on them (sweeps must not
 # regress; alloc:*, flat:* and storm:path:* must hold 2x; scale:*
 # must hold 1.5x on multi-core hosts; storm pipeline must not regress;
-# policy:* pull tails must not lose to push under blackouts)
-verify: build test test-stress bench-json bench-micro bench-scale bench-shard bench-storm bench-policy bench-check
+# policy:* pull tails must not lose to push under blackouts; chain:*
+# fused tails must not lose to unfused at length >= 3)
+verify: build test test-stress bench-json bench-micro bench-scale bench-shard bench-storm bench-policy bench-chain bench-check
 
 bench:
 	dune exec bench/main.exe
@@ -74,6 +76,13 @@ bench-shard:
 bench-policy:
 	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/main.exe -- policy --shards $(SHARDS) --json BENCH_policy.json
 
+# the workflow-chain fusion gate: chain length x fusion on/off x
+# HORSE/Vanilla with workflow end-to-end tails, bit-identity across
+# shards and seeds, fused-over-unfused p99/p999 ratios at length >= 3
+# recorded into BENCH_chain.json (gated >= 1.0 by bench-check)
+bench-chain:
+	OCAMLRUNPARAM=$(BENCH_RUNPARAM) dune exec --profile release bench/main.exe -- chain --shards $(SHARDS) --json BENCH_chain.json
+
 # gate on the recorded artifacts: sweeps at jobs >= 4 must not regress
 # (speedup >= 1.0 on multi-core hosts; >= 0.75 overhead floor on a
 # single-core host, where >1x is physically impossible); alloc:*
@@ -82,7 +91,7 @@ bench-policy:
 # walking baseline; scale:* entries must show the sharded engine >=
 # 1.5x over sequential (>= 0.5 overhead floor on single-core hosts)
 bench-check:
-	dune exec bench/bench_check.exe -- BENCH_summary.json $(wildcard BENCH_micro.json) $(wildcard BENCH_scale.json) $(wildcard BENCH_shard.json) $(wildcard BENCH_storm.json) $(wildcard BENCH_policy.json)
+	dune exec bench/bench_check.exe -- BENCH_summary.json $(wildcard BENCH_micro.json) $(wildcard BENCH_scale.json) $(wildcard BENCH_shard.json) $(wildcard BENCH_storm.json) $(wildcard BENCH_policy.json) $(wildcard BENCH_chain.json)
 
 # the resume-storm macro-benchmark: 1000 paused uLL sandboxes on one
 # ull_runqueue, churn at 0/100/1000 subscribers, then resume them all

@@ -161,6 +161,10 @@ let check_entry ~file ~producer_cores entry =
   else if starts_with ~prefix:"policy:" name then
     (* push tail over pull tail under blackouts: pull must not lose *)
     verdict (if multi_core then 1.0 else 0.75)
+  else if starts_with ~prefix:"chain:" name then
+    (* unfused tail over fused tail at chain length >= 3: fusion must
+       not lose (the hops it removes dwarf estimator noise) *)
+    verdict (if multi_core then 1.0 else 0.75)
   else if starts_with ~prefix:"micro:" name then not_gated ()
   else if jobs >= 4 then verdict sweep_floor
   else not_gated ()

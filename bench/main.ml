@@ -853,6 +853,112 @@ let policy () =
     policy_triggers
 
 (* ------------------------------------------------------------------ *)
+(* Workflow chains: platform-side fusion                               *)
+(* ------------------------------------------------------------------ *)
+
+let chain_lens = [ 1; 3; 6 ]
+
+let chain () =
+  section
+    (Printf.sprintf
+       "Chain - workflow DAGs, platform-side fusion on/off (--shards %d)"
+       !shards);
+  (* the bit-identity gate first: the deepest chain, fused and unfused,
+     must produce the same row at any shard count for several seeds —
+     or the sweep below compares different work *)
+  List.iter
+    (fun fused ->
+      List.iter
+        (fun seed ->
+          let run shards =
+            E.chain_run ~seed ~shards ~len:6 ~fused
+              ~strategy:Horse_vmm.Sandbox.Horse ()
+          in
+          let reference = run 1 in
+          List.iter
+            (fun s ->
+              let sharded = run s in
+              if
+                { sharded with E.ch_shards = reference.E.ch_shards }
+                <> reference
+              then begin
+                Printf.eprintf
+                  "chain: fused=%b diverged from shards=1 at shards=%d \
+                   seed=%d\n"
+                  fused s seed;
+                exit 1
+              end)
+            [ 2; 4 ])
+        [ 1; 42; 1337 ])
+    [ false; true ];
+  Printf.printf
+    "identity: len-6 chain, fused x unfused, seeds {1,42,1337} x shards \
+     {1,2,4} bit-identical\n%!";
+  let rows = E.chain_sweep ~shards:!shards ~lens:chain_lens () in
+  Report.print
+    ~caption:
+      "uLL chain workflows on a 4-server sharded cluster: unfused pays a \
+       completion notification plus a placement round-trip per hop, fused \
+       collapses the chain into one resume/pause"
+    ~header:
+      [ "strategy"; "len"; "fused"; "instances"; "completed"; "p50"; "p99";
+        "p999" ]
+    (List.map
+       (fun (r : E.chain_row) ->
+         [
+           r.E.ch_strategy;
+           string_of_int r.E.ch_len;
+           (if r.E.ch_fused then "yes" else "no");
+           string_of_int r.E.ch_instances;
+           string_of_int r.E.ch_completed;
+           Report.ns (r.E.ch_p50_us *. 1e3);
+           Report.ns (r.E.ch_p99_us *. 1e3);
+           Report.ns (r.E.ch_p999_us *. 1e3);
+         ])
+       rows);
+  let find strategy len fused =
+    List.find
+      (fun (r : E.chain_row) ->
+        r.E.ch_strategy = strategy && r.E.ch_len = len && r.E.ch_fused = fused)
+      rows
+  in
+  let record name seq_us par_us =
+    timings :=
+      {
+        Report.t_name = name;
+        t_jobs = !shards;
+        t_wall_seq_s = seq_us /. 1e6;
+        t_wall_par_s = par_us /. 1e6;
+        t_meta = [];
+      }
+      :: !timings
+  in
+  (* gated entries: fusion must win the tail at every length >= 3.  The
+     timing record is reused as a latency ratio — seq = unfused, par =
+     fused, so "speedup" = unfused p99 / fused p99 and the bench_check
+     >= 1.0 gate reads "fusion wins". *)
+  List.iter
+    (fun len ->
+      if len >= 3 then begin
+        let unfused = find "horse" len false in
+        let fused = find "horse" len true in
+        record
+          (Printf.sprintf "chain:fused-vs-unfused:p99:len%d" len)
+          unfused.E.ch_p99_us fused.E.ch_p99_us;
+        record
+          (Printf.sprintf "chain:fused-vs-unfused:p999:len%d" len)
+          unfused.E.ch_p999_us fused.E.ch_p999_us
+      end)
+    chain_lens;
+  (* informational, ungated: fusion is a no-op at length 1, and the
+     vanilla-strategy tail shows the win is not HORSE-specific *)
+  let u1 = find "horse" 1 false and f1 = find "horse" 1 true in
+  record "micro:chain:len1-fusion-noop:p99" u1.E.ch_p99_us f1.E.ch_p99_us;
+  let uv = find "vanil" 6 false and fv = find "vanil" 6 true in
+  record "micro:chain:vanil-fused-vs-unfused:p99:len6" uv.E.ch_p99_us
+    fv.E.ch_p99_us
+
+(* ------------------------------------------------------------------ *)
 (* Headline summary                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1240,6 +1346,7 @@ let all () =
   faults ();
   scale ();
   policy ();
+  chain ();
   ablations ();
   micro ()
 
@@ -1250,7 +1357,7 @@ let () =
       ("fig4", fig4); ("overhead", overhead); ("colocation", colocation);
       ("summary", summary); ("xen", xen); ("faults", faults);
       ("scale", scale); ("shard", shard); ("policy", policy);
-      ("sweeps", sweeps);
+      ("chain", chain); ("sweeps", sweeps);
       ("ablations", ablations);
       ("micro", micro); ("csv", csv); ("all", all);
     ]

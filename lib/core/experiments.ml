@@ -13,6 +13,7 @@ module Platform = Horse_faas.Platform
 module Cluster = Horse_faas.Cluster
 module Function_def = Horse_faas.Function_def
 module Trigger_records = Horse_faas.Trigger_records
+module Workflow = Horse_faas.Workflow
 module Batch = Horse_trace.Batch
 module Fault = Horse_fault.Fault
 
@@ -1304,6 +1305,88 @@ let policy_sweep ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
             rates)
         triggers)
     (Cluster.Policy.builtins ())
+
+(* ------------------------------------------------------------------ *)
+(* Workflow chains: platform-side fusion vs per-node dispatch          *)
+(* ------------------------------------------------------------------ *)
+
+type chain_row = {
+  ch_len : int;
+  ch_fused : bool;
+  ch_strategy : string;
+  ch_shards : int;
+  ch_instances : int;
+  ch_completed : int;
+  ch_p50_us : float;
+  ch_p99_us : float;
+  ch_p999_us : float;
+}
+
+let chain_run ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
+    ?(duration_s = 0.25) ?(servers = 4) ?(per_unit = 64)
+    ?(instances = 2_000) ~len ~fused ~strategy () =
+  if len < 1 then invalid_arg "Experiments.chain_run: len < 1";
+  let duration = Time.span_s duration_s in
+  let cluster =
+    Cluster.create_sharded ~servers ~topology:Topology.r650_smt
+      ~cost:(cost_of_profile profile) ~seed ~shards ()
+  in
+  (* [len] uLL stages, category 2 (§4's mid-weight class): long enough
+     that per-hop placement round-trips are a visible fraction of the
+     end-to-end latency, which is exactly what fusion removes *)
+  for i = 0 to len - 1 do
+    Cluster.register cluster
+      (Function_def.create
+         ~name:(Printf.sprintf "c%d" i)
+         ~vcpus:1 ~memory_mb:128
+         ~exec:(Function_def.Ull Category.Cat2) ())
+  done;
+  let wf = Workflow.create ~fuse:fused ~cluster () in
+  let graph =
+    Workflow.chain
+      (List.init len (fun i ->
+           (Printf.sprintf "c%d" i, Platform.Warm strategy)))
+  in
+  let id = Workflow.register wf ~name:"chain" graph in
+  Workflow.provision wf ~wf_id:id ~per_unit;
+  let rng = Rng.create ~seed:(seed + 514229) in
+  (* the fn-id column carries the *workflow* id for DAG-aware
+     ingestion; payload 0 keeps the per-instance default seeds *)
+  let batch = Batch.uniform ~rng ~n:instances ~duration ~fn_id:id () in
+  Workflow.schedule_batch wf batch;
+  Workflow.run wf;
+  let q = Workflow.e2e wf in
+  let p x =
+    if Stats.Quantile.count q = 0 then 0.0 else Stats.Quantile.percentile q x
+  in
+  {
+    ch_len = len;
+    ch_fused = fused;
+    ch_strategy = Sandbox.strategy_name strategy;
+    ch_shards = shards;
+    ch_instances = instances;
+    ch_completed = Workflow.instances_completed wf;
+    ch_p50_us = p 50.0;
+    ch_p99_us = p 99.0;
+    ch_p999_us = p 99.9;
+  }
+
+let default_chain_lens = [ 1; 3; 6 ]
+
+let chain_sweep ?(profile = Firecracker) ?(seed = 42) ?(shards = 1)
+    ?(duration_s = 0.25) ?(servers = 4) ?(instances = 2_000)
+    ?(lens = default_chain_lens) () =
+  List.concat_map
+    (fun strategy ->
+      List.concat_map
+        (fun len ->
+          List.map
+            (fun fused ->
+              chain_run ~profile ~seed ~shards ~duration_s ~servers
+                ~instances ~len ~fused ~strategy ())
+            [ false; true ])
+        lens)
+    [ Sandbox.Horse; Sandbox.Vanilla ]
 
 (* ------------------------------------------------------------------ *)
 (* Headline summary                                                    *)

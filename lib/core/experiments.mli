@@ -411,6 +411,45 @@ val policy_sweep :
     [triggers] (default 10k, 100k) × blackout [rates] (default 0,
     0.5, 0.9) — the shoot-out table behind [BENCH_policy.json]. *)
 
+(** {1 Workflow chains — platform-side fusion vs per-node dispatch} *)
+
+type chain_row = {
+  ch_len : int;  (** nodes in the chain *)
+  ch_fused : bool;
+  ch_strategy : string;  (** warm strategy of every node (horse/vanil) *)
+  ch_shards : int;
+  ch_instances : int;
+  ch_completed : int;
+  ch_p50_us : float;  (** workflow end-to-end latency percentiles *)
+  ch_p99_us : float;
+  ch_p999_us : float;
+}
+
+val chain_run :
+  ?profile:profile -> ?seed:int -> ?shards:int -> ?duration_s:float ->
+  ?servers:int -> ?per_unit:int -> ?instances:int ->
+  len:int -> fused:bool -> strategy:Horse_vmm.Sandbox.strategy ->
+  unit -> chain_row
+(** One sharded-cluster run of a [len]-stage uLL chain workflow:
+    [instances] workflow arrivals uniform over [duration_s], every
+    stage warm under [strategy], [per_unit] sandboxes provisioned per
+    schedulable unit.  With [fused] the planner collapses the whole
+    chain into one invocation — one resume/pause and no per-hop
+    placement round-trips, which is the latency the sweep isolates.
+    Percentiles are the workflow manager's start-to-last-completion
+    stream ({!Horse_faas.Workflow.e2e}).  The row is bit-identical for
+    every [shards] value.
+    @raise Invalid_argument if [len < 1]. *)
+
+val chain_sweep :
+  ?profile:profile -> ?seed:int -> ?shards:int -> ?duration_s:float ->
+  ?servers:int -> ?instances:int -> ?lens:int list -> unit ->
+  chain_row list
+(** {!chain_run} over HORSE/Vanilla × [lens] (default 1, 3, 6) ×
+    fusion off/on — the table behind [BENCH_chain.json].  The
+    [bench_check] gate requires fused p99 ≤ unfused p99 at every
+    length ≥ 3. *)
+
 (** {1 Headline summary} *)
 
 type summary = {

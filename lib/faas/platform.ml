@@ -420,6 +420,15 @@ let complete t inv =
     (float_of_int
        (Time.span_to_ns inv.inv_init + Time.span_to_ns inv.inv_exec
       + inv.preempt_ns));
+  (* the init distribution is observed here, not at launch: a doomed
+     attempt (exec crash, later retried or aborted) must not leak a
+     phantom observation that under-reports the burned-rung and
+     backoff time eventually charged into the completing record's
+     [init].  Observing at completion keeps the stream in lock-step
+     with the arena — dist count = record count — so a Quantile
+     observer that looks mid-ladder sees only fully-charged values. *)
+  Metrics.observe_dist t.init_d.(code)
+    (float_of_int (Time.span_to_ns inv.inv_init));
   (* post-execution policy: warm sandboxes go back to their pool, cold
      ones idle under keep-alive before being reclaimed.  A crash during
      the re-pause loses the sandbox (it is never pooled) but not the
@@ -599,11 +608,13 @@ and launch t ~fn ~fn_id ~orig_mode ~mode ~sink ~attempt ~triggered_at
         (mode_name mode)
         (Time.span_to_ns inv_init) (Time.span_to_ns exec));
   (* hoisted per-mode handles: no sprintf, no series-name hashing on
-     the per-trigger path *)
+     the per-trigger path.  The init distribution is NOT observed here
+     — only [complete] feeds it, so doomed attempts never publish a
+     partial init that mid-ladder observers would mistake for a final
+     one (see [complete]). *)
   let code = mode_code mode in
   let c = t.triggers_c.(code) in
-  c := !c + 1;
-  Metrics.observe_dist t.init_d.(code) (float_of_int (Time.span_to_ns inv_init))
+  c := !c + 1
 
 and exec_crash t inv ~orig_mode ~attempt =
   List.iter (fun cpu -> Hashtbl.remove t.occupancy cpu) inv.cpus;

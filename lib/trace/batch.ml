@@ -86,6 +86,16 @@ let sorted t =
   let rec go i = i >= t.len || (t.times.(i - 1) <= t.times.(i) && go (i + 1)) in
   t.len <= 1 || go 1
 
+(* DAG-aware ingestion support: workflow consumers read the payload
+   column as a per-arrival instance seed, and a trace that wants
+   reproducible per-instance values stamps them here after generating
+   the arrival process — one in-place column rewrite, no reallocation,
+   no disturbance of the (sorted) time column. *)
+let stamp_payloads t f =
+  for i = 0 to t.len - 1 do
+    t.payloads.(i) <- f i
+  done
+
 let of_spans ?(payload = 0) ~fn_id spans =
   let t = create ~capacity:(max 1 (List.length spans)) () in
   List.iter (fun at -> add t ~at ~fn_id ~payload) spans;

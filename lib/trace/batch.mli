@@ -31,6 +31,13 @@ val fn_id : t -> int -> int
 
 val payload : t -> int -> int
 
+val stamp_payloads : t -> (int -> int) -> unit
+(** Rewrite the payload column in place: row [i]'s payload becomes
+    [f i] (by row index, post-{!sort} order).  DAG-aware ingestion
+    uses this to stamp per-arrival workflow-instance seeds onto an
+    already-generated arrival process — the time and fn-id columns
+    are untouched. *)
+
 val sort : t -> unit
 (** Stable in-place sort by arrival time: equal-time triggers keep
     insertion order, matching the engine's FIFO tie-break for

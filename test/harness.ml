@@ -110,6 +110,117 @@ let check ?(seeds = [ 1; 42; 1337 ]) ?(scripts = 25) ?(len = 60) spec =
     seeds
 
 (* ------------------------------------------------------------------ *)
+(* Random DAGs with shrinking                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Dag = struct
+  type shape = { nodes : int; edges : (int * int) list }
+
+  let normalize nodes edges =
+    {
+      nodes;
+      edges =
+        List.sort_uniq compare
+          (List.filter (fun (s, d) -> s >= 0 && s < d && d < nodes) edges);
+    }
+
+  (* Four families: chains exercise fusion end to end, diamonds
+     exercise fan-out + fan-in joins, fan-outs exercise wide
+     same-instant dispatch, and random forward-edge DAGs fill in the
+     shapes nobody thought of.  Forward edges only, so every draw is
+     acyclic by construction. *)
+  let gen st ~max_nodes =
+    let n = 1 + Random.State.int st max_nodes in
+    match Random.State.int st 4 with
+    | 0 -> normalize n (List.init (n - 1) (fun i -> (i, i + 1)))
+    | 1 when n >= 3 ->
+      (* diamond: source -> middles -> sink *)
+      let middles = List.init (n - 2) (fun i -> i + 1) in
+      normalize n
+        (List.map (fun m -> (0, m)) middles
+        @ List.map (fun m -> (m, n - 1)) middles)
+    | 2 when n >= 2 ->
+      (* fan-out: one root, all others depend on it *)
+      normalize n (List.init (n - 1) (fun i -> (0, i + 1)))
+    | _ ->
+      (* random: each node draws up to 3 forward deps *)
+      let edges = ref [] in
+      for d = 1 to n - 1 do
+        let k = 1 + Random.State.int st (min 3 d) in
+        for _ = 1 to k do
+          edges := (Random.State.int st d, d) :: !edges
+        done
+      done;
+      normalize n !edges
+
+  let show { nodes; edges } =
+    Printf.sprintf "{n=%d; %s}" nodes
+      (String.concat " "
+         (List.map (fun (s, d) -> Printf.sprintf "%d->%d" s d) edges))
+
+  let drop_node { nodes; edges } v =
+    let shiftv x = if x > v then x - 1 else x in
+    normalize (nodes - 1)
+      (List.filter_map
+         (fun (s, d) ->
+           if s = v || d = v then None else Some (shiftv s, shiftv d))
+         edges)
+
+  (* Greedy 1-minimization, same discipline as [shrink] on scripts:
+     node deletions first (each removes its edges too), then single
+     edge deletions, to a fixpoint. *)
+  let shrink fails shape =
+    if not (fails shape) then shape
+    else begin
+      let rec node_pass shape v shrunk =
+        if shape.nodes <= 1 || v >= shape.nodes then (shape, shrunk)
+        else
+          let candidate = drop_node shape v in
+          if fails candidate then node_pass candidate v true
+          else node_pass shape (v + 1) shrunk
+      in
+      let rec edge_pass shape i shrunk =
+        if i >= List.length shape.edges then (shape, shrunk)
+        else
+          let candidate =
+            { shape with edges = List.filteri (fun j _ -> j <> i) shape.edges }
+          in
+          if fails candidate then edge_pass candidate i true
+          else edge_pass shape (i + 1) shrunk
+      in
+      let rec fixpoint shape =
+        let shape, a = node_pass shape 0 false in
+        let shape, b = edge_pass shape 0 false in
+        if a || b then fixpoint shape else shape
+      in
+      fixpoint shape
+    end
+
+  let check ?(seeds = [ 1; 42; 1337 ]) ?(count = 12) ?(max_nodes = 8) ~name
+      prop =
+    let count = scale count in
+    List.iter
+      (fun seed ->
+        let st = Random.State.make [| seed |] in
+        for shape_i = 1 to count do
+          let shape = gen st ~max_nodes in
+          match prop shape with
+          | None -> ()
+          | Some why ->
+            let small = shrink (fun s -> prop s <> None) shape in
+            let why =
+              match prop small with Some w -> w | None -> why
+            in
+            Alcotest.failf
+              "%s diverged: %s\n\
+               seed %d, graph %d of %d: %s\n\
+               shrunk to %s"
+              name why seed shape_i count (show shape) (show small)
+        done)
+      seeds
+end
+
+(* ------------------------------------------------------------------ *)
 (* State snapshots for exception-safety audits                         *)
 (* ------------------------------------------------------------------ *)
 

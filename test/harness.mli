@@ -42,6 +42,46 @@ val check : ?seeds:int list -> ?scripts:int -> ?len:int -> 'op spec -> unit
 val stress_active : unit -> bool
 (** Whether [HORSE_STRESS] is in effect for this process. *)
 
+(** Seeded random-DAG generation with shrinking, for the workflow
+    equivalence suites: generated graphs are chains, diamonds,
+    fan-outs or random forward-edge DAGs of up to [max_nodes] nodes,
+    and a failing graph is shrunk to a minimal one (no node and no
+    edge can be removed without the failure disappearing). *)
+module Dag : sig
+  type shape = {
+    nodes : int;  (** node count; nodes are [0 .. nodes - 1] *)
+    edges : (int * int) list;
+        (** dependency edges [(src, dst)] with [src < dst] — forward
+            edges only, so every shape is acyclic; sorted, no
+            duplicates *)
+  }
+
+  val gen : Random.State.t -> max_nodes:int -> shape
+  (** Draw one shape: a chain, diamond, fan-out or random DAG of
+      [1 .. max_nodes] nodes. *)
+
+  val show : shape -> string
+
+  val shrink : (shape -> bool) -> shape -> shape
+  (** [shrink fails shape] with [fails shape = true]: greedily delete
+      nodes (reindexing and dropping incident edges) and single edges
+      while the failure persists, to a 1-minimal failing shape.  A
+      non-failing shape is returned unchanged. *)
+
+  val check :
+    ?seeds:int list ->
+    ?count:int ->
+    ?max_nodes:int ->
+    name:string ->
+    (shape -> string option) ->
+    unit
+  (** Drive [count] generated shapes per seed (defaults: seeds
+      1/42/1337, 12 shapes, 8 nodes) through the property — [Some
+      divergence] fails — and fail the enclosing Alcotest case with
+      the shrunk shape and replay seed.  [HORSE_STRESS] scales
+      [count] by 10, exactly as {!check} scales scripts. *)
+end
+
 (** State snapshots for exception-safety audits: capture labelled
     observables before and after an operation that must be a no-op and
     diff them. *)

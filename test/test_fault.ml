@@ -22,6 +22,7 @@ module Function_def = Horse_faas.Function_def
 module Cluster = Horse_faas.Cluster
 module Fault = Horse_fault.Fault
 module Category = Horse_workload.Category
+module Workflow = Horse_faas.Workflow
 module E = Horse.Experiments
 
 let small_topology = Topology.create ~sockets:1 ~cores_per_socket:8 ()
@@ -240,6 +241,164 @@ let test_total_chaos_terminates () =
     (Metrics.counter (Platform.metrics platform) "platform.aborts")
 
 (* ------------------------------------------------------------------ *)
+(* Faults x workflows                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A crash mid-chain must fail only the downstream subgraph: upstream
+   node records are retained, downstream nodes never run.  The cluster
+   hands server 0 the plan derived at index 0, so the seed search
+   probes that derived stream: first Exec_crash consult false (node A
+   completes), second true (node B crashes; Recovery.none aborts). *)
+let chain_crash_rates = [ (Fault.Exec_crash, 0.5) ]
+
+let test_midchain_crash_fails_downstream_only () =
+  let probe seed =
+    let p =
+      Fault.Plan.derive
+        (Fault.Plan.create ~seed ~rates:chain_crash_rates ())
+        ~index:0
+    in
+    (not (Fault.Plan.fires p Fault.Exec_crash))
+    && Fault.Plan.fires p Fault.Exec_crash
+  in
+  let rec find_seed seed =
+    if seed > 10_000 then Alcotest.fail "no [complete; crash] seed found"
+    else if probe seed then seed
+    else find_seed (seed + 1)
+  in
+  let seed = find_seed 1 in
+  let engine = Engine.create ~seed:3 () in
+  let cluster =
+    Cluster.create ~servers:1 ~topology:small_topology ~seed:3
+      ~faults:(Fault.Plan.create ~seed ~rates:chain_crash_rates ())
+      ~engine ()
+  in
+  List.iter (Cluster.register cluster) (Workflow.nfv_defs ());
+  let wf = Workflow.create ~cluster () in
+  let id = Workflow.register wf ~name:"nfv" (Workflow.nfv_chain ()) in
+  Workflow.provision wf ~wf_id:id ~per_unit:4;
+  ignore (Workflow.start wf ~wf_id:id ());
+  Workflow.run wf;
+  (* node A (firewall) completed and its record is retained; node B
+     (NAT) crashed and was aborted; node C (filter) never ran *)
+  Alcotest.(check int) "one workflow record" 1 (Workflow.Records.count wf);
+  Alcotest.(check int) "it is node 0" 0 (Workflow.Records.node wf 0);
+  Alcotest.(check int) "one cluster record" 1 (Cluster.record_count cluster);
+  Alcotest.(check int) "crash aborted" 1
+    (Metrics.counter (Platform.metrics (Cluster.server cluster 0))
+       "platform.aborts");
+  Alcotest.(check int) "instance not completed" 0
+    (Workflow.instances_completed wf);
+  Alcotest.(check int) "not a rejection failure" 0
+    (Workflow.instances_failed wf);
+  (* the retained upstream value still matches the oracle *)
+  Alcotest.(check int) "upstream value intact"
+    (Workflow.oracle_values (Workflow.nfv_chain ()) ~seed:0).(0)
+    (Workflow.value wf ~instance:0 ~node:0)
+
+(* A fused segment rides the recovery ladder as ONE invocation: dry
+   warm pool -> Restore (corrupted at rate 1.0) -> Cold, each descent
+   counted once for the whole segment — where the unfused chain pays
+   the full ladder per member. *)
+let test_fused_segment_rides_ladder_once () =
+  let run fuse =
+    let engine = Engine.create ~seed:5 () in
+    let cluster =
+      Cluster.create ~servers:1 ~topology:small_topology ~seed:5
+        ~faults:
+          (Fault.Plan.create ~seed:5
+             ~rates:[ (Fault.Restore_corruption, 1.0) ]
+             ())
+        ~recovery:Platform.Recovery.default ~engine ()
+    in
+    List.iter (Cluster.register cluster) (Workflow.nfv_defs ());
+    let wf = Workflow.create ~fuse ~cluster () in
+    let id = Workflow.register wf ~name:"nfv" (Workflow.nfv_chain ()) in
+    (* deliberately no provisioning: every Warm rung starts dry *)
+    ignore (Workflow.start wf ~wf_id:id ());
+    Workflow.run wf;
+    Alcotest.(check int) "instance completed" 1
+      (Workflow.instances_completed wf);
+    let expect = Workflow.oracle_values (Workflow.nfv_chain ()) ~seed:0 in
+    for node = 0 to 2 do
+      Alcotest.(check int)
+        (Printf.sprintf "node %d value (fuse=%b)" node fuse)
+        expect.(node)
+        (Workflow.value wf ~instance:0 ~node)
+    done;
+    let m = Platform.metrics (Cluster.server cluster 0) in
+    ( Metrics.counter m "platform.fallbacks.warm-horse-to-restore",
+      Metrics.counter m "platform.fallbacks.restore-to-cold",
+      Metrics.counter m "platform.triggers.cold" )
+  in
+  Alcotest.(check (triple int int int))
+    "fused: whole segment descends once" (1, 1, 1) (run true);
+  Alcotest.(check (triple int int int))
+    "unfused: every member descends" (3, 3, 3) (run false)
+
+(* Regression for the backoff-accounting fix: the init distribution
+   must observe only at completion, so an observer registered (or
+   read) mid-ladder sees nothing from the doomed first attempt, and
+   the single eventual observation equals the record's charged init
+   (burned exec + backoff wait + the successful resume). *)
+let test_backoff_charged_visible_midladder () =
+  let rates = [ (Fault.Exec_crash, 0.5) ] in
+  (* platform used directly: no per-server derivation.  Search for
+     [crash; fraction; no-crash]: attempt 1 dies mid-exec, the retry
+     completes. *)
+  let probe seed =
+    let p = Fault.Plan.create ~seed ~rates () in
+    Fault.Plan.fires p Fault.Exec_crash
+    && begin
+         ignore (Fault.Plan.fraction p Fault.Exec_crash);
+         not (Fault.Plan.fires p Fault.Exec_crash)
+       end
+  in
+  let rec find_seed seed =
+    if seed > 10_000 then Alcotest.fail "no [crash; complete] seed found"
+    else if probe seed then seed
+    else find_seed (seed + 1)
+  in
+  let seed = find_seed 1 in
+  let backoff = Time.span_ms 1.0 in
+  let engine = Engine.create ~seed:11 () in
+  let platform =
+    Platform.create ~topology:small_topology ~jitter:0.0 ~seed:11
+      ~faults:(Fault.Plan.create ~seed ~rates ())
+      ~recovery:
+        (Platform.Recovery.create ~max_attempts:2 ~backoff ~degrade:false ())
+      ~engine ()
+  in
+  Platform.register platform ull_def;
+  Platform.provision platform ~name:"ull" ~count:2 ~strategy:Sandbox.Horse;
+  let init_dist () =
+    Option.get (Metrics.dist (Platform.metrics platform) "platform.init.warm-horse")
+  in
+  let midladder_count = ref (-1) in
+  Platform.trigger platform ~name:"ull" ~mode:(Platform.Warm Sandbox.Horse) ();
+  (* attempt 1 launched synchronously at t=0 and is doomed; observe the
+     stream 1ns in — before the crash resolves, long before the retry *)
+  ignore
+    (Engine.schedule engine ~after:(Time.span_ns 1) (fun _ ->
+         midladder_count := Metrics.dist_count (init_dist ())));
+  Engine.run engine;
+  Alcotest.(check int) "doomed attempt published nothing" 0 !midladder_count;
+  Alcotest.(check int) "crashed once, retried once" 1
+    (Metrics.counter (Platform.metrics platform) "platform.retries");
+  (match Platform.records platform with
+  | [ r ] ->
+    let d = init_dist () in
+    Alcotest.(check int) "exactly one observation" 1 (Metrics.dist_count d);
+    Alcotest.(check (float 0.5)) "observation = charged init"
+      (float_of_int (Time.span_to_ns r.Platform.init))
+      (Metrics.dist_mean d);
+    (* the charge includes the backed-off wait, so it dominates the
+       1 ms backoff alone *)
+    Alcotest.(check bool) "backoff visible in init" true
+      (Time.span_to_ns r.Platform.init > Time.span_to_ns backoff)
+  | rs -> Alcotest.failf "expected exactly one record, got %d" (List.length rs))
+
+(* ------------------------------------------------------------------ *)
 (* Exception safety: a failed trigger is a no-op                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -364,6 +523,15 @@ let () =
             test_fallback_ladder_reaches_cold;
           Alcotest.test_case "total chaos terminates" `Quick
             test_total_chaos_terminates;
+          Alcotest.test_case "backoff charge visible mid-ladder" `Quick
+            test_backoff_charged_visible_midladder;
+        ] );
+      ( "workflow",
+        [
+          Alcotest.test_case "mid-chain crash fails downstream only" `Quick
+            test_midchain_crash_fails_downstream_only;
+          Alcotest.test_case "fused segment rides the ladder once" `Quick
+            test_fused_segment_rides_ladder_once;
         ] );
       ( "harness",
         [ Alcotest.test_case "mutation caught" `Quick test_mutation_caught ] );
