@@ -316,6 +316,84 @@ let rq_churn_arena ~n ~subs ~rounds ~trials =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Router decide path: policy decisions against the mirror view        *)
+(* ------------------------------------------------------------------ *)
+
+module Cluster = Horse_faas.Cluster
+
+(* A synthetic mirror view shaped like the router's: flat per-server
+   arrays for live/warm/busy, all servers healthy.  [least] selects
+   the [v_least_loaded] implementation — the linear executable spec
+   (what [decide] costs without the load index) or the O(1) cached
+   answer the sharded router's [Load_index] provides. *)
+let mirror_view ~servers ~least =
+  let live = Array.init servers (fun i -> i * 5 mod 7) in
+  let warm = Array.init servers (fun i -> 1 + (i * 3 mod 4)) in
+  let busy = Array.init servers (fun i -> i * 11 mod 32) in
+  let linear () =
+    let best = ref (-1) in
+    for s = 0 to servers - 1 do
+      if !best < 0 || live.(s) < live.(!best) then best := s
+    done;
+    if !best < 0 then None else Some !best
+  in
+  let least_loaded =
+    match least with
+    | `Linear -> linear
+    | `Indexed ->
+      let cached = linear () in
+      fun () -> cached
+  in
+  {
+    Cluster.Policy.v_servers = servers;
+    v_healthy = (fun _ -> true);
+    v_live = (fun s -> live.(s));
+    v_warm = (fun s -> warm.(s));
+    v_busy = (fun s -> busy.(s));
+    v_total_vcpus = 144;
+    v_pending = (fun () -> 0);
+    v_least_loaded = least_loaded;
+  }
+
+(* ns and minor words per decision on a steady-state router: [batch]
+   decides per round against an unchanging view.  The pull policy
+   spends a claim token per [Assign], so each decide is paired with a
+   completion notification minting one back — that pair is pull's
+   actual per-trigger hot path; push and core are pure reads. *)
+let decide_cost policy ~servers ~least ~batch ~rounds ~trials =
+  let inst = Cluster.Policy.instantiate policy ~servers in
+  let view = mirror_view ~servers ~least in
+  let notify = Cluster.Policy.name policy = "pull" in
+  let sink = ref 0 in
+  let round () =
+    for i = 0 to batch - 1 do
+      (match inst.Cluster.Policy.decide view ~vcpus:2 ~needs_pool:true with
+      | Cluster.Policy.Assign s -> sink := !sink + s
+      | Cluster.Policy.Enqueue -> incr sink);
+      if notify then
+        sink :=
+          !sink
+          + List.length
+              (inst.Cluster.Policy.on_completion view ~server:(i mod servers))
+    done
+  in
+  round () (* warm-up *);
+  let best_ns = ref infinity in
+  let words = ref 0.0 in
+  for trial = 1 to trials do
+    let w0 = Gc.minor_words () in
+    let t0 = now_ns () in
+    for _ = 1 to rounds do
+      round ()
+    done;
+    let dt = now_ns () -. t0 in
+    if dt < !best_ns then best_ns := dt;
+    if trial = 1 then words := Gc.minor_words () -. w0
+  done;
+  let ops = float_of_int (batch * rounds) in
+  { ns_per_op = !best_ns /. ops; words_per_op = !words /. ops }
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let rec parse = function
@@ -406,7 +484,28 @@ let () =
         ~flat:(f_large.deq_ns /. f_small.deq_ns);
     ]
   in
-  let timings = eq "near" near @ eq "far" far @ cancels @ pool @ rq in
+  let router =
+    let servers = 8 in
+    List.concat_map
+      (fun policy ->
+        let label = Cluster.Policy.name policy in
+        let linear =
+          decide_cost policy ~servers ~least:`Linear ~batch ~rounds ~trials
+        in
+        let indexed =
+          decide_cost policy ~servers ~least:`Indexed ~batch ~rounds ~trials
+        in
+        [
+          pair
+            (Printf.sprintf "micro:router:decide-%s:ns-per-decide" label)
+            ~baseline:linear.ns_per_op ~flat:indexed.ns_per_op;
+          pair
+            (Printf.sprintf "micro:router:decide-%s:words-per-decide" label)
+            ~baseline:linear.words_per_op ~flat:indexed.words_per_op;
+        ])
+      (Cluster.Policy.builtins ())
+  in
+  let timings = eq "near" near @ eq "far" far @ cancels @ pool @ rq @ router in
   Report.print
     ~caption:
       "Event core: flat arena+ring+4-ary-heap queue vs the boxed-cell \
@@ -421,8 +520,14 @@ let () =
            String.length t.Report.t_name >= String.length p
            && String.sub t.Report.t_name 0 (String.length p) = p
          in
+         let words =
+           let n = t.Report.t_name and sub = ":words" in
+           let nl = String.length n and sl = String.length sub in
+           let rec at i = i + sl <= nl && (String.sub n i sl = sub || at (i + 1)) in
+           at 0
+         in
          let fmt v =
-           if prefixed "alloc" then Printf.sprintf "%.1fw" v
+           if prefixed "alloc" || words then Printf.sprintf "%.1fw" v
            else if prefixed "flat" then Printf.sprintf "%.2fx" v
            else Report.ns v
          in

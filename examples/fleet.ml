@@ -48,7 +48,7 @@ let run routing =
                      (float_of_int (Time.span_to_ns record.Platform.init)))
                  ()
              with
-             | Cluster.Accepted _ | Cluster.Queued -> ()
+             | Cluster.Accepted _ | Cluster.Queued | Cluster.Forwarded _ -> ()
              | Cluster.Rejected _ ->
                (* a dry fleet: fall back to a cold start *)
                incr cold;

@@ -1,15 +1,28 @@
 (** A multi-server FaaS deployment: several {!Platform}s (one
-    hypervisor each) behind a front-end router.
+    hypervisor each) behind a partitioned router plane.
 
     The paper evaluates a single server; real provisioned concurrency
     spreads the warm pool across a fleet.  A cluster built with
     {!create} shares one simulation engine, so cross-server timelines
     stay coherent; one built with {!create_sharded} partitions the run
-    over a {!Horse_sim.Shard_engine} — the router is logical shard 0,
-    server [i] is shard [i + 1], and every router<->server interaction
-    crosses a placement delay as a deterministic cross-shard message,
-    which lets {!run} drain the servers on multiple domains while
-    staying bit-identical to the sequential run.
+    over a {!Horse_sim.Shard_engine} — router [r] of [routers] is
+    logical shard [r], server [g] is shard [routers + g], and every
+    router<->server interaction crosses a placement delay as a
+    deterministic cross-shard message, which lets {!run} drain the
+    routers and servers on multiple domains while staying
+    bit-identical to the sequential run.
+
+    With [routers > 1] the control plane itself is partitioned:
+    functions map to routers by a deterministic hash of their dense
+    registry id ({!router_of_fn}), router [r] owns the disjoint server
+    group [{ g | g mod routers = r }] with its own mirrors, load
+    index, pending queue and policy instance, and the routers form a
+    directed spill ring — a trigger arriving at a router whose group
+    is fully down, or dry of warm pools for a warm trigger, is
+    forwarded to the next router over a declared router<->router
+    channel (at most [routers - 1] hops) rather than rejected.
+    [routers = 1] degenerates byte-for-byte to the historical
+    single-router cluster.
 
     Each trigger is placed by a pluggable scheduling policy
     ({!Policy}).  The built-ins:
@@ -47,11 +60,16 @@ type rejection = {
 }
 
 type outcome =
-  | Accepted of int  (** server index *)
+  | Accepted of int  (** (global) server index *)
   | Rejected of rejection
   | Queued
       (** the policy deferred placement; the trigger waits in the
           router-side queue until a server claims it (pull policy) *)
+  | Forwarded of int
+      (** multi-router only: the receiving router's group was fully
+          down (or dry for a warm trigger) and the trigger was spilled
+          to this neighbor router over the ring; its final outcome
+          resolves there, one hop delay later *)
 
 (** The scheduling-policy interface (the tentpole of the cluster's
     routing layer).  A policy is a recipe ({!t}) instantiated once per
@@ -203,12 +221,15 @@ val create_sharded :
   ?shards:int ->
   ?scheduler:Horse_sim.Shard_engine.scheduler ->
   ?window:Horse_sim.Time_ns.span ->
+  ?routers:int ->
   unit ->
   t
 (** Like {!create}, but the cluster owns a {!Horse_sim.Shard_engine}
-    with [servers + 1] logical shards whose channel matrix mirrors the
-    topology: one channel per router<->server direction carrying
-    [placement] (the placement latency, default 50us), and no
+    with [routers + servers] logical shards whose channel matrix
+    mirrors the topology: one channel per router<->server direction
+    carrying [placement] (the placement latency, default 50us) between
+    each server and its owning router, a directed spill ring
+    [r -> (r + 1) mod routers] when [routers > 1], and no
     server<->server channels, so the adaptive scheduler bounds each
     shard by its tightest relevant inbound link.  [scheduler]
     (default [Adaptive]) and [window] pass through to
@@ -216,15 +237,51 @@ val create_sharded :
     epoch scheme and is kept as the epoch-semantics oracle.  [shards]
     (default 1) is the number of execution strands {!run} uses —
     purely an execution-placement choice, results are bit-identical
-    for every value and every scheduler.  The router routes from its own
-    mirrors of per-server live-load, busy-vCPU and pool sizes, updated
-    only by the cross-shard message protocol: a trigger optimistically
-    debits the mirrors, the server's completion (or dry-pool
-    rejection) notification reconciles them one placement delay later.
-    Pull-policy claims ride the same protocol: the claim is resolved
-    on the router timeline and the claimed trigger crosses one
-    placement delay to the claiming server.
-    @raise Invalid_argument if [servers <= 0] or [shards < 1]. *)
+    for every value and every scheduler.  [routers] (default 1)
+    partitions the control plane itself; results are deterministic for
+    every value, and bit-identical across [shards], [scheduler] and
+    execution placement at any fixed [routers].  Each router routes
+    from its own mirrors of its group's live-load, busy-vCPU and pool
+    sizes, updated only by the cross-shard message protocol: a trigger
+    optimistically debits the mirrors, the server's completion (or
+    dry-pool rejection) notification reconciles them one placement
+    delay later.  Pull-policy claims ride the same protocol: the claim
+    is resolved on the owning router's timeline and the claimed
+    trigger crosses one placement delay to the claiming server.
+    @raise Invalid_argument if [servers <= 0], [shards < 1],
+    [routers < 1] or [routers > servers]. *)
+
+val router_count : t -> int
+(** Router shards in the control plane (1 for {!create} clusters). *)
+
+val router_of_fn : t -> fn_id:int -> int
+(** The router owning a function: a deterministic multiplicative hash
+    of the dense id modulo {!router_count} (always 0 when
+    [router_count = 1]), so Zipf-popular functions spread across the
+    plane.  Un-pinned triggers for the function enter here. *)
+
+val router_of_server : t -> int -> int
+(** The router owning a server ([server mod router_count]).
+    @raise Invalid_argument on an out-of-range index. *)
+
+val router_engine : t -> int -> Horse_sim.Engine.t
+(** Router [r]'s engine (logical shard [r] of a sharded cluster).
+    Schedule arrivals bound for router [r] here; {!engine} is router
+    0's.  @raise Invalid_argument on an out-of-range index. *)
+
+val router_servers : t -> int -> int array
+(** The (global, ascending) server indices of router [r]'s group.
+    @raise Invalid_argument on an out-of-range index. *)
+
+val router_metrics : t -> int -> Horse_sim.Metrics.t
+(** Router [r]'s own counter registry (see {!metrics} for the merged
+    view).  @raise Invalid_argument on an out-of-range index. *)
+
+val e2e_latencies_of : t -> int -> Horse_sim.Stats.Quantile.t option
+(** Router [r]'s end-to-end latency estimator (the stream of triggers
+    that {e completed} on router [r]'s timeline — including any it
+    received over the spill ring).  [None] when [e2e] is off.
+    @raise Invalid_argument on an out-of-range index. *)
 
 val server_count : t -> int
 
@@ -238,8 +295,10 @@ val policy_name : t -> string
     ["pull"], ["core"]). *)
 
 val engine : t -> Horse_sim.Engine.t
-(** The router's engine: the engine passed to {!create}, or logical
-    shard 0 of a sharded cluster.  Schedule workload arrivals here. *)
+(** Router 0's engine: the engine passed to {!create}, or logical
+    shard 0 of a sharded cluster.  Schedule workload arrivals here
+    (the only router when [router_count = 1]; see {!router_engine}
+    otherwise). *)
 
 val shard_engine : t -> Horse_sim.Shard_engine.t option
 (** The shard engine of a {!create_sharded} cluster ([None] for
@@ -251,8 +310,11 @@ val shards : t -> int
 
 val metrics : t -> Horse_sim.Metrics.t
 (** Fleet-level counters: [cluster.rejections.<reason>],
-    [cluster.blackouts], [cluster.blackout_lost],
-    [cluster.recoveries]. *)
+    [cluster.blackouts], [cluster.blackout_lost], [cluster.recoveries],
+    [cluster.spills].  With one router this {e is} the router's live
+    registry; with several it is a fresh registry holding the
+    per-router sums, rebuilt per call (see {!router_metrics} for one
+    router's live registry). *)
 
 val healthy : t -> int -> bool
 (** @raise Invalid_argument on an out-of-range index. *)
@@ -264,10 +326,12 @@ val pending_count : t -> int
     for a claim.  Always 0 under the push and core policies. *)
 
 val e2e_latencies : t -> Horse_sim.Stats.Quantile.t option
-(** With [~e2e:true], the router-observed end-to-end latency stream in
+(** With [~e2e:true], router 0's end-to-end latency stream in
     microseconds — arrival at the router to completion notification
-    (including queueing, placement delays and the recovery ladder),
-    tracked at p50/p99/p999.  [None] when [e2e] is off. *)
+    (including queueing, placement and spill delays and the recovery
+    ladder), tracked at p50/p99/p999.  The whole fleet's stream when
+    [router_count = 1]; use {!e2e_latencies_of} for the other routers
+    of a partitioned plane.  [None] when [e2e] is off. *)
 
 val mark_down : t -> int -> unit
 (** Exclude a server from routing (as a blackout does).  Exposed for
@@ -289,34 +353,56 @@ val function_name : t -> fn_id:int -> string
 (** @raise Invalid_argument on an unknown id. *)
 
 val provision :
-  t -> name:string -> total:int -> strategy:Horse_vmm.Sandbox.strategy -> unit
+  ?router:int ->
+  t ->
+  name:string ->
+  total:int ->
+  strategy:Horse_vmm.Sandbox.strategy ->
+  unit
 (** Park [total] warm sandboxes for [name], spread round-robin across
-    the servers (the policy's [on_provision] hook observes each). *)
+    the owning router's server group (the whole fleet when
+    [router_count = 1]; that router's policy instance observes each
+    through [on_provision]).  The owner defaults to {!router_of_fn};
+    [?router] overrides it — the workflow stepper parks a DAG's pools
+    on its root function's router.
+    @raise Invalid_argument on an out-of-range [router]. *)
 
 val pool_size : t -> name:string -> int
 (** Fleet-wide warm-pool size. *)
 
 val trigger :
+  ?router:int ->
   t ->
   name:string ->
   mode:Platform.start_mode ->
   ?on_complete:(int * Platform.record -> unit) ->
   unit ->
   outcome
-(** Route one invocation among the healthy servers.  [Accepted i] is
-    the chosen server; [Rejected _] means no healthy server existed or
-    the chosen one was dry (the rejection is recorded and counted, and
-    [on_complete] never fires); [Queued] means the policy parked the
-    trigger in the router queue until a server claims it.  On a
+(** Route one invocation among the healthy servers of the owning
+    router's group.  [Accepted i] is the chosen (global) server;
+    [Rejected _] means no healthy server existed or the chosen one was
+    dry (the rejection is recorded and counted, and [on_complete]
+    never fires); [Queued] means the policy parked the trigger in the
+    router queue until a server claims it; [Forwarded r] means the
+    trigger spilled to neighbor router [r] (multi-router only).  On a
     sharded cluster the dry-pool case surfaces one placement delay
     later as a recorded [No_warm_capacity] rejection instead — the
     router has already committed [Accepted i] by the time the server
     reports back.
+
+    The trigger enters at {!router_of_fn}'s router by default; on a
+    multi-router cluster the call must be made on that router's
+    timeline (pre-run setup, or a callback on {!router_engine}).
+    [?router] pins the trigger to a specific router instead — pinned
+    triggers place within that router's group and {e never} spill, so
+    [on_complete] always fires on the pinned timeline (the workflow
+    stepper relies on this).
     When [on_complete] is omitted the completion is only logged (one
     packed int), never materialized as a boxed record.
     @raise Platform.Unknown_function *)
 
 val trigger_id :
+  ?router:int ->
   t ->
   fn_id:int ->
   mode:Platform.start_mode ->
@@ -333,10 +419,11 @@ val schedule_batch :
   Horse_trace.Batch.t ->
   unit
 (** Ingest a whole (sorted) trigger batch, offsets relative to the
-    router engine's current time, each trigger routed exactly as
-    {!trigger_id} would at its arrival instant ([payload] column =
-    {!Platform.mode_code}).  Arrivals are pre-scheduled through a
-    windowed cursor ([window] at a time, default 4096) so the event
+    owning router engines' current time, each trigger routed exactly
+    as {!trigger_id} would at its arrival instant ([payload] column =
+    {!Platform.mode_code}) — each row lands on its function's affine
+    router's engine.  Arrivals are pre-scheduled through a windowed
+    cursor per router ([window] at a time, default 4096) so each event
     queue holds one window rather than the whole trace; within the
     batch, arrivals fire in batch order.  With [window >= length]
     the schedule is event-for-event identical to calling
@@ -366,9 +453,11 @@ val record_count : t -> int
 (** Completions logged fleet-wide so far. *)
 
 val iter_records : t -> (int -> int -> unit) -> unit
-(** [iter_records t f] applies [f server slot] to every completion in
-    router-observed order, allocating nothing; [slot] indexes
-    [Platform.trigger_records (server t server)]. *)
+(** [iter_records t f] applies [f server slot] to every completion,
+    allocating nothing; [slot] indexes
+    [Platform.trigger_records (server t server)].  Router-major
+    order: router 0's completions in observed order, then router
+    1's, … (the historical single stream when [router_count = 1]). *)
 
 val fold_records : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
 (** Like {!iter_records}: [f acc server slot]. *)
@@ -380,7 +469,7 @@ val records : t -> (int * Platform.record) list
     large runs. *)
 
 val rejections : t -> rejection list
-(** All rejected triggers, oldest first. *)
+(** All rejected triggers, oldest first per router, router-major. *)
 
 val live_invocations : t -> int
 

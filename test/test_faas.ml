@@ -545,6 +545,7 @@ let accepted = function
     Alcotest.failf "unexpected rejection: %s"
       (Cluster.reject_reason_name r.Cluster.reason)
   | Cluster.Queued -> Alcotest.fail "unexpected queueing"
+  | Cluster.Forwarded _ -> Alcotest.fail "unexpected spill"
 
 let test_cluster_round_robin () =
   let _, cluster = fresh_cluster ~routing:Cluster.Round_robin () in
@@ -586,7 +587,7 @@ let test_cluster_warm_exhausted_rejects () =
   (match
      Cluster.trigger cluster ~name:"nat" ~mode:(Platform.Warm Sandbox.Horse) ()
    with
-  | Cluster.Accepted _ | Cluster.Queued ->
+  | Cluster.Accepted _ | Cluster.Queued | Cluster.Forwarded _ ->
     Alcotest.fail "dry fleet must reject"
   | Cluster.Rejected r ->
     Alcotest.(check string)
@@ -605,7 +606,7 @@ let test_cluster_all_down_rejects () =
   done;
   Alcotest.(check int) "none healthy" 0 (Cluster.healthy_count cluster);
   (match Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold () with
-  | Cluster.Accepted _ | Cluster.Queued ->
+  | Cluster.Accepted _ | Cluster.Queued | Cluster.Forwarded _ ->
     Alcotest.fail "downed fleet must reject"
   | Cluster.Rejected r ->
     Alcotest.(check string)
@@ -669,7 +670,7 @@ let test_policy_no_warm_rejects () =
          Cluster.trigger cluster ~name:"nat"
            ~mode:(Platform.Warm Sandbox.Horse) ()
        with
-      | Cluster.Accepted _ | Cluster.Queued ->
+      | Cluster.Accepted _ | Cluster.Queued | Cluster.Forwarded _ ->
         Alcotest.failf "%s: dry fleet must reject" pname
       | Cluster.Rejected r ->
         Alcotest.(check string)
@@ -692,7 +693,7 @@ let test_policy_all_down_rejects () =
         Cluster.mark_down cluster i
       done;
       (match Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold () with
-      | Cluster.Accepted _ | Cluster.Queued ->
+      | Cluster.Accepted _ | Cluster.Queued | Cluster.Forwarded _ ->
         Alcotest.failf "%s: downed fleet must reject" pname
       | Cluster.Rejected r ->
         Alcotest.(check string)
@@ -703,7 +704,8 @@ let test_policy_all_down_rejects () =
       match Cluster.trigger cluster ~name:"nat" ~mode:Platform.Cold () with
       | Cluster.Accepted i ->
         Alcotest.(check int) (pname ^ ": routed to the survivor") 1 i
-      | Cluster.Queued -> Alcotest.failf "%s: survivor must take traffic" pname
+      | Cluster.Queued | Cluster.Forwarded _ ->
+        Alcotest.failf "%s: survivor must take traffic" pname
       | Cluster.Rejected _ ->
         Alcotest.failf "%s: recovered fleet must accept" pname)
 

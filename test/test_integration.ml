@@ -111,7 +111,7 @@ let test_fleet_under_trace_storm () =
                Cluster.trigger cluster ~name:"fw"
                  ~mode:(Platform.Warm Sandbox.Horse) ()
              with
-             | Cluster.Accepted _ | Cluster.Queued -> ()
+             | Cluster.Accepted _ | Cluster.Queued | Cluster.Forwarded _ -> ()
              | Cluster.Rejected _ ->
                incr fallbacks;
                ignore (Cluster.trigger cluster ~name:"fw" ~mode:Platform.Cold ()))))

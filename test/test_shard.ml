@@ -10,6 +10,7 @@ module Shard_engine = Horse_sim.Shard_engine
 module Time = Horse_sim.Time_ns
 module Metrics = Horse_sim.Metrics
 module Rng = Horse_sim.Rng
+module Stats = Horse_sim.Stats
 module Topology = Horse_cpu.Topology
 module Sandbox = Horse_vmm.Sandbox
 module Platform = Horse_faas.Platform
@@ -533,6 +534,424 @@ let test_post_inside_window_rejected () =
   Shard_engine.run se;
   Alcotest.(check bool) "in-window post rejected" true !raised
 
+(* ------------------------------------------------------------------ *)
+(* Golden traces: routers=1 is byte-for-byte the historical cluster   *)
+(* ------------------------------------------------------------------ *)
+
+(* MD5 digests of [dump_cluster] on every (policy, faulty, seed) storm,
+   captured from the single-router build immediately before the router
+   plane was partitioned.  [routers = 1] (the default) must reproduce
+   them forever: any drift here means the partitioned control plane
+   changed the degenerate case, not just added to it. *)
+let golden_digests =
+  [
+    ("push-warm-first", false, 1, "3b85f20ef54f0a183005d24c2157f767");
+    ("push-warm-first", false, 42, "c0f92d1b5d3ef729567849b62f2ed58a");
+    ("push-warm-first", false, 1337, "c256e3c7a2ce31501467797b463baffe");
+    ("push-warm-first", true, 1, "10b1ae0b1d32f005b4f3518bfe5a868e");
+    ("push-warm-first", true, 42, "d9990fc060351e4b4b90f13ae06f83a2");
+    ("push-warm-first", true, 1337, "9eb7bba0fe2a2f345439756eb40f0c9c");
+    ("pull", false, 1, "e7b739fdb5595b6377d00d54de49fcb8");
+    ("pull", false, 42, "b19a77f9d17f9a22cd533ee01d67d9ed");
+    ("pull", false, 1337, "f394535d7df70e637631c796f25f8e35");
+    ("pull", true, 1, "ca74cf71ee465389c4de0b840324c5d8");
+    ("pull", true, 42, "36b6c44ba82f0fb1c9bbdd16494cbbf1");
+    ("pull", true, 1337, "1870147779869bbb2220183b8a1644d4");
+    ("core", false, 1, "3ae0862812e97ab98f4abdf07b16fc77");
+    ("core", false, 42, "2b2d7b6fe527edc1a78f1a4bbcd5b394");
+    ("core", false, 1337, "c028b81f4e54ff7509c0b848ba207498");
+    ("core", true, 1, "e64855fe110f6047014651a3aad35fab");
+    ("core", true, 42, "fb0c24cbc0c9edeba06a419ff35da6e4");
+    ("core", true, 1337, "06827c40e56aa1e06da17cabb254f385");
+  ]
+
+let test_golden_traces () =
+  let builtins = Cluster.Policy.builtins () in
+  List.iter
+    (fun (policy_name, faulty, seed, expected) ->
+      let policy =
+        List.find
+          (fun p -> String.equal (Cluster.Policy.name p) policy_name)
+          builtins
+      in
+      let c = sharded_storm ~policy ~seed ~shards:2 ~faulty () in
+      Alcotest.(check string)
+        (Printf.sprintf "%s faulty=%b seed=%d" policy_name faulty seed)
+        expected
+        (Digest.to_hex (Digest.string (dump_cluster c))))
+    golden_digests
+
+(* ------------------------------------------------------------------ *)
+(* Partitioned router plane                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fn_count = 8
+
+let fn_name i = Printf.sprintf "fn%d" i
+
+let multi_defs () =
+  List.init fn_count (fun i ->
+      Function_def.create ~name:(fn_name i) ~vcpus:2 ~memory_mb:512
+        ~exec:(Function_def.Ull Category.Cat2) ())
+
+(* A storm over many functions, so the function->router hash actually
+   spreads the load: each trigger is scheduled on its affine router's
+   engine, as a multi-router deployment must. *)
+let router_storm ?policy ?scheduler ?(faulty = false) ?(flaps = false)
+    ~routers ~seed ~shards () =
+  let faults = if faulty then blackout_plan (seed + 1) else Fault.Plan.none in
+  let cluster =
+    Cluster.create_sharded ~servers:4 ~topology:small_topology ~seed ~faults
+      ~recovery:Platform.Recovery.default ?policy ?scheduler ~shards ~routers
+      ()
+  in
+  List.iter (Cluster.register cluster) (multi_defs ());
+  for i = 0 to fn_count - 1 do
+    Cluster.provision cluster ~name:(fn_name i) ~total:3
+      ~strategy:Sandbox.Horse
+  done;
+  let horizon = Time.span_ms 50.0 in
+  if faulty then begin
+    let outages = Cluster.schedule_faults cluster ~horizon in
+    Alcotest.(check bool) "plan is non-inert" true (outages > 0)
+  end;
+  if flaps then
+    (* every server drops out of routing mid-storm and rejoins:
+       pure health churn (unlike a blackout, in-flight work and warm
+       pools survive), staggered so group health keeps changing *)
+    for s = 0 to 3 do
+      let engine =
+        Cluster.router_engine cluster (Cluster.router_of_server cluster s)
+      in
+      let down = Time.span_ms (8.0 +. (3.0 *. float_of_int s)) in
+      let up = Time.span_ms (22.0 +. (4.0 *. float_of_int s)) in
+      ignore
+        (Engine.schedule engine ~after:down (fun _ ->
+             Cluster.mark_down cluster s));
+      ignore
+        (Engine.schedule engine ~after:up (fun _ -> Cluster.mark_up cluster s))
+    done;
+  let rng = Rng.create ~seed:(seed + 2) in
+  for _ = 1 to 200 do
+    let after = Time.span_ns (Rng.int rng (Time.span_to_ns horizon)) in
+    let fn_id = Cluster.fn_id cluster ~name:(fn_name (Rng.int rng fn_count)) in
+    let engine =
+      Cluster.router_engine cluster (Cluster.router_of_fn cluster ~fn_id)
+    in
+    ignore
+      (Engine.schedule engine ~after (fun _ ->
+           ignore
+             (Cluster.trigger_id cluster ~fn_id
+                ~mode:(Platform.Warm Sandbox.Horse) ())))
+  done;
+  Cluster.run cluster;
+  cluster
+
+let test_router_invariance () =
+  (* at any fixed router count the whole trace — records, spills,
+     rejections, every counter, the message count — is bit-identical
+     across execution shards and schedulers *)
+  List.iter
+    (fun routers ->
+      List.iter
+        (fun faulty ->
+          List.iter
+            (fun seed ->
+              let dump ?scheduler shards =
+                dump_cluster
+                  (router_storm ?scheduler ~routers ~seed ~shards ~faulty ())
+              in
+              let reference = dump 1 in
+              Alcotest.(check bool) "storm produced records" true
+                (String.length reference > 100);
+              List.iter
+                (fun shards ->
+                  Alcotest.(check string)
+                    (Printf.sprintf
+                       "routers=%d seed=%d faulty=%b: shards=%d == shards=1"
+                       routers seed faulty shards)
+                    reference (dump shards))
+                [ 2; 4 ];
+              Alcotest.(check string)
+                (Printf.sprintf "routers=%d seed=%d faulty=%b: lockstep"
+                   routers seed faulty)
+                reference
+                (dump ~scheduler:Shard_engine.Lockstep 4))
+            [ 1; 42 ])
+        [ false; true ])
+    [ 2; 4 ]
+
+let test_router_invariance_policies () =
+  List.iter
+    (fun policy ->
+      let dump shards =
+        dump_cluster
+          (router_storm ~policy ~routers:2 ~seed:1337 ~shards ~faulty:true ())
+      in
+      let reference = dump 1 in
+      Alcotest.(check string)
+        (Printf.sprintf "%s routers=2: shards=4 == shards=1"
+           (Cluster.Policy.name policy))
+        reference (dump 4))
+    (Cluster.Policy.builtins ())
+
+(* -- the spill protocol -------------------------------------------- *)
+
+let spill_cluster ~e2e () =
+  let cluster =
+    Cluster.create_sharded ~servers:4 ~topology:small_topology ~seed:5 ~e2e
+      ~routers:2 ()
+  in
+  List.iter (Cluster.register cluster) (multi_defs ());
+  cluster
+
+let test_spill_dry_warm () =
+  let cluster = spill_cluster ~e2e:true () in
+  let fn_id = Cluster.fn_id cluster ~name:(fn_name 0) in
+  let home = Cluster.router_of_fn cluster ~fn_id in
+  let neighbor = (home + 1) mod 2 in
+  (* all the warmth for fn0 lives in the *neighbor's* group: the home
+     router is dry, so an affine warm trigger must spill one hop and
+     land warm over there instead of being rejected *)
+  Cluster.provision cluster ~router:neighbor ~name:(fn_name 0) ~total:2
+    ~strategy:Sandbox.Horse;
+  let outcome = ref None in
+  let completion = ref None in
+  ignore
+    (Engine.schedule_at
+       (Cluster.router_engine cluster home)
+       ~at:(Time.of_ns 1_000_000)
+       (fun _ ->
+         outcome :=
+           Some
+             (Cluster.trigger_id cluster ~fn_id
+                ~mode:(Platform.Warm Sandbox.Horse)
+                ~on_complete:(fun (server, record) ->
+                  completion := Some (server, record))
+                ())));
+  Cluster.run cluster;
+  (match !outcome with
+  | Some (Cluster.Forwarded r) ->
+    Alcotest.(check int) "forwarded to the neighbor" neighbor r
+  | _ -> Alcotest.fail "expected Forwarded");
+  (match !completion with
+  | None -> Alcotest.fail "spilled trigger never completed"
+  | Some (server, record) ->
+    Alcotest.(check int) "placed in the neighbor's group" neighbor
+      (Cluster.router_of_server cluster server);
+    (match record.Platform.mode with
+    | Platform.Warm Sandbox.Horse -> ()
+    | _ -> Alcotest.fail "expected a warm record");
+    (* the per-record latency identity holds for spilled triggers *)
+    Alcotest.(check int) "latency identity"
+      (Time.span_to_ns record.Platform.init
+      + Time.span_to_ns record.Platform.exec
+      + Time.span_to_ns record.Platform.preemption)
+      (Time.to_ns record.Platform.completed_at
+      - Time.to_ns record.Platform.triggered_at));
+  Alcotest.(check int) "one spill counted" 1
+    (Metrics.counter (Cluster.metrics cluster) "cluster.spills");
+  (* the spilled trigger completes on the neighbor's timeline, and its
+     end-to-end latency charges the extra hop: arrival -> ring hop ->
+     placement -> service -> completion notification is at least three
+     placement delays (150us at the default 50us) on top of service *)
+  let e2e = Option.get (Cluster.e2e_latencies_of cluster neighbor) in
+  Alcotest.(check int) "observed on the neighbor" 1 (Stats.Quantile.count e2e);
+  Alcotest.(check bool) "e2e charges the hop" true
+    (Stats.Quantile.mean e2e >= 150.0)
+
+let test_spill_all_down_and_pinned () =
+  let cluster = spill_cluster ~e2e:false () in
+  let fn_id = Cluster.fn_id cluster ~name:(fn_name 1) in
+  let home = Cluster.router_of_fn cluster ~fn_id in
+  let neighbor = (home + 1) mod 2 in
+  Cluster.provision cluster ~router:neighbor ~name:(fn_name 1) ~total:2
+    ~strategy:Sandbox.Horse;
+  (* the home group is entirely down: an affine trigger rides the ring
+     to the neighbor; a pinned trigger must NOT spill — it is rejected
+     in place, because its caller relies on the pinned timeline *)
+  Array.iter
+    (fun s -> Cluster.mark_down cluster s)
+    (Cluster.router_servers cluster home);
+  let affine = ref None and pinned = ref None in
+  ignore
+    (Engine.schedule_at
+       (Cluster.router_engine cluster home)
+       ~at:(Time.of_ns 1_000_000)
+       (fun _ ->
+         affine :=
+           Some
+             (Cluster.trigger_id cluster ~fn_id
+                ~mode:(Platform.Warm Sandbox.Horse) ());
+         pinned :=
+           Some
+             (Cluster.trigger_id cluster ~router:home ~fn_id
+                ~mode:(Platform.Warm Sandbox.Horse) ())));
+  Cluster.run cluster;
+  (match !affine with
+  | Some (Cluster.Forwarded r) ->
+    Alcotest.(check int) "spilled off the dead group" neighbor r
+  | _ -> Alcotest.fail "expected Forwarded");
+  (match !pinned with
+  | Some (Cluster.Rejected rj) ->
+    Alcotest.(check string) "pinned trigger rejected in place"
+      "all-servers-down"
+      (Cluster.reject_reason_name rj.Cluster.reason)
+  | _ -> Alcotest.fail "expected Rejected for the pinned trigger");
+  Alcotest.(check int) "exactly one spill" 1
+    (Metrics.counter (Cluster.metrics cluster) "cluster.spills")
+
+(* -- pull-claim fairness across the plane -------------------------- *)
+
+let test_pull_fifo_per_router () =
+  (* ten pinned triggers per router against one warm sandbox per
+     group: most park in the router queue, so claim-resolution order
+     is observable through each record's dispatch instant.  Claims
+     must resolve strictly FIFO per router, and a blackout zeroing one
+     router's tokens must not perturb the other router's queue at
+     all. *)
+  let run ~blackout =
+    let cluster =
+      Cluster.create_sharded ~servers:4 ~topology:small_topology ~seed:3
+        ~recovery:Platform.Recovery.default
+        ~policy:(Cluster.Policy.pull ()) ~routers:2 ()
+    in
+    Cluster.register cluster ull_def;
+    Cluster.provision cluster ~router:0 ~name:"ull" ~total:1
+      ~strategy:Sandbox.Horse;
+    Cluster.provision cluster ~router:1 ~name:"ull" ~total:1
+      ~strategy:Sandbox.Horse;
+    let fn_id = Cluster.fn_id cluster ~name:"ull" in
+    let order = [| []; [] |] in
+    (* per router: (tag, dispatch instant) in completion order *)
+    for r = 0 to 1 do
+      let engine = Cluster.router_engine cluster r in
+      for tag = 0 to 9 do
+        ignore
+          (Engine.schedule_at engine
+             ~at:(Time.of_ns (1_000_000 + (tag * 1_000)))
+             (fun _ ->
+               ignore
+                 (Cluster.trigger_id cluster ~router:r ~fn_id
+                    ~mode:(Platform.Warm Sandbox.Horse)
+                    ~on_complete:(fun (_, record) ->
+                      order.(r) <-
+                        (tag, Time.to_ns record.Platform.triggered_at)
+                        :: order.(r))
+                    ())))
+      done
+    done;
+    if blackout then begin
+      let victim = (Cluster.router_servers cluster 0).(0) in
+      let engine = Cluster.router_engine cluster 0 in
+      ignore
+        (Engine.schedule_at engine ~at:(Time.of_ns 1_004_500) (fun _ ->
+             Cluster.mark_down cluster victim));
+      ignore
+        (Engine.schedule_at engine ~at:(Time.of_ns 40_000_000) (fun _ ->
+             Cluster.mark_up cluster victim))
+    end;
+    Cluster.run cluster;
+    Array.map List.rev order
+  in
+  let check_fifo name completions =
+    Alcotest.(check int) (name ^ ": all completed") 10
+      (List.length completions);
+    let by_tag = List.sort compare completions in
+    ignore
+      (List.fold_left
+         (fun prev (tag, trig) ->
+           Alcotest.(check bool)
+             (Printf.sprintf "%s: tag %d dispatched in FIFO order" name tag)
+             true (trig >= prev);
+           trig)
+         min_int by_tag)
+  in
+  let plain = run ~blackout:false in
+  check_fifo "router 0" plain.(0);
+  check_fifo "router 1" plain.(1);
+  let perturbed = run ~blackout:true in
+  check_fifo "router 0 under blackout" perturbed.(0);
+  Alcotest.(check bool)
+    "router 1's queue untouched by router 0's blackout" true
+    (plain.(1) = perturbed.(1))
+
+(* -- load index vs linear scan under health churn ------------------ *)
+
+(* The push least-loaded policy routes through the router's O(1) load
+   index ([v_least_loaded]).  This policy is its executable spec: a
+   plain linear scan over the same view.  Under server flaps the two
+   must stay trace-equal — any divergence means the index's min
+   tracking broke under health churn. *)
+let linear_least_loaded () =
+  Cluster.Policy.v ~name:"linear-least-loaded" (fun ~servers ->
+      let decide (view : Cluster.Policy.view) ~vcpus:_ ~needs_pool:_ =
+        let best = ref (-1) in
+        for i = 0 to servers - 1 do
+          if
+            view.Cluster.Policy.v_healthy i
+            && (!best < 0
+               || view.Cluster.Policy.v_live i < view.Cluster.Policy.v_live !best)
+          then best := i
+        done;
+        if !best >= 0 then Cluster.Policy.Assign !best
+        else Cluster.Policy.Enqueue
+      in
+      {
+        Cluster.Policy.label = "linear-least-loaded";
+        decide;
+        on_completion = (fun _ ~server:_ -> []);
+        on_rejection = (fun _ ~server:_ -> []);
+        on_health_change = (fun _ ~server:_ ~up:_ -> []);
+        on_provision = (fun ~server:_ ~count:_ -> ());
+        on_claim_unused = (fun ~server:_ -> ());
+      })
+
+(* drop the "policy=<label> ..." header so differently-named policies
+   can be compared byte-for-byte on the rest of the dump *)
+let strip_policy_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s i (String.length s - i)
+  | None -> s
+
+let test_load_index_churn () =
+  List.iter
+    (fun routers ->
+      List.iter
+        (fun seed ->
+          let dump policy =
+            strip_policy_line
+              (dump_cluster
+                 (router_storm ~policy ~routers ~seed ~shards:2 ~flaps:true ()))
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "routers=%d seed=%d: load index == linear scan"
+               routers seed)
+            (dump (linear_least_loaded ()))
+            (dump (Cluster.Policy.push ~routing:Cluster.Least_loaded ())))
+        [ 1; 42; 1337 ])
+    [ 1; 2 ]
+
+(* Print the digest of every storm trace and exit — used once to pin
+   the golden digests above against the single-router build. *)
+let () =
+  if Sys.getenv_opt "HORSE_DUMP_GOLDEN" <> None then begin
+    List.iter
+      (fun policy ->
+        List.iter
+          (fun faulty ->
+            List.iter
+              (fun seed ->
+                let c = sharded_storm ~policy ~seed ~shards:2 ~faulty () in
+                Printf.printf "(\"%s\", %b, %d, \"%s\");\n"
+                  (Cluster.Policy.name policy) faulty seed
+                  (Digest.to_hex (Digest.string (dump_cluster c))))
+              [ 1; 42; 1337 ])
+          [ false; true ])
+      (Cluster.Policy.builtins ());
+    exit 0
+  end
+
 let () =
   Alcotest.run "horse_shard"
     [
@@ -554,6 +973,23 @@ let () =
             test_model_based_gap_clump;
           Alcotest.test_case "model-based oracle per policy" `Slow
             test_model_based_policies;
+          Alcotest.test_case "routers=1 golden traces" `Quick
+            test_golden_traces;
+        ] );
+      ( "router plane",
+        [
+          Alcotest.test_case "multi-router storms bit-identical" `Quick
+            test_router_invariance;
+          Alcotest.test_case "multi-router storms per policy" `Quick
+            test_router_invariance_policies;
+          Alcotest.test_case "dry-warm spill rides the ring" `Quick
+            test_spill_dry_warm;
+          Alcotest.test_case "all-down spill; pinned never spills" `Quick
+            test_spill_all_down_and_pinned;
+          Alcotest.test_case "pull claims FIFO per router" `Quick
+            test_pull_fifo_per_router;
+          Alcotest.test_case "load index == linear scan under flaps" `Quick
+            test_load_index_churn;
         ] );
       ( "experiments",
         [

@@ -282,6 +282,72 @@ let test_long_running_fraction () =
     (Durations.long_running_fraction fast)
 
 (* ------------------------------------------------------------------ *)
+(* Batch: flat trigger traces                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Batch = Horse_trace.Batch
+
+let batch_seeds = [ 1; 42; 1337 ]
+
+(* [bursty] hands its output straight to the windowed batch cursor,
+   which requires non-decreasing arrival times — the clumped offsets
+   must come out time-sorted for every seed, with the declared row
+   count and every arrival inside the horizon. *)
+let test_bursty_sorted () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let n = 5_000 in
+      let duration = Time.span_ms 50.0 in
+      let batch = Batch.bursty ~rng ~n ~duration ~fn_id:3 ~payload:7 () in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: row count" seed)
+        n (Batch.length batch);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: sorted" seed)
+        true (Batch.sorted batch);
+      let horizon = Time.span_to_ns duration in
+      for k = 0 to n - 1 do
+        if k > 0 && Batch.time_ns batch k < Batch.time_ns batch (k - 1) then
+          Alcotest.failf "seed %d: row %d out of order" seed k;
+        let t = Batch.time_ns batch k in
+        if t < 0 || t >= horizon then
+          Alcotest.failf "seed %d: row %d outside horizon (%d)" seed k t
+      done)
+    batch_seeds
+
+(* [stamp_payloads] rewrites the payload column in place by row index
+   and must leave the time and fn-id columns — and hence row order —
+   untouched. *)
+let test_stamp_payloads_preserves_order () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let n = 2_000 in
+      let batch =
+        Batch.bursty ~rng ~n ~duration:(Time.span_ms 20.0) ~fn_id:1
+          ~payload:(-1) ()
+      in
+      let times = Array.init n (Batch.time_ns batch) in
+      let fns = Array.init n (Batch.fn_id batch) in
+      Batch.stamp_payloads batch (fun i -> (i * 31) + seed);
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: length unchanged" seed)
+        n (Batch.length batch);
+      for k = 0 to n - 1 do
+        if Batch.time_ns batch k <> times.(k) then
+          Alcotest.failf "seed %d: row %d time moved" seed k;
+        if Batch.fn_id batch k <> fns.(k) then
+          Alcotest.failf "seed %d: row %d fn-id moved" seed k;
+        if Batch.payload batch k <> (k * 31) + seed then
+          Alcotest.failf "seed %d: row %d payload not stamped" seed k
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: still sorted" seed)
+        true (Batch.sorted batch))
+    batch_seeds
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -338,6 +404,12 @@ let () =
           Alcotest.test_case "sampler" `Quick test_durations_sampler;
           Alcotest.test_case "long-running fraction" `Quick
             test_long_running_fraction;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "bursty time-sorted" `Quick test_bursty_sorted;
+          Alcotest.test_case "stamp_payloads preserves order" `Quick
+            test_stamp_payloads_preserves_order;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
